@@ -1,0 +1,47 @@
+//! Criterion benches for the end-to-end pipeline: preparation
+//! (quantization + calibration), the full CPU sweep, and the per-stage
+//! filters at database scale — the numbers behind EXPERIMENTS.md's
+//! "this host" footnotes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_pipeline::{Pipeline, PipelineConfig};
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use h3w_seqdb::SeqDb;
+
+fn workload(m: usize) -> (Pipeline, SeqDb) {
+    let core = synthetic_model(m, 9, &BuildParams::default());
+    let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 3);
+    let mut spec = DbGenSpec::envnr_like().scaled(2e-4); // ≈ 1310 seqs
+    spec.homolog_fraction = 0.01;
+    let db = generate(&spec, Some(&core), 5);
+    (pipe, db)
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_prepare");
+    g.sample_size(10);
+    for m in [48usize, 200] {
+        let core = synthetic_model(m, 9, &BuildParams::default());
+        g.bench_with_input(BenchmarkId::new("quantize+calibrate", m), &m, |b, _| {
+            b.iter(|| Pipeline::prepare(&core, PipelineConfig::default(), 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_sweep");
+    g.sample_size(10);
+    for m in [48usize, 200] {
+        let (pipe, db) = workload(m);
+        g.throughput(Throughput::Elements(m as u64 * db.total_residues()));
+        g.bench_with_input(BenchmarkId::new("cpu_full", m), &m, |b, _| {
+            b.iter(|| pipe.run_cpu(&db))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prepare, bench_sweep);
+criterion_main!(benches);

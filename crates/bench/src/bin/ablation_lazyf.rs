@@ -1,0 +1,93 @@
+//! E8 — Lazy-F vs prefix-sums ablation (§III-B and the §VI future-work
+//! note).
+//!
+//! Resolves the same D→D rows with the paper's warp-parallel Lazy-F
+//! (Fig. 7, vote-terminated) and the \[13\]-style max-plus prefix scan
+//! (fixed log-depth cost), over conserved and gappy models, and reports
+//! per-row work. Also reports the in-kernel Lazy-F effort measured on a
+//! full Viterbi sweep.
+//!
+//! Usage: `cargo run --release -p h3w-bench --bin ablation_lazyf`
+
+use h3w_core::dd_prefix::{lazy_f_resolve, prefix_resolve, scalar_resolve, DdCost};
+use h3w_core::tiered::run_vit_device;
+use h3w_core::MemConfig;
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::profile::Profile;
+use h3w_hmm::vitprofile::VitProfile;
+use h3w_hmm::NullModel;
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use h3w_seqdb::PackedDb;
+use h3w_simt::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("=== E8: Lazy-F vs parallel prefix for the D-D chain ===");
+    println!();
+    println!("-- per-row costs on synthetic D rows (320 positions, 10 chunks) --");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8}",
+        "row regime", "votes", "smem", "shfl", "alu"
+    );
+    let mut rng = StdRng::seed_from_u64(0x1a2f);
+    for (label, strong_every, tdd_range) in [
+        ("quiet (DD never taken)", usize::MAX, -2500i16..-2000i16),
+        ("typical (short chains)", 40usize, -1600..-1100),
+        ("gappy (80% DD regime)", 12usize, -120..-60),
+    ] {
+        let m = 320usize;
+        let seeds: Vec<i16> = (0..m)
+            .map(|i| {
+                if strong_every != usize::MAX && i % strong_every == 3 {
+                    rng.gen_range(-1000..0)
+                } else {
+                    rng.gen_range(-9000..-8500)
+                }
+            })
+            .collect();
+        let mut tdd: Vec<i16> = (0..m).map(|_| rng.gen_range(tdd_range.clone())).collect();
+        tdd[0] = i16::MIN;
+        let expect = scalar_resolve(&seeds, &tdd);
+        let (d_lazy, lazy) = lazy_f_resolve(&seeds, &tdd);
+        let (d_pfx, pfx) = prefix_resolve(&seeds, &tdd);
+        assert_eq!(d_lazy, expect, "lazy must be exact");
+        assert_eq!(d_pfx, expect, "prefix must be exact");
+        let p = |name: &str, c: &DdCost| {
+            println!(
+                "{:<26} {:>8} {:>8} {:>8} {:>8}",
+                name, c.votes, c.smem, c.shuffles, c.alu
+            );
+        };
+        p(&format!("{label} [lazy]"), &lazy);
+        p(&format!("{label} [pfx] "), &pfx);
+    }
+    println!();
+    println!("-- in-kernel Lazy-F effort over a database sweep (m = 100) --");
+    let dev = DeviceSpec::tesla_k40();
+    let bg = NullModel::new();
+    for (label, params) in [
+        ("conserved model", BuildParams::default()),
+        ("gappy model   ", BuildParams::gappy()),
+    ] {
+        let model = synthetic_model(100, 0x1a30, &params);
+        let om = VitProfile::from_profile(&Profile::config(&model, &bg));
+        let db = generate(&DbGenSpec::envnr_like().scaled(1e-5), Some(&model), 0x1a31);
+        let packed = PackedDb::from_db(&db);
+        let run = run_vit_device(&om, &packed, &dev, Some(MemConfig::Shared)).unwrap();
+        let l = run.lazy;
+        println!(
+            "{label}: rows {} skipped {:.1}%  inner-iters/chunk {:.3}  votes {}",
+            l.rows,
+            l.rows_skipped as f64 / l.rows.max(1) as f64 * 100.0,
+            l.inner_iters as f64 / l.chunks.max(1) as f64,
+            run.run.stats.votes
+        );
+    }
+    println!();
+    println!(
+        "reading: Lazy-F's cost is data-dependent and near-minimal when D-D is rare \
+         (§III-B); the prefix scan is input-independent — the bound §VI proposes for \
+         the 80%-DD regime of very gappy models."
+    );
+}

@@ -1,0 +1,68 @@
+//! E7 — memory-hierarchy ablation: the §III-A "Intrinsic Conflict-Free
+//! Access" and "Warp-Shuffled Reduction" claims, measured.
+//!
+//! * bank conflicts of the byte-consecutive DP row layout (claim: zero);
+//! * shuffle-reduction instruction budget (Kepler) vs the shared-memory
+//!   fallback (Fermi) — the §IV-A portability cost;
+//! * shared vs global table placement traffic per row.
+//!
+//! Usage: `cargo run --release -p h3w-bench --bin ablation_memory [m]`
+
+use h3w_core::tiered::run_msv_device;
+use h3w_core::MemConfig;
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::NullModel;
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use h3w_seqdb::PackedDb;
+use h3w_simt::DeviceSpec;
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let model = synthetic_model(m, 0xab7e, &BuildParams::default());
+    let bg = NullModel::new();
+    let om = MsvProfile::from_profile(&Profile::config(&model, &bg));
+    let db = generate(&DbGenSpec::envnr_like().scaled(2e-5), Some(&model), 0xab7f);
+    let packed = PackedDb::from_db(&db);
+    println!(
+        "workload: m={m}, {} sequences / {} residues",
+        db.len(),
+        db.total_residues()
+    );
+    println!();
+    println!("=== E7: memory ablation (MSV) ===");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "configuration", "conflicts", "smem ld+st", "l2 tx/row", "shfl/row", "time (s)"
+    );
+    for (dev, label) in [
+        (DeviceSpec::tesla_k40(), "K40"),
+        (DeviceSpec::gtx_580(), "GTX580"),
+    ] {
+        for mem in [MemConfig::Shared, MemConfig::Global] {
+            let run = match run_msv_device(&om, &packed, &dev, Some(mem)) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{label:<7} {mem:?}: infeasible ({e})");
+                    continue;
+                }
+            };
+            let s = &run.run.stats;
+            println!(
+                "{:<28} {:>10} {:>12} {:>12.2} {:>10.2} {:>10.4}",
+                format!("{label} {mem:?}"),
+                s.smem_conflict_extra,
+                s.smem_loads + s.smem_stores,
+                s.l2_transactions as f64 / s.rows.max(1) as f64,
+                s.shuffles as f64 / s.rows.max(1) as f64,
+                run.run.time.total_s
+            );
+        }
+    }
+    println!();
+    println!("claims checked:");
+    println!("  - conflict column must be 0 everywhere (intrinsic conflict-free access)");
+    println!("  - K40 reduces with 5 shuffles/row; GTX580 pays ~10 extra smem ops/row instead");
+    println!("  - global config trades shared-memory table reads for L2 transactions");
+}

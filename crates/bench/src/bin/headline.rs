@@ -1,0 +1,42 @@
+//! E9 — the abstract's headline numbers, extracted from the same series
+//! as Figs. 9–11:
+//!
+//! > "up to 5.4-fold speedup for MSV, 2.9-fold speedup for P7Viterbi and
+//! > 3.8-fold speedup for combined pipeline ... on a single Kepler GPU ...
+//! > Multi-GPU implementation on Fermi architecture yields up to 7.8x."
+//!
+//! Usage: `cargo run --release -p h3w-bench --bin headline`
+
+use h3w_bench::figures::{fig9_row, overall_row, prepare_series};
+use h3w_bench::{CpuModel, DbPreset};
+use h3w_core::Stage;
+use h3w_simt::DeviceSpec;
+
+fn main() {
+    let cpu = CpuModel::default();
+    let k40 = DeviceSpec::tesla_k40();
+    let fermi = DeviceSpec::gtx_580();
+
+    let mut best_msv = 0.0f64;
+    let mut best_vit = 0.0f64;
+    let mut best_comb = 0.0f64;
+    let mut best_multi = 0.0f64;
+    for preset in [DbPreset::Swissprot, DbPreset::Envnr] {
+        eprintln!("preparing {} (Kepler)...", preset.name());
+        let pts = prepare_series(preset, &k40, 0x6ead);
+        for p in &pts {
+            best_msv = best_msv.max(fig9_row(p, Stage::Msv, &k40, &cpu).optimal);
+            best_vit = best_vit.max(fig9_row(p, Stage::Viterbi, &k40, &cpu).optimal);
+            best_comb = best_comb.max(overall_row(p, &k40, &cpu, 1).speedup);
+        }
+        eprintln!("preparing {} (Fermi x4)...", preset.name());
+        for p in prepare_series(preset, &fermi, 0x6eae) {
+            best_multi = best_multi.max(overall_row(&p, &fermi, &cpu, 4).speedup);
+        }
+    }
+    println!("=== Headline numbers (abstract) ===");
+    println!("  MSV stage, single K40        : {best_msv:>5.2}x   (paper: up to 5.4x)");
+    println!("  P7Viterbi stage, single K40  : {best_vit:>5.2}x   (paper: up to 2.9x)");
+    println!("  combined pipeline, single K40: {best_comb:>5.2}x   (paper: up to 3.8x)");
+    println!("  combined, 4x GTX 580 (Fermi) : {best_multi:>5.2}x   (paper: up to 7.8x)");
+}

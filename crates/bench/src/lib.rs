@@ -1,0 +1,14 @@
+//! # h3w-bench — figure harnesses and benchmarks
+//!
+//! Library support for the per-figure harness binaries (DESIGN.md §4
+//! experiment index): the CPU baseline time model ([`baseline`]),
+//! sample-plus-extrapolation workload construction ([`workload`]) and the
+//! figure-series computation ([`figures`]).
+
+pub mod baseline;
+pub mod figures;
+pub mod workload;
+
+pub use baseline::CpuModel;
+pub use figures::{fig9_row, overall_row, prepare_point, prepare_series, Fig9Row, OverallRow};
+pub use workload::{DbPreset, MeasuredRates, Workload};

@@ -1,0 +1,25 @@
+//! # h3w-core — warp-synchronous MSV and P7Viterbi kernels
+//!
+//! The paper's contribution (§III), implemented on the `h3w-simt`
+//! simulator: warp-per-sequence scoring with register double-buffering,
+//! conflict-free shared-memory layout, warp-shuffled reductions, packed
+//! residues, parallel Lazy-F, the three-tiered scheduler with the
+//! shared/global cache-aware switch, and multi-GPU database partitioning.
+
+pub mod layout;
+pub mod msv_warp;
+pub mod vit_warp;
+pub mod naive;
+pub mod ssv_warp;
+pub mod stats_model;
+pub mod tiered;
+pub mod dd_prefix;
+pub mod fwd_warp;
+pub mod multi_gpu;
+
+pub use layout::{MemConfig, Stage};
+pub use fwd_warp::{FwdHit, FwdWarpKernel};
+pub use msv_warp::{MsvHit, MsvWarpKernel};
+pub use stats_model::{predict_msv, predict_vit, DbAggregates, LaunchShape};
+pub use tiered::{auto_mem_config, model_stage_time, run_msv_device, run_vit_device, MsvRun, StageRun, VitRun};
+pub use vit_warp::{VitHit, VitWarpKernel, WarpLazyStats};

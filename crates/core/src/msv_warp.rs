@@ -1,0 +1,413 @@
+//! The warp-synchronous MSV kernel — the paper's Algorithm 1.
+//!
+//! One warp scores one sequence; the warp sweeps each DP row in stride-32
+//! chunks, keeping the row in its block's shared memory and exploiting
+//! SIMT lockstep so that **no** `__syncthreads()` is ever needed:
+//!
+//! * **step ①** load this chunk's diagonal dependencies (previous row,
+//!   cells `j·32+t`) — already in registers from the previous iteration's
+//!   preload;
+//! * **step ②** preload the *next* chunk's dependencies before anything is
+//!   overwritten (register double-buffering, Fig. 5) — this is what
+//!   protects the warp-boundary cell that the in-place store of step ③
+//!   would clobber;
+//! * **step ③** store the freshly computed cells `j·32+t+1` in place;
+//! * **step ④** advance.
+//!
+//! The row maximum `xE` is reduced with the butterfly shuffle (Kepler) or
+//! the shared-memory fallback (Fermi, §IV-A). Residues arrive packed six
+//! to a 32-bit word (Fig. 6). Byte arithmetic is identical to the scalar
+//! and striped CPU filters, so scores are **bit-exact** across all three.
+
+use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
+use h3w_hmm::alphabet::PAD_CODE;
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
+
+/// ALU instructions per stride-32 inner iteration (max, saturating
+/// add/sub, running row max, address increment, loop bookkeeping).
+pub const MSV_ALU_PER_ITER: u64 = 6;
+/// ALU instructions per DP row outside the inner loop (residue decode,
+/// overflow test, `xJ`/`xB` updates).
+pub const MSV_ALU_PER_ROW: u64 = 8;
+/// ALU instructions per sequence (id/striding math, length-model setup,
+/// result conversion).
+pub const MSV_ALU_PER_SEQ: u64 = 12;
+
+/// One scored sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsvHit {
+    /// Sequence index in the database.
+    pub seqid: u32,
+    /// Final `xJ` byte (255 on overflow).
+    pub xj: u8,
+    /// Overflow flag (score off-scale high; passes the filter).
+    pub overflow: bool,
+    /// Score in nats (+∞ on overflow).
+    pub score: f32,
+}
+
+/// Algorithm 1 as a [`WarpKernel`].
+pub struct MsvWarpKernel<'a> {
+    /// Quantized score system.
+    pub om: &'a MsvProfile,
+    /// Packed target database.
+    pub db: &'a PackedDb,
+    /// Table placement (the §IV cache-aware switch).
+    pub mem: MemConfig,
+    /// Shared-memory region map for this launch.
+    pub layout: SmemLayout,
+    /// Use `shfl_xor` reductions (Kepler) or shared-memory (Fermi).
+    pub use_shfl: bool,
+    /// Register double-buffering (step ②). Disabling it reproduces the
+    /// warp-boundary overwrite bug the paper's Fig. 5 design eliminates —
+    /// kept as a failure-injection switch for tests.
+    pub double_buffer: bool,
+}
+
+impl<'a> MsvWarpKernel<'a> {
+    /// Stage the emission table into shared memory (done once per block by
+    /// its first warp; counted as real traffic).
+    fn stage_tables(&self, ctx: &mut SimtCtx) {
+        let m = self.om.m;
+        let ids = lane_ids();
+        for code in 0..crate::layout::STAGED_CODES as u8 {
+            let row = self.om.cost_row(code);
+            let mut base = 0usize;
+            while base < m {
+                let active = ids.map(|t| base + t < m);
+                let gaddrs = ids.map(|t| GM_EMIS_BASE + code as usize * m + base + t);
+                ctx.gmem_access(gaddrs, 1, active);
+                let saddrs = ids.map(|t| self.layout.emis_base + code as usize * m + base + t);
+                let vals = Lanes::from_fn(|t| if base + t < m { row[base + t] } else { 0 });
+                ctx.st_smem_u8(saddrs, vals, active);
+                ctx.alu(1);
+                base += WARP_SIZE;
+            }
+        }
+    }
+
+    /// Score one sequence (the body of Algorithm 1's outer while loop).
+    fn score_one(&self, ctx: &mut SimtCtx, row_base: usize, seqid: usize) -> MsvHit {
+        let om = self.om;
+        let m = om.m;
+        let iters = m.div_ceil(WARP_SIZE);
+        let len = self.db.lengths[seqid] as usize;
+        let word_off = self.db.offsets[seqid] as usize;
+        let lc = om.len_costs(len);
+        ctx.alu(MSV_ALU_PER_SEQ);
+        let ids = lane_ids();
+
+        // Zero the DP row (cell 0 is the permanent −∞ boundary).
+        let mut cell = 0usize;
+        while cell <= m {
+            let active = ids.map(|t| cell + t <= m);
+            let addrs = ids.map(|t| row_base + cell + t);
+            ctx.st_smem_u8(addrs, Lanes::splat(0), active);
+            cell += WARP_SIZE;
+        }
+
+        let mut xj = 0u8;
+        let mut xb = om.base.saturating_sub(lc.tjbm);
+        let mut i = 0usize;
+        while i < len {
+            // Packed residue fetch: one uniform 32-bit word per 6 residues
+            // (Fig. 6); decode is a shift+mask.
+            if i.is_multiple_of(RESIDUES_PER_WORD) {
+                ctx.gmem_access_uniform(
+                    GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4,
+                    4,
+                );
+            }
+            let x = self.db.residue(seqid, i);
+            debug_assert_ne!(x, PAD_CODE, "pad inside sequence body");
+            ctx.alu(MSV_ALU_PER_ROW);
+
+            let mut xev = Lanes::splat(0u8);
+            // Step ① for j = 0: dependencies are cells 0..32 of the
+            // previous row (cell 0 = the permanent −∞ boundary; position
+            // k0's dependency is cell k0, so the mask equals the position
+            // mask).
+            let mut mpv = self.preload(ctx, row_base, 0, iters, m);
+            for j in 0..iters {
+                let pos_active = ids.map(|t| j * WARP_SIZE + t < m);
+                // Step ②: preload the next chunk's dependencies before the
+                // in-place store below can clobber the boundary cell.
+                let nxt = if self.double_buffer {
+                    self.preload(ctx, row_base, j + 1, iters, m)
+                } else {
+                    Lanes::splat(0)
+                };
+                // Emission costs for positions k0 = j·32 + t.
+                let cost = self.emission(ctx, x, j, m, pos_active);
+                // sv = max(mpv, xB) ⊕ bias ⊖ cost (inactive lanes stay 0).
+                ctx.alu(MSV_ALU_PER_ITER);
+                let xbv = Lanes::splat(xb);
+                let sv = mpv
+                    .zip(xbv, |a, b| a.max(b))
+                    .map(|v| v.saturating_add(om.bias))
+                    .zip(cost, |v, c| v.saturating_sub(c));
+                let sv = Lanes::from_fn(|t| if pos_active.lane(t) { sv.lane(t) } else { 0 });
+                xev = xev.zip(sv, |a, b| a.max(b));
+                // Step ③: in-place store of cells k0 + 1.
+                let st_addrs = ids.map(|t| {
+                    let k0 = j * WARP_SIZE + t;
+                    row_base + if k0 < m { k0 + 1 } else { 0 }
+                });
+                ctx.st_smem_u8(st_addrs, sv, pos_active);
+                // Step ④: advance the double buffer.
+                mpv = if self.double_buffer {
+                    nxt
+                } else {
+                    self.preload(ctx, row_base, j + 1, iters, m)
+                };
+            }
+            let xe = if self.use_shfl {
+                ctx.shfl_max_u8(xev)
+            } else {
+                let scratch =
+                    self.layout.scratch_base + ctx.warp_id as usize * crate::layout::FERMI_SCRATCH_PER_WARP;
+                ctx.smem_max_u8(xev, scratch)
+            };
+            ctx.stats.rows += 1;
+            if xe >= om.overflow_limit() {
+                ctx.gmem_access_uniform(GM_OUT_BASE + seqid * 4, 4);
+                return MsvHit {
+                    seqid: seqid as u32,
+                    xj: 255,
+                    overflow: true,
+                    score: MsvProfile::overflow_score(),
+                };
+            }
+            xj = xj.max(xe.saturating_sub(lc.tec));
+            xb = om.base.max(xj).saturating_sub(lc.tjbm);
+            i += 1;
+        }
+        ctx.gmem_access_uniform(GM_OUT_BASE + seqid * 4, 4);
+        MsvHit {
+            seqid: seqid as u32,
+            xj,
+            overflow: false,
+            score: om.score_to_nats(xj, len),
+        }
+    }
+
+    /// Load the dependency cells of chunk `j` (cells `j·32 + t`).
+    fn preload(
+        &self,
+        ctx: &mut SimtCtx,
+        row_base: usize,
+        j: usize,
+        iters: usize,
+        m: usize,
+    ) -> Lanes<u8> {
+        if j >= iters {
+            return Lanes::splat(0);
+        }
+        let ids = lane_ids();
+        let active = ids.map(|t| j * WARP_SIZE + t < m);
+        let addrs = ids.map(|t| row_base + j * WARP_SIZE + t);
+        ctx.ld_smem_u8(addrs, active)
+    }
+
+    /// Emission cost vector for chunk `j` of residue `x`.
+    fn emission(
+        &self,
+        ctx: &mut SimtCtx,
+        x: u8,
+        j: usize,
+        m: usize,
+        active: Lanes<bool>,
+    ) -> Lanes<u8> {
+        let ids = lane_ids();
+        match self.mem {
+            MemConfig::Shared => {
+                // Inactive lanes never touch memory; their addresses are
+                // don't-cares.
+                let addrs = ids
+                    .map(|t| self.layout.emis_base + x as usize * m + (j * WARP_SIZE + t).min(m - 1));
+                ctx.ld_smem_u8(addrs, active)
+            }
+            MemConfig::Global => {
+                // The emission table is tens of KB: resident in L2.
+                let addrs = ids.map(|t| GM_EMIS_BASE + x as usize * m + j * WARP_SIZE + t);
+                ctx.gmem_access_cached(addrs, 1, active);
+                let row = self.om.cost_row(x);
+                Lanes::from_fn(|t| {
+                    let k0 = j * WARP_SIZE + t;
+                    if k0 < m {
+                        row[k0]
+                    } else {
+                        255
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl<'a> WarpKernel for MsvWarpKernel<'a> {
+    type Out = Vec<MsvHit>;
+
+    fn run_warp(&self, ctx: &mut SimtCtx, global_warp: usize, total_warps: usize) -> Vec<MsvHit> {
+        // First warp of each block stages the shared-config tables, then
+        // one block-wide barrier publishes them. This is the only barrier
+        // in the kernel's lifetime — launch setup, not the per-row
+        // synchronization the paper's design eliminates (2/row in Fig. 4).
+        if self.mem == MemConfig::Shared && ctx.warp_id == 0 {
+            self.stage_tables(ctx);
+            ctx.barrier();
+        }
+        let row_base =
+            self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
+        let mut out = Vec::new();
+        // Algorithm 1 lines 1–6: static striding over the database.
+        let mut seqid = global_warp;
+        while seqid < self.db.n_seqs() {
+            out.push(self.score_one(ctx, row_base, seqid));
+            ctx.stats.sequences += 1;
+            ctx.alu(2); // striding bookkeeping
+            seqid += total_warps;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{best_config, smem_layout, Stage};
+    use h3w_cpu::quantized::msv_filter_scalar;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::profile::Profile;
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_simt::{run_grid, DeviceSpec};
+
+    fn setup(m: usize, n_seqs_frac: f64) -> (MsvProfile, h3w_seqdb::SeqDb, PackedDb) {
+        let bg = NullModel::new();
+        let core = synthetic_model(m, 99, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let om = MsvProfile::from_profile(&p);
+        let mut spec = DbGenSpec::envnr_like().scaled(n_seqs_frac);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&core), 31);
+        let packed = PackedDb::from_db(&db);
+        (om, db, packed)
+    }
+
+    fn launch(
+        om: &MsvProfile,
+        packed: &PackedDb,
+        mem: MemConfig,
+        dev: &DeviceSpec,
+        double_buffer: bool,
+    ) -> (Vec<MsvHit>, h3w_simt::KernelStats) {
+        let (mut cfg, _) = best_config(Stage::Msv, om.m, mem, dev).expect("config fits");
+        cfg.blocks = 4;
+        cfg.track_hazards = true;
+        let layout = smem_layout(Stage::Msv, om.m, cfg.warps_per_block, mem, dev);
+        let kernel = MsvWarpKernel {
+            om,
+            db: packed,
+            mem,
+            layout,
+            use_shfl: dev.has_shfl,
+            double_buffer,
+        };
+        let r = run_grid(dev, &cfg, &kernel).unwrap();
+        let mut hits: Vec<MsvHit> = r.outputs.into_iter().flatten().collect();
+        hits.sort_by_key(|h| h.seqid);
+        (hits, r.stats)
+    }
+
+    #[test]
+    fn bit_exact_vs_scalar_shared_config() {
+        let dev = DeviceSpec::tesla_k40();
+        for m in [5usize, 33, 70] {
+            let (om, db, packed) = setup(m, 0.00002); // ~130 seqs
+            let (hits, stats) = launch(&om, &packed, MemConfig::Shared, &dev, true);
+            assert_eq!(hits.len(), db.len());
+            for hit in &hits {
+                let expect = msv_filter_scalar(&om, &db.seqs[hit.seqid as usize].residues);
+                assert_eq!((hit.xj, hit.overflow), (expect.xj, expect.overflow), "m={m} seq {}", hit.seqid);
+            }
+            // The headline structural claims (§III-A): no hazards, no bank
+            // conflicts, and barriers bounded by the per-block table
+            // publish (1 per block) — i.e. zero per-row synchronization.
+            assert_eq!(stats.hazards, 0);
+            assert_eq!(stats.smem_conflict_extra, 0);
+            assert_eq!(stats.barriers, 4); // one per block, rows ≫ 4
+            assert!(stats.rows > 100 * stats.barriers);
+        }
+    }
+
+    #[test]
+    fn bit_exact_vs_scalar_global_config() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(120, 0.00001);
+        let (hits, stats) = launch(&om, &packed, MemConfig::Global, &dev, true);
+        for hit in &hits {
+            let expect = msv_filter_scalar(&om, &db.seqs[hit.seqid as usize].residues);
+            assert_eq!((hit.xj, hit.overflow), (expect.xj, expect.overflow));
+        }
+        // Global config serves table traffic from L2 (the table is
+        // resident there), at least one transaction per row chunk.
+        assert!(stats.l2_transactions >= db.total_residues());
+        assert_eq!(stats.smem_conflict_extra, 0);
+    }
+
+    #[test]
+    fn bit_exact_on_fermi_smem_reduction_path() {
+        let dev = DeviceSpec::gtx_580();
+        let (om, db, packed) = setup(64, 0.00001);
+        let (hits, stats) = launch(&om, &packed, MemConfig::Shared, &dev, true);
+        for hit in &hits {
+            let expect = msv_filter_scalar(&om, &db.seqs[hit.seqid as usize].residues);
+            assert_eq!((hit.xj, hit.overflow), (expect.xj, expect.overflow));
+        }
+        assert_eq!(stats.shuffles, 0, "Fermi has no shfl");
+        assert_eq!(stats.hazards, 0);
+    }
+
+    #[test]
+    fn removing_double_buffer_breaks_scores() {
+        // Failure injection: without step ② the warp-boundary cell is read
+        // after being overwritten, exactly the bug Fig. 5 is about. Models
+        // longer than one chunk must then mis-score some sequence.
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(70, 0.00002);
+        let (hits, _) = launch(&om, &packed, MemConfig::Shared, &dev, false);
+        let mismatches = hits
+            .iter()
+            .filter(|h| {
+                let e = msv_filter_scalar(&om, &db.seqs[h.seqid as usize].residues);
+                (h.xj, h.overflow) != (e.xj, e.overflow)
+            })
+            .count();
+        assert!(mismatches > 0, "buggy variant unexpectedly matched");
+    }
+
+    #[test]
+    fn every_sequence_scored_exactly_once() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(20, 0.00003);
+        let (hits, stats) = launch(&om, &packed, MemConfig::Shared, &dev, true);
+        assert_eq!(hits.len(), db.len());
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.seqid as usize, i);
+        }
+        assert_eq!(stats.sequences, db.len() as u64);
+        // Overflowed sequences terminate their row loop early.
+        assert!(stats.rows <= db.total_residues());
+    }
+
+    #[test]
+    fn shuffle_reduction_count_matches_rows() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, _, packed) = setup(20, 0.00001);
+        let (_, stats) = launch(&om, &packed, MemConfig::Shared, &dev, true);
+        assert_eq!(stats.shuffles, 5 * stats.rows);
+    }
+}

@@ -1,0 +1,200 @@
+//! Multi-GPU database partitioning (§IV-A, Fig. 11).
+//!
+//! "The processing of the sequence database can be easily parallelized
+//! across multiple devices without any dependencies" — each device gets a
+//! slice of the database, runs the same kernels, and the wall time is the
+//! makespan. Partitioning is round-robin over length-sorted sequences so
+//! per-device residue totals stay balanced.
+
+use crate::layout::{MemConfig, Stage};
+use crate::stats_model::DbAggregates;
+use crate::tiered::{model_stage_time, run_msv_device, run_vit_device, MsvRun, VitRun};
+use crate::vit_warp::WarpLazyStats;
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::vitprofile::VitProfile;
+use h3w_seqdb::{PackedDb, SeqDb};
+use h3w_simt::{DeviceSpec, TimeBreakdown};
+
+/// Split a database across `n` devices: length-sorted round-robin, which
+/// bounds the per-device residue skew by one max-length sequence.
+pub fn partition_db(db: &SeqDb, n: usize) -> Vec<SeqDb> {
+    assert!(n >= 1);
+    let order = db.length_sorted_order();
+    let mut parts: Vec<SeqDb> = (0..n)
+        .map(|i| SeqDb::new(format!("{}#dev{}", db.name, i)))
+        .collect();
+    for (rank, &idx) in order.iter().enumerate() {
+        parts[rank % n].seqs.push(db.seqs[idx as usize].clone());
+    }
+    parts
+}
+
+/// Result of a functional multi-device MSV execution.
+#[derive(Debug)]
+pub struct MultiMsvRun {
+    /// Per-device runs (partition order).
+    pub devices: Vec<MsvRun>,
+    /// Makespan across devices.
+    pub makespan_s: f64,
+}
+
+/// Result of a functional multi-device Viterbi execution.
+#[derive(Debug)]
+pub struct MultiVitRun {
+    /// Per-device runs (partition order).
+    pub devices: Vec<VitRun>,
+    /// Makespan across devices.
+    pub makespan_s: f64,
+}
+
+/// Run the MSV stage across `n` identical devices (functional).
+pub fn run_msv_multi(
+    om: &MsvProfile,
+    db: &SeqDb,
+    dev: &DeviceSpec,
+    n: usize,
+    mem: Option<MemConfig>,
+) -> Result<MultiMsvRun, String> {
+    let mut devices = Vec::with_capacity(n);
+    for part in partition_db(db, n) {
+        let packed = PackedDb::from_db(&part);
+        devices.push(run_msv_device(om, &packed, dev, mem)?);
+    }
+    let makespan_s = devices
+        .iter()
+        .map(|r| r.run.time.total_s)
+        .fold(0.0f64, f64::max);
+    Ok(MultiMsvRun {
+        devices,
+        makespan_s,
+    })
+}
+
+/// Run the P7Viterbi stage across `n` identical devices (functional).
+pub fn run_vit_multi(
+    om: &VitProfile,
+    db: &SeqDb,
+    dev: &DeviceSpec,
+    n: usize,
+    mem: Option<MemConfig>,
+) -> Result<MultiVitRun, String> {
+    let mut devices = Vec::with_capacity(n);
+    for part in partition_db(db, n) {
+        let packed = PackedDb::from_db(&part);
+        devices.push(run_vit_device(om, &packed, dev, mem)?);
+    }
+    let makespan_s = devices
+        .iter()
+        .map(|r| r.run.time.total_s)
+        .fold(0.0f64, f64::max);
+    Ok(MultiVitRun {
+        devices,
+        makespan_s,
+    })
+}
+
+/// Analytic multi-device makespan: split the aggregates evenly (the
+/// length-sorted round-robin guarantee) and take the slowest device.
+pub fn model_multi_time(
+    stage: Stage,
+    m: usize,
+    dev: &DeviceSpec,
+    agg: &DbAggregates,
+    n: usize,
+    mem: Option<MemConfig>,
+    lazy: Option<&WarpLazyStats>,
+) -> Option<TimeBreakdown> {
+    assert!(n >= 1);
+    let part = agg.scaled(1.0 / n as f64);
+    let scaled_lazy = lazy.map(|l| WarpLazyStats {
+        rows: l.rows / n as u64,
+        rows_skipped: l.rows_skipped / n as u64,
+        chunks: l.chunks / n as u64,
+        inner_iters: l.inner_iters / n as u64,
+    });
+    model_stage_time(stage, m, dev, &part, mem, scaled_lazy.as_ref()).map(|(_, _, _, t)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3w_cpu::quantized::msv_filter_scalar;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::profile::Profile;
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+
+    fn setup(m: usize) -> (MsvProfile, SeqDb) {
+        let bg = NullModel::new();
+        let core = synthetic_model(m, 9, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let db = generate(&DbGenSpec::envnr_like().scaled(0.00001), Some(&core), 55);
+        (MsvProfile::from_profile(&p), db)
+    }
+
+    #[test]
+    fn partition_balances_residues() {
+        let (_, db) = setup(30);
+        let parts = partition_db(&db, 4);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), db.len());
+        let totals: Vec<u64> = parts.iter().map(|p| p.total_residues()).collect();
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 1.15,
+            "residue skew too high: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn partition_single_device_is_identity_up_to_order() {
+        let (_, db) = setup(20);
+        let parts = partition_db(&db, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), db.len());
+        assert_eq!(parts[0].total_residues(), db.total_residues());
+    }
+
+    #[test]
+    fn multi_device_scores_cover_database() {
+        // Every sequence is scored exactly once across devices, and each
+        // score matches the scalar reference.
+        let (om, db) = setup(40);
+        let fermi = DeviceSpec::gtx_580();
+        let run = run_msv_multi(&om, &db, &fermi, 3, None).unwrap();
+        let total: usize = run.devices.iter().map(|d| d.hits.len()).sum();
+        assert_eq!(total, db.len());
+        let parts = partition_db(&db, 3);
+        for (d, part) in run.devices.iter().zip(&parts) {
+            for h in &d.hits {
+                let e = msv_filter_scalar(&om, &part.seqs[h.seqid as usize].residues);
+                assert_eq!((h.xj, h.overflow), (e.xj, e.overflow));
+            }
+        }
+        assert!(run.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn four_devices_scale_near_linearly() {
+        // §IV-A: "expected speedup gained via multi-GPU implementation is
+        // almost linear". Analytic path on a large workload.
+        let dev = DeviceSpec::gtx_580();
+        let agg = DbAggregates {
+            n_seqs: 1_000_000,
+            total_residues: 200_000_000,
+            total_words: 34_000_000,
+            code_rows: [200_000_000 / 26; 26],
+        };
+        let t1 = model_multi_time(Stage::Msv, 400, &dev, &agg, 1, None, None)
+            .unwrap()
+            .total_s;
+        let t4 = model_multi_time(Stage::Msv, 400, &dev, &agg, 4, None, None)
+            .unwrap()
+            .total_s;
+        let scaling = t1 / t4;
+        assert!(
+            scaling > 3.6 && scaling <= 4.05,
+            "4-device scaling {scaling}"
+        );
+    }
+}

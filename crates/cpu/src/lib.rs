@@ -1,0 +1,34 @@
+//! # h3w-cpu — the HMMER 3.0 CPU baseline
+//!
+//! A from-scratch reimplementation of HMMER 3.0's compute core, serving two
+//! roles in the `hmmer3-warp` reproduction:
+//!
+//! 1. **Ground truth** — [`mod@reference`] holds exact float-space MSV,
+//!    Viterbi, Forward and Backward; [`quantized`] holds the scalar 8-bit /
+//!    16-bit filter pipelines every optimized implementation must match
+//!    bit-exactly.
+//! 2. **The baseline the paper speeds up against** — [`striped_msv`] and
+//!    [`striped_vit`] are Farrar-striped SSE-style filters (emulated lanes
+//!    in [`simd`]), swept multi-core via Rayon in [`sweep`], standing in
+//!    for "HMMER 3.0 utilizing multi-core and SSE capabilities" (§IV).
+
+pub mod null2;
+pub mod posterior;
+pub mod quantized;
+pub mod reference;
+pub mod simd;
+pub mod ssv;
+pub mod striped_msv;
+pub mod striped_vit;
+pub mod sweep;
+pub mod traceback;
+
+pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
+pub use reference::{backward_generic, forward_generic, msv_filter_model, msv_generic, viterbi_filter_model};
+pub use striped_msv::StripedMsv;
+pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
+pub use sweep::{msv_sweep, vit_sweep, vit_sweep_masked, SweepTiming};
+pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};
+pub use posterior::{find_domains, posterior_decode, Domain, Posterior};
+pub use null2::null2_correction;
+pub use ssv::{ssv_filter_scalar, ssv_reference, StripedSsv};

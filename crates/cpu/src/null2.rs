@@ -1,0 +1,135 @@
+//! Biased-composition ("null2") score correction — HMMER's guard against
+//! low-complexity false positives.
+//!
+//! A target whose aligned region is compositionally biased (poly-L,
+//! coiled-coil-ish, etc.) can score well against any model that shares the
+//! bias, without being a homolog. HMMER re-scores the aligned region
+//! against an alternative null built from the region's own
+//! posterior-weighted composition and subtracts the advantage that null
+//! would have had. This module implements that idea on the
+//! [`Posterior`] decoding:
+//!
+//! `null2(x) ∝ Σ_i γ_i·[x_i = x] + α·f(x)` over the homologous region,
+//! and the correction is `max(0, Σ_i γ_i·ln(null2(x_i)/f(x_i)))` — never
+//! negative, so unbiased hits are untouched.
+
+use crate::posterior::Posterior;
+use h3w_hmm::alphabet::{Residue, N_STANDARD};
+use h3w_hmm::background::NullModel;
+
+/// Pseudocount mass mixed into the region composition (keeps the
+/// correction stable on short domains).
+pub const NULL2_ALPHA: f32 = 5.0;
+
+/// Compute the null2 log correction (nats, ≥ 0) for one target given its
+/// posterior decoding. Subtract it from the Forward score before
+/// computing the P-value.
+pub fn null2_correction(bg: &NullModel, seq: &[Residue], post: &Posterior) -> f32 {
+    if seq.is_empty() || post.homology.is_empty() {
+        return 0.0;
+    }
+    // Posterior-weighted composition of the homologous region.
+    let mut comp = [0f32; N_STANDARD];
+    let mut mass = 0f32;
+    for (&x, &g) in seq.iter().zip(&post.homology) {
+        if (x as usize) < N_STANDARD {
+            comp[x as usize] += g;
+            mass += g;
+        }
+    }
+    if mass < 1.0 {
+        return 0.0; // nothing homologous to correct
+    }
+    let total = mass + NULL2_ALPHA;
+    for (x, c) in comp.iter_mut().enumerate() {
+        *c = (*c + NULL2_ALPHA * bg.f[x]) / total;
+    }
+    // Advantage of the composition null over the background, weighted by
+    // how homologous each residue is.
+    let mut corr = 0f32;
+    for (&x, &g) in seq.iter().zip(&post.homology) {
+        if (x as usize) < N_STANDARD {
+            let f1 = bg.f[x as usize].max(1e-9);
+            corr += g * (comp[x as usize] / f1).ln();
+        }
+    }
+    corr.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::posterior_decode;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use h3w_hmm::plan7::{CoreModel, Node, NodeTrans};
+    use h3w_hmm::profile::Profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn background_region_needs_no_correction() {
+        let bg = NullModel::new();
+        let model = synthetic_model(40, 3, &BuildParams::default());
+        let p = Profile::config(&model, &bg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seq = random_seq(&mut rng, 200);
+        // A real (composition-typical) homolog.
+        seq[80..120].copy_from_slice(&model.consensus);
+        let post = posterior_decode(&p, &seq);
+        let corr = null2_correction(&bg, &seq, &post);
+        // Any specific 40-residue region has *some* composition advantage
+        // (a few nats); what matters is that it stays an order of
+        // magnitude below the domain's ~60-nat score and far below the
+        // poly-L case tested next.
+        assert!(corr < 10.0, "correction {corr} too aggressive");
+        assert!(post.total > corr + 20.0, "correction would erase a true hit");
+    }
+
+    /// A deliberately low-complexity model: every column prefers L.
+    fn poly_l_model() -> CoreModel {
+        let mut mat = [0.004f32; N_STANDARD];
+        mat[9] = 1.0 - 0.004 * 19.0; // L
+        let node = Node {
+            mat,
+            ins: h3w_hmm::alphabet::BACKGROUND_F,
+            t: NodeTrans::conserved(),
+        };
+        CoreModel {
+            name: "polyL".into(),
+            nodes: vec![node; 30],
+            consensus: vec![9; 30],
+        }
+    }
+
+    #[test]
+    fn low_complexity_match_is_penalized() {
+        let bg = NullModel::new();
+        let model = poly_l_model();
+        let p = Profile::config(&model, &bg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seq = random_seq(&mut rng, 150);
+        for r in seq[50..90].iter_mut() {
+            *r = 9; // a poly-L stretch: matches the model by bias alone
+        }
+        let post = posterior_decode(&p, &seq);
+        let corr = null2_correction(&bg, &seq, &post);
+        // The poly-L region's composition null eats most of its score:
+        // each L is ~ln(1/0.096) ≈ 2.3 nats of apparent signal.
+        assert!(corr > 30.0, "correction {corr} too small for poly-L");
+        // And the corrected score drops dramatically.
+        assert!(post.total - corr < post.total - 30.0);
+    }
+
+    #[test]
+    fn correction_is_never_negative_and_zero_on_empty() {
+        let bg = NullModel::new();
+        let model = synthetic_model(10, 1, &BuildParams::default());
+        let p = Profile::config(&model, &bg);
+        assert_eq!(null2_correction(&bg, &[], &posterior_decode(&p, &[])), 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq = random_seq(&mut rng, 60);
+        let post = posterior_decode(&p, &seq);
+        assert!(null2_correction(&bg, &seq, &post) >= 0.0);
+    }
+}

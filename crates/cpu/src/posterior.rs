@@ -1,0 +1,305 @@
+//! Posterior decoding and domain identification — HMMER's post-Forward
+//! stage.
+//!
+//! After a target survives the filters, HMMER runs Forward + Backward and
+//! decodes per-row posterior probabilities to delimit *domains* (regions
+//! of the target aligned to the model). This module implements the same
+//! idea on the workspace's state conventions: `P(row i is emitted by a
+//! homologous state)` from the Forward/Backward lattices, and a
+//! threshold-based segmenter that returns domain intervals.
+//!
+//! Numerically everything runs in log space with the table-driven
+//! `flogsum`; posteriors are exponentiated
+//! per row against the total sequence score.
+
+use crate::reference::flogsum;
+use h3w_hmm::alphabet::Residue;
+use h3w_hmm::profile::{Profile, NEG_INF};
+
+/// Per-row posterior decoding of one target.
+#[derive(Debug, Clone)]
+pub struct Posterior {
+    /// Total Forward score (nats).
+    pub total: f32,
+    /// `P(residue i emitted by a match/insert state)`, length `L`
+    /// (index 0 = residue 1).
+    pub homology: Vec<f32>,
+}
+
+/// One decoded domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// First residue of the domain (1-based, inclusive).
+    pub i_start: usize,
+    /// Last residue (inclusive).
+    pub i_end: usize,
+    /// Mean homology posterior across the domain.
+    pub mean_posterior: f32,
+}
+
+/// Forward/Backward posterior decoding (O(L·M) time, O(L·M) memory —
+/// reported-hit scale, like [`viterbi_trace`](crate::traceback::viterbi_trace)).
+pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
+    let m = p.m;
+    let l = seq.len();
+    if l == 0 || m == 0 {
+        return Posterior {
+            total: NEG_INF,
+            homology: Vec::new(),
+        };
+    }
+    let xs = p.specials_for(l);
+    let idx = |i: usize, k: usize| i * (m + 1) + k;
+
+    // Forward lattice (filter conventions, as everywhere in this crate).
+    let mut fm = vec![NEG_INF; (l + 1) * (m + 1)];
+    let mut fi = vec![NEG_INF; (l + 1) * (m + 1)];
+    let mut fd = vec![NEG_INF; (l + 1) * (m + 1)];
+    let mut f_xb = vec![NEG_INF; l + 1];
+    let mut f_xe = vec![NEG_INF; l + 1];
+    let mut f_xj = vec![NEG_INF; l + 1];
+    let mut f_xc = vec![NEG_INF; l + 1];
+    f_xb[0] = xs.move_sc;
+    for i in 1..=l {
+        let x = seq[i - 1] as usize;
+        for k in 1..=m {
+            let mut mv = f_xb[i - 1] + p.bmk[k];
+            mv = flogsum(mv, fm[idx(i - 1, k - 1)] + p.tmm[k - 1]);
+            mv = flogsum(mv, fi[idx(i - 1, k - 1)] + p.tim[k - 1]);
+            mv = flogsum(mv, fd[idx(i - 1, k - 1)] + p.tdm[k - 1]);
+            fm[idx(i, k)] = mv + p.msc[k][x];
+            if k < m {
+                fi[idx(i, k)] = flogsum(
+                    fm[idx(i - 1, k)] + p.tmi[k],
+                    fi[idx(i - 1, k)] + p.tii[k],
+                );
+            }
+            fd[idx(i, k)] = flogsum(
+                fm[idx(i, k - 1)] + p.tmd[k - 1],
+                fd[idx(i, k - 1)] + p.tdd[k - 1],
+            );
+            f_xe[i] = flogsum(f_xe[i], fm[idx(i, k)]);
+        }
+        f_xj[i] = flogsum(f_xj[i - 1] + xs.loop_sc, f_xe[i] + xs.e_to_j);
+        f_xc[i] = flogsum(f_xc[i - 1] + xs.loop_sc, f_xe[i] + xs.e_to_c);
+        let n_i = i as f32 * xs.loop_sc;
+        f_xb[i] = flogsum(n_i, f_xj[i]) + xs.move_sc;
+    }
+    let total = f_xc[l] + xs.move_sc;
+    if !total.is_finite() {
+        return Posterior {
+            total: NEG_INF,
+            homology: vec![0.0; l],
+        };
+    }
+
+    // Backward lattice.
+    let mut bm = vec![NEG_INF; (l + 2) * (m + 2)];
+    let mut bi = vec![NEG_INF; (l + 2) * (m + 2)];
+    let mut bd = vec![NEG_INF; (l + 2) * (m + 2)];
+    let bidx = |i: usize, k: usize| i * (m + 2) + k;
+    let mut b_xc = vec![NEG_INF; l + 1];
+    let mut b_xj = vec![NEG_INF; l + 1];
+    let mut b_xe = vec![NEG_INF; l + 1];
+    let mut b_xb = vec![NEG_INF; l + 1];
+    b_xc[l] = xs.move_sc;
+    // Row l terminals.
+    b_xe[l] = b_xc[l] + xs.e_to_c;
+    for k in (1..=m).rev() {
+        bm[bidx(l, k)] = b_xe[l];
+        bd[bidx(l, k)] = if k < m {
+            bd[bidx(l, k + 1)] + p.tdd[k]
+        } else {
+            NEG_INF
+        };
+        if k < m {
+            bm[bidx(l, k)] = flogsum(bm[bidx(l, k)], bd[bidx(l, k + 1)] + p.tmd[k]);
+        }
+    }
+    for i in (0..l).rev() {
+        let x_next = seq[i] as usize;
+        // bB(i) = Σ_k bM(i+1,k)·bmk·emis.
+        let mut bb = NEG_INF;
+        for k in 1..=m {
+            bb = flogsum(bb, bm[bidx(i + 1, k)] + p.bmk[k] + p.msc[k][x_next]);
+        }
+        b_xb[i] = bb;
+        b_xj[i] = flogsum(b_xj[i + 1] + xs.loop_sc, bb + xs.move_sc);
+        b_xc[i] = b_xc[i + 1] + xs.loop_sc;
+        b_xe[i] = flogsum(b_xj[i] + xs.e_to_j, b_xc[i] + xs.e_to_c);
+        for k in (1..=m).rev() {
+            let to_next = if k < m {
+                p.msc[k + 1][x_next]
+            } else {
+                NEG_INF
+            };
+            let mut v = b_xe[i];
+            v = flogsum(v, bm[bidx(i + 1, k + 1)] + p.tmm[k] + to_next);
+            if k < m {
+                v = flogsum(v, bi[bidx(i + 1, k)] + p.tmi[k]);
+                v = flogsum(v, bd[bidx(i, k + 1)] + p.tmd[k]);
+            }
+            bm[bidx(i, k)] = v;
+            bi[bidx(i, k)] = if k < m {
+                flogsum(
+                    bm[bidx(i + 1, k + 1)] + p.tim[k] + to_next,
+                    bi[bidx(i + 1, k)] + p.tii[k],
+                )
+            } else {
+                NEG_INF
+            };
+            bd[bidx(i, k)] = if k < m {
+                flogsum(
+                    bm[bidx(i + 1, k + 1)] + p.tdm[k] + to_next,
+                    bd[bidx(i, k + 1)] + p.tdd[k],
+                )
+            } else {
+                NEG_INF
+            };
+        }
+    }
+
+    // Posterior per row: mass of M/I states at row i over the total.
+    let mut homology = Vec::with_capacity(l);
+    for i in 1..=l {
+        let mut lp = NEG_INF;
+        for k in 1..=m {
+            lp = flogsum(lp, fm[idx(i, k)] + bm[bidx(i, k)]);
+            if k < m {
+                lp = flogsum(lp, fi[idx(i, k)] + bi[bidx(i, k)]);
+            }
+        }
+        homology.push(((lp - total).exp()).clamp(0.0, 1.0));
+    }
+    Posterior { total, homology }
+}
+
+/// Segment the homology posterior into domains: maximal runs where the
+/// posterior stays at or above `threshold` (HMMER's region-definition
+/// idea, simplified), dropping runs shorter than `min_len`.
+pub fn find_domains(post: &Posterior, threshold: f32, min_len: usize) -> Vec<Domain> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i0, &p) in post.homology.iter().enumerate() {
+        if p >= threshold {
+            start.get_or_insert(i0);
+        } else if let Some(s) = start.take() {
+            push_domain(&mut out, post, s, i0 - 1, min_len);
+        }
+    }
+    if let Some(s) = start {
+        push_domain(&mut out, post, s, post.homology.len() - 1, min_len);
+    }
+    out
+}
+
+fn push_domain(out: &mut Vec<Domain>, post: &Posterior, s0: usize, e0: usize, min_len: usize) {
+    if e0 + 1 - s0 < min_len {
+        return;
+    }
+    let mean = post.homology[s0..=e0].iter().sum::<f32>() / (e0 + 1 - s0) as f32;
+    out.push(Domain {
+        i_start: s0 + 1,
+        i_end: e0 + 1,
+        mean_posterior: mean,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::forward_generic;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, seed: u64) -> Profile {
+        let bg = NullModel::new();
+        Profile::config(&synthetic_model(m, seed, &BuildParams::default()), &bg)
+    }
+
+    #[test]
+    fn total_matches_forward() {
+        let p = setup(25, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for len in [15usize, 60, 150] {
+            let seq = random_seq(&mut rng, len);
+            let post = posterior_decode(&p, &seq);
+            let fwd = forward_generic(&p, &seq);
+            assert!(
+                (post.total - fwd).abs() < 0.05 + 0.002 * len as f32,
+                "len {len}: {} vs {fwd}",
+                post.total
+            );
+        }
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let p = setup(20, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = random_seq(&mut rng, 120);
+        let post = posterior_decode(&p, &seq);
+        assert_eq!(post.homology.len(), 120);
+        assert!(post.homology.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn planted_motif_region_lights_up() {
+        let model = synthetic_model(30, 9, &BuildParams::default());
+        let bg = NullModel::new();
+        let p = Profile::config(&model, &bg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seq = random_seq(&mut rng, 220);
+        seq[90..120].copy_from_slice(&model.consensus);
+        let post = posterior_decode(&p, &seq);
+        let inside: f32 =
+            post.homology[92..118].iter().sum::<f32>() / 26.0;
+        let outside: f32 = post.homology[..60].iter().sum::<f32>() / 60.0;
+        assert!(
+            inside > 0.9 && outside < 0.2,
+            "inside {inside:.3} vs outside {outside:.3}"
+        );
+        let domains = find_domains(&post, 0.5, 5);
+        assert_eq!(domains.len(), 1, "{domains:?}");
+        let d = domains[0];
+        assert!(d.i_start >= 85 && d.i_start <= 95, "{d:?}");
+        assert!(d.i_end >= 115 && d.i_end <= 125, "{d:?}");
+        assert!(d.mean_posterior > 0.8);
+    }
+
+    #[test]
+    fn two_planted_motifs_give_two_domains() {
+        let model = synthetic_model(25, 11, &BuildParams::default());
+        let bg = NullModel::new();
+        let p = Profile::config(&model, &bg);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seq = random_seq(&mut rng, 300);
+        seq[50..75].copy_from_slice(&model.consensus);
+        seq[200..225].copy_from_slice(&model.consensus);
+        let post = posterior_decode(&p, &seq);
+        let domains = find_domains(&post, 0.5, 5);
+        assert_eq!(domains.len(), 2, "{domains:?}");
+        assert!(domains[0].i_end < domains[1].i_start);
+    }
+
+    #[test]
+    fn background_sequence_has_no_domains() {
+        let p = setup(40, 13);
+        let mut rng = StdRng::seed_from_u64(7);
+        let seq = random_seq(&mut rng, 200);
+        let post = posterior_decode(&p, &seq);
+        let domains = find_domains(&post, 0.5, 5);
+        assert!(domains.is_empty(), "{domains:?}");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let p = setup(10, 1);
+        let post = posterior_decode(&p, &[]);
+        assert_eq!(post.total, NEG_INF);
+        assert!(find_domains(&post, 0.5, 1).is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Exact float-space reference implementations — the ground truth every
+//! quantized/striped/warp implementation in this workspace is tested
+//! against.
+//!
+//! All functions score one digital sequence in **nats** (log-odds against
+//! null model 1, length-model terms included unless stated otherwise) and
+//! never mutate the profile: per-target specials come from
+//! [`Profile::specials_for`].
+
+use h3w_hmm::alphabet::Residue;
+use h3w_hmm::profile::{Profile, NEG_INF};
+
+/// Generic MSV score (HMMER's `p7_GMSV`): the heuristic model of Fig. 2 —
+/// match states only, flat entry `ln(2/(M(M+1)))`, multihit via `J`,
+/// N/C/J length model *included*.
+pub fn msv_generic(p: &Profile, seq: &[Residue]) -> f32 {
+    msv_float(p, seq, true)
+}
+
+/// MSV score in the *filter model* — identical to [`msv_generic`] except
+/// the N/C/J self-loops cost zero, exactly the approximation the 8-bit
+/// MSVFilter hardware pipeline makes (HMMER's MSVFilter does the same).
+/// Comparable to quantized filter scores within quantization error.
+pub fn msv_filter_model(p: &Profile, seq: &[Residue]) -> f32 {
+    msv_float(p, seq, false)
+}
+
+fn msv_float(p: &Profile, seq: &[Residue], with_loops: bool) -> f32 {
+    let m = p.m;
+    let xs = p.specials_for(seq.len());
+    let tloop = if with_loops { xs.loop_sc } else { 0.0 };
+    let tmove = xs.move_sc;
+    let tec = xs.e_to_j; // == e_to_c in multihit
+    let tbm = p.msv_entry();
+
+    let mut mrow = vec![NEG_INF; m + 1];
+    let mut xn = 0.0f32;
+    let mut xj = NEG_INF;
+    let mut xb = xn + tmove;
+    for &x in seq {
+        let msc = &p.msc;
+        let mut xe = NEG_INF;
+        let mut diag = mrow[0]; // always −∞ (no column 0)
+        for k in 1..=m {
+            let sv = msc[k][x as usize] + diag.max(xb + tbm);
+            diag = mrow[k];
+            mrow[k] = sv;
+            xe = xe.max(sv);
+        }
+        xj = (xj + tloop).max(xe + tec);
+        xn += tloop;
+        xb = xn.max(xj) + tmove;
+    }
+    // Multihit: C mirrors J exactly (same feed, same loop), so C(L) = J(L).
+    xj + tmove
+}
+
+/// P7Viterbi filter-convention score: full Plan-7 model of Fig. 3 with
+/// the ViterbiFilter conventions — `E` collects Match states only, no
+/// `I_M` state, occupancy-style local entry, length model included.
+/// This is the float twin of the canonical i16 recurrence documented in
+/// `h3w_hmm::vitprofile`.
+pub fn viterbi_filter_model(p: &Profile, seq: &[Residue]) -> f32 {
+    let m = p.m;
+    let xs = p.specials_for(seq.len());
+    let mut dpm = vec![NEG_INF; m + 1];
+    let mut dpi = vec![NEG_INF; m + 1];
+    let mut dpd = vec![NEG_INF; m + 1];
+    let mut xn = 0.0f32;
+    let mut xj = NEG_INF;
+    let mut xc = NEG_INF;
+    let mut xb = xn + xs.move_sc;
+
+    for &x in seq {
+        let mut xe = NEG_INF;
+        let mut diag_m = NEG_INF;
+        let mut diag_i = NEG_INF;
+        let mut diag_d = NEG_INF;
+        let mut cur_m = NEG_INF; // M(i, k-1) of the current row
+        let mut cur_d = NEG_INF; // D(i, k-1) of the current row
+        for k in 1..=m {
+            let old_m = dpm[k];
+            let old_i = dpi[k];
+            let old_d = dpd[k];
+            let mut mv = xb + p.bmk[k];
+            mv = mv.max(diag_m + p.tmm[k - 1]);
+            mv = mv.max(diag_i + p.tim[k - 1]);
+            mv = mv.max(diag_d + p.tdm[k - 1]);
+            mv += p.msc[k][x as usize];
+            let iv = if k < m {
+                (old_m + p.tmi[k]).max(old_i + p.tii[k])
+            } else {
+                NEG_INF
+            };
+            let dv = (cur_m + p.tmd[k - 1]).max(cur_d + p.tdd[k - 1]);
+            xe = xe.max(mv);
+            diag_m = old_m;
+            diag_i = old_i;
+            diag_d = old_d;
+            dpm[k] = mv;
+            dpi[k] = iv;
+            dpd[k] = dv;
+            cur_m = mv;
+            cur_d = dv;
+        }
+        xj = (xj + xs.loop_sc).max(xe + xs.e_to_j);
+        xc = (xc + xs.loop_sc).max(xe + xs.e_to_c);
+        xn += xs.loop_sc;
+        xb = xn.max(xj) + xs.move_sc;
+    }
+    xc + xs.move_sc
+}
+
+/// Numerically stable `ln(e^a + e^b)` (re-exported from
+/// [`h3w_hmm::logspace`]; the table-driven [`flogsum`] is what the
+/// Forward sweep uses, as HMMER does).
+pub use h3w_hmm::logspace::{flogsum, logsum_exact as logsum};
+
+/// Forward score (total log-likelihood ratio summed over all alignments) —
+/// the scoring system HMMER 3.0's final stage uses (§I of the paper).
+/// Same state conventions as [`viterbi_filter_model`], with max replaced
+/// by log-sum-exp (table-driven, as in HMMER).
+pub fn forward_generic(p: &Profile, seq: &[Residue]) -> f32 {
+    let m = p.m;
+    let xs = p.specials_for(seq.len());
+    let mut dpm = vec![NEG_INF; m + 1];
+    let mut dpi = vec![NEG_INF; m + 1];
+    let mut dpd = vec![NEG_INF; m + 1];
+    let mut xn = 0.0f32;
+    let mut xj = NEG_INF;
+    let mut xc = NEG_INF;
+    let mut xb = xn + xs.move_sc;
+
+    for &x in seq {
+        let mut xe = NEG_INF;
+        let mut diag_m = NEG_INF;
+        let mut diag_i = NEG_INF;
+        let mut diag_d = NEG_INF;
+        let mut cur_m = NEG_INF;
+        let mut cur_d = NEG_INF;
+        for k in 1..=m {
+            let old_m = dpm[k];
+            let old_i = dpi[k];
+            let old_d = dpd[k];
+            let mut mv = xb + p.bmk[k];
+            mv = flogsum(mv, diag_m + p.tmm[k - 1]);
+            mv = flogsum(mv, diag_i + p.tim[k - 1]);
+            mv = flogsum(mv, diag_d + p.tdm[k - 1]);
+            mv += p.msc[k][x as usize];
+            let iv = if k < m {
+                flogsum(old_m + p.tmi[k], old_i + p.tii[k])
+            } else {
+                NEG_INF
+            };
+            let dv = flogsum(cur_m + p.tmd[k - 1], cur_d + p.tdd[k - 1]);
+            xe = flogsum(xe, mv);
+            diag_m = old_m;
+            diag_i = old_i;
+            diag_d = old_d;
+            dpm[k] = mv;
+            dpi[k] = iv;
+            dpd[k] = dv;
+            cur_m = mv;
+            cur_d = dv;
+        }
+        xj = flogsum(xj + xs.loop_sc, xe + xs.e_to_j);
+        xc = flogsum(xc + xs.loop_sc, xe + xs.e_to_c);
+        xn += xs.loop_sc;
+        xb = flogsum(xn, xj) + xs.move_sc;
+    }
+    xc + xs.move_sc
+}
+
+/// Backward score under the identical model — must equal
+/// [`forward_generic`] up to float error; exists as an independent check
+/// of the Forward recurrence (and of this module's state conventions).
+#[allow(clippy::needless_range_loop)]
+pub fn backward_generic(p: &Profile, seq: &[Residue]) -> f32 {
+    let m = p.m;
+    let l = seq.len();
+    let xs = p.specials_for(l);
+
+    // b*[k] hold row i+1 values while computing row i.
+    let mut bm = vec![NEG_INF; m + 2];
+    let mut bi = vec![NEG_INF; m + 2];
+    let mut bd = vec![NEG_INF; m + 2];
+    let mut bm_next = vec![NEG_INF; m + 2];
+    let mut bi_next = vec![NEG_INF; m + 2];
+    let mut bd_next = vec![NEG_INF; m + 2];
+
+    // Row L terminals.
+    let mut bc = xs.move_sc; // C(L) → T
+    let mut bj = NEG_INF;
+    let mut bn;
+    let be = flogsum(bj + xs.e_to_j, bc + xs.e_to_c);
+    for k in (1..=m).rev() {
+        bm[k] = be;
+        bi[k] = NEG_INF;
+        bd[k] = if k < m { bd[k + 1] + p.tdd[k] } else { NEG_INF };
+        // D_k can also reach E? Filter conventions: E collects M only,
+        // so D's only continuation is D→D / D→M (and there is no next row).
+        bm[k] = flogsum(bm[k], bd[k + 1] + p.tmd[k]);
+    }
+    bn = NEG_INF; // B(L) leads nowhere (no residue left to emit)
+
+    for i in (0..l).rev() {
+        // We are computing row i; `b*` currently hold row i+1? No: after the
+        // terminal setup they hold row L = row (l). In the loop body we
+        // compute row i from row i+1 stored in b*.
+        let x_next = seq[i] as usize; // residue emitted on transitions from row i to i+1 is x_{i+1} = seq[i]
+        // bB(i) = lse_k bM(i+1, k) + bmk[k] + msc[k][x_{i+1}]
+        let mut bb = NEG_INF;
+        for k in 1..=m {
+            bb = flogsum(bb, bm[k] + p.bmk[k] + p.msc[k][x_next]);
+        }
+        // Specials at row i (bj/bc/bn on the right are row i+1 values).
+        let bj_i = flogsum(bj + xs.loop_sc, bb + xs.move_sc);
+        let bc_i = bc + xs.loop_sc;
+        let bn_i = flogsum(bn + xs.loop_sc, bb + xs.move_sc);
+        let be_i = flogsum(bj_i + xs.e_to_j, bc_i + xs.e_to_c);
+        // Main states, descending k so bd_next[k+1] (same row) is ready.
+        for k in (1..=m).rev() {
+            // Transitions into node k+1 exist only for k < m.
+            let to_m_next = if k < m {
+                p.msc[k + 1][x_next]
+            } else {
+                NEG_INF
+            };
+            let mut v = be_i; // M_k → E (exit after emitting row i)
+            v = flogsum(v, bm[k + 1] + p.tmm[k] + to_m_next);
+            if k < m {
+                v = flogsum(v, bi[k] + p.tmi[k]);
+                v = flogsum(v, bd_next[k + 1] + p.tmd[k]);
+            }
+            bm_next[k] = v;
+
+            bi_next[k] = if k < m {
+                flogsum(
+                    bm[k + 1] + p.tim[k] + to_m_next,
+                    bi[k] + p.tii[k],
+                )
+            } else {
+                NEG_INF
+            };
+
+            bd_next[k] = if k < m {
+                flogsum(
+                    bm[k + 1] + p.tdm[k] + to_m_next,
+                    bd_next[k + 1] + p.tdd[k],
+                )
+            } else {
+                NEG_INF
+            };
+        }
+        std::mem::swap(&mut bm, &mut bm_next);
+        std::mem::swap(&mut bi, &mut bi_next);
+        std::mem::swap(&mut bd, &mut bd_next);
+        bj = bj_i;
+        bc = bc_i;
+        bn = bn_i;
+        // Clear the scratch rows' sentinel columns.
+        bm[m + 1] = NEG_INF;
+        bi[m + 1] = NEG_INF;
+        bd[m + 1] = NEG_INF;
+        bm_next[m + 1] = NEG_INF;
+        bd_next[m + 1] = NEG_INF;
+    }
+    bn // N(0) = start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(m: usize, seed: u64) -> Profile {
+        let bg = NullModel::new();
+        Profile::config(&synthetic_model(m, seed, &BuildParams::default()), &bg)
+    }
+
+    #[test]
+    fn msv_loops_lower_the_score() {
+        let p = profile(30, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = random_seq(&mut rng, 120);
+        let full = msv_generic(&p, &seq);
+        let free = msv_filter_model(&p, &seq);
+        // Free loops only remove penalties, so the filter model scores higher,
+        // by roughly L·ln(L/(L+3)) ≈ 3 nats for L ≫ 3.
+        assert!(free > full);
+        let gap = free - full;
+        assert!(gap > 1.5 && gap < 4.0, "loop gap {gap}");
+    }
+
+    #[test]
+    fn viterbi_below_forward() {
+        let p = profile(25, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [10usize, 60, 200] {
+            let seq = random_seq(&mut rng, len);
+            let v = viterbi_filter_model(&p, &seq);
+            let f = forward_generic(&p, &seq);
+            assert!(
+                v <= f + 1e-4,
+                "len {len}: viterbi {v} must be ≤ forward {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_equals_backward() {
+        for (m, seed, len) in [(8usize, 3u64, 25usize), (17, 4, 40), (33, 5, 77)] {
+            let p = profile(m, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let seq = random_seq(&mut rng, len);
+            let f = forward_generic(&p, &seq);
+            let b = backward_generic(&p, &seq);
+            assert!(
+                (f - b).abs() < 1e-2,
+                "m={m} len={len}: forward {f} vs backward {b}"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn homolog_scores_far_above_background() {
+        let bg = NullModel::new();
+        let core = synthetic_model(60, 9, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let mut rng = StdRng::seed_from_u64(8);
+        let hom = h3w_seqdb::gen::sample_homolog(&mut rng, &core, 20);
+        let bgseq = random_seq(&mut rng, hom.len().max(30));
+        let scorers: [(&str, fn(&Profile, &[u8]) -> f32); 3] = [
+            ("msv", msv_generic),
+            ("vit", viterbi_filter_model),
+            ("fwd", forward_generic),
+        ];
+        for (name, f) in scorers {
+            let sh = f(&p, &hom);
+            let sb = f(&p, &bgseq);
+            assert!(
+                sh > sb + 10.0,
+                "{name}: homolog {sh} should dominate background {sb}"
+            );
+        }
+    }
+
+    #[test]
+    fn logsum_properties() {
+        assert_eq!(logsum(NEG_INF, NEG_INF), NEG_INF);
+        assert_eq!(logsum(NEG_INF, 1.5), 1.5);
+        assert!((logsum(0.0, 0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((logsum(10.0, 0.0) - 10.000045).abs() < 1e-4);
+        // Commutative.
+        assert_eq!(logsum(3.0, 7.0), logsum(7.0, 3.0));
+        // The table variant tracks the exact one everywhere.
+        for (a, b) in [(0.0f32, 0.0f32), (3.3, -2.1), (-8.0, -8.5), (12.0, 0.0)] {
+            assert!((flogsum(a, b) - logsum(a, b)).abs() < 4e-3, "{a} {b}");
+        }
+        assert_eq!(flogsum(NEG_INF, 2.0), 2.0);
+    }
+
+    #[test]
+    fn empty_sequence_scores_neg_inf() {
+        let p = profile(10, 6);
+        assert_eq!(msv_generic(&p, &[]), NEG_INF);
+        assert_eq!(viterbi_filter_model(&p, &[]), NEG_INF);
+        assert_eq!(forward_generic(&p, &[]), NEG_INF);
+    }
+
+    #[test]
+    fn single_residue_consensus_hits() {
+        // M=1 edge case: one consensus column; a matching single residue
+        // must outscore a mismatching one.
+        let bg = NullModel::new();
+        let core = synthetic_model(1, 7, &BuildParams::default());
+        let cons = core.consensus[0];
+        let p = Profile::config(&core, &bg);
+        let hit = viterbi_filter_model(&p, &[cons]);
+        let miss_res = (0..20u8).find(|&r| r != cons).unwrap();
+        let miss = viterbi_filter_model(&p, &[miss_res]);
+        assert!(hit > miss);
+        assert!(hit.is_finite());
+    }
+
+    #[test]
+    fn multihit_beats_unihit_on_tandem_repeat() {
+        use h3w_hmm::profile::SearchMode;
+        let bg = NullModel::new();
+        let core = synthetic_model(20, 12, &BuildParams::default());
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tandem = h3w_seqdb::gen::sample_homolog(&mut rng, &core, 5);
+        let second = h3w_seqdb::gen::sample_homolog(&mut rng, &core, 5);
+        tandem.extend(second);
+        let multi = Profile::config_mode(&core, &bg, SearchMode::MultihitLocal);
+        let uni = Profile::config_mode(&core, &bg, SearchMode::UnihitLocal);
+        let sm = viterbi_filter_model(&multi, &tandem);
+        let su = viterbi_filter_model(&uni, &tandem);
+        assert!(
+            sm > su + 5.0,
+            "two motif copies: multihit {sm} vs unihit {su}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Striped 16-lane MSV filter — HMMER 3.0's `p7_MSVFilter` (Farrar layout).
+//!
+//! Model position `k0` (0-based) lives in vector `q = k0 % Q`, lane
+//! `z = k0 / Q`, with `Q = ⌈M/16⌉`. The diagonal dependency `k0−1 → k0`
+//! is a plain previous-vector read for `q > 0` and a one-lane shift of the
+//! row's last vector for `q = 0` — no per-cell branches, which is exactly
+//! why HMMER's CPU filter needs *zero* synchronization and why the paper's
+//! GPU kernel must also be sync-free to compete (§III).
+//!
+//! Output is bit-identical to
+//! [`msv_filter_scalar`](crate::quantized::msv_filter_scalar).
+
+use crate::quantized::MsvOutcome;
+use crate::simd::{adds_u8, hmax_u8, max_u8, shift_u8, splat_u8, subs_u8, V16u8};
+use h3w_hmm::alphabet::{Residue, N_CODES};
+use h3w_hmm::msvprofile::MsvProfile;
+
+/// Lanes in the byte pipeline (one SSE register of u8).
+pub const MSV_LANES: usize = 16;
+
+/// A profile's MSV tables rearranged into the striped layout.
+#[derive(Debug, Clone)]
+pub struct StripedMsv {
+    /// Model length.
+    pub m: usize,
+    /// Vectors per row: `⌈M/16⌉`.
+    pub q: usize,
+    base: u8,
+    bias: u8,
+    overflow_at: u8,
+    /// Striped biased costs, code-major: `rbv[code * q + qi]`.
+    /// Phantom positions (`k0 ≥ M`) cost 255, pinning them to the floor.
+    rbv: Vec<V16u8>,
+}
+
+impl StripedMsv {
+    /// Re-stripe an [`MsvProfile`].
+    pub fn new(om: &MsvProfile) -> StripedMsv {
+        let m = om.m;
+        let q = m.div_ceil(MSV_LANES).max(1);
+        let mut rbv = vec![[255u8; MSV_LANES]; N_CODES * q];
+        for code in 0..N_CODES {
+            for qi in 0..q {
+                let vec = &mut rbv[code * q + qi];
+                for (z, slot) in vec.iter_mut().enumerate() {
+                    let k0 = z * q + qi;
+                    if k0 < m {
+                        *slot = om.cost(code as u8, k0);
+                    }
+                }
+            }
+        }
+        StripedMsv {
+            m,
+            q,
+            base: om.base,
+            bias: om.bias,
+            overflow_at: om.overflow_limit(),
+            rbv,
+        }
+    }
+
+    /// Score one sequence, reusing `dp` as the row buffer (resized as
+    /// needed). Bit-identical to the scalar reference.
+    pub fn run_into(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<V16u8>) -> MsvOutcome {
+        let q = self.q;
+        let lc = om.len_costs(seq.len());
+        dp.clear();
+        dp.resize(q, splat_u8(0));
+
+        let biasv = splat_u8(self.bias);
+        let mut xj = 0u8;
+        let mut xbv = splat_u8(self.base.saturating_sub(lc.tjbm));
+        for &x in seq {
+            let row = &self.rbv[x as usize * q..(x as usize + 1) * q];
+            let mut xev = splat_u8(0);
+            let mut mpv = shift_u8(dp[q - 1], 0);
+            for (qi, rv) in row.iter().enumerate() {
+                let sv = subs_u8(adds_u8(max_u8(mpv, xbv), biasv), *rv);
+                xev = max_u8(xev, sv);
+                mpv = dp[qi];
+                dp[qi] = sv;
+            }
+            let xe = hmax_u8(xev);
+            if xe >= self.overflow_at {
+                return MsvOutcome {
+                    xj: 255,
+                    overflow: true,
+                    score: MsvProfile::overflow_score(),
+                };
+            }
+            xj = xj.max(xe.saturating_sub(lc.tec));
+            xbv = splat_u8(self.base.max(xj).saturating_sub(lc.tjbm));
+        }
+        MsvOutcome {
+            xj,
+            overflow: false,
+            score: om.score_to_nats(xj, seq.len()),
+        }
+    }
+
+    /// Score one sequence with a fresh row buffer.
+    pub fn run(&self, om: &MsvProfile, seq: &[Residue]) -> MsvOutcome {
+        let mut dp = Vec::new();
+        self.run_into(om, seq, &mut dp)
+    }
+
+    /// DP cells computed per residue row (16·Q, including phantom lanes) —
+    /// the throughput denominator for calibration.
+    pub fn cells_per_row(&self) -> usize {
+        MSV_LANES * self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantized::msv_filter_scalar;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use h3w_hmm::profile::Profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn om(m: usize, seed: u64) -> MsvProfile {
+        let bg = NullModel::new();
+        let core = synthetic_model(m, seed, &BuildParams::default());
+        MsvProfile::from_profile(&Profile::config(&core, &bg))
+    }
+
+    #[test]
+    fn bit_exact_vs_scalar_over_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Sizes around the striping boundaries: < 16, = 16, off multiples.
+        for m in [1usize, 3, 15, 16, 17, 31, 32, 48, 100, 257] {
+            let om = om(m, m as u64);
+            let striped = StripedMsv::new(&om);
+            for len in [1usize, 7, 50, 300] {
+                let seq = random_seq(&mut rng, len);
+                let a = msv_filter_scalar(&om, &seq);
+                let b = striped.run(&om, &seq);
+                assert_eq!(a, b, "m={m} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_agrees_with_scalar() {
+        // A strongly matching homolog against a long conserved model should
+        // eventually overflow both implementations identically.
+        let bg = NullModel::new();
+        let core = synthetic_model(120, 3, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let om = MsvProfile::from_profile(&p);
+        let striped = StripedMsv::new(&om);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hom = Vec::new();
+        for _ in 0..4 {
+            hom.extend(h3w_seqdb::gen::sample_homolog(&mut rng, &core, 3));
+        }
+        let a = msv_filter_scalar(&om, &hom);
+        let b = striped.run(&om, &hom);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let om = om(40, 9);
+        let striped = StripedMsv::new(&om);
+        let mut rng = StdRng::seed_from_u64(10);
+        let s1 = random_seq(&mut rng, 100);
+        let s2 = random_seq(&mut rng, 60);
+        let mut dp = Vec::new();
+        let first = striped.run_into(&om, &s1, &mut dp);
+        let second = striped.run_into(&om, &s2, &mut dp);
+        assert_eq!(first, striped.run(&om, &s1));
+        assert_eq!(second, striped.run(&om, &s2));
+    }
+
+    #[test]
+    fn stripe_geometry() {
+        let om = om(33, 2);
+        let striped = StripedMsv::new(&om);
+        assert_eq!(striped.q, 3); // ceil(33/16)
+        assert_eq!(striped.cells_per_row(), 48);
+    }
+}

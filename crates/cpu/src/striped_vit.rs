@@ -1,0 +1,323 @@
+//! Striped 8-lane P7Viterbi filter with Lazy-F — HMMER 3.0's
+//! `p7_ViterbiFilter` (Farrar 2007).
+//!
+//! Same striping as the MSV filter but with 8 × i16 lanes and three DP rows
+//! (M/I/D). The D→D within-row chain (the sequential dependency the paper's
+//! §III-B is about) is resolved lazily: the main pass seeds `D` with the
+//! M→D path only; a fixed-point "Lazy-F" loop then propagates D→D until no
+//! element improves. The fixed point equals the exact in-order propagation
+//! of [`vit_filter_scalar`](crate::quantized::vit_filter_scalar) —
+//! bit-exactly — because `max` chains over the identical saturating-add
+//! paths.
+
+use crate::quantized::VitOutcome;
+use crate::simd::{adds_i16, any_gt_i16, hmax_i16, max_i16, shift_i16, splat_i16, V8i16};
+use h3w_hmm::alphabet::{Residue, N_CODES};
+use h3w_hmm::vitprofile::{wadd, VitProfile, W_NEG_INF};
+
+/// Lanes in the word pipeline (one SSE register of i16).
+pub const VIT_LANES: usize = 8;
+
+/// Lazy-F effort accounting — the measurable the paper's §III-B/§VI claims
+/// are about (few rows take the D-D path; those that do converge fast).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LazyFStats {
+    /// Rows (residues) processed.
+    pub rows: u64,
+    /// Total Lazy-F passes over the D row (≥ 1 per row).
+    pub total_passes: u64,
+    /// Rows whose D values needed more than the single mandatory pass.
+    pub rows_extra: u64,
+    /// Worst-case passes for any single row.
+    pub max_passes: u32,
+}
+
+/// Reusable row buffers for [`StripedVit::run_into`].
+#[derive(Debug, Default)]
+pub struct VitWorkspace {
+    dpm: Vec<V8i16>,
+    dpi: Vec<V8i16>,
+    dpd: Vec<V8i16>,
+}
+
+/// A profile's Viterbi tables rearranged into the striped layout.
+#[derive(Debug, Clone)]
+pub struct StripedVit {
+    /// Model length.
+    pub m: usize,
+    /// Vectors per row: `⌈M/8⌉`.
+    pub q: usize,
+    base: i16,
+    /// Striped emissions, code-major: `rwv[code * q + qi]`.
+    rwv: Vec<V8i16>,
+    tmm: Vec<V8i16>,
+    tim: Vec<V8i16>,
+    tdm: Vec<V8i16>,
+    tmd: Vec<V8i16>,
+    tdd: Vec<V8i16>,
+    tmi: Vec<V8i16>,
+    tii: Vec<V8i16>,
+    bmk: Vec<V8i16>,
+}
+
+impl StripedVit {
+    /// Re-stripe a [`VitProfile`]. Phantom positions get −∞ everywhere.
+    pub fn new(om: &VitProfile) -> StripedVit {
+        let m = om.m;
+        let q = m.div_ceil(VIT_LANES).max(1);
+        let stripe = |table: &dyn Fn(usize) -> i16| -> Vec<V8i16> {
+            (0..q)
+                .map(|qi| {
+                    core::array::from_fn(|z| {
+                        let k0 = z * q + qi;
+                        if k0 < m {
+                            table(k0)
+                        } else {
+                            W_NEG_INF
+                        }
+                    })
+                })
+                .collect()
+        };
+        let mut rwv = Vec::with_capacity(N_CODES * q);
+        for code in 0..N_CODES as u8 {
+            rwv.extend(stripe(&|k0| om.emis(code, k0)));
+        }
+        StripedVit {
+            m,
+            q,
+            base: om.base,
+            rwv,
+            tmm: stripe(&|k0| om.tmm_in[k0]),
+            tim: stripe(&|k0| om.tim_in[k0]),
+            tdm: stripe(&|k0| om.tdm_in[k0]),
+            tmd: stripe(&|k0| om.tmd_in[k0]),
+            tdd: stripe(&|k0| om.tdd_in[k0]),
+            tmi: stripe(&|k0| om.tmi_self[k0]),
+            tii: stripe(&|k0| om.tii_self[k0]),
+            bmk: stripe(&|k0| om.bmk_in[k0]),
+        }
+    }
+
+    /// Score one sequence, reusing `ws` buffers. Returns the outcome and
+    /// Lazy-F effort statistics.
+#[allow(clippy::needless_range_loop)]
+    pub fn run_into(
+        &self,
+        om: &VitProfile,
+        seq: &[Residue],
+        ws: &mut VitWorkspace,
+    ) -> (VitOutcome, LazyFStats) {
+        let q = self.q;
+        let ls = om.len_scores(seq.len());
+        let ninf = splat_i16(W_NEG_INF);
+        for buf in [&mut ws.dpm, &mut ws.dpi, &mut ws.dpd] {
+            buf.clear();
+            buf.resize(q, ninf);
+        }
+        let (dpm, dpi, dpd) = (&mut ws.dpm, &mut ws.dpi, &mut ws.dpd);
+
+        let mut stats = LazyFStats::default();
+        let mut xn = self.base;
+        let mut xj = W_NEG_INF;
+        let mut xc = W_NEG_INF;
+        let mut xb = wadd(xn, ls.move_w);
+
+        for &x in seq {
+            stats.rows += 1;
+            let row = &self.rwv[x as usize * q..(x as usize + 1) * q];
+            let xbv = splat_i16(xb);
+            let mut xev = ninf;
+            let mut mpv = shift_i16(dpm[q - 1], W_NEG_INF);
+            let mut ipv = shift_i16(dpi[q - 1], W_NEG_INF);
+            let mut dpv = shift_i16(dpd[q - 1], W_NEG_INF);
+            let mut mcur_prev = ninf; // M of position k0-1, current row (intra-lane)
+            for qi in 0..q {
+                let old_m = dpm[qi];
+                let old_i = dpi[qi];
+                let old_d = dpd[qi];
+                let mut sv = adds_i16(xbv, self.bmk[qi]);
+                sv = max_i16(sv, adds_i16(mpv, self.tmm[qi]));
+                sv = max_i16(sv, adds_i16(ipv, self.tim[qi]));
+                sv = max_i16(sv, adds_i16(dpv, self.tdm[qi]));
+                sv = adds_i16(sv, row[qi]);
+                xev = max_i16(xev, sv);
+                dpi[qi] = max_i16(
+                    adds_i16(old_m, self.tmi[qi]),
+                    adds_i16(old_i, self.tii[qi]),
+                );
+                // M→D seed; the q=0 wrap and all D→D arrive in Lazy-F.
+                dpd[qi] = adds_i16(mcur_prev, self.tmd[qi]);
+                dpm[qi] = sv;
+                mpv = old_m;
+                ipv = old_i;
+                dpv = old_d;
+                mcur_prev = sv;
+            }
+            // Cross-lane M→D seed into q = 0.
+            let wrap = adds_i16(shift_i16(mcur_prev, W_NEG_INF), self.tmd[0]);
+            dpd[0] = max_i16(dpd[0], wrap);
+
+            // Lazy-F: propagate D→D to its fixed point.
+            let mut passes = 0u32;
+            loop {
+                passes += 1;
+                let mut changed = false;
+                let mut carry = shift_i16(dpd[q - 1], W_NEG_INF);
+                for qi in 0..q {
+                    let cand = adds_i16(carry, self.tdd[qi]);
+                    if any_gt_i16(cand, dpd[qi]) {
+                        dpd[qi] = max_i16(dpd[qi], cand);
+                        changed = true;
+                    }
+                    carry = dpd[qi];
+                }
+                if !changed || passes > 2 * VIT_LANES as u32 + 2 {
+                    break;
+                }
+            }
+            stats.total_passes += passes as u64;
+            if passes > 1 {
+                stats.rows_extra += 1;
+            }
+            stats.max_passes = stats.max_passes.max(passes);
+
+            let xe = hmax_i16(xev);
+            if xe == i16::MAX {
+                return (
+                    VitOutcome {
+                        xc: i16::MAX,
+                        score: f32::INFINITY,
+                    },
+                    stats,
+                );
+            }
+            xj = wadd(xj, ls.loop_w).max(wadd(xe, ls.e_to_j));
+            xc = wadd(xc, ls.loop_w).max(wadd(xe, ls.e_to_c));
+            xn = wadd(xn, ls.loop_w);
+            xb = wadd(xn.max(xj), ls.move_w);
+        }
+        (
+            VitOutcome {
+                xc,
+                score: om.score_to_nats(xc, seq.len()),
+            },
+            stats,
+        )
+    }
+
+    /// Score one sequence with fresh buffers.
+    pub fn run(&self, om: &VitProfile, seq: &[Residue]) -> (VitOutcome, LazyFStats) {
+        let mut ws = VitWorkspace::default();
+        self.run_into(om, seq, &mut ws)
+    }
+
+    /// DP cells computed per residue row (3 states × 8·Q incl. phantoms).
+    pub fn cells_per_row(&self) -> usize {
+        3 * VIT_LANES * self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantized::vit_filter_scalar;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use h3w_hmm::profile::Profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn om(m: usize, seed: u64, params: &BuildParams) -> VitProfile {
+        let bg = NullModel::new();
+        let core = synthetic_model(m, seed, params);
+        VitProfile::from_profile(&Profile::config(&core, &bg))
+    }
+
+    #[test]
+    fn bit_exact_vs_scalar_over_sizes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for m in [1usize, 5, 7, 8, 9, 16, 33, 64, 130] {
+            let om = om(m, m as u64 + 40, &BuildParams::default());
+            let striped = StripedVit::new(&om);
+            for len in [1usize, 9, 60, 250] {
+                let seq = random_seq(&mut rng, len);
+                let a = vit_filter_scalar(&om, &seq);
+                let (b, _) = striped.run(&om, &seq);
+                assert_eq!(a, b, "m={m} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_exact_on_gappy_models() {
+        // High D→D probability exercises deep Lazy-F chains.
+        let mut rng = StdRng::seed_from_u64(22);
+        for m in [24usize, 60, 100] {
+            let om = om(m, 7, &BuildParams::gappy());
+            let striped = StripedVit::new(&om);
+            for len in [30usize, 120] {
+                let seq = random_seq(&mut rng, len);
+                let a = vit_filter_scalar(&om, &seq);
+                let (b, stats) = striped.run(&om, &seq);
+                assert_eq!(a, b, "m={m} len={len}");
+                assert!(stats.max_passes <= 2 * VIT_LANES as u32 + 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_exact_on_homologs() {
+        let bg = NullModel::new();
+        let core = synthetic_model(70, 9, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let om = VitProfile::from_profile(&p);
+        let striped = StripedVit::new(&om);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..5 {
+            let hom = h3w_seqdb::gen::sample_homolog(&mut rng, &core, 12);
+            let a = vit_filter_scalar(&om, &hom);
+            let (b, _) = striped.run(&om, &hom);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn lazyf_effort_rises_with_gappiness() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let seq = random_seq(&mut rng, 300);
+        let cons = om(64, 3, &BuildParams::default());
+        let gappy = om(64, 3, &BuildParams::gappy());
+        let (_, s_cons) = StripedVit::new(&cons).run(&cons, &seq);
+        let (_, s_gappy) = StripedVit::new(&gappy).run(&gappy, &seq);
+        assert!(
+            s_gappy.total_passes >= s_cons.total_passes,
+            "gappy {} < conserved {}",
+            s_gappy.total_passes,
+            s_cons.total_passes
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let om = om(40, 11, &BuildParams::default());
+        let striped = StripedVit::new(&om);
+        let mut rng = StdRng::seed_from_u64(25);
+        let s1 = random_seq(&mut rng, 80);
+        let s2 = random_seq(&mut rng, 33);
+        let mut ws = VitWorkspace::default();
+        let (a1, _) = striped.run_into(&om, &s1, &mut ws);
+        let (a2, _) = striped.run_into(&om, &s2, &mut ws);
+        assert_eq!(a1, striped.run(&om, &s1).0);
+        assert_eq!(a2, striped.run(&om, &s2).0);
+    }
+
+    #[test]
+    fn stripe_geometry() {
+        let om = om(17, 2, &BuildParams::default());
+        let striped = StripedVit::new(&om);
+        assert_eq!(striped.q, 3); // ceil(17/8)
+        assert_eq!(striped.cells_per_row(), 72);
+    }
+}

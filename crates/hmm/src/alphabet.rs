@@ -1,0 +1,275 @@
+//! The 29-symbol amino-acid alphabet of the paper (Fig. 6).
+//!
+//! HMMER 3.0 digitizes protein residues into small integer codes. The paper's
+//! residue-packing scheme (§III-A, Fig. 6) relies on every code fitting in
+//! 5 bits: 20 standard amino acids, 6 degenerate symbols (`B J Z O U X`), and
+//! 3 gap/terminator symbols (`-`, `*`, `~`), i.e. codes `0..=28`. Code `31`
+//! ([`PAD_CODE`]) is reserved as the packed-stream terminator flag.
+
+/// Number of standard amino acids.
+pub const N_STANDARD: usize = 20;
+/// Number of degenerate residue symbols (`B J Z O U X`).
+pub const N_DEGENERATE: usize = 6;
+/// Number of gap/terminator symbols (`-`, `*`, `~`).
+pub const N_GAP: usize = 3;
+/// Total number of real alphabet symbols (codes `0..N_SYMBOLS`).
+pub const N_SYMBOLS: usize = N_STANDARD + N_DEGENERATE + N_GAP; // 29
+/// Size of the score tables indexed by residue code. Covers every 5-bit
+/// pattern so a packed residue can index a table without bounds remapping.
+pub const N_CODES: usize = 32;
+/// Reserved 5-bit pad/terminator code appended to packed residue words
+/// (drawn red in Fig. 6). Never emitted by a real sequence.
+pub const PAD_CODE: u8 = 31;
+
+/// Canonical one-letter symbols in code order.
+///
+/// `0..=19` standard amino acids (alphabetical by letter, the Easel order),
+/// `20..=25` degenerate, `26..=28` gap-like.
+pub const SYMBOLS: [char; N_SYMBOLS] = [
+    'A', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'K', 'L', //
+    'M', 'N', 'P', 'Q', 'R', 'S', 'T', 'V', 'W', 'Y', //
+    'B', 'J', 'Z', 'O', 'U', 'X', //
+    '-', '*', '~',
+];
+
+/// Digitized residue code (`0..=28`, or [`PAD_CODE`] in packed streams).
+pub type Residue = u8;
+
+/// Background amino-acid frequencies (Swiss-Prot composition, the same
+/// numbers HMMER's Easel library ships as `fq[]` in `esl_composition`).
+/// Indexed by standard residue code; sums to 1.
+pub const BACKGROUND_F: [f32; N_STANDARD] = [
+    0.0787945, // A
+    0.0151600, // C
+    0.0535222, // D
+    0.0668298, // E
+    0.0397062, // F
+    0.0695071, // G
+    0.0229198, // H
+    0.0590092, // I
+    0.0594422, // K
+    0.0963728, // L
+    0.0237718, // M
+    0.0414386, // N
+    0.0482904, // P
+    0.0395639, // Q
+    0.0540978, // R
+    0.0683364, // S
+    0.0540687, // T
+    0.0673417, // V
+    0.0114135, // W
+    0.0304133, // Y
+];
+
+/// Errors produced when digitizing text sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphabetError {
+    /// The character is not part of the 29-symbol alphabet.
+    InvalidChar(char),
+    /// A code outside `0..N_SYMBOLS` (and not [`PAD_CODE`]) was decoded.
+    InvalidCode(u8),
+}
+
+impl std::fmt::Display for AlphabetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlphabetError::InvalidChar(c) => write!(f, "invalid residue character {c:?}"),
+            AlphabetError::InvalidCode(x) => write!(f, "invalid residue code {x}"),
+        }
+    }
+}
+
+impl std::error::Error for AlphabetError {}
+
+/// Digitize one residue character (case-insensitive). `.` is treated as `-`.
+pub fn digitize(c: char) -> Result<Residue, AlphabetError> {
+    let u = c.to_ascii_uppercase();
+    let u = if u == '.' { '-' } else { u };
+    SYMBOLS
+        .iter()
+        .position(|&s| s == u)
+        .map(|i| i as Residue)
+        .ok_or(AlphabetError::InvalidChar(c))
+}
+
+/// Map a residue code back to its canonical character.
+pub fn symbol(code: Residue) -> Result<char, AlphabetError> {
+    SYMBOLS
+        .get(code as usize)
+        .copied()
+        .ok_or(AlphabetError::InvalidCode(code))
+}
+
+/// Is this code one of the 20 standard amino acids?
+#[inline]
+pub fn is_standard(code: Residue) -> bool {
+    (code as usize) < N_STANDARD
+}
+
+/// Is this code a degenerate residue symbol (`B J Z O U X`)?
+#[inline]
+pub fn is_degenerate(code: Residue) -> bool {
+    (N_STANDARD..N_STANDARD + N_DEGENERATE).contains(&(code as usize))
+}
+
+/// Is this code gap-like (`-`, `*`, `~`)?
+#[inline]
+pub fn is_gap(code: Residue) -> bool {
+    (N_STANDARD + N_DEGENERATE..N_SYMBOLS).contains(&(code as usize))
+}
+
+/// Standard-residue membership of a degenerate code.
+///
+/// `B = {D,N}`, `J = {I,L}`, `Z = {E,Q}`, `O → K` (pyrrolysine),
+/// `U → C` (selenocysteine), `X = all twenty`.
+pub fn degenerate_members(code: Residue) -> &'static [Residue] {
+    const D_N: [Residue; 2] = [2, 11]; // B
+    const I_L: [Residue; 2] = [7, 9]; // J
+    const E_Q: [Residue; 2] = [3, 13]; // Z
+    const K_: [Residue; 1] = [8]; // O
+    const C_: [Residue; 1] = [1]; // U
+    const ALL: [Residue; 20] = [
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+    ];
+    match code as usize {
+        20 => &D_N,
+        21 => &I_L,
+        22 => &E_Q,
+        23 => &K_,
+        24 => &C_,
+        25 => &ALL,
+        _ => &[],
+    }
+}
+
+/// Expand a per-standard-residue score/probability table to all [`N_CODES`]
+/// codes, filling degenerate codes with the background-weighted expectation
+/// of their members and gap/pad codes with `fill`.
+///
+/// This mirrors HMMER's `esl_abc_FExpectScVec`: a degenerate residue scores
+/// the *expected* score of its members under the background distribution.
+#[allow(clippy::needless_range_loop)]
+pub fn expand_scores(standard: &[f32; N_STANDARD], fill: f32) -> [f32; N_CODES] {
+    let mut out = [fill; N_CODES];
+    out[..N_STANDARD].copy_from_slice(standard);
+    for code in N_STANDARD..N_STANDARD + N_DEGENERATE {
+        let members = degenerate_members(code as Residue);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for &m in members {
+            let w = BACKGROUND_F[m as usize] as f64;
+            num += w * standard[m as usize] as f64;
+            den += w;
+        }
+        out[code] = if den > 0.0 { (num / den) as f32 } else { fill };
+    }
+    out
+}
+
+/// Digitize a full text sequence, rejecting gap-like symbols (search tools
+/// operate on unaligned sequences).
+pub fn digitize_seq(text: &str) -> Result<Vec<Residue>, AlphabetError> {
+    text.chars()
+        .filter(|c| !c.is_whitespace())
+        .map(|c| {
+            let code = digitize(c)?;
+            if is_gap(code) {
+                Err(AlphabetError::InvalidChar(c))
+            } else {
+                Ok(code)
+            }
+        })
+        .collect()
+}
+
+/// Render a digital sequence back to text.
+pub fn textize_seq(seq: &[Residue]) -> Result<String, AlphabetError> {
+    seq.iter().map(|&r| symbol(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_sums_to_one() {
+        let s: f32 = BACKGROUND_F.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4, "background sum {s}");
+    }
+
+    #[test]
+    fn digitize_round_trip() {
+        for (i, &c) in SYMBOLS.iter().enumerate() {
+            assert_eq!(digitize(c).unwrap(), i as Residue);
+            assert_eq!(symbol(i as Residue).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn lowercase_and_dot() {
+        assert_eq!(digitize('a').unwrap(), 0);
+        assert_eq!(digitize('y').unwrap(), 19);
+        assert_eq!(digitize('.').unwrap(), digitize('-').unwrap());
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        assert!(digitize('1').is_err());
+        assert!(digitize('!').is_err());
+    }
+
+    #[test]
+    fn class_predicates_partition() {
+        for code in 0..N_SYMBOLS as Residue {
+            let n = is_standard(code) as u8 + is_degenerate(code) as u8 + is_gap(code) as u8;
+            assert_eq!(n, 1, "code {code} must be in exactly one class");
+        }
+        assert!(!is_standard(PAD_CODE) && !is_degenerate(PAD_CODE) && !is_gap(PAD_CODE));
+    }
+
+    #[test]
+    fn all_codes_fit_five_bits() {
+        // Compile-time facts, asserted dynamically so a future edit that
+        // grows the alphabet past 5 bits fails loudly here.
+        let n = SYMBOLS.len();
+        assert!(n <= 29, "alphabet grew past the packing budget: {n}");
+        let pad = PAD_CODE as usize;
+        assert!(pad < 32 && pad >= n);
+    }
+
+    #[test]
+    fn degenerate_members_are_standard() {
+        for code in N_STANDARD..N_STANDARD + N_DEGENERATE {
+            let members = degenerate_members(code as Residue);
+            assert!(!members.is_empty(), "code {code} has no members");
+            assert!(members.iter().all(|&m| is_standard(m)));
+        }
+        assert_eq!(degenerate_members(25).len(), 20); // X
+    }
+
+    #[test]
+    fn expand_scores_x_is_background_mean() {
+        let mut table = [0.0f32; N_STANDARD];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = i as f32;
+        }
+        let full = expand_scores(&table, -99.0);
+        let mean: f32 = (0..N_STANDARD).map(|i| BACKGROUND_F[i] * table[i]).sum();
+        assert!((full[25] - mean).abs() < 1e-4);
+        assert_eq!(full[26], -99.0);
+        assert_eq!(full[31], -99.0);
+    }
+
+    #[test]
+    fn digitize_seq_rejects_gaps() {
+        assert!(digitize_seq("ACDE-FG").is_err());
+        let d = digitize_seq("acd efg").unwrap();
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn textize_round_trip() {
+        let d = digitize_seq("MKVLAYXZB").unwrap();
+        assert_eq!(textize_seq(&d).unwrap(), "MKVLAYXZB");
+    }
+}

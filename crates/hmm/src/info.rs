@@ -1,0 +1,133 @@
+//! Model information statistics — what `hmmbuild` reports about a model
+//! (per-column relative entropy, gappiness, consensus).
+
+use crate::alphabet::{symbol, N_STANDARD};
+use crate::background::NullModel;
+use crate::plan7::CoreModel;
+
+/// Summary statistics of one core model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Model length.
+    pub m: usize,
+    /// Mean per-column relative entropy in bits (HMMER aims for ~0.59
+    /// bits/column after entropy weighting; unweighted seeds are higher).
+    pub mean_re_bits: f32,
+    /// Total information content in bits.
+    pub total_re_bits: f32,
+    /// Mean D→D probability (the Lazy-F workload driver, §III-B/§VI).
+    pub mean_dd: f32,
+    /// Mean I→I probability.
+    pub mean_ii: f32,
+    /// Consensus sequence.
+    pub consensus: String,
+}
+
+/// Per-column relative entropy (KL divergence of match emissions vs the
+/// background) in **bits**.
+pub fn relative_entropy_per_column(model: &CoreModel, bg: &NullModel) -> Vec<f32> {
+    model
+        .nodes
+        .iter()
+        .map(|node| {
+            let mut re = 0f32;
+            for x in 0..N_STANDARD {
+                let p = node.mat[x];
+                if p > 0.0 {
+                    re += p * (p / bg.f[x].max(1e-9)).log2();
+                }
+            }
+            re.max(0.0)
+        })
+        .collect()
+}
+
+/// Compute the summary.
+pub fn model_info(model: &CoreModel, bg: &NullModel) -> ModelInfo {
+    let re = relative_entropy_per_column(model, bg);
+    let total: f32 = re.iter().sum();
+    let m = model.len();
+    let mean_dd = model.nodes.iter().map(|n| n.t.dd).sum::<f32>() / m as f32;
+    let mean_ii = model.nodes.iter().map(|n| n.t.ii).sum::<f32>() / m as f32;
+    ModelInfo {
+        m,
+        mean_re_bits: total / m as f32,
+        total_re_bits: total,
+        mean_dd,
+        mean_ii,
+        consensus: model
+            .consensus
+            .iter()
+            .map(|&c| symbol(c).expect("valid consensus code"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{synthetic_model, BuildParams};
+    use crate::plan7::{Node, NodeTrans};
+
+    #[test]
+    fn background_model_has_zero_entropy() {
+        // A model that emits the background distribution carries no
+        // information.
+        let node = Node {
+            mat: crate::alphabet::BACKGROUND_F,
+            ins: crate::alphabet::BACKGROUND_F,
+            t: NodeTrans::conserved(),
+        };
+        let model = CoreModel {
+            name: "bg".into(),
+            nodes: vec![node; 4],
+            consensus: vec![0; 4],
+        };
+        let bg = NullModel::new();
+        let info = model_info(&model, &bg);
+        assert!(info.mean_re_bits.abs() < 1e-4, "{}", info.mean_re_bits);
+    }
+
+    #[test]
+    fn deterministic_column_has_high_entropy() {
+        // A column that always emits W (background 1.1%) carries
+        // log2(1/0.0114) ≈ 6.45 bits.
+        let mut mat = [0f32; N_STANDARD];
+        mat[18] = 1.0; // W
+        let node = Node {
+            mat,
+            ins: crate::alphabet::BACKGROUND_F,
+            t: NodeTrans::conserved(),
+        };
+        let model = CoreModel {
+            name: "w".into(),
+            nodes: vec![node],
+            consensus: vec![18],
+        };
+        let bg = NullModel::new();
+        let re = relative_entropy_per_column(&model, &bg);
+        assert!((re[0] - 6.45).abs() < 0.05, "{}", re[0]);
+    }
+
+    #[test]
+    fn gappy_models_report_higher_dd() {
+        let bg = NullModel::new();
+        let c = model_info(&synthetic_model(60, 3, &BuildParams::default()), &bg);
+        let g = model_info(&synthetic_model(60, 3, &BuildParams::gappy()), &bg);
+        assert!(g.mean_dd > c.mean_dd + 0.3);
+        assert_eq!(c.consensus.len(), 60);
+    }
+
+    #[test]
+    fn conserved_synthetic_models_carry_information() {
+        let bg = NullModel::new();
+        let info = model_info(&synthetic_model(100, 7, &BuildParams::default()), &bg);
+        // ~70% consensus mass gives a couple of bits per column.
+        assert!(
+            info.mean_re_bits > 1.0 && info.mean_re_bits < 4.5,
+            "{}",
+            info.mean_re_bits
+        );
+        assert!((info.total_re_bits / info.mean_re_bits - 100.0).abs() < 0.5);
+    }
+}

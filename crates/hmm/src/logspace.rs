@@ -1,0 +1,88 @@
+//! Log-space arithmetic shared by every Forward implementation.
+//!
+//! HMMER's `p7_FLogsum`: `ln(e^a + e^b)` through a lookup table of
+//! `ln(1+e^{-d})` at 1/160-nat resolution — an order of magnitude faster
+//! than the transcendental path at ≈ 3 × 10⁻³ nats error per call. Both
+//! the CPU Forward and the warp-synchronous Forward kernel use *this*
+//! table, so their per-call rounding is identical and only summation
+//! order distinguishes them.
+
+use crate::profile::NEG_INF;
+
+/// Exact, numerically stable `ln(e^a + e^b)`.
+#[inline]
+pub fn logsum_exact(a: f32, b: f32) -> f32 {
+    if a == NEG_INF {
+        b
+    } else if b == NEG_INF {
+        a
+    } else if a >= b {
+        a + (b - a).exp().ln_1p()
+    } else {
+        b + (a - b).exp().ln_1p()
+    }
+}
+
+/// Table resolution (HMMER's `p7_LOGSUM_SCALE` is 1/0.00625 per nat).
+pub const FLOGSUM_STEP: f32 = 0.00625;
+/// Table span: `ln(1+e^{-x})` is below f32 noise beyond ≈ 15.7 nats.
+pub const FLOGSUM_MAX: f32 = 15.7;
+const FLOGSUM_N: usize = (FLOGSUM_MAX / FLOGSUM_STEP) as usize + 1;
+
+fn table() -> &'static [f32; FLOGSUM_N] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[f32; FLOGSUM_N]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([0.0f32; FLOGSUM_N]);
+        for (i, v) in t.iter_mut().enumerate() {
+            *v = (-(i as f32) * FLOGSUM_STEP).exp().ln_1p();
+        }
+        t
+    })
+}
+
+/// Table-driven `ln(e^a + e^b)` — HMMER's `p7_FLogsum`.
+#[inline]
+pub fn flogsum(a: f32, b: f32) -> f32 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if lo == NEG_INF {
+        return hi;
+    }
+    let d = hi - lo;
+    if d >= FLOGSUM_MAX {
+        hi
+    } else {
+        hi + table()[(d / FLOGSUM_STEP) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flogsum_tracks_exact() {
+        for (a, b) in [
+            (0.0f32, 0.0f32),
+            (3.3, -2.1),
+            (-8.0, -8.5),
+            (12.0, 0.0),
+            (100.0, 99.0),
+            (-1000.0, -1000.1),
+        ] {
+            let e = logsum_exact(a, b);
+            let f = flogsum(a, b);
+            assert!((e - f).abs() < 4e-3, "{a},{b}: exact {e} table {f}");
+        }
+        assert_eq!(flogsum(NEG_INF, NEG_INF), NEG_INF);
+        assert_eq!(flogsum(NEG_INF, 5.0), 5.0);
+        assert_eq!(flogsum(5.0, NEG_INF), 5.0);
+    }
+
+    #[test]
+    fn flogsum_commutative_and_dominant() {
+        assert_eq!(flogsum(2.0, 7.0), flogsum(7.0, 2.0));
+        // Far-apart operands: the big one wins outright.
+        assert_eq!(flogsum(0.0, -20.0), 0.0);
+    }
+}

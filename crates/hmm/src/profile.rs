@@ -1,0 +1,273 @@
+//! The configured search profile — HMMER's `P7_PROFILE`.
+//!
+//! A [`Profile`] is a [`CoreModel`] converted to
+//! log-odds scores (nats against the null model) and wrapped with the
+//! algorithm-dependent states: local entry `B→Mk`, uniform local exit
+//! `Mk→E` (score 0), the multi-hit `E→{J,C}` choice, and the N/C/J length
+//! model re-tuned per target sequence (`p7_ReconfigLength`).
+//!
+//! Score conventions shared by every implementation in this workspace
+//! (float reference, striped CPU filters, warp-synchronous GPU kernels):
+//!
+//! * rows `i = 1..=L` over target residues, columns `k = 1..=M`;
+//! * `M(i,k) = msc[k][x_i] + max(B(i-1)+bmk[k], M(i-1,k-1)+tmm[k-1],
+//!   I(i-1,k-1)+tim[k-1], D(i-1,k-1)+tdm[k-1])`;
+//! * `I(i,k) = max(M(i-1,k)+tmi[k], I(i-1,k)+tii[k])` (insert emission
+//!   score is 0 in local mode, as in HMMER3);
+//! * `D(i,k) = max(M(i,k-1)+tmd[k-1], D(i,k-1)+tdd[k-1])`;
+//! * `E(i) = max_k M(i,k)` (filter-style exit — the same approximation
+//!   HMMER3's ViterbiFilter makes);
+//! * specials: `J/C` fed by `E`, `B` fed by `N`/`J`; final score
+//!   `C(L) + move`.
+
+use crate::alphabet::{expand_scores, N_CODES};
+use crate::background::NullModel;
+use crate::plan7::CoreModel;
+
+/// Negative infinity stand-in for impossible paths.
+pub const NEG_INF: f32 = f32::NEG_INFINITY;
+
+/// Alignment mode of the profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Default HMMER3 mode: any number of hits per target (`E→J = E→C = ½`).
+    MultihitLocal,
+    /// At most one hit per target (`E→C = 1`).
+    UnihitLocal,
+}
+
+/// Special-state scores configured for one target length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecialScores {
+    /// `N→N`, `J→J`, `C→C` self-loop score (identical in HMMER's length model).
+    pub loop_sc: f32,
+    /// `N→B`, `J→B`, `C→T` move score.
+    pub move_sc: f32,
+    /// `E→J` score (−∞ in unihit mode).
+    pub e_to_j: f32,
+    /// `E→C` score.
+    pub e_to_c: f32,
+}
+
+/// A search profile in nats.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Model name, copied from the core model.
+    pub name: String,
+    /// Model length `M`.
+    pub m: usize,
+    /// Alignment mode.
+    pub mode: SearchMode,
+    /// Match emission log-odds: `msc[k][code]`, `k = 1..=M`; row 0 is −∞.
+    pub msc: Vec<[f32; N_CODES]>,
+    /// Core transitions in nats, `t*[k]` = transition leaving node `k`
+    /// (to node `k+1` for `mm`/`im`/`dm`/`md`/`dd`, within node `k` for
+    /// `mi`/`ii`). Index 0 is −∞ (no node 0).
+    pub tmm: Vec<f32>,
+    pub tmi: Vec<f32>,
+    pub tmd: Vec<f32>,
+    pub tim: Vec<f32>,
+    pub tii: Vec<f32>,
+    pub tdm: Vec<f32>,
+    pub tdd: Vec<f32>,
+    /// Local entry `B→Mk`, `k = 1..=M`; index 0 is −∞. Occupancy-style
+    /// distribution `2(M−k+1)/(M(M+1))`.
+    pub bmk: Vec<f32>,
+    /// Special-state scores for the currently configured target length.
+    pub xs: SpecialScores,
+    /// Target length the profile is currently configured for.
+    pub current_len: usize,
+    /// Largest match-emission log-odds in the model (sets the MSV bias).
+    pub max_msc: f32,
+}
+
+impl Profile {
+    /// Configure a core model into a multihit-local search profile
+    /// (HMMER3's default `p7_ProfileConfig(..., p7_LOCAL)`), with the length
+    /// model initially tuned for `L = 350`.
+    pub fn config(core: &CoreModel, bg: &NullModel) -> Profile {
+        Self::config_mode(core, bg, SearchMode::MultihitLocal)
+    }
+
+    /// Configure with an explicit [`SearchMode`].
+    pub fn config_mode(core: &CoreModel, bg: &NullModel, mode: SearchMode) -> Profile {
+        let m = core.len();
+        let mut msc = Vec::with_capacity(m + 1);
+        msc.push([NEG_INF; N_CODES]);
+        let mut max_msc = NEG_INF;
+        for node in &core.nodes {
+            let mut std_sc = [0.0f32; 20];
+            for (x, s) in std_sc.iter_mut().enumerate() {
+                let f = bg.f[x].max(1e-9);
+                *s = (node.mat[x].max(1e-9) / f).ln();
+            }
+            let row = expand_scores(&std_sc, NEG_INF);
+            for &v in &row[..26] {
+                if v.is_finite() {
+                    max_msc = max_msc.max(v);
+                }
+            }
+            msc.push(row);
+        }
+
+        let ln = |p: f32| if p > 0.0 { p.ln() } else { NEG_INF };
+        let mut tmm = vec![NEG_INF; m + 1];
+        let mut tmi = vec![NEG_INF; m + 1];
+        let mut tmd = vec![NEG_INF; m + 1];
+        let mut tim = vec![NEG_INF; m + 1];
+        let mut tii = vec![NEG_INF; m + 1];
+        let mut tdm = vec![NEG_INF; m + 1];
+        let mut tdd = vec![NEG_INF; m + 1];
+        for (k, node) in core.nodes.iter().enumerate() {
+            let k = k + 1;
+            tmm[k] = ln(node.t.mm);
+            tmi[k] = ln(node.t.mi);
+            tmd[k] = ln(node.t.md);
+            tim[k] = ln(node.t.im);
+            tii[k] = ln(node.t.ii);
+            tdm[k] = ln(node.t.dm);
+            tdd[k] = ln(node.t.dd);
+        }
+
+        // Occupancy-style uniform local entry: P(B→Mk) = 2(M−k+1)/(M(M+1)).
+        let mut bmk = vec![NEG_INF; m + 1];
+        let denom = (m as f32) * (m as f32 + 1.0);
+        for (k, b) in bmk.iter_mut().enumerate().skip(1) {
+            *b = (2.0 * (m as f32 - k as f32 + 1.0) / denom).ln();
+        }
+
+        let mut p = Profile {
+            name: core.name.clone(),
+            m,
+            mode,
+            msc,
+            tmm,
+            tmi,
+            tmd,
+            tim,
+            tii,
+            tdm,
+            tdd,
+            bmk,
+            xs: SpecialScores {
+                loop_sc: NEG_INF,
+                move_sc: NEG_INF,
+                e_to_j: NEG_INF,
+                e_to_c: NEG_INF,
+            },
+            current_len: 0,
+            max_msc,
+        };
+        p.config_length(350);
+        p
+    }
+
+    /// Compute the special-state scores for a target of length `len`
+    /// without mutating the profile — what parallel database sweeps use
+    /// (each target length gets its own [`SpecialScores`]).
+    pub fn specials_for(&self, len: usize) -> SpecialScores {
+        let l = len as f32;
+        match self.mode {
+            SearchMode::MultihitLocal => SpecialScores {
+                loop_sc: (l / (l + 3.0)).ln(),
+                move_sc: (3.0 / (l + 3.0)).ln(),
+                e_to_j: 0.5f32.ln(),
+                e_to_c: 0.5f32.ln(),
+            },
+            SearchMode::UnihitLocal => SpecialScores {
+                loop_sc: (l / (l + 2.0)).ln(),
+                move_sc: (2.0 / (l + 2.0)).ln(),
+                e_to_j: NEG_INF,
+                e_to_c: 0.0,
+            },
+        }
+    }
+
+    /// Retune the N/C/J length model for a target of length `len`
+    /// (HMMER's `p7_ReconfigLength`). Multihit: loop `= ln(L/(L+3))`,
+    /// move `= ln(3/(L+3))`; unihit uses `L+2` and `2`.
+    pub fn config_length(&mut self, len: usize) {
+        self.xs = self.specials_for(len);
+        self.current_len = len;
+    }
+
+    /// Flat MSV entry score `ln(2/(M(M+1)))` — the simplified uniform entry
+    /// of the MSV heuristic model (Fig. 2).
+    pub fn msv_entry(&self) -> f32 {
+        (2.0 / ((self.m as f32) * (self.m as f32 + 1.0))).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{synthetic_model, BuildParams};
+
+    fn sample_profile(m: usize) -> Profile {
+        let bg = NullModel::new();
+        let core = synthetic_model(m, 7, &BuildParams::default());
+        Profile::config(&core, &bg)
+    }
+
+    #[test]
+    fn entry_distribution_normalizes() {
+        let p = sample_profile(40);
+        let total: f64 = (1..=p.m).map(|k| (p.bmk[k] as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-4, "entry sums to {total}");
+    }
+
+    #[test]
+    fn msv_entry_matches_formula() {
+        let p = sample_profile(25);
+        let expect = (2.0f32 / (25.0 * 26.0)).ln();
+        assert!((p.msv_entry() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn length_reconfig_changes_specials_only() {
+        let mut p = sample_profile(30);
+        let msc_before = p.msc[3];
+        p.config_length(10_000);
+        assert_eq!(p.current_len, 10_000);
+        assert_eq!(p.msc[3], msc_before);
+        assert!(p.xs.loop_sc > (100.0f32 / 103.0).ln()); // longer → loop closer to 0
+    }
+
+    #[test]
+    fn multihit_specials() {
+        let mut p = sample_profile(30);
+        p.config_length(100);
+        assert!((p.xs.e_to_j - 0.5f32.ln()).abs() < 1e-6);
+        assert!((p.xs.loop_sc - (100.0f32 / 103.0).ln()).abs() < 1e-6);
+        assert!((p.xs.move_sc - (3.0f32 / 103.0).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unihit_disables_j() {
+        let bg = NullModel::new();
+        let core = synthetic_model(20, 3, &BuildParams::default());
+        let mut p = Profile::config_mode(&core, &bg, SearchMode::UnihitLocal);
+        p.config_length(100);
+        assert_eq!(p.xs.e_to_j, NEG_INF);
+        assert_eq!(p.xs.e_to_c, 0.0);
+    }
+
+    #[test]
+    fn transition_rows_have_expected_infinities() {
+        let p = sample_profile(10);
+        assert_eq!(p.tmm[0], NEG_INF);
+        assert!(p.tmm[1].is_finite());
+        assert!(p.tdd[p.m].is_finite()); // node M transitions exist (unused by DP)
+        assert_eq!(p.msc[0][0], NEG_INF);
+    }
+
+    #[test]
+    fn max_msc_is_positive_for_conserved_model() {
+        let p = sample_profile(60);
+        assert!(
+            p.max_msc > 1.0,
+            "a conserved synthetic model should have strong log-odds, got {}",
+            p.max_msc
+        );
+    }
+}

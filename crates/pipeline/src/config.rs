@@ -1,0 +1,70 @@
+//! Pipeline stage thresholds — HMMER 3.0's acceleration heuristics (§II).
+//!
+//! Each filter passes a sequence when its score's P-value (under the
+//! calibrated null distribution) beats the stage threshold. HMMER 3.0's
+//! defaults: MSV P < 0.02, Viterbi P < 10⁻³, Forward P < 10⁻⁵. Because
+//! null P-values are uniform, a background-dominated database passes
+//! ≈ 2% → ≈ 0.1% of sequences down the pipeline — which is precisely the
+//! 100% → 2.2% → 0.1% funnel of the paper's Fig. 1.
+
+/// Stage thresholds and reporting cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// MSV filter P-value threshold (HMMER's `--F1`).
+    pub f1: f64,
+    /// Viterbi filter P-value threshold (`--F2`).
+    pub f2: f64,
+    /// Forward P-value threshold (`--F3`).
+    pub f3: f64,
+    /// Report hits with E-value at or below this.
+    pub report_evalue: f64,
+    /// Apply the null2 biased-composition correction to Forward scores
+    /// before P-values (HMMER applies it by default; here it is opt-in so
+    /// raw-score comparisons across implementations stay exact).
+    pub null2: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            f1: 0.02,
+            f2: 1e-3,
+            f3: 1e-5,
+            report_evalue: 10.0,
+            null2: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// `--max` sensitivity mode: filters off, everything reaches Forward.
+    pub fn max_sensitivity() -> Self {
+        PipelineConfig {
+            f1: 1.0,
+            f2: 1.0,
+            f3: 1.0,
+            report_evalue: 10.0,
+            null2: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_hmmer3() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.f1, 0.02);
+        assert_eq!(c.f2, 1e-3);
+        assert_eq!(c.f3, 1e-5);
+    }
+
+    #[test]
+    fn max_mode_disables_filters() {
+        let c = PipelineConfig::max_sensitivity();
+        assert_eq!(c.f1, 1.0);
+        assert_eq!(c.f2, 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # h3w-pipeline — the hmmsearch task pipeline
+//!
+//! HMMER 3.0's acceleration pipeline (paper §II, Fig. 1): the MSV filter
+//! passes ~2% of sequences at `P < 0.02`, the P7Viterbi filter passes
+//! ~0.1% at `P < 10⁻³`, and the Forward stage scores the rest in full
+//! precision. [`run::Pipeline`] prepares a query (quantization, striping,
+//! calibration) and sweeps a database on the CPU baseline or with the two
+//! filter stages on a simulated GPU; [`report`] carries the funnel and
+//! time-fraction statistics Fig. 1 reports.
+
+pub mod config;
+pub mod multi;
+pub mod report;
+pub mod run;
+pub mod stream;
+
+pub use config::PipelineConfig;
+pub use report::{Hit, PipelineResult, StageStats};
+pub use multi::{best_hits_per_target, scan, FamilyResult, TargetMatch};
+pub use run::Pipeline;
+pub use stream::{search_chunked, FastaChunks};

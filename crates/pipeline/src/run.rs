@@ -1,0 +1,635 @@
+//! The hmmsearch task pipeline (Fig. 1): MSV → P7Viterbi → Forward.
+//!
+//! [`Pipeline`] owns every representation of one query model (float
+//! profile, 8-bit MSV tables, 16-bit Viterbi tables, striped CPU filters)
+//! plus its score calibration. It can sweep a database entirely on the
+//! CPU baseline ([`Pipeline::run_cpu`]) or with the first two stages on a
+//! simulated GPU ([`Pipeline::run_gpu`]) — the paper's deployment, where
+//! the Forward stage (4.9% of runtime, 0.1% of sequences) stays on the
+//! host.
+
+use crate::config::PipelineConfig;
+use crate::report::{Hit, PipelineResult, StageStats};
+use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device};
+use h3w_cpu::reference::forward_generic;
+use h3w_cpu::striped_msv::StripedMsv;
+use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
+use h3w_hmm::calibrate::{self, Calibration};
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::plan7::CoreModel;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::vitprofile::VitProfile;
+use h3w_hmm::NullModel;
+use h3w_seqdb::{PackedDb, SeqDb};
+use h3w_simt::DeviceSpec;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A fully prepared query: profile, quantized tables, striped filters,
+/// calibration.
+///
+/// All P-values are computed on **null-corrected** scores
+/// (`raw − null1(L)`, HMMER's bit-score numerator), which makes the
+/// calibrated distributions length-stable across the database.
+pub struct Pipeline {
+    /// The null model used for per-length score correction.
+    pub bg: NullModel,
+    /// Search profile in nats.
+    pub profile: Profile,
+    /// 8-bit MSV score system.
+    pub msv: MsvProfile,
+    /// 16-bit Viterbi score system.
+    pub vit: VitProfile,
+    /// Striped CPU MSV filter.
+    pub striped_msv: StripedMsv,
+    /// Striped CPU Viterbi filter.
+    pub striped_vit: StripedVit,
+    /// Fitted score distributions.
+    pub cal: Calibration,
+    /// Stage thresholds.
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Prepare a query model: configure, quantize, stripe and calibrate
+    /// (deterministic given `seed`).
+    pub fn prepare(core: &CoreModel, config: PipelineConfig, seed: u64) -> Pipeline {
+        let bg = NullModel::new();
+        let profile = Profile::config(core, &bg);
+        let null1_cal = {
+            let mut b = bg.clone();
+            b.set_length(calibrate::DEFAULT_LEN);
+            b.null1_score(calibrate::DEFAULT_LEN)
+        };
+        let msv = MsvProfile::from_profile(&profile);
+        let vit = VitProfile::from_profile(&profile);
+        let striped_msv = StripedMsv::new(&msv);
+        let striped_vit = StripedVit::new(&vit);
+        let mut ws = VitWorkspace::default();
+        let mut dp = Vec::new();
+        let cal = calibrate::calibrate(
+            seed,
+            calibrate::DEFAULT_N,
+            calibrate::DEFAULT_LEN,
+            |s| striped_msv.run_into(&msv, s, &mut dp).score - null1_cal,
+            |s| striped_vit.run_into(&vit, s, &mut ws).0.score - null1_cal,
+            |s| forward_generic(&profile, s) - null1_cal,
+        );
+        Pipeline {
+            bg,
+            profile,
+            msv,
+            vit,
+            striped_msv,
+            striped_vit,
+            cal,
+            config,
+        }
+    }
+
+    /// Null-corrected score: `raw − null1(len)` (nats).
+    pub fn corrected(&self, raw: f32, len: usize) -> f32 {
+        let mut b = self.bg.clone();
+        b.set_length(len);
+        raw - b.null1_score(len)
+    }
+
+    /// P-value of a null-corrected MSV filter score for a target of
+    /// length `len`.
+    pub fn msv_pvalue(&self, raw: f32, len: usize) -> f64 {
+        calibrate::gumbel_pvalue(self.corrected(raw, len), self.cal.mu_msv, self.cal.lambda)
+    }
+
+    /// P-value of a null-corrected Viterbi filter score.
+    pub fn vit_pvalue(&self, raw: f32, len: usize) -> f64 {
+        calibrate::gumbel_pvalue(self.corrected(raw, len), self.cal.mu_vit, self.cal.lambda)
+    }
+
+    /// P-value of a null-corrected Forward score.
+    pub fn fwd_pvalue(&self, raw: f32, len: usize) -> f64 {
+        calibrate::exp_pvalue(self.corrected(raw, len), self.cal.tau_fwd, self.cal.lambda)
+    }
+
+    /// Recover and render the optimal alignment behind a reported hit
+    /// (hmmsearch's alignment blocks). Runs the full-memory Viterbi
+    /// traceback — intended for the handful of reported hits, not for
+    /// database sweeps.
+    pub fn align_hit(
+        &self,
+        core: &h3w_hmm::CoreModel,
+        db: &SeqDb,
+        hit: &Hit,
+    ) -> (h3w_cpu::Alignment, String) {
+        let seq = &db.seqs[hit.seqid as usize].residues;
+        let aln = h3w_cpu::viterbi_trace(&self.profile, seq);
+        let mut text = String::new();
+        for seg in &aln.segments {
+            text.push_str(&seg.render(&self.profile, core, seq));
+            text.push('\n');
+        }
+        (aln, text)
+    }
+
+    /// Decode the domain structure of a reported hit (posterior-decoded
+    /// homology regions, HMMER's post-Forward step).
+    pub fn domains_for_hit(&self, db: &SeqDb, hit: &Hit) -> Vec<h3w_cpu::Domain> {
+        let seq = &db.seqs[hit.seqid as usize].residues;
+        let post = h3w_cpu::posterior_decode(&self.profile, seq);
+        h3w_cpu::find_domains(&post, 0.5, 3)
+    }
+
+    /// Sweep a database entirely on the multi-core striped CPU baseline.
+    pub fn run_cpu(&self, db: &SeqDb) -> PipelineResult {
+        let n = db.len();
+
+        // Stage 1: MSV filter over everything.
+        let t0 = Instant::now();
+        let msv_scores: Vec<f32> = db
+            .seqs
+            .par_iter()
+            .map_init(Vec::new, |dp, seq| {
+                self.striped_msv.run_into(&self.msv, &seq.residues, dp).score
+            })
+            .collect();
+        let msv_time = t0.elapsed().as_secs_f64();
+        let pass1: Vec<bool> = msv_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
+            .collect();
+        let n1 = pass1.iter().filter(|&&b| b).count();
+
+        // Stage 2: Viterbi filter over survivors.
+        let t1 = Instant::now();
+        let vit_scores: Vec<Option<f32>> = db
+            .seqs
+            .par_iter()
+            .zip(pass1.par_iter())
+            .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
+                keep.then(|| self.striped_vit.run_into(&self.vit, &seq.residues, ws).0.score)
+            })
+            .collect();
+        let vit_time = t1.elapsed().as_secs_f64();
+        let pass2: Vec<bool> = vit_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
+            .collect();
+        let n2 = pass2.iter().filter(|&&b| b).count();
+
+        // Stage 3: Forward over the remainder.
+        let t2 = Instant::now();
+        let fwd_scores: Vec<Option<f32>> = db
+            .seqs
+            .par_iter()
+            .zip(pass2.par_iter())
+            .map(|(seq, &keep)| keep.then(|| forward_generic(&self.profile, &seq.residues)))
+            .collect();
+        let fwd_time = t2.elapsed().as_secs_f64();
+
+        let res_of = |mask: &[bool]| -> u64 {
+            db.seqs
+                .iter()
+                .zip(mask)
+                .filter(|&(_, &k)| k)
+                .map(|(s, _)| s.len() as u64)
+                .sum()
+        };
+        let r1 = res_of(&pass1);
+        let r2 = res_of(&pass2);
+        self.assemble(
+            db,
+            msv_scores,
+            vit_scores,
+            fwd_scores,
+            [
+                StageStats::new("MSV", n, n1, msv_time).with_residues(db.total_residues()),
+                StageStats::new("P7Viterbi", n1, n2, vit_time).with_residues(r1),
+                StageStats::new("Forward", n2, n2, fwd_time).with_residues(r2),
+            ],
+        )
+    }
+
+    /// Sweep with MSV + Viterbi on a simulated GPU (modeled stage times)
+    /// and Forward on the host.
+    pub fn run_gpu(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, String> {
+        let n = db.len();
+        let packed = PackedDb::from_db(db);
+        let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
+        let msv_scores: Vec<f32> = msv_run.hits.iter().map(|h| h.score).collect();
+        let pass1: Vec<bool> = msv_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
+            .collect();
+        let n1 = pass1.iter().filter(|&&b| b).count();
+
+        // Survivors form the Viterbi stage's device workload.
+        let mut survivors = SeqDb::new(format!("{}|msv-pass", db.name));
+        let mut survivor_ids = Vec::new();
+        for (i, seq) in db.seqs.iter().enumerate() {
+            if pass1[i] {
+                survivors.seqs.push(seq.clone());
+                survivor_ids.push(i);
+            }
+        }
+        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
+        let vit_time_s;
+        if survivors.is_empty() {
+            vit_time_s = 0.0;
+        } else {
+            let vpacked = PackedDb::from_db(&survivors);
+            let vit_run = run_vit_device(&self.vit, &vpacked, dev, None)?;
+            for h in &vit_run.hits {
+                vit_scores[survivor_ids[h.seqid as usize]] = Some(h.score);
+            }
+            vit_time_s = vit_run.run.time.total_s;
+        }
+        let pass2: Vec<bool> = vit_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
+            .collect();
+        let n2 = pass2.iter().filter(|&&b| b).count();
+
+        let t2 = Instant::now();
+        let fwd_scores: Vec<Option<f32>> = db
+            .seqs
+            .par_iter()
+            .zip(pass2.par_iter())
+            .map(|(seq, &keep)| keep.then(|| forward_generic(&self.profile, &seq.residues)))
+            .collect();
+        let fwd_time = t2.elapsed().as_secs_f64();
+
+        let res_of = |mask: &[bool]| -> u64 {
+            db.seqs
+                .iter()
+                .zip(mask)
+                .filter(|&(_, &k)| k)
+                .map(|(s, _)| s.len() as u64)
+                .sum()
+        };
+        let r1 = res_of(&pass1);
+        let r2 = res_of(&pass2);
+        Ok(self.assemble(
+            db,
+            msv_scores,
+            vit_scores,
+            fwd_scores,
+            [
+                StageStats::new("MSV (GPU)", n, n1, msv_run.run.time.total_s)
+                    .with_residues(db.total_residues()),
+                StageStats::new("P7Viterbi (GPU)", n1, n2, vit_time_s).with_residues(r1),
+                StageStats::new("Forward (host)", n2, n2, fwd_time).with_residues(r2),
+            ],
+        ))
+    }
+
+    /// Sweep with **all three** stages on the simulated device — the §VI
+    /// future-work deployment (the Forward kernel scores the Viterbi
+    /// survivors with the same warp-per-sequence schedule).
+    pub fn run_gpu_full(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, String> {
+        let packed = PackedDb::from_db(db);
+        let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
+        let pass1: Vec<bool> = msv_run
+            .hits
+            .iter()
+            .zip(&db.seqs)
+            .map(|(h, q)| self.msv_pvalue(h.score, q.len()) < self.config.f1)
+            .collect();
+        let mut survivors = SeqDb::new(format!("{}|msv-pass", db.name));
+        let mut ids = Vec::new();
+        for (i, seq) in db.seqs.iter().enumerate() {
+            if pass1[i] {
+                survivors.seqs.push(seq.clone());
+                ids.push(i);
+            }
+        }
+        let n = db.len();
+        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
+        let mut vit_time_s = 0.0;
+        let mut fwd_scores: Vec<Option<f32>> = vec![None; n];
+        let mut fwd_time_s = 0.0;
+        let n1 = ids.len();
+        let mut n2 = 0usize;
+        if !survivors.is_empty() {
+            let vpacked = PackedDb::from_db(&survivors);
+            let vit_run = run_vit_device(&self.vit, &vpacked, dev, None)?;
+            vit_time_s = vit_run.run.time.total_s;
+            for h in &vit_run.hits {
+                vit_scores[ids[h.seqid as usize]] = Some(h.score);
+            }
+            let pass2: Vec<bool> = (0..n)
+                .map(|i| {
+                    vit_scores[i]
+                        .is_some_and(|s| self.vit_pvalue(s, db.seqs[i].len()) < self.config.f2)
+                })
+                .collect();
+            let mut fsurv = SeqDb::new(format!("{}|vit-pass", db.name));
+            let mut fids = Vec::new();
+            for (i, seq) in db.seqs.iter().enumerate() {
+                if pass2[i] {
+                    fsurv.seqs.push(seq.clone());
+                    fids.push(i);
+                }
+            }
+            n2 = fids.len();
+            if !fsurv.is_empty() {
+                let fpacked = PackedDb::from_db(&fsurv);
+                let fwd_run = run_fwd_device(&self.profile, &fpacked, dev)?;
+                fwd_time_s = fwd_run.run.time.total_s;
+                for h in &fwd_run.hits {
+                    fwd_scores[fids[h.seqid as usize]] = Some(h.score);
+                }
+            }
+        }
+        let msv_scores: Vec<f32> = msv_run.hits.iter().map(|h| h.score).collect();
+        let res_of = |scores: &Vec<Option<f32>>| -> u64 {
+            db.seqs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| scores[*i].is_some())
+                .map(|(_, s)| s.len() as u64)
+                .sum()
+        };
+        let r1 = res_of(&vit_scores);
+        let r2 = res_of(&fwd_scores);
+        Ok(self.assemble(
+            db,
+            msv_scores,
+            vit_scores,
+            fwd_scores,
+            [
+                StageStats::new("MSV (GPU)", n, n1, msv_run.run.time.total_s)
+                    .with_residues(db.total_residues()),
+                StageStats::new("P7Viterbi (GPU)", n1, n2, vit_time_s).with_residues(r1),
+                StageStats::new("Forward (GPU)", n2, n2, fwd_time_s).with_residues(r2),
+            ],
+        ))
+    }
+
+    fn assemble(
+        &self,
+        db: &SeqDb,
+        msv: Vec<f32>,
+        vit: Vec<Option<f32>>,
+        fwd: Vec<Option<f32>>,
+        stages: [StageStats; 3],
+    ) -> PipelineResult {
+        let n = db.len();
+        let mut hits = Vec::new();
+        for i in 0..n {
+            let Some(mut fwd_sc) = fwd[i] else { continue };
+            // Optional biased-composition correction (HMMER's null2),
+            // computed from the posterior decoding of this survivor.
+            if self.config.null2 {
+                let post = h3w_cpu::posterior_decode(&self.profile, &db.seqs[i].residues);
+                fwd_sc -= h3w_cpu::null2_correction(&self.bg, &db.seqs[i].residues, &post);
+            }
+            let p = self.fwd_pvalue(fwd_sc, db.seqs[i].len());
+            if p >= self.config.f3 {
+                continue;
+            }
+            let evalue = p * n as f64;
+            if evalue <= self.config.report_evalue {
+                hits.push(Hit {
+                    seqid: i as u32,
+                    name: db.seqs[i].name.clone(),
+                    msv_score: msv[i],
+                    vit_score: vit[i].unwrap_or(f32::NEG_INFINITY),
+                    fwd_score: fwd_sc,
+                    pvalue: p,
+                    evalue,
+                });
+            }
+        }
+        hits.sort_by(|a, b| a.evalue.partial_cmp(&b.evalue).unwrap());
+        PipelineResult::new(stages, hits, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+
+    fn setup(hom_frac: f64, scale: f64) -> (Pipeline, SeqDb) {
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let mut spec = DbGenSpec::envnr_like().scaled(scale);
+        spec.homolog_fraction = hom_frac;
+        let db = generate(&spec, Some(&core), 3);
+        (pipe, db)
+    }
+
+    #[test]
+    fn background_pass_rates_track_thresholds() {
+        // Null P-values are uniform ⇒ ≈ f1 of background passes MSV.
+        let (pipe, db) = setup(0.0, 0.0008); // ~5200 background seqs
+        let res = pipe.run_cpu(&db);
+        let rate1 = res.stages[0].pass_rate();
+        assert!(
+            rate1 > 0.005 && rate1 < 0.05,
+            "MSV pass rate {rate1} should be near f1 = 0.02"
+        );
+        let rate12 = res.stages[1].seqs_out as f64 / db.len() as f64;
+        assert!(rate12 < 0.01, "Viterbi survivors {rate12} should be ≲ 0.1%");
+        // Expected false positives ≈ f3 × N ≈ 0.05; allow Poisson noise.
+        assert!(
+            res.hits.len() <= 2,
+            "too many background hits: {}",
+            res.hits.len()
+        );
+    }
+
+    #[test]
+    fn homologs_are_found_with_low_evalues() {
+        let (pipe, db) = setup(0.02, 0.0004);
+        let n_hom = db.seqs.iter().filter(|s| s.name.starts_with("hom")).count();
+        assert!(n_hom >= 20, "want enough homologs, got {n_hom}");
+        let res = pipe.run_cpu(&db);
+        assert!(!res.hits.is_empty());
+        // Every reported hit should be a planted homolog (no false
+        // positives at these E-values on this scale), and most planted
+        // homologs should be recovered.
+        // A stray background hit or two is Poisson-expected at f3·N; the
+        // hit list must still be overwhelmingly planted homologs.
+        let fp = res.hits.iter().filter(|h| h.name.starts_with("bg")).count();
+        assert!(
+            fp <= 2 && fp * 20 <= res.hits.len(),
+            "too many false positives ({fp} of {})",
+            res.hits.len()
+        );
+        let recovered = res.hits.len() as f64 / n_hom as f64;
+        assert!(recovered > 0.6, "recovered only {recovered}");
+    }
+
+    #[test]
+    fn gpu_pipeline_reports_same_hits_as_cpu() {
+        // Bit-exact filters ⇒ identical survivor sets ⇒ identical hits.
+        let (pipe, db) = setup(0.02, 0.0002);
+        let cpu = pipe.run_cpu(&db);
+        let gpu = pipe.run_gpu(&db, &DeviceSpec::tesla_k40()).unwrap();
+        let cpu_ids: Vec<u32> = cpu.hits.iter().map(|h| h.seqid).collect();
+        let gpu_ids: Vec<u32> = gpu.hits.iter().map(|h| h.seqid).collect();
+        assert_eq!(cpu_ids, gpu_ids);
+        assert_eq!(cpu.stages[0].seqs_out, gpu.stages[0].seqs_out);
+        assert_eq!(cpu.stages[1].seqs_out, gpu.stages[1].seqs_out);
+    }
+
+    #[test]
+    fn max_sensitivity_is_a_superset() {
+        let core = synthetic_model(50, 9, &BuildParams::default());
+        let filt = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let maxs = Pipeline::prepare(&core, PipelineConfig::max_sensitivity(), 7);
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.03;
+        let db = generate(&spec, Some(&core), 4);
+        let a = filt.run_cpu(&db);
+        let b = maxs.run_cpu(&db);
+        let af: Vec<u32> = a.hits.iter().map(|h| h.seqid).collect();
+        let bf: Vec<u32> = b.hits.iter().map(|h| h.seqid).collect();
+        for id in &af {
+            assert!(bf.contains(id), "filtered pipeline found {id} but --max lost it");
+        }
+        assert!(bf.len() >= af.len());
+    }
+}
+
+#[cfg(test)]
+mod align_tests {
+    use super::*;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+
+    #[test]
+    fn reported_hits_can_be_aligned_and_rendered() {
+        let core = synthetic_model(40, 4242, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let mut spec = DbGenSpec::swissprot_like().scaled(1e-4);
+        spec.homolog_fraction = 0.2;
+        let db = generate(&spec, Some(&core), 5);
+        let res = pipe.run_cpu(&db);
+        assert!(!res.hits.is_empty());
+        for hit in res.hits.iter().take(3) {
+            let (aln, text) = pipe.align_hit(&core, &db, hit);
+            assert!(!aln.segments.is_empty(), "hit {} has no segments", hit.name);
+            assert!(aln.score.is_finite());
+            assert!(text.contains("model") && text.contains("target"));
+            // Hits are strong homologs: the alignment should cover most of
+            // the model.
+            let span: usize = aln
+                .segments
+                .iter()
+                .map(|s| s.k_end - s.k_start + 1)
+                .max()
+                .unwrap();
+            assert!(span >= 20, "span {span} too short for a real hit");
+        }
+    }
+}
+
+#[cfg(test)]
+mod gpu_full_tests {
+    use super::*;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+
+    #[test]
+    fn fully_on_device_pipeline_matches_cpu_hits() {
+        let core = synthetic_model(60, 606, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let mut spec = DbGenSpec::envnr_like().scaled(3e-5);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&core), 11);
+        let cpu = pipe.run_cpu(&db);
+        let gpu = pipe.run_gpu_full(&db, &h3w_simt::DeviceSpec::tesla_k40()).unwrap();
+        // Filters are bit-exact; the Forward kernel drifts < 0.01 nats,
+        // far from any threshold on this seeded workload.
+        assert_eq!(
+            cpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
+            gpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>()
+        );
+        for (a, b) in cpu.hits.iter().zip(&gpu.hits) {
+            assert!(
+                (a.fwd_score - b.fwd_score).abs() < 0.05,
+                "{}: {} vs {}",
+                a.name,
+                a.fwd_score,
+                b.fwd_score
+            );
+        }
+        assert!(gpu.stages[2].name.contains("GPU"));
+    }
+}
+
+#[cfg(test)]
+mod null2_tests {
+    use super::*;
+    use h3w_hmm::alphabet::BACKGROUND_F;
+    use h3w_hmm::plan7::{CoreModel as CM, Node, NodeTrans};
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::DigitalSeq;
+
+    /// A low-complexity (poly-L) family model.
+    fn poly_l_model() -> CM {
+        let mut mat = [0.004f32; 20];
+        mat[9] = 1.0 - 0.004 * 19.0;
+        let node = Node {
+            mat,
+            ins: BACKGROUND_F,
+            t: NodeTrans::conserved(),
+        };
+        CM {
+            name: "polyL".into(),
+            nodes: vec![node; 30],
+            consensus: vec![9; 30],
+        }
+    }
+
+    #[test]
+    fn null2_suppresses_low_complexity_false_positives() {
+        let model = poly_l_model();
+        let mut db = generate(&DbGenSpec::envnr_like().scaled(5e-5), None, 9);
+        // Plant poly-L junk targets (not homologs in any meaningful sense —
+        // they merely share the bias).
+        for j in 0..5 {
+            let mut res = vec![9u8; 60];
+            res.extend(h3w_hmm::calibrate::random_seq(
+                &mut rand::SeedableRng::seed_from_u64(j),
+                60,
+            ));
+            db.seqs.push(DigitalSeq {
+                name: format!("junk{j}"),
+                desc: String::new(),
+                residues: res,
+            });
+        }
+        let plain = Pipeline::prepare(&model, PipelineConfig::default(), 7);
+        let cfg = PipelineConfig {
+            null2: true,
+            ..Default::default()
+        };
+        let corrected = Pipeline::prepare(&model, cfg, 7);
+        let raw_hits = plain.run_cpu(&db);
+        let cor_hits = corrected.run_cpu(&db);
+        let junk = |r: &PipelineResult| {
+            r.hits
+                .iter()
+                .filter(|h| h.name.starts_with("junk"))
+                .count()
+        };
+        assert!(
+            junk(&raw_hits) >= 3,
+            "uncorrected pipeline should be fooled ({} junk hits)",
+            junk(&raw_hits)
+        );
+        assert!(
+            junk(&cor_hits) < junk(&raw_hits),
+            "null2 should suppress junk: {} vs {}",
+            junk(&cor_hits),
+            junk(&raw_hits)
+        );
+    }
+}

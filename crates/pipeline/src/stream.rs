@@ -1,0 +1,244 @@
+//! Memory-bounded streaming search.
+//!
+//! The paper's Env_nr workload is 1.29 G residues — comfortably more than
+//! one wants resident while also holding DP buffers. [`search_chunked`]
+//! sweeps a database in bounded-size chunks (each chunk swept with the
+//! normal parallel pipeline), merging per-chunk survivors and keeping
+//! E-values global (P-values scale by the *total* database size, exactly
+//! as a single-pass run would).
+//!
+//! [`FastaChunks`] drives the same flow straight from FASTA text without
+//! materializing the whole database.
+
+use crate::report::{Hit, PipelineResult, StageStats};
+use crate::run::Pipeline;
+use h3w_seqdb::fasta::FastaError;
+use h3w_seqdb::{DigitalSeq, SeqDb};
+
+/// Iterator over bounded-residue chunks of a FASTA text.
+pub struct FastaChunks<'a> {
+    lines: std::str::Lines<'a>,
+    pending: Option<DigitalSeq>,
+    max_residues: u64,
+    line_no: usize,
+    done: bool,
+}
+
+impl<'a> FastaChunks<'a> {
+    /// Chunk `text` into databases of at most `max_residues` residues
+    /// (each chunk holds whole sequences; a single longer sequence forms
+    /// its own chunk).
+    pub fn new(text: &'a str, max_residues: u64) -> FastaChunks<'a> {
+        assert!(max_residues > 0);
+        FastaChunks {
+            lines: text.lines(),
+            pending: None,
+            max_residues,
+            line_no: 0,
+            done: false,
+        }
+    }
+}
+
+impl<'a> Iterator for FastaChunks<'a> {
+    type Item = Result<SeqDb, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut db = SeqDb::new("chunk");
+        let mut residues: u64 = 0;
+        // Resume the record whose header closed the previous chunk.
+        let mut current: Option<DigitalSeq> = self.pending.take();
+        loop {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                break;
+            };
+            self.line_no += 1;
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                // Finish the previous record.
+                if let Some(seq) = current.take() {
+                    if seq.residues.is_empty() {
+                        return Some(Err(FastaError::EmptyRecord { name: seq.name }));
+                    }
+                    residues += seq.len() as u64;
+                    db.seqs.push(seq);
+                }
+                let mut parts = header.splitn(2, char::is_whitespace);
+                current = Some(DigitalSeq {
+                    name: parts.next().unwrap_or("").to_string(),
+                    desc: parts.next().unwrap_or("").trim().to_string(),
+                    residues: Vec::new(),
+                });
+                // Chunk boundary between records: the fresh (still empty)
+                // record carries into the next chunk.
+                if residues >= self.max_residues {
+                    self.pending = current.take();
+                    break;
+                }
+            } else {
+                let Some(seq) = current.as_mut() else {
+                    return Some(Err(FastaError::DataBeforeHeader {
+                        line: self.line_no,
+                    }));
+                };
+                for ch in line.chars() {
+                    if ch.is_whitespace() {
+                        continue;
+                    }
+                    match h3w_hmm::alphabet::digitize(ch) {
+                        Ok(code) if !h3w_hmm::alphabet::is_gap(code) => seq.residues.push(code),
+                        _ => {
+                            return Some(Err(FastaError::BadResidue {
+                                line: self.line_no,
+                                ch,
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+        if self.done {
+            if let Some(seq) = current.take() {
+                if seq.residues.is_empty() {
+                    return Some(Err(FastaError::EmptyRecord { name: seq.name }));
+                }
+                db.seqs.push(seq);
+            }
+        }
+        if db.seqs.is_empty() {
+            self.done = true;
+            None
+        } else {
+            Some(Ok(db))
+        }
+    }
+}
+
+/// Sweep pre-chunked databases and merge results. `total_seqs` fixes the
+/// E-value scale (the full database size).
+pub fn search_chunked<I>(pipe: &Pipeline, chunks: I, total_seqs: usize) -> PipelineResult
+where
+    I: IntoIterator<Item = SeqDb>,
+{
+    let mut stages = [
+        StageStats::new("MSV", 0, 0, 0.0),
+        StageStats::new("P7Viterbi", 0, 0, 0.0),
+        StageStats::new("Forward", 0, 0, 0.0),
+    ];
+    let mut hits: Vec<Hit> = Vec::new();
+    let mut seq_base = 0u32;
+    for chunk in chunks {
+        let res = pipe.run_cpu(&chunk);
+        for (acc, st) in stages.iter_mut().zip(&res.stages) {
+            acc.seqs_in += st.seqs_in;
+            acc.seqs_out += st.seqs_out;
+            acc.residues_in += st.residues_in;
+            acc.time_s += st.time_s;
+        }
+        for mut h in res.hits {
+            // Rescale E-value from the chunk size to the full database.
+            h.evalue = h.pvalue * total_seqs as f64;
+            h.seqid += seq_base;
+            if h.evalue <= pipe.config.report_evalue {
+                hits.push(h);
+            }
+        }
+        seq_base += chunk.len() as u32;
+    }
+    hits.sort_by(|a, b| a.evalue.partial_cmp(&b.evalue).unwrap());
+    PipelineResult::new(stages, hits, total_seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_seqdb::fasta;
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+
+    fn setup() -> (Pipeline, SeqDb) {
+        let core = synthetic_model(50, 77, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 3);
+        let mut spec = DbGenSpec::envnr_like().scaled(2e-4);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 5);
+        (pipe, db)
+    }
+
+    #[test]
+    fn fasta_chunks_partition_whole_sequences() {
+        let (_, db) = setup();
+        let text = fasta::render(&db);
+        let chunks: Vec<SeqDb> = FastaChunks::new(&text, 20_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(chunks.len() > 3, "expected several chunks, got {}", chunks.len());
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, db.len());
+        let residues: u64 = chunks.iter().map(|c| c.total_residues()).sum();
+        assert_eq!(residues, db.total_residues());
+        // Order and content preserved.
+        let mut idx = 0usize;
+        for c in &chunks {
+            for s in &c.seqs {
+                assert_eq!(s.residues, db.seqs[idx].residues, "seq {idx}");
+                idx += 1;
+            }
+        }
+        // Every chunk except possibly the last respects the bound (one
+        // sequence of slack allowed — whole sequences only).
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.total_residues() <= 20_000 + db.max_len() as u64);
+        }
+    }
+
+    #[test]
+    fn chunked_search_equals_single_pass() {
+        let (pipe, db) = setup();
+        let single = pipe.run_cpu(&db);
+        let text = fasta::render(&db);
+        let chunks: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let streamed = search_chunked(&pipe, chunks, db.len());
+        assert_eq!(
+            single.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
+            streamed.hits.iter().map(|h| h.seqid).collect::<Vec<_>>()
+        );
+        for (a, b) in single.hits.iter().zip(&streamed.hits) {
+            assert_eq!(a.fwd_score, b.fwd_score);
+            assert!((a.evalue - b.evalue).abs() < 1e-9 * a.evalue.max(1e-30));
+        }
+        assert_eq!(streamed.stages[0].seqs_in, db.len());
+        assert_eq!(streamed.stages[0].residues_in, db.total_residues());
+    }
+
+    #[test]
+    fn chunk_errors_propagate() {
+        let bad = ">a\nMK1V\n";
+        let r: Result<Vec<SeqDb>, _> = FastaChunks::new(bad, 100).collect();
+        assert!(matches!(r, Err(FastaError::BadResidue { line: 2, ch: '1' })));
+        let orphan = "MKV\n>a\nMKV\n";
+        let r: Result<Vec<SeqDb>, _> = FastaChunks::new(orphan, 100).collect();
+        assert!(matches!(r, Err(FastaError::DataBeforeHeader { line: 1 })));
+    }
+
+    #[test]
+    fn single_oversized_sequence_forms_own_chunk() {
+        let text = format!(">big\n{}\n>small\nMKVL\n", "A".repeat(5000));
+        let chunks: Vec<SeqDb> = FastaChunks::new(&text, 100)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].seqs[0].len(), 5000);
+        assert_eq!(chunks[1].seqs[0].name, "small");
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal FASTA reader/writer for protein sequences.
+//!
+//! Supports the subset of the FASTA grammar the search tools need: `>`
+//! header lines (id + optional description), wrapped sequence lines,
+//! blank lines ignored, `;` comment lines ignored.
+
+use crate::seq::{DigitalSeq, SeqDb};
+use h3w_hmm::alphabet::{digitize, is_gap, symbol};
+use std::fmt::Write as _;
+
+/// FASTA parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    DataBeforeHeader { line: usize },
+    /// A residue character was not in the alphabet (or was a gap symbol).
+    BadResidue { line: usize, ch: char },
+    /// A header introduced a record that ended with no residues.
+    EmptyRecord { name: String },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader { line } => {
+                write!(f, "line {line}: sequence data before first '>' header")
+            }
+            FastaError::BadResidue { line, ch } => {
+                write!(f, "line {line}: invalid residue {ch:?}")
+            }
+            FastaError::EmptyRecord { name } => write!(f, "record {name:?} has no residues"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse FASTA text into a database.
+pub fn parse(name: &str, text: &str) -> Result<SeqDb, FastaError> {
+    let mut db = SeqDb::new(name);
+    let mut current: Option<DigitalSeq> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(seq) = current.take() {
+                finish(&mut db, seq)?;
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let desc = parts.next().unwrap_or("").trim().to_string();
+            current = Some(DigitalSeq {
+                name: id,
+                desc,
+                residues: Vec::new(),
+            });
+        } else {
+            let seq = current
+                .as_mut()
+                .ok_or(FastaError::DataBeforeHeader { line: lineno + 1 })?;
+            for ch in line.chars() {
+                if ch.is_whitespace() {
+                    continue;
+                }
+                let code = digitize(ch).map_err(|_| FastaError::BadResidue {
+                    line: lineno + 1,
+                    ch,
+                })?;
+                if is_gap(code) {
+                    return Err(FastaError::BadResidue {
+                        line: lineno + 1,
+                        ch,
+                    });
+                }
+                seq.residues.push(code);
+            }
+        }
+    }
+    if let Some(seq) = current.take() {
+        finish(&mut db, seq)?;
+    }
+    Ok(db)
+}
+
+fn finish(db: &mut SeqDb, seq: DigitalSeq) -> Result<(), FastaError> {
+    if seq.residues.is_empty() {
+        return Err(FastaError::EmptyRecord { name: seq.name });
+    }
+    db.seqs.push(seq);
+    Ok(())
+}
+
+/// Render a database as FASTA text, 60 columns per sequence line.
+pub fn render(db: &SeqDb) -> String {
+    let mut out = String::new();
+    for seq in &db.seqs {
+        if seq.desc.is_empty() {
+            let _ = writeln!(out, ">{}", seq.name);
+        } else {
+            let _ = writeln!(out, ">{} {}", seq.name, seq.desc);
+        }
+        for chunk in seq.residues.chunks(60) {
+            for &r in chunk {
+                out.push(symbol(r).expect("valid residue"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>sp|P1|TEST first test protein
+MKVLAY
+WQRST
+; a comment
+
+>sp|P2|TEST2
+acdefg
+";
+
+    #[test]
+    fn parses_two_records() {
+        let db = parse("sample", SAMPLE).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.seqs[0].name, "sp|P1|TEST");
+        assert_eq!(db.seqs[0].desc, "first test protein");
+        assert_eq!(db.seqs[0].to_text(), "MKVLAYWQRST");
+        assert_eq!(db.seqs[1].to_text(), "ACDEFG");
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = parse("sample", SAMPLE).unwrap();
+        let text = render(&db);
+        let db2 = parse("sample2", &text).unwrap();
+        assert_eq!(db.seqs, db2.seqs);
+    }
+
+    #[test]
+    fn long_sequence_wraps() {
+        let mut db = SeqDb::new("w");
+        db.seqs
+            .push(DigitalSeq::from_text("long", &"A".repeat(150)).unwrap());
+        let text = render(&db);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 30
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert!(matches!(
+            parse("x", "MKVL\n"),
+            Err(FastaError::DataBeforeHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_residue_rejected() {
+        match parse("x", ">a\nMK1L\n") {
+            Err(FastaError::BadResidue { line: 2, ch: '1' }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Gap characters are not allowed in unaligned target sequences.
+        assert!(matches!(
+            parse("x", ">a\nMK-L\n"),
+            Err(FastaError::BadResidue { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        assert!(matches!(
+            parse("x", ">a\n>b\nMKVL\n"),
+            Err(FastaError::EmptyRecord { name }) if name == "a"
+        ));
+    }
+}

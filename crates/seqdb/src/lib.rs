@@ -1,0 +1,18 @@
+//! # h3w-seqdb — sequence database substrate
+//!
+//! Target sequences for the `hmmer3-warp` reproduction: digitized protein
+//! sequences ([`seq`]), a FASTA reader/writer ([`fasta`]), seeded synthetic
+//! databases calibrated to the paper's Swissprot / Env_nr workloads
+//! ([`gen`]), the 5-bit/6-per-word residue packing of Fig. 6 ([`pack`]),
+//! and workload statistics ([`stats`]).
+
+pub mod fasta;
+pub mod gen;
+pub mod pack;
+pub mod seq;
+pub mod stats;
+
+pub use gen::{generate, DbGenSpec};
+pub use pack::{pack_seq, unpack_slot, PackedDb, RESIDUES_PER_WORD};
+pub use seq::{DigitalSeq, SeqDb};
+pub use stats::{db_stats, DbStats};

@@ -1,0 +1,224 @@
+//! Residue packing (paper §III-A, Fig. 6).
+//!
+//! Each residue code fits in 5 bits (codes 0..=28), so 6 consecutive
+//! residues pack into one 32-bit word — the intrinsic data type the GPU
+//! reads from global memory — cutting sequence bandwidth by ~37% versus
+//! byte-per-residue. Unused trailing slots of a sequence's final word are
+//! filled with the flag code 31 ([`PAD_CODE`]), which the kernels use as a
+//! loop terminator (the "wasteful residues" drawn red in Figs. 6 and 8).
+//!
+//! Bit layout: residue `j` of a word occupies bits `5j .. 5j+5`
+//! (low-order first); bits 30–31 are always zero.
+
+use crate::seq::SeqDb;
+use h3w_hmm::alphabet::{Residue, PAD_CODE};
+
+/// Residues per packed 32-bit word.
+pub const RESIDUES_PER_WORD: usize = 6;
+
+/// Pack one digital sequence into words, padding the tail with [`PAD_CODE`].
+pub fn pack_seq(residues: &[Residue]) -> Vec<u32> {
+    let n_words = residues.len().div_ceil(RESIDUES_PER_WORD).max(1);
+    let mut words = vec![0u32; n_words];
+    for (i, w) in words.iter_mut().enumerate() {
+        let mut word = 0u32;
+        for j in 0..RESIDUES_PER_WORD {
+            let idx = i * RESIDUES_PER_WORD + j;
+            let code = residues.get(idx).copied().unwrap_or(PAD_CODE);
+            debug_assert!(code < 32);
+            word |= (code as u32) << (5 * j);
+        }
+        *w = word;
+    }
+    words
+}
+
+/// Extract residue slot `j` (0..6) from a packed word.
+#[inline(always)]
+pub fn unpack_slot(word: u32, j: usize) -> Residue {
+    ((word >> (5 * j)) & 0x1f) as Residue
+}
+
+/// A whole database packed for device transfer: one flat word buffer plus
+/// per-sequence offsets and lengths (the layout Fig. 8's grid consumes).
+#[derive(Debug, Clone)]
+pub struct PackedDb {
+    /// All packed words, sequences concatenated in database order.
+    pub words: Vec<u32>,
+    /// Word offset of each sequence within `words`.
+    pub offsets: Vec<u32>,
+    /// Residue length of each sequence.
+    pub lengths: Vec<u32>,
+}
+
+impl PackedDb {
+    /// Pack every sequence of a database.
+    pub fn from_db(db: &SeqDb) -> PackedDb {
+        let mut words = Vec::new();
+        let mut offsets = Vec::with_capacity(db.len());
+        let mut lengths = Vec::with_capacity(db.len());
+        for seq in &db.seqs {
+            offsets.push(words.len() as u32);
+            lengths.push(seq.len() as u32);
+            words.extend(pack_seq(&seq.residues));
+        }
+        PackedDb {
+            words,
+            offsets,
+            lengths,
+        }
+    }
+
+    /// Number of sequences.
+    #[inline]
+    pub fn n_seqs(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when the packed database holds no sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Total real residues.
+    pub fn total_residues(&self) -> u64 {
+        self.lengths.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Total residue *slots* including pad waste.
+    pub fn padded_residues(&self) -> u64 {
+        self.words.len() as u64 * RESIDUES_PER_WORD as u64
+    }
+
+    /// Fraction of slots wasted on padding (the red cells of Fig. 6).
+    pub fn waste_fraction(&self) -> f64 {
+        let padded = self.padded_residues();
+        if padded == 0 {
+            0.0
+        } else {
+            (padded - self.total_residues()) as f64 / padded as f64
+        }
+    }
+
+    /// Device global-memory footprint of the packed residue stream, bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.words.len() * 4 + self.offsets.len() * 4 + self.lengths.len() * 4) as u64
+    }
+
+    /// Random-access decode of residue `i` of sequence `seqid`.
+    ///
+    /// Out-of-range positions return [`PAD_CODE`], mirroring what a kernel
+    /// reading past a sequence tail observes.
+    #[inline]
+    pub fn residue(&self, seqid: usize, i: usize) -> Residue {
+        if i >= self.lengths[seqid] as usize {
+            return PAD_CODE;
+        }
+        let word = self.words[self.offsets[seqid] as usize + i / RESIDUES_PER_WORD];
+        unpack_slot(word, i % RESIDUES_PER_WORD)
+    }
+
+    /// Iterate the real residues of sequence `seqid`.
+    pub fn iter_seq(&self, seqid: usize) -> impl Iterator<Item = Residue> + '_ {
+        let len = self.lengths[seqid] as usize;
+        let off = self.offsets[seqid] as usize;
+        (0..len).map(move |i| {
+            unpack_slot(
+                self.words[off + i / RESIDUES_PER_WORD],
+                i % RESIDUES_PER_WORD,
+            )
+        })
+    }
+
+    /// Unpack sequence `seqid` into a fresh vector.
+    pub fn unpack_seq(&self, seqid: usize) -> Vec<Residue> {
+        self.iter_seq(seqid).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DigitalSeq;
+
+    #[test]
+    fn pack_round_trip_exact_multiple() {
+        let res: Vec<Residue> = (0..12).map(|i| (i % 20) as Residue).collect();
+        let words = pack_seq(&res);
+        assert_eq!(words.len(), 2);
+        for (i, &r) in res.iter().enumerate() {
+            assert_eq!(
+                unpack_slot(words[i / RESIDUES_PER_WORD], i % RESIDUES_PER_WORD),
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn tail_padded_with_flag() {
+        let res: Vec<Residue> = vec![1, 2, 3, 4]; // 4 residues → 2 pad slots
+        let words = pack_seq(&res);
+        assert_eq!(words.len(), 1);
+        assert_eq!(unpack_slot(words[0], 4), PAD_CODE);
+        assert_eq!(unpack_slot(words[0], 5), PAD_CODE);
+    }
+
+    #[test]
+    fn top_two_bits_unused() {
+        let res: Vec<Residue> = vec![28; 18];
+        for w in pack_seq(&res) {
+            assert_eq!(w >> 30, 0);
+        }
+    }
+
+    #[test]
+    fn empty_sequence_gets_one_pad_word() {
+        let words = pack_seq(&[]);
+        assert_eq!(words.len(), 1);
+        assert!((0..6).all(|j| unpack_slot(words[0], j) == PAD_CODE));
+    }
+
+    fn sample_db() -> SeqDb {
+        let mut db = SeqDb::new("t");
+        for (n, t) in [("a", "MKVLAYW"), ("b", "AC"), ("c", "MKVLAYWQRSTACDEFGH")] {
+            db.seqs.push(DigitalSeq::from_text(n, t).unwrap());
+        }
+        db
+    }
+
+    #[test]
+    fn packed_db_round_trips() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        assert_eq!(packed.n_seqs(), 3);
+        for (i, seq) in db.seqs.iter().enumerate() {
+            assert_eq!(packed.unpack_seq(i), seq.residues, "seq {i}");
+        }
+    }
+
+    #[test]
+    fn random_access_matches_iter_and_pads() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        assert_eq!(packed.residue(0, 0), db.seqs[0].residues[0]);
+        assert_eq!(packed.residue(1, 1), db.seqs[1].residues[1]);
+        assert_eq!(packed.residue(1, 2), PAD_CODE); // past end
+    }
+
+    #[test]
+    fn waste_accounting() {
+        let db = sample_db(); // lengths 7, 2, 18 → words 2,1,3 → slots 36, real 27
+        let packed = PackedDb::from_db(&db);
+        assert_eq!(packed.total_residues(), 27);
+        assert_eq!(packed.padded_residues(), 36);
+        assert!((packed.waste_fraction() - 9.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_counts_all_buffers() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        assert_eq!(packed.bytes(), (6 * 4 + 3 * 4 + 3 * 4) as u64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Warp lane vectors — the register state of 32 lockstep threads.
+//!
+//! A `Lanes<T>` is one per-thread register viewed across the warp. All
+//! operations are whole-warp (SIMT lockstep): the reads of one operation
+//! complete for every lane before the writes of the next begin, which is
+//! the hardware guarantee the paper's warp-synchronous design exploits
+//! (§III-A: "every 32 threads within a thread-warp are always executed
+//! synchronously").
+//!
+//! These are pure data operations; instruction/memory *accounting* lives in
+//! the execution context ([`SimtCtx`](crate::exec::SimtCtx)), which wraps them.
+
+use crate::device::WARP_SIZE;
+
+/// One register across all 32 lanes of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lanes<T>(pub [T; WARP_SIZE]);
+
+impl<T: Copy + Default> Lanes<T> {
+    /// Broadcast one value to every lane.
+    #[inline]
+    pub fn splat(v: T) -> Self {
+        Lanes([v; WARP_SIZE])
+    }
+
+    /// Build from a per-lane function of the lane index.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Lanes(core::array::from_fn(f))
+    }
+
+    /// Lane-wise binary combine.
+    #[inline]
+    pub fn zip(self, other: Self, mut f: impl FnMut(T, T) -> T) -> Self {
+        Lanes(core::array::from_fn(|i| f(self.0[i], other.0[i])))
+    }
+
+    /// Lane-wise map.
+    #[inline]
+    pub fn map<U: Copy + Default>(self, mut f: impl FnMut(T) -> U) -> Lanes<U> {
+        Lanes(core::array::from_fn(|i| f(self.0[i])))
+    }
+
+    /// Value held by one lane.
+    #[inline]
+    pub fn lane(&self, i: usize) -> T {
+        self.0[i]
+    }
+
+    /// Set one lane's value.
+    #[inline]
+    pub fn set_lane(&mut self, i: usize, v: T) {
+        self.0[i] = v;
+    }
+}
+
+impl<T: Copy + Default> Lanes<T> {
+    /// The butterfly exchange `__shfl_xor(v, mask)`: every lane receives
+    /// the value of lane `lane ^ mask` (§III-A "Warp-Shuffled Reduction";
+    /// Kepler `SHFL.BFLY`).
+    #[inline]
+    pub fn shfl_xor(self, mask: usize) -> Self {
+        debug_assert!(mask < WARP_SIZE);
+        Lanes(core::array::from_fn(|i| self.0[i ^ mask]))
+    }
+
+    /// Indexed shuffle `__shfl(v, src)`: every lane receives lane `src`'s
+    /// value (broadcast when `src` is uniform).
+    #[inline]
+    pub fn shfl_idx(self, src: Lanes<usize>) -> Self {
+        Lanes(core::array::from_fn(|i| self.0[src.0[i] % WARP_SIZE]))
+    }
+}
+
+impl Lanes<bool> {
+    /// Warp vote `__all(pred)`: true iff every lane's predicate holds —
+    /// the convergence test of the parallel Lazy-F loop (§III-B, Fig. 7).
+    #[inline]
+    pub fn vote_all(&self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// Warp vote `__any(pred)`.
+    #[inline]
+    pub fn vote_any(&self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// Warp ballot: bitmask of lanes with a true predicate.
+    #[inline]
+    pub fn ballot(&self) -> u32 {
+        self.0
+            .iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i))
+    }
+}
+
+/// Butterfly max-reduction via XOR shuffles: `log2(32) = 5` exchange steps,
+/// after which **every** lane holds the warp maximum — the "automatic
+/// broadcast" property §III-A relies on for the next residue's `xB`.
+/// Returns the final lanes (all equal) and is the semantic core of the
+/// counting wrapper in `WarpCtx::shfl_max_*`.
+#[inline]
+pub fn butterfly_max<T: Copy + Default + Ord>(mut v: Lanes<T>) -> Lanes<T> {
+    let mut mask = WARP_SIZE / 2;
+    while mask >= 1 {
+        let other = v.shfl_xor(mask);
+        v = v.zip(other, |a, b| a.max(b));
+        mask /= 2;
+    }
+    v
+}
+
+/// The lane indices `0..32` (CUDA's `threadIdx.x` within a warp).
+#[inline]
+pub fn lane_ids() -> Lanes<usize> {
+    Lanes::from_fn(|i| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_from_fn() {
+        let s = Lanes::splat(7u8);
+        assert!(s.0.iter().all(|&v| v == 7));
+        let ids = lane_ids();
+        assert_eq!(ids.lane(0), 0);
+        assert_eq!(ids.lane(31), 31);
+    }
+
+    #[test]
+    fn shfl_xor_is_involution() {
+        let v = Lanes::from_fn(|i| i as u32 * 3);
+        for mask in [1usize, 2, 4, 8, 16] {
+            let twice = v.shfl_xor(mask).shfl_xor(mask);
+            assert_eq!(twice, v, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn shfl_idx_broadcast() {
+        let v = Lanes::from_fn(|i| i as i16);
+        let b = v.shfl_idx(Lanes::splat(5));
+        assert!(b.0.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn butterfly_max_broadcasts_maximum() {
+        let v = Lanes::from_fn(|i| ((i * 37) % 61) as u8);
+        let expected = *v.0.iter().max().unwrap();
+        let r = butterfly_max(v);
+        assert!(r.0.iter().all(|&x| x == expected));
+    }
+
+    #[test]
+    fn butterfly_max_on_i16_with_neg_inf() {
+        let mut v = Lanes::splat(i16::MIN);
+        v.set_lane(17, -5);
+        let r = butterfly_max(v);
+        assert!(r.0.iter().all(|&x| x == -5));
+    }
+
+    #[test]
+    fn votes() {
+        let mut p = Lanes::splat(true);
+        assert!(p.vote_all());
+        assert!(p.vote_any());
+        assert_eq!(p.ballot(), u32::MAX);
+        p.set_lane(3, false);
+        assert!(!p.vote_all());
+        assert!(p.vote_any());
+        assert_eq!(p.ballot(), !(1 << 3));
+        let none = Lanes::splat(false);
+        assert!(!none.vote_any());
+        assert_eq!(none.ballot(), 0);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = Lanes::from_fn(|i| i as u8);
+        let b = Lanes::splat(10u8);
+        let sum = a.zip(b, |x, y| x.saturating_add(y));
+        assert_eq!(sum.lane(5), 15);
+        let wide = a.map(|x| x as u16 * 100);
+        assert_eq!(wide.lane(31), 3100);
+    }
+}

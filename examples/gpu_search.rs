@@ -1,0 +1,66 @@
+//! GPU-accelerated search on the simulated Tesla K40.
+//!
+//! ```sh
+//! cargo run --release --example gpu_search
+//! ```
+//!
+//! The MSV and P7Viterbi stages run as warp-synchronous kernels on the
+//! SIMT simulator (one warp per sequence, zero per-row barriers,
+//! conflict-free shared memory, shuffle reductions); the Forward stage
+//! stays on the host — exactly the paper's deployment. Scores are
+//! bit-identical to the CPU path, so the reported hits are too.
+
+use hmmer3_warp::core::tiered::run_msv_device;
+use hmmer3_warp::prelude::*;
+
+fn main() {
+    let model = synthetic_model(200, 77, &BuildParams::default());
+    let pipe = Pipeline::prepare(&model, PipelineConfig::default(), 8);
+    let mut spec = DbGenSpec::envnr_like().scaled(1e-4); // ≈ 650 short reads
+    spec.homolog_fraction = 0.01;
+    let db = generate(&spec, Some(&model), 21);
+    let dev = DeviceSpec::tesla_k40();
+    println!(
+        "query m={}, database {} seqs / {} residues, device {}",
+        model.len(),
+        db.len(),
+        db.total_residues(),
+        dev.name
+    );
+
+    // Run the full pipeline with the two filter stages on the device.
+    let gpu = pipe.run_gpu(&db, &dev).expect("device run");
+    println!();
+    print!("{}", gpu.render());
+
+    // Peek under the hood: launch one MSV kernel directly and inspect the
+    // structural claims of §III-A.
+    let packed = PackedDb::from_db(&db);
+    let run = run_msv_device(&pipe.msv, &packed, &dev, None).expect("kernel run");
+    let s = &run.run.stats;
+    println!();
+    println!("MSV kernel telemetry ({:?} config):", run.run.mem);
+    println!("  occupancy          : {:.0}%", run.run.occupancy.occupancy * 100.0);
+    println!("  rows processed     : {}", s.rows);
+    println!(
+        "  barriers           : {} (launch staging only — zero per row)",
+        s.barriers
+    );
+    println!("  bank conflicts     : {}", s.smem_conflict_extra);
+    println!("  shared-mem races   : {}", s.hazards);
+    println!("  shuffle reductions : {} (5 per row)", s.shuffles);
+    println!(
+        "  modeled device time: {:.3} ms (imbalance {:.3})",
+        run.run.time.total_s * 1e3,
+        run.run.imbalance
+    );
+
+    // The CPU pipeline must agree hit-for-hit.
+    let cpu = pipe.run_cpu(&db);
+    assert_eq!(
+        cpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
+        gpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>()
+    );
+    println!();
+    println!("CPU and simulated-GPU pipelines report identical hits.");
+}

@@ -1,0 +1,69 @@
+//! Multi-GPU database scan on four simulated Fermi GTX 580s (§IV-A).
+//!
+//! ```sh
+//! cargo run --release --example multi_gpu_scan
+//! ```
+//!
+//! The database is partitioned length-sorted round-robin, each device runs
+//! the same warp-synchronous MSV kernel (shared-memory reductions — Fermi
+//! has no shuffle), and the wall time is the makespan.
+
+use hmmer3_warp::core::multi_gpu::{partition_db, run_msv_multi};
+use hmmer3_warp::prelude::*;
+
+fn main() {
+    let model = synthetic_model(400, 580, &BuildParams::default());
+    let bg = NullModel::new();
+    let profile = Profile::config(&model, &bg);
+    let msv = MsvProfile::from_profile(&profile);
+    let mut spec = DbGenSpec::envnr_like().scaled(5e-5); // ≈ 330 seqs
+    spec.homolog_fraction = 0.01;
+    let db = generate(&spec, Some(&model), 33);
+    let dev = DeviceSpec::gtx_580();
+    println!(
+        "query m=400, database {} seqs / {} residues, 4x {}",
+        db.len(),
+        db.total_residues(),
+        dev.name
+    );
+
+    let parts = partition_db(&db, 4);
+    println!();
+    println!("partition balance (residues per device):");
+    for (i, p) in parts.iter().enumerate() {
+        println!("  device {}: {:>8} residues / {:>4} seqs", i, p.total_residues(), p.len());
+    }
+
+    let run = run_msv_multi(&msv, &db, &dev, 4, None).expect("multi-GPU run");
+    println!();
+    println!("per-device modeled MSV times:");
+    for (i, d) in run.devices.iter().enumerate() {
+        println!(
+            "  device {}: {:.3} ms ({:?} config, occupancy {:.0}%, {} rows)",
+            i,
+            d.run.time.total_s * 1e3,
+            d.run.mem,
+            d.run.occupancy.occupancy * 100.0,
+            d.run.stats.rows
+        );
+    }
+    println!("makespan: {:.3} ms", run.makespan_s * 1e3);
+    let slowest = run
+        .devices
+        .iter()
+        .map(|d| d.run.time.total_s)
+        .fold(0.0f64, f64::max);
+    let fastest = run
+        .devices
+        .iter()
+        .map(|d| d.run.time.total_s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "device time spread: {:.1}% (residue counts are balanced to ~5%; on a \
+         sample this small the per-device warp-scheduling tails dominate)",
+        (slowest / fastest - 1.0) * 100.0
+    );
+    let total: usize = run.devices.iter().map(|d| d.hits.len()).sum();
+    assert_eq!(total, db.len());
+    println!("all {} sequences scored exactly once across the 4 devices", total);
+}

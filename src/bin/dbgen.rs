@@ -1,0 +1,73 @@
+//! `dbgen` — generate a synthetic FASTA target database (the workspace's
+//! substitute for Swiss-Prot / Env_nr; DESIGN.md §2).
+//!
+//! ```sh
+//! dbgen <out.fasta> [--preset swissprot|envnr] [--scale F]
+//!       [--hom FRAC --model query.hmm] [--seed S]
+//! ```
+
+use hmmer3_warp::hmm::hmmio::read_hmm;
+use hmmer3_warp::prelude::*;
+use hmmer3_warp::seqdb::fasta;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbgen: {e}");
+            eprintln!("usage: dbgen <out.fasta> [--preset swissprot|envnr] [--scale F] [--hom FRAC --model query.hmm] [--seed S]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let out_path = args.first().ok_or("missing output path")?;
+    let mut spec = match flag_value(args, "--preset").as_deref() {
+        None | Some("swissprot") => DbGenSpec::swissprot_like(),
+        Some("envnr") => DbGenSpec::envnr_like(),
+        Some(other) => return Err(format!("unknown preset {other:?}")),
+    };
+    let scale: f64 = flag_value(args, "--scale")
+        .map(|v| v.parse().map_err(|_| "bad --scale"))
+        .transpose()?
+        .unwrap_or(1e-3);
+    spec = spec.scaled(scale);
+    if let Some(h) = flag_value(args, "--hom") {
+        spec.homolog_fraction = h.parse().map_err(|_| "bad --hom")?;
+    }
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+
+    let model = match flag_value(args, "--model") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(read_hmm(&text).map_err(|e| e.to_string())?.model)
+        }
+        None => None,
+    };
+    if spec.homolog_fraction > 0.0 && model.is_none() {
+        eprintln!("note: no --model given; homolog fraction is ignored");
+    }
+
+    let db = generate(&spec, model.as_ref(), seed);
+    std::fs::write(out_path, fasta::render(&db)).map_err(|e| format!("writing: {e}"))?;
+    eprintln!(
+        "wrote {out_path}: {} sequences, {} residues ({})",
+        db.len(),
+        db.total_residues(),
+        spec.name
+    );
+    Ok(())
+}

@@ -1,0 +1,212 @@
+//! End-to-end tests of the command-line tools (`hmmbuild`, `dbgen`,
+//! `hmmsearch`) driving the real binaries through a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("h3w-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn build_generate_search_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let hmm = dir.join("q.hmm");
+    let fasta = dir.join("t.fasta");
+    let tbl = dir.join("hits.tsv");
+
+    // hmmbuild --synthetic
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .args([hmm.to_str().unwrap(), "--synthetic", "60", "--seed", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "hmmbuild: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&hmm).unwrap();
+    assert!(text.starts_with("HMMER3/f"));
+    assert!(text.contains("STATS LOCAL MSV"));
+
+    // dbgen with planted homologs
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            fasta.to_str().unwrap(),
+            "--preset",
+            "envnr",
+            "--scale",
+            "0.0001",
+            "--hom",
+            "0.02",
+            "--model",
+            hmm.to_str().unwrap(),
+            "--seed",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "dbgen: {}", String::from_utf8_lossy(&out.stderr));
+
+    // hmmsearch with a hit table
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([
+            hmm.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+            "--tbl",
+            tbl.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "hmmsearch: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MSV"));
+    assert!(stdout.contains("hits reported:"));
+    let table = std::fs::read_to_string(&tbl).unwrap();
+    assert!(table.starts_with("#target"));
+    let hom_hits = table.lines().filter(|l| l.starts_with("hom|")).count();
+    assert!(hom_hits >= 5, "expected planted homolog hits, table:\n{table}");
+
+    // GPU path reports the same hit names.
+    let out_gpu = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([hmm.to_str().unwrap(), fasta.to_str().unwrap(), "--gpu", "k40"])
+        .output()
+        .unwrap();
+    assert!(out_gpu.status.success());
+    let gpu_stdout = String::from_utf8_lossy(&out_gpu.stdout);
+    for line in table.lines().skip(1).take(3) {
+        let name = line.split('\t').next().unwrap();
+        assert!(gpu_stdout.contains(name), "GPU output missing {name}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hmmbuild_from_alignment_and_chunked_search() {
+    let dir = tmpdir("msa");
+    let afa = dir.join("fam.afa");
+    let hmm = dir.join("fam.hmm");
+    let fasta = dir.join("db.fasta");
+
+    // A small alignment around a fixed pattern.
+    let mut text = String::new();
+    for i in 0..12 {
+        text.push_str(&format!(">row{i}\n"));
+        text.push_str(if i % 4 == 0 {
+            "MKVLA-WQRST\n"
+        } else {
+            "MKVLAYWQRST\n"
+        });
+    }
+    std::fs::write(&afa, text).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .args([hmm.to_str().unwrap(), afa.to_str().unwrap(), "--name", "FAM"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("match columns"), "{stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            fasta.to_str().unwrap(),
+            "--preset",
+            "swissprot",
+            "--scale",
+            "0.00005",
+            "--seed",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Chunked streaming search completes and prints the funnel.
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([
+            hmm.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+            "--chunk",
+            "4000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pipeline over"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_errors_are_reported() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args(["/nonexistent.hmm", "/nonexistent.fasta"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hmmsearch:"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild")).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn hmmscan_multi_model_library() {
+    let dir = tmpdir("scan");
+    let h1 = dir.join("a.hmm");
+    let h2 = dir.join("b.hmm");
+    let lib = dir.join("lib.hmm");
+    let fasta = dir.join("t.fasta");
+    for (path, m, seed) in [(&h1, "50", "1"), (&h2, "35", "2")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+            .args([path.to_str().unwrap(), "--synthetic", m, "--seed", seed])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let mut lib_text = std::fs::read_to_string(&h1).unwrap();
+    lib_text.push_str(&std::fs::read_to_string(&h2).unwrap());
+    std::fs::write(&lib, lib_text).unwrap();
+    // Homologs of model A only.
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            fasta.to_str().unwrap(),
+            "--preset",
+            "envnr",
+            "--scale",
+            "0.00005",
+            "--hom",
+            "0.05",
+            "--model",
+            h1.to_str().unwrap(),
+            "--seed",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmscan"))
+        .args([lib.to_str().unwrap(), fasta.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("per-family summary"));
+    // Model A (SYN00050-…) must report hits; its homologs were planted.
+    let fam_a_line = stdout
+        .lines()
+        .find(|l| l.starts_with("SYN00050"))
+        .expect("family A line");
+    let hits: usize = fam_a_line
+        .rsplit("hits=")
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(hits >= 3, "family A hits: {fam_a_line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,98 @@
+//! End-to-end pipeline invariants across the whole workspace.
+
+use hmmer3_warp::prelude::*;
+
+fn setup(m: usize, hom: f64, scale: f64, seed: u64) -> (Pipeline, SeqDb) {
+    let model = synthetic_model(m, seed, &BuildParams::default());
+    let pipe = Pipeline::prepare(&model, PipelineConfig::default(), seed ^ 1);
+    let mut spec = DbGenSpec::swissprot_like().scaled(scale);
+    spec.homolog_fraction = hom;
+    let db = generate(&spec, Some(&model), seed ^ 2);
+    (pipe, db)
+}
+
+#[test]
+fn cpu_and_gpu_pipelines_are_hit_identical() {
+    let (pipe, db) = setup(70, 0.04, 2e-4, 41);
+    let cpu = pipe.run_cpu(&db);
+    for dev in [DeviceSpec::tesla_k40(), DeviceSpec::gtx_580()] {
+        let gpu = pipe.run_gpu(&db, &dev).unwrap();
+        assert_eq!(
+            cpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
+            gpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
+            "{}",
+            dev.name
+        );
+        // Funnel identical too (bit-exact filters ⇒ same survivor sets).
+        for i in 0..3 {
+            assert_eq!(cpu.stages[i].seqs_out, gpu.stages[i].seqs_out, "stage {i}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (pipe, db) = setup(50, 0.03, 1e-4, 42);
+    let a = pipe.run_cpu(&db);
+    let b = pipe.run_cpu(&db);
+    assert_eq!(a.hits.len(), b.hits.len());
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.seqid, y.seqid);
+        assert_eq!(x.fwd_score, y.fwd_score);
+    }
+}
+
+#[test]
+fn filters_lose_nothing_vs_max_sensitivity_at_report_thresholds() {
+    // HMMER's design claim: the default filter cascade does not drop
+    // anything the full Forward pipeline would confidently report.
+    let model = synthetic_model(60, 43, &BuildParams::default());
+    let filtered = Pipeline::prepare(&model, PipelineConfig::default(), 5);
+    let maxs = Pipeline::prepare(&model, PipelineConfig::max_sensitivity(), 5);
+    let mut spec = DbGenSpec::envnr_like().scaled(3e-4);
+    spec.homolog_fraction = 0.02;
+    let db = generate(&spec, Some(&model), 44);
+    let a = filtered.run_cpu(&db);
+    let b = maxs.run_cpu(&db);
+    // Every *strong* hit of the unfiltered pipeline is found by the
+    // filtered one (weak borderline hits near the f3 threshold may differ,
+    // as in HMMER itself).
+    let filtered_ids: Vec<u32> = a.hits.iter().map(|h| h.seqid).collect();
+    for h in b.hits.iter().filter(|h| h.evalue < 1e-6) {
+        assert!(
+            filtered_ids.contains(&h.seqid),
+            "strong hit {} (E={:.2e}) lost by the filters",
+            h.name,
+            h.evalue
+        );
+    }
+}
+
+#[test]
+fn evalues_scale_with_database_size() {
+    let (pipe, db) = setup(60, 0.05, 1e-4, 45);
+    let res = pipe.run_cpu(&db);
+    for h in &res.hits {
+        let expect = h.pvalue * db.len() as f64;
+        assert!((h.evalue - expect).abs() <= 1e-12 * expect.max(1.0));
+    }
+    // Hits are sorted ascending by E-value.
+    for w in res.hits.windows(2) {
+        assert!(w[0].evalue <= w[1].evalue);
+    }
+}
+
+#[test]
+fn stage_times_and_residue_workloads_are_monotone() {
+    let (pipe, db) = setup(80, 0.02, 2e-4, 46);
+    let res = pipe.run_cpu(&db);
+    // Workload funnel: each stage sees at most the previous stage's
+    // residues.
+    assert_eq!(res.stages[0].residues_in, db.total_residues());
+    assert!(res.stages[1].residues_in <= res.stages[0].residues_in);
+    assert!(res.stages[2].residues_in <= res.stages[1].residues_in);
+    // Sequence funnel likewise.
+    assert!(res.stages[0].seqs_out <= res.stages[0].seqs_in);
+    assert_eq!(res.stages[1].seqs_in, res.stages[0].seqs_out);
+    assert_eq!(res.stages[2].seqs_in, res.stages[1].seqs_out);
+}

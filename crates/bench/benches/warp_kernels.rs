@@ -39,11 +39,9 @@ fn bench_msv_kernel(c: &mut Criterion) {
         let (om, _, packed, cells) = setup(m);
         g.throughput(Throughput::Elements(cells));
         for mem in [MemConfig::Shared, MemConfig::Global] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{mem:?}"), m),
-                &m,
-                |b, _| b.iter(|| run_msv_device(&om, &packed, &dev, Some(mem)).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{mem:?}"), m), &m, |b, _| {
+                b.iter(|| run_msv_device(&om, &packed, &dev, Some(mem)).unwrap())
+            });
         }
     }
     g.finish();
@@ -64,8 +62,8 @@ fn bench_vit_kernel(c: &mut Criterion) {
 }
 
 fn bench_fwd_kernel(c: &mut Criterion) {
-    use h3w_core::layout::{best_config, smem_layout, Stage};
     use h3w_core::fwd_warp::FwdWarpKernel;
+    use h3w_core::layout::{best_config, smem_layout, Stage};
     use h3w_hmm::profile::Profile;
     use h3w_hmm::NullModel;
     use h3w_simt::run_grid;
@@ -81,12 +79,18 @@ fn bench_fwd_kernel(c: &mut Criterion) {
     g.throughput(Throughput::Elements(m as u64 * packed.total_residues()));
     let (mut cfg, _) = best_config(Stage::Forward, m, MemConfig::Global, &dev).unwrap();
     cfg.blocks = 2;
-    let layout = smem_layout(Stage::Forward, m, cfg.warps_per_block, MemConfig::Global, &dev);
+    let layout = smem_layout(
+        Stage::Forward,
+        m,
+        cfg.warps_per_block,
+        MemConfig::Global,
+        &dev,
+    );
     g.bench_function("global_tables", |b| {
         b.iter(|| {
             let kernel = FwdWarpKernel {
                 prof: &prof,
-                db: &packed,
+                db: packed.view(),
                 layout,
             };
             run_grid(&dev, &cfg, &kernel).unwrap()
@@ -95,5 +99,10 @@ fn bench_fwd_kernel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_msv_kernel, bench_vit_kernel, bench_fwd_kernel);
+criterion_group!(
+    benches,
+    bench_msv_kernel,
+    bench_vit_kernel,
+    bench_fwd_kernel
+);
 criterion_main!(benches);

@@ -62,7 +62,10 @@ mod tests {
         let t1 = c.msv_time(400, 1_000_000);
         let t2 = c.msv_time(800, 1_000_000);
         assert!((t2 / t1 - 2.0).abs() < 1e-12);
-        assert!(c.vit_time(400, 1_000_000) > t1, "Viterbi is slower per cell");
+        assert!(
+            c.vit_time(400, 1_000_000) > t1,
+            "Viterbi is slower per cell"
+        );
     }
 
     #[test]

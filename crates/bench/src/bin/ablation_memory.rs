@@ -19,7 +19,10 @@ use h3w_seqdb::PackedDb;
 use h3w_simt::DeviceSpec;
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
     let model = synthetic_model(m, 0xab7e, &BuildParams::default());
     let bg = NullModel::new();
     let om = MsvProfile::from_profile(&Profile::config(&model, &bg));

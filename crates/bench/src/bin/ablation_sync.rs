@@ -21,8 +21,14 @@ use h3w_simt::{
 };
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
-    let scale: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(2e-5);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2e-5);
     let dev = DeviceSpec::tesla_k40();
     let model = synthetic_model(m, 0xab1a, &BuildParams::default());
     let bg = NullModel::new();
@@ -41,7 +47,7 @@ fn main() {
     let layout = smem_layout(Stage::Msv, m, cfg.warps_per_block, MemConfig::Shared, &dev);
     let ws = MsvWarpKernel {
         om: &om,
-        db: &packed,
+        db: packed.view(),
         mem: MemConfig::Shared,
         layout,
         use_shfl: true,
@@ -62,7 +68,7 @@ fn main() {
     let occ_nv = occupancy(&dev, &naive_cfg);
     let mk = |elide| NaiveMsvKernel {
         om: &om,
-        db: &packed,
+        db: packed.view(),
         layout: naive_layout,
         warps_per_block: 4,
         elide_barriers: elide,

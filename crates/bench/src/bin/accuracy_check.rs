@@ -12,9 +12,9 @@
 //!
 //! Usage: `cargo run --release -p h3w-bench --bin accuracy_check [m]`
 
+use h3w_core::tiered::{run_msv_device, run_vit_device};
 use h3w_cpu::quantized::{msv_filter_scalar, vit_filter_scalar};
 use h3w_cpu::reference::{msv_filter_model, viterbi_filter_model};
-use h3w_core::tiered::{run_msv_device, run_vit_device};
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_hmm::profile::Profile;
 use h3w_hmm::NullModel;
@@ -24,7 +24,10 @@ use h3w_seqdb::PackedDb;
 use h3w_simt::DeviceSpec;
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
     let dev = DeviceSpec::tesla_k40();
     let model = synthetic_model(m, 0xacc, &BuildParams::default());
     let bg = NullModel::new();
@@ -54,7 +57,10 @@ fn main() {
             mismatches += 1;
         }
     }
-    println!("1. GPU kernels vs CPU filters: {mismatches} mismatches over {} sequences (must be 0)", db.len());
+    println!(
+        "1. GPU kernels vs CPU filters: {mismatches} mismatches over {} sequences (must be 0)",
+        db.len()
+    );
     assert_eq!(mismatches, 0);
 
     // 2. Quantization fidelity vs float references.
@@ -63,7 +69,8 @@ fn main() {
     for seq in db.seqs.iter().take(300) {
         let q = msv_filter_scalar(&pipe.msv, &seq.residues);
         if !q.overflow {
-            msv_err_max = msv_err_max.max((q.score - msv_filter_model(&profile, &seq.residues)).abs());
+            msv_err_max =
+                msv_err_max.max((q.score - msv_filter_model(&profile, &seq.residues)).abs());
         }
         let qv = vit_filter_scalar(&pipe.vit, &seq.residues);
         if qv.score.is_finite() {

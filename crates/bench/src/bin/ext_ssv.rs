@@ -19,7 +19,10 @@ use h3w_seqdb::PackedDb;
 use h3w_simt::{kernel_time, run_grid, CostParams, DeviceSpec};
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
     let dev = DeviceSpec::tesla_k40();
     let bg = NullModel::new();
     let model = synthetic_model(m, 0x55f, &BuildParams::default());
@@ -43,7 +46,7 @@ fn main() {
         let layout = smem_layout(Stage::Msv, m, cfg.warps_per_block, mem, &dev);
         let msv = MsvWarpKernel {
             om: &om,
-            db: &packed,
+            db: packed.view(),
             mem,
             layout,
             use_shfl: true,
@@ -51,7 +54,7 @@ fn main() {
         };
         let ssv = SsvWarpKernel {
             om: &om,
-            db: &packed,
+            db: packed.view(),
             mem,
             layout,
             use_shfl: true,

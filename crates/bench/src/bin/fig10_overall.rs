@@ -24,7 +24,10 @@ fn main() {
             rows.push(overall_row(&p, &dev, &cpu, 1));
         }
     }
-    println!("=== Figure 10: overall MSV+Viterbi speedup on {} ===", dev.name);
+    println!(
+        "=== Figure 10: overall MSV+Viterbi speedup on {} ===",
+        dev.name
+    );
     println!("{}", render_overall(&rows));
     let max_of = |db: &str| {
         rows.iter()
@@ -38,7 +41,7 @@ fn main() {
         max_of("Envnr")
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        std::fs::write(&path, h3w_bench::json::pretty_rows(&rows)).unwrap();
         eprintln!("wrote {path}");
     }
 }

@@ -46,7 +46,7 @@ fn main() {
         scaling_at(&rows, "Envnr", 400)
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        std::fs::write(&path, h3w_bench::json::pretty_rows(&rows)).unwrap();
         eprintln!("wrote {path}");
     }
 }

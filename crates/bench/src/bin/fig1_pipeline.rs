@@ -21,10 +21,7 @@ fn main() {
     println!("preparing pipeline (model size 400, calibration)...");
     let pipe = Pipeline::prepare(&model, PipelineConfig::default(), 0xca1);
     let spec = DbPreset::Envnr.spec().scaled(scale);
-    println!(
-        "generating {} ({} sequences)...",
-        spec.name, spec.n_seqs
-    );
+    println!("generating {} ({} sequences)...", spec.name, spec.n_seqs);
     let db = generate(&spec, Some(&model), 0xdb1);
     println!("running CPU pipeline...");
     let res = pipe.run_cpu(&db);

@@ -15,14 +15,15 @@ use h3w_core::Stage;
 use h3w_simt::DeviceSpec;
 
 fn main() {
-    let json_path = std::env::args()
-        .skip_while(|a| a != "--json")
-        .nth(1);
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
     let dev = DeviceSpec::tesla_k40();
     let cpu = CpuModel::default();
     let mut rows: Vec<Fig9Row> = Vec::new();
     for preset in [DbPreset::Swissprot, DbPreset::Envnr] {
-        eprintln!("preparing {} series (functional sample runs)...", preset.name());
+        eprintln!(
+            "preparing {} series (functional sample runs)...",
+            preset.name()
+        );
         let points = prepare_series(preset, &dev, 0x9f17);
         for stage in [Stage::Msv, Stage::Viterbi] {
             for p in &points {
@@ -30,14 +31,17 @@ fn main() {
             }
         }
     }
-    println!("=== Figure 9: stage speedup & occupancy on {} ===", dev.name);
+    println!(
+        "=== Figure 9: stage speedup & occupancy on {} ===",
+        dev.name
+    );
     println!("{}", render_fig9(&rows));
     println!(
         "paper shape targets: MSV peak 5.0-5.4x near M=800, crossover ~1002, \
          100% occ below 400; Viterbi peak ~2.9x at 50% occ, decaying past 200"
     );
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        let json = h3w_bench::json::pretty_rows(&rows);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

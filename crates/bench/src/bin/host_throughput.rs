@@ -5,7 +5,8 @@
 
 fn main() {
     use h3w_cpu::sweep::{measure_msv_throughput, measure_vit_throughput};
-    use h3w_hmm::*; use h3w_hmm::profile::Profile;
+    use h3w_hmm::profile::Profile;
+    use h3w_hmm::*;
     use h3w_seqdb::gen::{generate, DbGenSpec};
     let bg = NullModel::new();
     let core = synthetic_model(400, 5, &BuildParams::default());
@@ -15,6 +16,12 @@ fn main() {
     let db = generate(&DbGenSpec::envnr_like().scaled(0.0002), None, 5);
     let tm = measure_msv_throughput(&msv, &db, 1000);
     let tv = measure_vit_throughput(&vit, &db, 400);
-    println!("host striped MSV: {:.2} Gcell/s single-thread", tm.cells_per_sec/1e9);
-    println!("host striped Vit: {:.2} Gcell/s (x3-state) single-thread", tv.cells_per_sec/1e9);
+    println!(
+        "host striped MSV: {:.2} Gcell/s single-thread",
+        tm.cells_per_sec / 1e9
+    );
+    println!(
+        "host striped Vit: {:.2} Gcell/s (x3-state) single-thread",
+        tv.cells_per_sec / 1e9
+    );
 }

@@ -15,10 +15,19 @@ fn main() {
     let frac = |lo: usize, hi: usize| {
         sizes.iter().filter(|&&s| s > lo && s <= hi).count() as f64 / n * 100.0
     };
-    println!("=== Pfam-like model-size distribution ({} families) ===", sizes.len());
+    println!(
+        "=== Pfam-like model-size distribution ({} families) ===",
+        sizes.len()
+    );
     println!("  size ≤ 400      : {:>5.1}%   (paper 84.5%)", frac(0, 400));
-    println!("  400 < size ≤ 1000: {:>5.1}%  (paper 14.4%)", frac(400, 1000));
-    println!("  size > 1000     : {:>5.1}%   (paper  1.1%)", frac(1000, usize::MAX - 1));
+    println!(
+        "  400 < size ≤ 1000: {:>5.1}%  (paper 14.4%)",
+        frac(400, 1000)
+    );
+    println!(
+        "  size > 1000     : {:>5.1}%   (paper  1.1%)",
+        frac(1000, usize::MAX - 1)
+    );
     let below_1002 = sizes.iter().filter(|&&s| s < 1002).count() as f64 / n * 100.0;
     println!(
         "  size < 1002     : {below_1002:>5.1}%   (paper ~98.9% — the shared-config majority claim)"

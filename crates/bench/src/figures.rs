@@ -23,10 +23,11 @@ use h3w_hmm::vitprofile::VitProfile;
 use h3w_hmm::NullModel;
 use h3w_pipeline::{Pipeline, PipelineConfig};
 use h3w_simt::{kernel_time, saturating_grid, CostParams, DeviceSpec};
-use serde::Serialize;
+
+use crate::json::{Json, ToJson};
 
 /// One table-placement configuration's modeled result.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConfigPoint {
     /// Speedup over the CPU baseline.
     pub speedup: f64,
@@ -37,7 +38,7 @@ pub struct ConfigPoint {
 }
 
 /// One Fig. 9 point: a (database, model size, stage) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// Database name.
     pub db: String,
@@ -56,7 +57,7 @@ pub struct Fig9Row {
 }
 
 /// One Fig. 10/11 point: combined MSV+Viterbi pipeline speedup.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverallRow {
     /// Database name.
     pub db: String,
@@ -74,6 +75,46 @@ pub struct OverallRow {
     pub cpu_vit_s: f64,
     /// Fraction of database residues reaching the Viterbi stage.
     pub survivor_frac: f64,
+}
+
+impl ToJson for ConfigPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("speedup", Json::Num(self.speedup)),
+            ("occupancy", Json::Num(self.occupancy)),
+            ("gpu_time_s", Json::Num(self.gpu_time_s)),
+        ])
+    }
+}
+
+impl ToJson for Fig9Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("db", Json::Str(self.db.clone())),
+            ("m", Json::Num(self.m as f64)),
+            ("stage", Json::Str(self.stage.clone())),
+            ("shared", self.shared.to_json()),
+            ("global", self.global.to_json()),
+            ("optimal", Json::Num(self.optimal)),
+            ("cpu_time_s", Json::Num(self.cpu_time_s)),
+        ])
+    }
+}
+
+impl ToJson for OverallRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("db", Json::Str(self.db.clone())),
+            ("m", Json::Num(self.m as f64)),
+            ("n_devices", Json::Num(self.n_devices as f64)),
+            ("speedup", Json::Num(self.speedup)),
+            ("gpu_msv_s", Json::Num(self.gpu_msv_s)),
+            ("gpu_vit_s", Json::Num(self.gpu_vit_s)),
+            ("cpu_msv_s", Json::Num(self.cpu_msv_s)),
+            ("cpu_vit_s", Json::Num(self.cpu_vit_s)),
+            ("survivor_frac", Json::Num(self.survivor_frac)),
+        ])
+    }
 }
 
 /// Everything measured once per (database, model size).
@@ -161,12 +202,7 @@ pub fn stage_time_full(
 }
 
 /// Compute one Fig. 9 row.
-pub fn fig9_row(
-    point: &PreparedPoint,
-    stage: Stage,
-    dev: &DeviceSpec,
-    cpu: &CpuModel,
-) -> Fig9Row {
+pub fn fig9_row(point: &PreparedPoint, stage: Stage, dev: &DeviceSpec, cpu: &CpuModel) -> Fig9Row {
     let agg = point.workload.full_agg();
     let m = point.model.len();
     let cpu_time_s = match stage {
@@ -248,11 +284,7 @@ pub fn overall_row(
 
 /// All eight paper model sizes for one preset, prepared (slow: functional
 /// sample runs per size).
-pub fn prepare_series(
-    preset: DbPreset,
-    dev: &DeviceSpec,
-    seed: u64,
-) -> Vec<PreparedPoint> {
+pub fn prepare_series(preset: DbPreset, dev: &DeviceSpec, seed: u64) -> Vec<PreparedPoint> {
     PAPER_MODEL_SIZES
         .iter()
         .filter_map(|&m| prepare_point(preset, m, dev, seed + m as u64).ok())

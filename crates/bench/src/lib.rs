@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod figures;
+pub mod json;
 pub mod workload;
 
 pub use baseline::CpuModel;

@@ -174,7 +174,13 @@ mod tests {
             let full = wl.full_agg();
             let expect = preset.spec().expected_residues();
             let err = (full.total_residues as f64 - expect as f64).abs() / expect as f64;
-            assert!(err < 0.01, "{}: {} vs {}", preset.name(), full.total_residues, expect);
+            assert!(
+                err < 0.01,
+                "{}: {} vs {}",
+                preset.name(),
+                full.total_residues,
+                expect
+            );
         }
     }
 

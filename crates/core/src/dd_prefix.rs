@@ -220,10 +220,7 @@ mod tests {
         let (d_a, c_a) = lazy_f_resolve(&s_a, &t_a);
         assert_eq!(d_q, scalar_resolve(&s_q, &t_q));
         assert_eq!(d_a, scalar_resolve(&s_a, &t_a));
-        assert!(
-            c_a.votes > 2 * c_q.votes,
-            "active {c_a:?} vs quiet {c_q:?}"
-        );
+        assert!(c_a.votes > 2 * c_q.votes, "active {c_a:?} vs quiet {c_q:?}");
     }
 
     #[test]

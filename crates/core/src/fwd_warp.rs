@@ -22,7 +22,7 @@
 use crate::layout::{SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE, GM_TRANS_BASE};
 use h3w_hmm::logspace::flogsum;
 use h3w_hmm::profile::{Profile, NEG_INF};
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (≈ 8 table-logsums at
@@ -47,7 +47,7 @@ pub struct FwdWarpKernel<'a> {
     /// Float search profile (the kernel's tables, read via L2).
     pub prof: &'a Profile,
     /// Packed target database.
-    pub db: &'a PackedDb,
+    pub db: PackedView<'a>,
     /// Shared-memory region map (Stage::Forward layout).
     pub layout: SmemLayout,
 }
@@ -165,13 +165,16 @@ impl<'a> FwdWarpKernel<'a> {
                 let old_m = ctx.ld_smem_f32(old_addrs.map(|a| m_off + a), pos_active);
                 let old_i = ctx.ld_smem_f32(old_addrs.map(|a| i_off + a), pos_active);
 
-                let emis = self.table_chunk(ctx, &emis_row, GM_EMIS_BASE + x * m * 4, j, pos_active);
+                let emis =
+                    self.table_chunk(ctx, &emis_row, GM_EMIS_BASE + x * m * 4, j, pos_active);
                 let tmm_v = self.table_chunk(ctx, tmm, GM_TRANS_BASE, j, pos_active);
                 let tim_v = self.table_chunk(ctx, tim, GM_TRANS_BASE + m * 4, j, pos_active);
                 let tdm_v = self.table_chunk(ctx, tdm, GM_TRANS_BASE + 2 * m * 4, j, pos_active);
                 let bmk_v = self.table_chunk(ctx, bmk, GM_TRANS_BASE + 3 * m * 4, j, pos_active);
-                let tmi_v = self.table_chunk(ctx, &tmi_self, GM_TRANS_BASE + 5 * m * 4, j, pos_active);
-                let tii_v = self.table_chunk(ctx, &tii_self, GM_TRANS_BASE + 6 * m * 4, j, pos_active);
+                let tmi_v =
+                    self.table_chunk(ctx, &tmi_self, GM_TRANS_BASE + 5 * m * 4, j, pos_active);
+                let tii_v =
+                    self.table_chunk(ctx, &tii_self, GM_TRANS_BASE + 6 * m * 4, j, pos_active);
                 let tmd_v = self.table_chunk(ctx, tmd, GM_TRANS_BASE + 7 * m * 4, j, pos_active);
 
                 ctx.alu(FWD_ALU_PER_ITER);
@@ -204,7 +207,8 @@ impl<'a> FwdWarpKernel<'a> {
                 ctx.st_smem_f32(st_addrs.map(|a| m_off + a), mv, pos_active);
                 ctx.st_smem_f32(st_addrs.map(|a| i_off + a), iv, pos_active);
                 // D seed from the current row's left-neighbour M (cell k0).
-                let m_left = ctx.ld_smem_f32(ids.map(|t| m_off + (j * WARP_SIZE + t) * 4), pos_active);
+                let m_left =
+                    ctx.ld_smem_f32(ids.map(|t| m_off + (j * WARP_SIZE + t) * 4), pos_active);
                 let dv = Lanes::from_fn(|t| {
                     if pos_active.lane(t) {
                         m_left.lane(t) + tmd_v.lane(t)
@@ -329,9 +333,18 @@ mod tests {
     use h3w_hmm::background::NullModel;
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid, DeviceSpec};
 
-    fn launch(m: usize, params: &BuildParams) -> (Profile, h3w_seqdb::SeqDb, Vec<FwdHit>, h3w_simt::KernelStats) {
+    fn launch(
+        m: usize,
+        params: &BuildParams,
+    ) -> (
+        Profile,
+        h3w_seqdb::SeqDb,
+        Vec<FwdHit>,
+        h3w_simt::KernelStats,
+    ) {
         let bg = NullModel::new();
         let model = synthetic_model(m, 7, params);
         let prof = Profile::config(&model, &bg);
@@ -343,10 +356,16 @@ mod tests {
         let (mut cfg, _) = best_config(Stage::Forward, m, MemConfig::Global, &dev).unwrap();
         cfg.blocks = 2;
         cfg.track_hazards = true;
-        let layout = smem_layout(Stage::Forward, m, cfg.warps_per_block, MemConfig::Global, &dev);
+        let layout = smem_layout(
+            Stage::Forward,
+            m,
+            cfg.warps_per_block,
+            MemConfig::Global,
+            &dev,
+        );
         let kernel = FwdWarpKernel {
             prof: &prof,
-            db: &packed,
+            db: packed.view(),
             layout,
         };
         let r = run_grid(&dev, &cfg, &kernel).unwrap();

@@ -237,11 +237,7 @@ mod tests {
         let dev = DeviceSpec::tesla_k40();
         for m in [48usize, 100, 200, 399] {
             let (_, occ) = best_config(Stage::Msv, m, MemConfig::Shared, &dev).unwrap();
-            assert!(
-                occ.occupancy >= 0.99,
-                "m={m}: occupancy {}",
-                occ.occupancy
-            );
+            assert!(occ.occupancy >= 0.99, "m={m}: occupancy {}", occ.occupancy);
         }
     }
 

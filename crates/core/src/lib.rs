@@ -6,20 +6,22 @@
 //! residues, parallel Lazy-F, the three-tiered scheduler with the
 //! shared/global cache-aware switch, and multi-GPU database partitioning.
 
+pub mod dd_prefix;
+pub mod fwd_warp;
 pub mod layout;
 pub mod msv_warp;
-pub mod vit_warp;
+pub mod multi_gpu;
 pub mod naive;
 pub mod ssv_warp;
 pub mod stats_model;
 pub mod tiered;
-pub mod dd_prefix;
-pub mod fwd_warp;
-pub mod multi_gpu;
+pub mod vit_warp;
 
-pub use layout::{MemConfig, Stage};
 pub use fwd_warp::{FwdHit, FwdWarpKernel};
+pub use layout::{MemConfig, Stage};
 pub use msv_warp::{MsvHit, MsvWarpKernel};
 pub use stats_model::{predict_msv, predict_vit, DbAggregates, LaunchShape};
-pub use tiered::{auto_mem_config, model_stage_time, run_msv_device, run_vit_device, MsvRun, StageRun, VitRun};
+pub use tiered::{
+    auto_mem_config, model_stage_time, run_msv_device, run_vit_device, MsvRun, StageRun, VitRun,
+};
 pub use vit_warp::{VitHit, VitWarpKernel, WarpLazyStats};

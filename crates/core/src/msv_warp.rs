@@ -22,7 +22,7 @@
 use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
 use h3w_hmm::alphabet::PAD_CODE;
 use h3w_hmm::msvprofile::MsvProfile;
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (max, saturating
@@ -53,7 +53,7 @@ pub struct MsvWarpKernel<'a> {
     /// Quantized score system.
     pub om: &'a MsvProfile,
     /// Packed target database.
-    pub db: &'a PackedDb,
+    pub db: PackedView<'a>,
     /// Table placement (the §IV cache-aware switch).
     pub mem: MemConfig,
     /// Shared-memory region map for this launch.
@@ -115,10 +115,7 @@ impl<'a> MsvWarpKernel<'a> {
             // Packed residue fetch: one uniform 32-bit word per 6 residues
             // (Fig. 6); decode is a shift+mask.
             if i.is_multiple_of(RESIDUES_PER_WORD) {
-                ctx.gmem_access_uniform(
-                    GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4,
-                    4,
-                );
+                ctx.gmem_access_uniform(GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4, 4);
             }
             let x = self.db.residue(seqid, i);
             debug_assert_ne!(x, PAD_CODE, "pad inside sequence body");
@@ -166,8 +163,8 @@ impl<'a> MsvWarpKernel<'a> {
             let xe = if self.use_shfl {
                 ctx.shfl_max_u8(xev)
             } else {
-                let scratch =
-                    self.layout.scratch_base + ctx.warp_id as usize * crate::layout::FERMI_SCRATCH_PER_WARP;
+                let scratch = self.layout.scratch_base
+                    + ctx.warp_id as usize * crate::layout::FERMI_SCRATCH_PER_WARP;
                 ctx.smem_max_u8(xev, scratch)
             };
             ctx.stats.rows += 1;
@@ -225,8 +222,9 @@ impl<'a> MsvWarpKernel<'a> {
             MemConfig::Shared => {
                 // Inactive lanes never touch memory; their addresses are
                 // don't-cares.
-                let addrs = ids
-                    .map(|t| self.layout.emis_base + x as usize * m + (j * WARP_SIZE + t).min(m - 1));
+                let addrs = ids.map(|t| {
+                    self.layout.emis_base + x as usize * m + (j * WARP_SIZE + t).min(m - 1)
+                });
                 ctx.ld_smem_u8(addrs, active)
             }
             MemConfig::Global => {
@@ -259,8 +257,7 @@ impl<'a> WarpKernel for MsvWarpKernel<'a> {
             self.stage_tables(ctx);
             ctx.barrier();
         }
-        let row_base =
-            self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
+        let row_base = self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
         let mut out = Vec::new();
         // Algorithm 1 lines 1–6: static striding over the database.
         let mut seqid = global_warp;
@@ -283,6 +280,7 @@ mod tests {
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid, DeviceSpec};
 
     fn setup(m: usize, n_seqs_frac: f64) -> (MsvProfile, h3w_seqdb::SeqDb, PackedDb) {
@@ -310,7 +308,7 @@ mod tests {
         let layout = smem_layout(Stage::Msv, om.m, cfg.warps_per_block, mem, dev);
         let kernel = MsvWarpKernel {
             om,
-            db: packed,
+            db: packed.view(),
             mem,
             layout,
             use_shfl: dev.has_shfl,
@@ -331,7 +329,12 @@ mod tests {
             assert_eq!(hits.len(), db.len());
             for hit in &hits {
                 let expect = msv_filter_scalar(&om, &db.seqs[hit.seqid as usize].residues);
-                assert_eq!((hit.xj, hit.overflow), (expect.xj, expect.overflow), "m={m} seq {}", hit.seqid);
+                assert_eq!(
+                    (hit.xj, hit.overflow),
+                    (expect.xj, expect.overflow),
+                    "m={m} seq {}",
+                    hit.seqid
+                );
             }
             // The headline structural claims (§III-A): no hazards, no bank
             // conflicts, and barriers bounded by the per-block table

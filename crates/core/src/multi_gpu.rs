@@ -29,6 +29,22 @@ pub fn partition_db(db: &SeqDb, n: usize) -> Vec<SeqDb> {
     parts
 }
 
+/// Index-level partition of a packed database: the same length-sorted
+/// round-robin as [`partition_db`], but returning parent-id lists suitable
+/// for [`PackedDb::subset`] — no sequence is cloned.
+pub fn partition_ids(packed: &PackedDb, n: usize) -> Vec<Vec<u32>> {
+    assert!(n >= 1);
+    let mut order: Vec<u32> = (0..packed.n_seqs() as u32).collect();
+    // Longest first, ties by original position (matches
+    // SeqDb::length_sorted_order).
+    order.sort_by_key(|&i| (std::cmp::Reverse(packed.lengths[i as usize]), i));
+    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (rank, &idx) in order.iter().enumerate() {
+        parts[rank % n].push(idx);
+    }
+    parts
+}
+
 /// Result of a functional multi-device MSV execution.
 #[derive(Debug)]
 pub struct MultiMsvRun {
@@ -47,7 +63,9 @@ pub struct MultiVitRun {
     pub makespan_s: f64,
 }
 
-/// Run the MSV stage across `n` identical devices (functional).
+/// Run the MSV stage across `n` identical devices (functional). The
+/// database is packed once; each device works a zero-copy index subset,
+/// and reported hit `seqid`s are remapped to **whole-database** order.
 pub fn run_msv_multi(
     om: &MsvProfile,
     db: &SeqDb,
@@ -55,10 +73,15 @@ pub fn run_msv_multi(
     n: usize,
     mem: Option<MemConfig>,
 ) -> Result<MultiMsvRun, String> {
+    let packed = PackedDb::from_db(db);
     let mut devices = Vec::with_capacity(n);
-    for part in partition_db(db, n) {
-        let packed = PackedDb::from_db(&part);
-        devices.push(run_msv_device(om, &packed, dev, mem)?);
+    for ids in partition_ids(&packed, n) {
+        let sub = packed.subset(&ids);
+        let mut run = run_msv_device(om, &sub, dev, mem)?;
+        for h in &mut run.hits {
+            h.seqid = sub.parent_id(h.seqid as usize) as u32;
+        }
+        devices.push(run);
     }
     let makespan_s = devices
         .iter()
@@ -71,6 +94,7 @@ pub fn run_msv_multi(
 }
 
 /// Run the P7Viterbi stage across `n` identical devices (functional).
+/// Same zero-copy routing and `seqid` remapping as [`run_msv_multi`].
 pub fn run_vit_multi(
     om: &VitProfile,
     db: &SeqDb,
@@ -78,10 +102,15 @@ pub fn run_vit_multi(
     n: usize,
     mem: Option<MemConfig>,
 ) -> Result<MultiVitRun, String> {
+    let packed = PackedDb::from_db(db);
     let mut devices = Vec::with_capacity(n);
-    for part in partition_db(db, n) {
-        let packed = PackedDb::from_db(&part);
-        devices.push(run_vit_device(om, &packed, dev, mem)?);
+    for ids in partition_ids(&packed, n) {
+        let sub = packed.subset(&ids);
+        let mut run = run_vit_device(om, &sub, dev, mem)?;
+        for h in &mut run.hits {
+            h.seqid = sub.parent_id(h.seqid as usize) as u32;
+        }
+        devices.push(run);
     }
     let makespan_s = devices
         .iter()
@@ -140,10 +169,7 @@ mod tests {
         let totals: Vec<u64> = parts.iter().map(|p| p.total_residues()).collect();
         let max = *totals.iter().max().unwrap() as f64;
         let min = *totals.iter().min().unwrap() as f64;
-        assert!(
-            max / min < 1.15,
-            "residue skew too high: {totals:?}"
-        );
+        assert!(max / min < 1.15, "residue skew too high: {totals:?}");
     }
 
     #[test]
@@ -164,13 +190,17 @@ mod tests {
         let run = run_msv_multi(&om, &db, &fermi, 3, None).unwrap();
         let total: usize = run.devices.iter().map(|d| d.hits.len()).sum();
         assert_eq!(total, db.len());
-        let parts = partition_db(&db, 3);
-        for (d, part) in run.devices.iter().zip(&parts) {
+        // seqids are whole-database ids; every sequence scored exactly once.
+        let mut seen = vec![false; db.len()];
+        for d in &run.devices {
             for h in &d.hits {
-                let e = msv_filter_scalar(&om, &part.seqs[h.seqid as usize].residues);
+                assert!(!seen[h.seqid as usize], "seq {} scored twice", h.seqid);
+                seen[h.seqid as usize] = true;
+                let e = msv_filter_scalar(&om, &db.seqs[h.seqid as usize].residues);
                 assert_eq!((h.xj, h.overflow), (e.xj, e.overflow));
             }
         }
+        assert!(seen.iter().all(|&b| b));
         assert!(run.makespan_s > 0.0);
     }
 

@@ -16,7 +16,7 @@
 use crate::layout::{SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
 use crate::msv_warp::{MsvHit, MSV_ALU_PER_ITER, MSV_ALU_PER_ROW, MSV_ALU_PER_SEQ};
 use h3w_hmm::msvprofile::MsvProfile;
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::{lane_ids, BlockKernel, Lanes, SimtCtx, WARP_SIZE};
 
 /// Fig. 4's MSV scheme as a [`BlockKernel`]: block ↦ sequence,
@@ -25,7 +25,7 @@ pub struct NaiveMsvKernel<'a> {
     /// Quantized score system.
     pub om: &'a MsvProfile,
     /// Packed target database.
-    pub db: &'a PackedDb,
+    pub db: PackedView<'a>,
     /// Shared-memory map (one DP row per *block* plus the staged table).
     pub layout: SmemLayout,
     /// Warps cooperating per block.
@@ -53,7 +53,11 @@ impl<'a> NaiveMsvKernel<'a> {
             let mut base = 0usize;
             while base < m {
                 let active = ids.map(|t| base + t < m);
-                ctx.gmem_access(ids.map(|t| GM_EMIS_BASE + code as usize * m + base + t), 1, active);
+                ctx.gmem_access(
+                    ids.map(|t| GM_EMIS_BASE + code as usize * m + base + t),
+                    1,
+                    active,
+                );
                 let saddrs = ids.map(|t| self.layout.emis_base + code as usize * m + base + t);
                 let vals = Lanes::from_fn(|t| if base + t < m { row[base + t] } else { 0 });
                 ctx.st_smem_u8(saddrs, vals, active);
@@ -107,8 +111,9 @@ impl<'a> NaiveMsvKernel<'a> {
                 ctx.warp_id = (c % w) as u16;
                 let active = ids.map(|t| c * WARP_SIZE + t < m);
                 deps[c] = ctx.ld_smem_u8(ids.map(|t| row_base + c * WARP_SIZE + t), active);
-                let eaddr = ids
-                    .map(|t| self.layout.emis_base + x as usize * m + (c * WARP_SIZE + t).min(m - 1));
+                let eaddr = ids.map(|t| {
+                    self.layout.emis_base + x as usize * m + (c * WARP_SIZE + t).min(m - 1)
+                });
                 costs[c] = ctx.ld_smem_u8(eaddr, active);
             }
             // Barrier #1: reads must complete before any in-place write.
@@ -195,6 +200,7 @@ mod tests {
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid_blocks, DeviceSpec, KernelConfig};
 
     fn setup(m: usize) -> (MsvProfile, h3w_seqdb::SeqDb, PackedDb) {
@@ -224,7 +230,7 @@ mod tests {
         };
         let kernel = NaiveMsvKernel {
             om,
-            db: packed,
+            db: packed.view(),
             layout,
             warps_per_block: 4,
             elide_barriers: elide,
@@ -273,10 +279,16 @@ mod tests {
         let dev = DeviceSpec::tesla_k40();
         let (mut cfg, _) = best_config(Stage::Msv, om.m, MemConfig::Shared, &dev).unwrap();
         cfg.blocks = 2;
-        let layout = smem_layout(Stage::Msv, om.m, cfg.warps_per_block, MemConfig::Shared, &dev);
+        let layout = smem_layout(
+            Stage::Msv,
+            om.m,
+            cfg.warps_per_block,
+            MemConfig::Shared,
+            &dev,
+        );
         let kernel = MsvWarpKernel {
             om: &om,
-            db: &packed,
+            db: packed.view(),
             mem: MemConfig::Shared,
             layout,
             use_shfl: true,

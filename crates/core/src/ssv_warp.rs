@@ -12,7 +12,7 @@
 
 use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
 use h3w_hmm::msvprofile::MsvProfile;
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (max, add, sub, running
@@ -32,7 +32,7 @@ pub struct SsvWarpKernel<'a> {
     /// Quantized score system (shared with MSV).
     pub om: &'a MsvProfile,
     /// Packed target database.
-    pub db: &'a PackedDb,
+    pub db: PackedView<'a>,
     /// Table placement.
     pub mem: MemConfig,
     /// Shared-memory region map (Stage::Msv layout — identical footprint).
@@ -51,7 +51,11 @@ impl<'a> SsvWarpKernel<'a> {
             let mut base = 0usize;
             while base < m {
                 let active = ids.map(|t| base + t < m);
-                ctx.gmem_access(ids.map(|t| GM_EMIS_BASE + code as usize * m + base + t), 1, active);
+                ctx.gmem_access(
+                    ids.map(|t| GM_EMIS_BASE + code as usize * m + base + t),
+                    1,
+                    active,
+                );
                 let saddrs = ids.map(|t| self.layout.emis_base + code as usize * m + base + t);
                 let vals = Lanes::from_fn(|t| if base + t < m { row[base + t] } else { 0 });
                 ctx.st_smem_u8(saddrs, vals, active);
@@ -72,8 +76,9 @@ impl<'a> SsvWarpKernel<'a> {
         let ids = lane_ids();
         match self.mem {
             MemConfig::Shared => {
-                let addrs = ids
-                    .map(|t| self.layout.emis_base + x as usize * m + (j * WARP_SIZE + t).min(m - 1));
+                let addrs = ids.map(|t| {
+                    self.layout.emis_base + x as usize * m + (j * WARP_SIZE + t).min(m - 1)
+                });
                 ctx.ld_smem_u8(addrs, active)
             }
             MemConfig::Global => {
@@ -221,6 +226,7 @@ mod tests {
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid, DeviceSpec};
 
     fn setup(m: usize) -> (MsvProfile, h3w_seqdb::SeqDb, PackedDb) {
@@ -246,7 +252,7 @@ mod tests {
             let layout = smem_layout(Stage::Msv, m, cfg.warps_per_block, MemConfig::Shared, &dev);
             let kernel = SsvWarpKernel {
                 om: &om,
-                db: &packed,
+                db: packed.view(),
                 mem: MemConfig::Shared,
                 layout,
                 use_shfl: true,
@@ -258,7 +264,12 @@ mod tests {
             hits.sort_by_key(|h| h.seqid);
             for h in &hits {
                 let e = ssv_filter_scalar(&om, &db.seqs[h.seqid as usize].residues);
-                assert_eq!((h.xj, h.overflow), (e.xj, e.overflow), "m={m} seq {}", h.seqid);
+                assert_eq!(
+                    (h.xj, h.overflow),
+                    (e.xj, e.overflow),
+                    "m={m} seq {}",
+                    h.seqid
+                );
             }
         }
     }
@@ -274,14 +285,14 @@ mod tests {
         let layout = smem_layout(Stage::Msv, 60, cfg.warps_per_block, MemConfig::Shared, &dev);
         let ssv = SsvWarpKernel {
             om: &om,
-            db: &packed,
+            db: packed.view(),
             mem: MemConfig::Shared,
             layout,
             use_shfl: true,
         };
         let msv = MsvWarpKernel {
             om: &om,
-            db: &packed,
+            db: packed.view(),
             mem: MemConfig::Shared,
             layout,
             use_shfl: true,

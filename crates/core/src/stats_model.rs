@@ -18,7 +18,7 @@ use crate::msv_warp::{MSV_ALU_PER_ITER, MSV_ALU_PER_ROW, MSV_ALU_PER_SEQ};
 use crate::vit_warp::{
     WarpLazyStats, VIT_ALU_PER_ITER, VIT_ALU_PER_LAZY_ITER, VIT_ALU_PER_ROW, VIT_ALU_PER_SEQ,
 };
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::device::GMEM_SEGMENT;
 use h3w_simt::{KernelStats, WARP_SIZE};
 
@@ -37,8 +37,9 @@ pub struct DbAggregates {
 }
 
 impl DbAggregates {
-    /// Exact aggregates of a packed database.
-    pub fn from_packed(db: &PackedDb) -> DbAggregates {
+    /// Exact aggregates of a packed database (or zero-copy subset view).
+    pub fn from_packed<'a>(db: impl Into<PackedView<'a>>) -> DbAggregates {
+        let db = db.into();
         let mut code_rows = [0u64; 26];
         let mut total_words = 0u64;
         for s in 0..db.n_seqs() {
@@ -136,8 +137,8 @@ pub fn predict_msv(
         MemConfig::Shared => s.smem_loads += executed_rows * iters, // emission
         MemConfig::Global => {
             s.instructions += executed_rows * iters; // LD instructions
-            // L2 transactions by residue composition (row counts per code,
-            // truncated uniformly by the executed fraction).
+                                                     // L2 transactions by residue composition (row counts per code,
+                                                     // truncated uniformly by the executed fraction).
             let frac = if agg.total_residues == 0 {
                 0.0
             } else {
@@ -299,6 +300,7 @@ mod tests {
     use h3w_hmm::profile::Profile;
     use h3w_hmm::vitprofile::VitProfile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid, DeviceSpec};
 
     fn setup(m: usize) -> (MsvProfile, VitProfile, PackedDb) {
@@ -317,7 +319,10 @@ mod tests {
 
     #[test]
     fn msv_prediction_is_exact() {
-        for (dev, use_shfl) in [(DeviceSpec::tesla_k40(), true), (DeviceSpec::gtx_580(), false)] {
+        for (dev, use_shfl) in [
+            (DeviceSpec::tesla_k40(), true),
+            (DeviceSpec::gtx_580(), false),
+        ] {
             for mem in [MemConfig::Shared, MemConfig::Global] {
                 for m in [20usize, 70] {
                     let (om, _, packed) = setup(m);
@@ -326,7 +331,7 @@ mod tests {
                     let layout = smem_layout(Stage::Msv, m, cfg.warps_per_block, mem, &dev);
                     let kernel = MsvWarpKernel {
                         om: &om,
-                        db: &packed,
+                        db: packed.view(),
                         mem,
                         layout,
                         use_shfl,
@@ -343,8 +348,7 @@ mod tests {
                         use_shfl,
                         blocks: cfg.blocks as u64,
                     };
-                    let pred =
-                        predict_msv(m, &shape, &agg, agg.total_residues, agg.total_words);
+                    let pred = predict_msv(m, &shape, &agg, agg.total_residues, agg.total_words);
                     assert_eq!(pred, r.stats, "{} {:?} m={m}", dev.name, mem);
                 }
             }
@@ -353,7 +357,10 @@ mod tests {
 
     #[test]
     fn vit_prediction_is_exact() {
-        for (dev, use_shfl) in [(DeviceSpec::tesla_k40(), true), (DeviceSpec::gtx_580(), false)] {
+        for (dev, use_shfl) in [
+            (DeviceSpec::tesla_k40(), true),
+            (DeviceSpec::gtx_580(), false),
+        ] {
             for mem in [MemConfig::Shared, MemConfig::Global] {
                 let m = 50usize;
                 let (_, om, packed) = setup(m);
@@ -362,7 +369,7 @@ mod tests {
                 let layout = smem_layout(Stage::Viterbi, m, cfg.warps_per_block, mem, &dev);
                 let kernel = VitWarpKernel {
                     om: &om,
-                    db: &packed,
+                    db: packed.view(),
                     mem,
                     layout,
                     use_shfl,

@@ -15,10 +15,10 @@ use crate::stats_model::{predict_msv, predict_vit, DbAggregates, LaunchShape};
 use crate::vit_warp::{DdMode, VitHit, VitWarpKernel, WarpLazyStats};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::vitprofile::VitProfile;
-use h3w_seqdb::PackedDb;
+use h3w_seqdb::PackedView;
 use h3w_simt::{
-    imbalance_factor, kernel_time, run_grid, saturating_grid, CostParams, DeviceSpec,
-    KernelConfig, KernelStats, Occupancy, TimeBreakdown,
+    imbalance_factor, kernel_time, run_grid, saturating_grid, CostParams, DeviceSpec, KernelConfig,
+    KernelStats, Occupancy, TimeBreakdown,
 };
 
 /// Default grid depth: blocks per SM slot, so each warp slot sees several
@@ -131,12 +131,13 @@ fn finalize_run(
 
 /// Run the MSV stage functionally on one device. `mem = None` applies the
 /// automatic switch.
-pub fn run_msv_device(
+pub fn run_msv_device<'a>(
     om: &MsvProfile,
-    db: &PackedDb,
+    db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
     mem: Option<MemConfig>,
 ) -> Result<MsvRun, String> {
+    let db = db.into();
     let agg = DbAggregates::from_packed(db);
     let mem = mem
         .or_else(|| auto_mem_config(Stage::Msv, om.m, dev, &agg))
@@ -164,12 +165,13 @@ pub fn run_msv_device(
 }
 
 /// Run the P7Viterbi stage functionally on one device.
-pub fn run_vit_device(
+pub fn run_vit_device<'a>(
     om: &VitProfile,
-    db: &PackedDb,
+    db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
     mem: Option<MemConfig>,
 ) -> Result<VitRun, String> {
+    let db = db.into();
     let agg = DbAggregates::from_packed(db);
     let mem = mem
         .or_else(|| auto_mem_config(Stage::Viterbi, om.m, dev, &agg))
@@ -213,21 +215,24 @@ pub struct FwdRun {
 }
 
 /// Run the Forward stage functionally on one device.
-pub fn run_fwd_device(
+pub fn run_fwd_device<'a>(
     prof: &h3w_hmm::Profile,
-    db: &PackedDb,
+    db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
 ) -> Result<FwdRun, String> {
+    let db = db.into();
     let (mut cfg, occ) = best_config(Stage::Forward, prof.m, MemConfig::Global, dev)
         .ok_or("no feasible Forward launch config")?;
     cfg.blocks = saturating_grid(dev, &occ, DEFAULT_WAVES)
         .min(db.n_seqs().div_ceil(cfg.warps_per_block).max(1));
-    let layout = smem_layout(Stage::Forward, prof.m, cfg.warps_per_block, MemConfig::Global, dev);
-    let kernel = crate::fwd_warp::FwdWarpKernel {
-        prof,
-        db,
-        layout,
-    };
+    let layout = smem_layout(
+        Stage::Forward,
+        prof.m,
+        cfg.warps_per_block,
+        MemConfig::Global,
+        dev,
+    );
+    let kernel = crate::fwd_warp::FwdWarpKernel { prof, db, layout };
     let r = run_grid(dev, &cfg, &kernel)?;
     let mut hits: Vec<crate::fwd_warp::FwdHit> = r.outputs.into_iter().flatten().collect();
     hits.sort_by_key(|h| h.seqid);
@@ -282,6 +287,7 @@ mod tests {
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
 
     fn setup(m: usize) -> (MsvProfile, VitProfile, h3w_seqdb::SeqDb, PackedDb) {
         let bg = NullModel::new();

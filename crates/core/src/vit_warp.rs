@@ -15,11 +15,9 @@
 //! scalar propagation. Rows whose `Dmax` reduction is −∞ skip the
 //! procedure entirely (most rows, which is the point of the heuristic).
 
-use crate::layout::{
-    MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE, GM_TRANS_BASE,
-};
+use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE, GM_TRANS_BASE};
 use h3w_hmm::vitprofile::{wadd, VitProfile, W_NEG_INF};
-use h3w_seqdb::{PackedDb, RESIDUES_PER_WORD};
+use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
 use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (4 saturating adds + 3
@@ -99,7 +97,7 @@ pub struct VitWarpKernel<'a> {
     /// Quantized score system.
     pub om: &'a VitProfile,
     /// Packed target database.
-    pub db: &'a PackedDb,
+    pub db: PackedView<'a>,
     /// Table placement.
     pub mem: MemConfig,
     /// Shared-memory region map.
@@ -135,8 +133,13 @@ impl<'a> VitWarpKernel<'a> {
                 let active = ids.map(|t| base + t < m);
                 ctx.gmem_access(ids.map(|t| gbase + (base + t) * 2), 2, active);
                 let saddrs = ids.map(|t| sbase + (base + t) * 2);
-                let vals =
-                    Lanes::from_fn(|t| if base + t < m { row[base + t] } else { W_NEG_INF });
+                let vals = Lanes::from_fn(|t| {
+                    if base + t < m {
+                        row[base + t]
+                    } else {
+                        W_NEG_INF
+                    }
+                });
                 ctx.st_smem_i16(saddrs, vals, active);
                 ctx.alu(1);
                 base += WARP_SIZE;
@@ -212,7 +215,13 @@ impl<'a> VitWarpKernel<'a> {
         )
     }
 
-    fn trans_chunk(&self, ctx: &mut SimtCtx, tab: usize, j: usize, active: Lanes<bool>) -> Lanes<i16> {
+    fn trans_chunk(
+        &self,
+        ctx: &mut SimtCtx,
+        tab: usize,
+        j: usize,
+        active: Lanes<bool>,
+    ) -> Lanes<i16> {
         let m = self.om.m;
         self.table_chunk(
             ctx,
@@ -287,10 +296,7 @@ impl<'a> VitWarpKernel<'a> {
 
         for i in 0..len {
             if i % RESIDUES_PER_WORD == 0 {
-                ctx.gmem_access_uniform(
-                    GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4,
-                    4,
-                );
+                ctx.gmem_access_uniform(GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4, 4);
             }
             let x = self.db.residue(seqid, i);
             ctx.alu(VIT_ALU_PER_ROW);
@@ -331,10 +337,24 @@ impl<'a> VitWarpKernel<'a> {
                 sv = sv.zip(ipv.zip(tim, wadd), |a, b| a.max(b));
                 sv = sv.zip(dpv.zip(tdm, wadd), |a, b| a.max(b));
                 sv = sv.zip(emis, wadd);
-                let iv = old_m.zip(tmi, wadd).zip(old_i.zip(tii, wadd), |a, b| a.max(b));
+                let iv = old_m
+                    .zip(tmi, wadd)
+                    .zip(old_i.zip(tii, wadd), |a, b| a.max(b));
 
-                let sv = Lanes::from_fn(|t| if pos_active.lane(t) { sv.lane(t) } else { W_NEG_INF });
-                let iv = Lanes::from_fn(|t| if pos_active.lane(t) { iv.lane(t) } else { W_NEG_INF });
+                let sv = Lanes::from_fn(|t| {
+                    if pos_active.lane(t) {
+                        sv.lane(t)
+                    } else {
+                        W_NEG_INF
+                    }
+                });
+                let iv = Lanes::from_fn(|t| {
+                    if pos_active.lane(t) {
+                        iv.lane(t)
+                    } else {
+                        W_NEG_INF
+                    }
+                });
                 xev = xev.zip(sv, |a, b| a.max(b));
 
                 // Step ③: in-place stores of cells k0+1.
@@ -349,7 +369,13 @@ impl<'a> VitWarpKernel<'a> {
                 let seed_src = ids.map(|t| m_off + (j * WARP_SIZE + t) * 2);
                 let m_left = ctx.ld_smem_i16(seed_src, pos_active);
                 let dv = m_left.zip(tmd, wadd);
-                let dv = Lanes::from_fn(|t| if pos_active.lane(t) { dv.lane(t) } else { W_NEG_INF });
+                let dv = Lanes::from_fn(|t| {
+                    if pos_active.lane(t) {
+                        dv.lane(t)
+                    } else {
+                        W_NEG_INF
+                    }
+                });
                 dmaxv = dmaxv.zip(dv, |a, b| a.max(b));
                 ctx.st_smem_i16(st_addrs.map(|a| d_off + a), dv, pos_active);
 
@@ -365,7 +391,10 @@ impl<'a> VitWarpKernel<'a> {
             } else {
                 let scratch = self.layout.scratch_base
                     + ctx.warp_id as usize * crate::layout::FERMI_SCRATCH_PER_WARP;
-                (ctx.smem_max_i16(xev, scratch), ctx.smem_max_i16(dmaxv, scratch))
+                (
+                    ctx.smem_max_i16(xev, scratch),
+                    ctx.smem_max_i16(dmaxv, scratch),
+                )
             };
 
             // Line 25: closure of the D→D chain.
@@ -434,9 +463,8 @@ impl<'a> VitWarpKernel<'a> {
                 let dprev = ctx.ld_smem_i16(left, pos_active);
                 ctx.alu(VIT_ALU_PER_LAZY_ITER);
                 let cand = dprev.zip(tdd, wadd);
-                let no_improve = Lanes::from_fn(|t| {
-                    !pos_active.lane(t) || cand.lane(t) <= dcur.lane(t)
-                });
+                let no_improve =
+                    Lanes::from_fn(|t| !pos_active.lane(t) || cand.lane(t) <= dcur.lane(t));
                 // Fig. 7's `__all(MD_score > DD_score)` convergence test.
                 if ctx.vote_all(no_improve) {
                     break;
@@ -457,7 +485,7 @@ impl<'a> VitWarpKernel<'a> {
     /// Per chunk: an additive `log₂32`-step scan of `tdd` and a max scan
     /// of `seed − prefix` through `shfl_up`-style exchanges (counted as
     /// shuffles), then one store — no votes, no data-dependent iteration.
-#[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)]
     fn prefix_scan_dd(
         &self,
         ctx: &mut SimtCtx,
@@ -514,10 +542,7 @@ impl<'a> VitWarpKernel<'a> {
                     best_shift + prefix[t]
                 };
                 let v = from_carry.max(from_seeds).max(seed as i64);
-                out.set_lane(
-                    t,
-                    v.clamp(W_NEG_INF as i64, i16::MAX as i64) as i16,
-                );
+                out.set_lane(t, v.clamp(W_NEG_INF as i64, i16::MAX as i64) as i16);
             }
             ctx.st_smem_i16(own, out, pos_active);
             // Carry = final D of the chunk's last active position.
@@ -567,6 +592,7 @@ mod tests {
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::PackedDb;
     use h3w_simt::{run_grid, DeviceSpec};
 
     fn setup(
@@ -596,7 +622,7 @@ mod tests {
         let layout = smem_layout(Stage::Viterbi, om.m, cfg.warps_per_block, mem, dev);
         let kernel = VitWarpKernel {
             om,
-            db: packed,
+            db: packed.view(),
             mem,
             layout,
             use_shfl: dev.has_shfl,
@@ -669,13 +695,18 @@ mod tests {
         let dev = DeviceSpec::tesla_k40();
         for params in [BuildParams::default(), BuildParams::gappy()] {
             let (om, db, packed) = setup(70, 0.00001, &params);
-            let (mut cfg, _) =
-                best_config(Stage::Viterbi, 70, MemConfig::Shared, &dev).unwrap();
+            let (mut cfg, _) = best_config(Stage::Viterbi, 70, MemConfig::Shared, &dev).unwrap();
             cfg.blocks = 2;
-            let layout = smem_layout(Stage::Viterbi, 70, cfg.warps_per_block, MemConfig::Shared, &dev);
+            let layout = smem_layout(
+                Stage::Viterbi,
+                70,
+                cfg.warps_per_block,
+                MemConfig::Shared,
+                &dev,
+            );
             let mk = |dd_mode| VitWarpKernel {
                 om: &om,
-                db: &packed,
+                db: packed.view(),
                 mem: MemConfig::Shared,
                 layout,
                 use_shfl: true,

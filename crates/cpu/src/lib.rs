@@ -12,6 +12,7 @@
 //!    in [`simd`]), swept multi-core via Rayon in [`sweep`], standing in
 //!    for "HMMER 3.0 utilizing multi-core and SSE capabilities" (§IV).
 
+pub mod backend;
 pub mod null2;
 pub mod posterior;
 pub mod quantized;
@@ -22,13 +23,17 @@ pub mod striped_msv;
 pub mod striped_vit;
 pub mod sweep;
 pub mod traceback;
+pub mod x86;
 
+pub use backend::Backend;
+pub use null2::null2_correction;
+pub use posterior::{find_domains, posterior_decode, Domain, Posterior};
 pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
-pub use reference::{backward_generic, forward_generic, msv_filter_model, msv_generic, viterbi_filter_model};
+pub use reference::{
+    backward_generic, forward_generic, msv_filter_model, msv_generic, viterbi_filter_model,
+};
+pub use ssv::{ssv_filter_scalar, ssv_reference, StripedSsv};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{msv_sweep, vit_sweep, vit_sweep_masked, SweepTiming};
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};
-pub use posterior::{find_domains, posterior_decode, Domain, Posterior};
-pub use null2::null2_correction;
-pub use ssv::{ssv_filter_scalar, ssv_reference, StripedSsv};

@@ -83,7 +83,10 @@ mod tests {
         // magnitude below the domain's ~60-nat score and far below the
         // poly-L case tested next.
         assert!(corr < 10.0, "correction {corr} too aggressive");
-        assert!(post.total > corr + 20.0, "correction would erase a true hit");
+        assert!(
+            post.total > corr + 20.0,
+            "correction would erase a true hit"
+        );
     }
 
     /// A deliberately low-complexity model: every column prefers L.

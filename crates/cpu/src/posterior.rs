@@ -17,7 +17,7 @@ use h3w_hmm::alphabet::Residue;
 use h3w_hmm::profile::{Profile, NEG_INF};
 
 /// Per-row posterior decoding of one target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Posterior {
     /// Total Forward score (nats).
     pub total: f32,
@@ -69,10 +69,7 @@ pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
             mv = flogsum(mv, fd[idx(i - 1, k - 1)] + p.tdm[k - 1]);
             fm[idx(i, k)] = mv + p.msc[k][x];
             if k < m {
-                fi[idx(i, k)] = flogsum(
-                    fm[idx(i - 1, k)] + p.tmi[k],
-                    fi[idx(i - 1, k)] + p.tii[k],
-                );
+                fi[idx(i, k)] = flogsum(fm[idx(i - 1, k)] + p.tmi[k], fi[idx(i - 1, k)] + p.tii[k]);
             }
             fd[idx(i, k)] = flogsum(
                 fm[idx(i, k - 1)] + p.tmd[k - 1],
@@ -128,11 +125,7 @@ pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
         b_xc[i] = b_xc[i + 1] + xs.loop_sc;
         b_xe[i] = flogsum(b_xj[i] + xs.e_to_j, b_xc[i] + xs.e_to_c);
         for k in (1..=m).rev() {
-            let to_next = if k < m {
-                p.msc[k + 1][x_next]
-            } else {
-                NEG_INF
-            };
+            let to_next = if k < m { p.msc[k + 1][x_next] } else { NEG_INF };
             let mut v = b_xe[i];
             v = flogsum(v, bm[bidx(i + 1, k + 1)] + p.tmm[k] + to_next);
             if k < m {
@@ -223,7 +216,7 @@ mod tests {
     #[test]
     fn total_matches_forward() {
         let p = setup(25, 1);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = StdRng::seed_from_u64(8);
         for len in [15usize, 60, 150] {
             let seq = random_seq(&mut rng, len);
             let post = posterior_decode(&p, &seq);
@@ -239,7 +232,7 @@ mod tests {
     #[test]
     fn posteriors_are_probabilities() {
         let p = setup(20, 3);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StdRng::seed_from_u64(8);
         let seq = random_seq(&mut rng, 120);
         let post = posterior_decode(&p, &seq);
         assert_eq!(post.homology.len(), 120);
@@ -251,12 +244,11 @@ mod tests {
         let model = synthetic_model(30, 9, &BuildParams::default());
         let bg = NullModel::new();
         let p = Profile::config(&model, &bg);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = StdRng::seed_from_u64(8);
         let mut seq = random_seq(&mut rng, 220);
         seq[90..120].copy_from_slice(&model.consensus);
         let post = posterior_decode(&p, &seq);
-        let inside: f32 =
-            post.homology[92..118].iter().sum::<f32>() / 26.0;
+        let inside: f32 = post.homology[92..118].iter().sum::<f32>() / 26.0;
         let outside: f32 = post.homology[..60].iter().sum::<f32>() / 60.0;
         assert!(
             inside > 0.9 && outside < 0.2,
@@ -275,7 +267,7 @@ mod tests {
         let model = synthetic_model(25, 11, &BuildParams::default());
         let bg = NullModel::new();
         let p = Profile::config(&model, &bg);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = StdRng::seed_from_u64(8);
         let mut seq = random_seq(&mut rng, 300);
         seq[50..75].copy_from_slice(&model.consensus);
         seq[200..225].copy_from_slice(&model.consensus);
@@ -288,7 +280,7 @@ mod tests {
     #[test]
     fn background_sequence_has_no_domains() {
         let p = setup(40, 13);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = StdRng::seed_from_u64(8);
         let seq = random_seq(&mut rng, 200);
         let post = posterior_decode(&p, &seq);
         let domains = find_domains(&post, 0.5, 5);

@@ -208,7 +208,7 @@ pub fn backward_generic(p: &Profile, seq: &[Residue]) -> f32 {
         // terminal setup they hold row L = row (l). In the loop body we
         // compute row i from row i+1 stored in b*.
         let x_next = seq[i] as usize; // residue emitted on transitions from row i to i+1 is x_{i+1} = seq[i]
-        // bB(i) = lse_k bM(i+1, k) + bmk[k] + msc[k][x_{i+1}]
+                                      // bB(i) = lse_k bM(i+1, k) + bmk[k] + msc[k][x_{i+1}]
         let mut bb = NEG_INF;
         for k in 1..=m {
             bb = flogsum(bb, bm[k] + p.bmk[k] + p.msc[k][x_next]);
@@ -221,11 +221,7 @@ pub fn backward_generic(p: &Profile, seq: &[Residue]) -> f32 {
         // Main states, descending k so bd_next[k+1] (same row) is ready.
         for k in (1..=m).rev() {
             // Transitions into node k+1 exist only for k < m.
-            let to_m_next = if k < m {
-                p.msc[k + 1][x_next]
-            } else {
-                NEG_INF
-            };
+            let to_m_next = if k < m { p.msc[k + 1][x_next] } else { NEG_INF };
             let mut v = be_i; // M_k → E (exit after emitting row i)
             v = flogsum(v, bm[k + 1] + p.tmm[k] + to_m_next);
             if k < m {
@@ -235,19 +231,13 @@ pub fn backward_generic(p: &Profile, seq: &[Residue]) -> f32 {
             bm_next[k] = v;
 
             bi_next[k] = if k < m {
-                flogsum(
-                    bm[k + 1] + p.tim[k] + to_m_next,
-                    bi[k] + p.tii[k],
-                )
+                flogsum(bm[k + 1] + p.tim[k] + to_m_next, bi[k] + p.tii[k])
             } else {
                 NEG_INF
             };
 
             bd_next[k] = if k < m {
-                flogsum(
-                    bm[k + 1] + p.tdm[k] + to_m_next,
-                    bd_next[k + 1] + p.tdd[k],
-                )
+                flogsum(bm[k + 1] + p.tdm[k] + to_m_next, bd_next[k + 1] + p.tdd[k])
             } else {
                 NEG_INF
             };

@@ -212,11 +212,7 @@ mod tests {
             let q = ssv_filter_scalar(&om, &seq);
             assert!(!q.overflow);
             let f = ssv_reference(&p, &seq);
-            assert!(
-                (q.score - f).abs() < 2.0,
-                "len {len}: {} vs {f}",
-                q.score
-            );
+            assert!((q.score - f).abs() < 2.0, "len {len}: {} vs {f}", q.score);
         }
     }
 

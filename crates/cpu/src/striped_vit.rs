@@ -1,7 +1,7 @@
-//! Striped 8-lane P7Viterbi filter with Lazy-F — HMMER 3.0's
+//! Striped P7Viterbi filter with Lazy-F — HMMER 3.0's
 //! `p7_ViterbiFilter` (Farrar 2007).
 //!
-//! Same striping as the MSV filter but with 8 × i16 lanes and three DP rows
+//! Same striping as the MSV filter but with i16 lanes and three DP rows
 //! (M/I/D). The D→D within-row chain (the sequential dependency the paper's
 //! §III-B is about) is resolved lazily: the main pass seeds `D` with the
 //! M→D path only; a fixed-point "Lazy-F" loop then propagates D→D until no
@@ -9,14 +9,25 @@
 //! of [`vit_filter_scalar`](crate::quantized::vit_filter_scalar) —
 //! bit-exactly — because `max` chains over the identical saturating-add
 //! paths.
+//!
+//! Like [`StripedMsv`](crate::striped_msv::StripedMsv), the row loop is
+//! backend-dispatched: portable scalar reference (8 emulated lanes), SSE2
+//! intrinsics over the same 8 × i16 layout, and AVX2 intrinsics over a
+//! re-striped 16 × i16 layout (`Q = ⌈M/16⌉`). The Lazy-F fixed point is
+//! unique, so the wider stripe converges to the same D row and all
+//! backends score bit-identically.
 
+use crate::backend::Backend;
 use crate::quantized::VitOutcome;
 use crate::simd::{adds_i16, any_gt_i16, hmax_i16, max_i16, shift_i16, splat_i16, V8i16};
 use h3w_hmm::alphabet::{Residue, N_CODES};
 use h3w_hmm::vitprofile::{wadd, VitProfile, W_NEG_INF};
 
-/// Lanes in the word pipeline (one SSE register of i16).
+/// Lanes in the 128-bit word pipeline (scalar and SSE2 backends).
 pub const VIT_LANES: usize = 8;
+
+/// Lanes in the 256-bit word pipeline (AVX2 backend).
+pub const VIT_LANES_AVX2: usize = 16;
 
 /// Lazy-F effort accounting — the measurable the paper's §III-B/§VI claims
 /// are about (few rows take the D-D path; those that do converge fast).
@@ -32,7 +43,8 @@ pub struct LazyFStats {
     pub max_passes: u32,
 }
 
-/// Reusable row buffers for [`StripedVit::run_into`].
+/// Reusable row buffers for [`StripedVit::run_into`]. The AVX2 backend
+/// reinterprets each `Vec<V8i16>` as half as many 16-lane vectors.
 #[derive(Debug, Default)]
 pub struct VitWorkspace {
     dpm: Vec<V8i16>,
@@ -40,13 +52,70 @@ pub struct VitWorkspace {
     dpd: Vec<V8i16>,
 }
 
+/// AVX2 re-striped tables: `Q = ⌈M/16⌉` vectors of 16 words, phantoms −∞.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone)]
+struct AvxVit {
+    /// Vectors per row: `⌈M/16⌉`.
+    q: usize,
+    /// Striped emissions, code-major: `rwv[code * q + qi]`.
+    rwv: Vec<[i16; VIT_LANES_AVX2]>,
+    tmm: Vec<[i16; VIT_LANES_AVX2]>,
+    tim: Vec<[i16; VIT_LANES_AVX2]>,
+    tdm: Vec<[i16; VIT_LANES_AVX2]>,
+    tmd: Vec<[i16; VIT_LANES_AVX2]>,
+    tdd: Vec<[i16; VIT_LANES_AVX2]>,
+    tmi: Vec<[i16; VIT_LANES_AVX2]>,
+    tii: Vec<[i16; VIT_LANES_AVX2]>,
+    bmk: Vec<[i16; VIT_LANES_AVX2]>,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl AvxVit {
+    fn build(om: &VitProfile) -> AvxVit {
+        let m = om.m;
+        let q = m.div_ceil(VIT_LANES_AVX2).max(1);
+        let stripe = |table: &dyn Fn(usize) -> i16| -> Vec<[i16; VIT_LANES_AVX2]> {
+            (0..q)
+                .map(|qi| {
+                    core::array::from_fn(|z| {
+                        let k0 = z * q + qi;
+                        if k0 < m {
+                            table(k0)
+                        } else {
+                            W_NEG_INF
+                        }
+                    })
+                })
+                .collect()
+        };
+        let mut rwv = Vec::with_capacity(N_CODES * q);
+        for code in 0..N_CODES as u8 {
+            rwv.extend(stripe(&|k0| om.emis(code, k0)));
+        }
+        AvxVit {
+            q,
+            rwv,
+            tmm: stripe(&|k0| om.tmm_in[k0]),
+            tim: stripe(&|k0| om.tim_in[k0]),
+            tdm: stripe(&|k0| om.tdm_in[k0]),
+            tmd: stripe(&|k0| om.tmd_in[k0]),
+            tdd: stripe(&|k0| om.tdd_in[k0]),
+            tmi: stripe(&|k0| om.tmi_self[k0]),
+            tii: stripe(&|k0| om.tii_self[k0]),
+            bmk: stripe(&|k0| om.bmk_in[k0]),
+        }
+    }
+}
+
 /// A profile's Viterbi tables rearranged into the striped layout.
 #[derive(Debug, Clone)]
 pub struct StripedVit {
     /// Model length.
     pub m: usize,
-    /// Vectors per row: `⌈M/8⌉`.
+    /// Vectors per row in the 8-lane layout: `⌈M/8⌉`.
     pub q: usize,
+    backend: Backend,
     base: i16,
     /// Striped emissions, code-major: `rwv[code * q + qi]`.
     rwv: Vec<V8i16>,
@@ -58,11 +127,25 @@ pub struct StripedVit {
     tmi: Vec<V8i16>,
     tii: Vec<V8i16>,
     bmk: Vec<V8i16>,
+    #[cfg(target_arch = "x86_64")]
+    avx: Option<AvxVit>,
 }
 
 impl StripedVit {
-    /// Re-stripe a [`VitProfile`]. Phantom positions get −∞ everywhere.
+    /// Re-stripe a [`VitProfile`] for the auto-detected backend. Phantom
+    /// positions get −∞ everywhere.
     pub fn new(om: &VitProfile) -> StripedVit {
+        StripedVit::with_backend(om, Backend::detect())
+    }
+
+    /// Re-stripe for a specific backend (downgrades to scalar if the
+    /// requested backend cannot run on this CPU).
+    pub fn with_backend(om: &VitProfile, backend: Backend) -> StripedVit {
+        let backend = if backend.available() {
+            backend
+        } else {
+            Backend::Scalar
+        };
         let m = om.m;
         let q = m.div_ceil(VIT_LANES).max(1);
         let stripe = |table: &dyn Fn(usize) -> i16| -> Vec<V8i16> {
@@ -86,6 +169,7 @@ impl StripedVit {
         StripedVit {
             m,
             q,
+            backend,
             base: om.base,
             rwv,
             tmm: stripe(&|k0| om.tmm_in[k0]),
@@ -96,13 +180,41 @@ impl StripedVit {
             tmi: stripe(&|k0| om.tmi_self[k0]),
             tii: stripe(&|k0| om.tii_self[k0]),
             bmk: stripe(&|k0| om.bmk_in[k0]),
+            #[cfg(target_arch = "x86_64")]
+            avx: (backend == Backend::Avx2).then(|| AvxVit::build(om)),
         }
     }
 
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// Score one sequence, reusing `ws` buffers. Returns the outcome and
-    /// Lazy-F effort statistics.
-#[allow(clippy::needless_range_loop)]
+    /// Lazy-F effort statistics. Bit-identical to the scalar reference on
+    /// every backend.
     pub fn run_into(
+        &self,
+        om: &VitProfile,
+        seq: &[Residue],
+        ws: &mut VitWorkspace,
+    ) -> (VitOutcome, LazyFStats) {
+        match self.backend {
+            Backend::Scalar => self.run_scalar(om, seq, ws),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: with_backend only selects Sse2/Avx2 when the CPU
+            // reports the feature (SSE2 is the x86_64 baseline).
+            Backend::Sse2 => unsafe { self.run_sse2(om, seq, ws) },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { self.run_avx2(om, seq, ws) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.run_scalar(om, seq, ws),
+        }
+    }
+
+    /// Portable reference row loop (emulated 8-lane vectors).
+    #[allow(clippy::needless_range_loop)]
+    fn run_scalar(
         &self,
         om: &VitProfile,
         seq: &[Residue],
@@ -142,10 +254,7 @@ impl StripedVit {
                 sv = max_i16(sv, adds_i16(dpv, self.tdm[qi]));
                 sv = adds_i16(sv, row[qi]);
                 xev = max_i16(xev, sv);
-                dpi[qi] = max_i16(
-                    adds_i16(old_m, self.tmi[qi]),
-                    adds_i16(old_i, self.tii[qi]),
-                );
+                dpi[qi] = max_i16(adds_i16(old_m, self.tmi[qi]), adds_i16(old_i, self.tii[qi]));
                 // M→D seed; the q=0 wrap and all D→D arrive in Lazy-F.
                 dpd[qi] = adds_i16(mcur_prev, self.tmd[qi]);
                 dpm[qi] = sv;
@@ -184,13 +293,7 @@ impl StripedVit {
 
             let xe = hmax_i16(xev);
             if xe == i16::MAX {
-                return (
-                    VitOutcome {
-                        xc: i16::MAX,
-                        score: f32::INFINITY,
-                    },
-                    stats,
-                );
+                return (Self::overflow_outcome(), stats);
             }
             xj = wadd(xj, ls.loop_w).max(wadd(xe, ls.e_to_j));
             xc = wadd(xc, ls.loop_w).max(wadd(xe, ls.e_to_c));
@@ -204,6 +307,244 @@ impl StripedVit {
             },
             stats,
         )
+    }
+
+    /// SSE2 row loop: identical 8-lane layout, real 128-bit intrinsics.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn run_sse2(
+        &self,
+        om: &VitProfile,
+        seq: &[Residue],
+        ws: &mut VitWorkspace,
+    ) -> (VitOutcome, LazyFStats) {
+        use crate::x86::{any_gt_epi16_128, hmax_epi16, loadu128, shl1_i16_128, storeu128};
+        use core::arch::x86_64::*;
+
+        let q = self.q;
+        let ls = om.len_scores(seq.len());
+        for buf in [&mut ws.dpm, &mut ws.dpi, &mut ws.dpd] {
+            buf.clear();
+            buf.resize(q, [W_NEG_INF; VIT_LANES]);
+        }
+        let dpm = ws.dpm.as_mut_ptr() as *mut i16;
+        let dpi = ws.dpi.as_mut_ptr() as *mut i16;
+        let dpd = ws.dpd.as_mut_ptr() as *mut i16;
+        let ninf = _mm_set1_epi16(W_NEG_INF);
+
+        let mut stats = LazyFStats::default();
+        let mut xn = self.base;
+        let mut xj = W_NEG_INF;
+        let mut xc = W_NEG_INF;
+        let mut xb = wadd(xn, ls.move_w);
+
+        for &x in seq {
+            stats.rows += 1;
+            let row = self.rwv.as_ptr().add(x as usize * q) as *const i16;
+            let xbv = _mm_set1_epi16(xb);
+            let mut xev = ninf;
+            let mut mpv = shl1_i16_128(loadu128(dpm.add(8 * (q - 1))), W_NEG_INF);
+            let mut ipv = shl1_i16_128(loadu128(dpi.add(8 * (q - 1))), W_NEG_INF);
+            let mut dpv = shl1_i16_128(loadu128(dpd.add(8 * (q - 1))), W_NEG_INF);
+            let mut mcur_prev = ninf;
+            for qi in 0..q {
+                let old_m = loadu128(dpm.add(8 * qi));
+                let old_i = loadu128(dpi.add(8 * qi));
+                let old_d = loadu128(dpd.add(8 * qi));
+                let mut sv = _mm_adds_epi16(xbv, loadu128(self.bmk.as_ptr().add(qi)));
+                sv = _mm_max_epi16(sv, _mm_adds_epi16(mpv, loadu128(self.tmm.as_ptr().add(qi))));
+                sv = _mm_max_epi16(sv, _mm_adds_epi16(ipv, loadu128(self.tim.as_ptr().add(qi))));
+                sv = _mm_max_epi16(sv, _mm_adds_epi16(dpv, loadu128(self.tdm.as_ptr().add(qi))));
+                sv = _mm_adds_epi16(sv, loadu128(row.add(8 * qi)));
+                xev = _mm_max_epi16(xev, sv);
+                let iv = _mm_max_epi16(
+                    _mm_adds_epi16(old_m, loadu128(self.tmi.as_ptr().add(qi))),
+                    _mm_adds_epi16(old_i, loadu128(self.tii.as_ptr().add(qi))),
+                );
+                storeu128(dpi.add(8 * qi), iv);
+                storeu128(
+                    dpd.add(8 * qi),
+                    _mm_adds_epi16(mcur_prev, loadu128(self.tmd.as_ptr().add(qi))),
+                );
+                storeu128(dpm.add(8 * qi), sv);
+                mpv = old_m;
+                ipv = old_i;
+                dpv = old_d;
+                mcur_prev = sv;
+            }
+            let wrap = _mm_adds_epi16(
+                shl1_i16_128(mcur_prev, W_NEG_INF),
+                loadu128(self.tmd.as_ptr()),
+            );
+            storeu128(dpd, _mm_max_epi16(loadu128(dpd), wrap));
+
+            let mut passes = 0u32;
+            loop {
+                passes += 1;
+                let mut changed = false;
+                let mut carry = shl1_i16_128(loadu128(dpd.add(8 * (q - 1))), W_NEG_INF);
+                for qi in 0..q {
+                    let cur = loadu128(dpd.add(8 * qi));
+                    let cand = _mm_adds_epi16(carry, loadu128(self.tdd.as_ptr().add(qi)));
+                    if any_gt_epi16_128(cand, cur) {
+                        let nv = _mm_max_epi16(cur, cand);
+                        storeu128(dpd.add(8 * qi), nv);
+                        changed = true;
+                        carry = nv;
+                    } else {
+                        carry = cur;
+                    }
+                }
+                if !changed || passes > 2 * VIT_LANES as u32 + 2 {
+                    break;
+                }
+            }
+            stats.total_passes += passes as u64;
+            if passes > 1 {
+                stats.rows_extra += 1;
+            }
+            stats.max_passes = stats.max_passes.max(passes);
+
+            let xe = hmax_epi16(xev);
+            if xe == i16::MAX {
+                return (Self::overflow_outcome(), stats);
+            }
+            xj = wadd(xj, ls.loop_w).max(wadd(xe, ls.e_to_j));
+            xc = wadd(xc, ls.loop_w).max(wadd(xe, ls.e_to_c));
+            xn = wadd(xn, ls.loop_w);
+            xb = wadd(xn.max(xj), ls.move_w);
+        }
+        (
+            VitOutcome {
+                xc,
+                score: om.score_to_nats(xc, seq.len()),
+            },
+            stats,
+        )
+    }
+
+    /// AVX2 row loop: re-striped 16-lane layout (`Q = ⌈M/16⌉`), 256-bit
+    /// intrinsics. Workspace rows hold `2Q` 8-word entries viewed as `Q`
+    /// 16-word vectors.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        om: &VitProfile,
+        seq: &[Residue],
+        ws: &mut VitWorkspace,
+    ) -> (VitOutcome, LazyFStats) {
+        use crate::x86::{any_gt_epi16_256, hmax_epi16_256, loadu256, shl1_i16_256, storeu256};
+        use core::arch::x86_64::*;
+
+        let t = self
+            .avx
+            .as_ref()
+            .expect("AVX2 tables built at construction");
+        let q = t.q;
+        let ls = om.len_scores(seq.len());
+        for buf in [&mut ws.dpm, &mut ws.dpi, &mut ws.dpd] {
+            buf.clear();
+            buf.resize(2 * q, [W_NEG_INF; VIT_LANES]);
+        }
+        let dpm = ws.dpm.as_mut_ptr() as *mut i16;
+        let dpi = ws.dpi.as_mut_ptr() as *mut i16;
+        let dpd = ws.dpd.as_mut_ptr() as *mut i16;
+        let ninf = _mm256_set1_epi16(W_NEG_INF);
+
+        let mut stats = LazyFStats::default();
+        let mut xn = self.base;
+        let mut xj = W_NEG_INF;
+        let mut xc = W_NEG_INF;
+        let mut xb = wadd(xn, ls.move_w);
+
+        for &x in seq {
+            stats.rows += 1;
+            let row = t.rwv.as_ptr().add(x as usize * q) as *const i16;
+            let xbv = _mm256_set1_epi16(xb);
+            let mut xev = ninf;
+            let mut mpv = shl1_i16_256(loadu256(dpm.add(16 * (q - 1))), W_NEG_INF);
+            let mut ipv = shl1_i16_256(loadu256(dpi.add(16 * (q - 1))), W_NEG_INF);
+            let mut dpv = shl1_i16_256(loadu256(dpd.add(16 * (q - 1))), W_NEG_INF);
+            let mut mcur_prev = ninf;
+            for qi in 0..q {
+                let old_m = loadu256(dpm.add(16 * qi));
+                let old_i = loadu256(dpi.add(16 * qi));
+                let old_d = loadu256(dpd.add(16 * qi));
+                let mut sv = _mm256_adds_epi16(xbv, loadu256(t.bmk.as_ptr().add(qi)));
+                sv = _mm256_max_epi16(sv, _mm256_adds_epi16(mpv, loadu256(t.tmm.as_ptr().add(qi))));
+                sv = _mm256_max_epi16(sv, _mm256_adds_epi16(ipv, loadu256(t.tim.as_ptr().add(qi))));
+                sv = _mm256_max_epi16(sv, _mm256_adds_epi16(dpv, loadu256(t.tdm.as_ptr().add(qi))));
+                sv = _mm256_adds_epi16(sv, loadu256(row.add(16 * qi)));
+                xev = _mm256_max_epi16(xev, sv);
+                let iv = _mm256_max_epi16(
+                    _mm256_adds_epi16(old_m, loadu256(t.tmi.as_ptr().add(qi))),
+                    _mm256_adds_epi16(old_i, loadu256(t.tii.as_ptr().add(qi))),
+                );
+                storeu256(dpi.add(16 * qi), iv);
+                storeu256(
+                    dpd.add(16 * qi),
+                    _mm256_adds_epi16(mcur_prev, loadu256(t.tmd.as_ptr().add(qi))),
+                );
+                storeu256(dpm.add(16 * qi), sv);
+                mpv = old_m;
+                ipv = old_i;
+                dpv = old_d;
+                mcur_prev = sv;
+            }
+            let wrap =
+                _mm256_adds_epi16(shl1_i16_256(mcur_prev, W_NEG_INF), loadu256(t.tmd.as_ptr()));
+            storeu256(dpd, _mm256_max_epi16(loadu256(dpd), wrap));
+
+            let mut passes = 0u32;
+            loop {
+                passes += 1;
+                let mut changed = false;
+                let mut carry = shl1_i16_256(loadu256(dpd.add(16 * (q - 1))), W_NEG_INF);
+                for qi in 0..q {
+                    let cur = loadu256(dpd.add(16 * qi));
+                    let cand = _mm256_adds_epi16(carry, loadu256(t.tdd.as_ptr().add(qi)));
+                    if any_gt_epi16_256(cand, cur) {
+                        let nv = _mm256_max_epi16(cur, cand);
+                        storeu256(dpd.add(16 * qi), nv);
+                        changed = true;
+                        carry = nv;
+                    } else {
+                        carry = cur;
+                    }
+                }
+                if !changed || passes > 2 * VIT_LANES_AVX2 as u32 + 2 {
+                    break;
+                }
+            }
+            stats.total_passes += passes as u64;
+            if passes > 1 {
+                stats.rows_extra += 1;
+            }
+            stats.max_passes = stats.max_passes.max(passes);
+
+            let xe = hmax_epi16_256(xev);
+            if xe == i16::MAX {
+                return (Self::overflow_outcome(), stats);
+            }
+            xj = wadd(xj, ls.loop_w).max(wadd(xe, ls.e_to_j));
+            xc = wadd(xc, ls.loop_w).max(wadd(xe, ls.e_to_c));
+            xn = wadd(xn, ls.loop_w);
+            xb = wadd(xn.max(xj), ls.move_w);
+        }
+        (
+            VitOutcome {
+                xc,
+                score: om.score_to_nats(xc, seq.len()),
+            },
+            stats,
+        )
+    }
+
+    fn overflow_outcome() -> VitOutcome {
+        VitOutcome {
+            xc: i16::MAX,
+            score: f32::INFINITY,
+        }
     }
 
     /// Score one sequence with fresh buffers.
@@ -238,14 +579,17 @@ mod tests {
     #[test]
     fn bit_exact_vs_scalar_over_sizes() {
         let mut rng = StdRng::seed_from_u64(21);
-        for m in [1usize, 5, 7, 8, 9, 16, 33, 64, 130] {
+        // Sizes around both striping boundaries (8 and 16 lanes).
+        for m in [1usize, 5, 7, 8, 9, 15, 16, 17, 33, 64, 130] {
             let om = om(m, m as u64 + 40, &BuildParams::default());
-            let striped = StripedVit::new(&om);
-            for len in [1usize, 9, 60, 250] {
-                let seq = random_seq(&mut rng, len);
-                let a = vit_filter_scalar(&om, &seq);
-                let (b, _) = striped.run(&om, &seq);
-                assert_eq!(a, b, "m={m} len={len}");
+            for backend in Backend::all_available() {
+                let striped = StripedVit::with_backend(&om, backend);
+                for len in [1usize, 9, 60, 250] {
+                    let seq = random_seq(&mut rng, len);
+                    let a = vit_filter_scalar(&om, &seq);
+                    let (b, _) = striped.run(&om, &seq);
+                    assert_eq!(a, b, "backend={backend} m={m} len={len}");
+                }
             }
         }
     }
@@ -256,13 +600,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         for m in [24usize, 60, 100] {
             let om = om(m, 7, &BuildParams::gappy());
-            let striped = StripedVit::new(&om);
-            for len in [30usize, 120] {
-                let seq = random_seq(&mut rng, len);
-                let a = vit_filter_scalar(&om, &seq);
-                let (b, stats) = striped.run(&om, &seq);
-                assert_eq!(a, b, "m={m} len={len}");
-                assert!(stats.max_passes <= 2 * VIT_LANES as u32 + 3);
+            for backend in Backend::all_available() {
+                let striped = StripedVit::with_backend(&om, backend);
+                for len in [30usize, 120] {
+                    let seq = random_seq(&mut rng, len);
+                    let a = vit_filter_scalar(&om, &seq);
+                    let (b, stats) = striped.run(&om, &seq);
+                    assert_eq!(a, b, "backend={backend} m={m} len={len}");
+                    assert!(stats.max_passes <= 2 * VIT_LANES_AVX2 as u32 + 3);
+                }
             }
         }
     }
@@ -273,13 +619,18 @@ mod tests {
         let core = synthetic_model(70, 9, &BuildParams::default());
         let p = Profile::config(&core, &bg);
         let om = VitProfile::from_profile(&p);
-        let striped = StripedVit::new(&om);
         let mut rng = StdRng::seed_from_u64(23);
+        let mut seqs = Vec::new();
         for _ in 0..5 {
-            let hom = h3w_seqdb::gen::sample_homolog(&mut rng, &core, 12);
-            let a = vit_filter_scalar(&om, &hom);
-            let (b, _) = striped.run(&om, &hom);
-            assert_eq!(a, b);
+            seqs.push(h3w_seqdb::gen::sample_homolog(&mut rng, &core, 12));
+        }
+        for backend in Backend::all_available() {
+            let striped = StripedVit::with_backend(&om, backend);
+            for hom in &seqs {
+                let a = vit_filter_scalar(&om, hom);
+                let (b, _) = striped.run(&om, hom);
+                assert_eq!(a, b, "backend={backend}");
+            }
         }
     }
 
@@ -302,22 +653,40 @@ mod tests {
     #[test]
     fn workspace_reuse_is_clean() {
         let om = om(40, 11, &BuildParams::default());
-        let striped = StripedVit::new(&om);
-        let mut rng = StdRng::seed_from_u64(25);
-        let s1 = random_seq(&mut rng, 80);
-        let s2 = random_seq(&mut rng, 33);
-        let mut ws = VitWorkspace::default();
-        let (a1, _) = striped.run_into(&om, &s1, &mut ws);
-        let (a2, _) = striped.run_into(&om, &s2, &mut ws);
-        assert_eq!(a1, striped.run(&om, &s1).0);
-        assert_eq!(a2, striped.run(&om, &s2).0);
+        for backend in Backend::all_available() {
+            let striped = StripedVit::with_backend(&om, backend);
+            let mut rng = StdRng::seed_from_u64(25);
+            let s1 = random_seq(&mut rng, 80);
+            let s2 = random_seq(&mut rng, 33);
+            let mut ws = VitWorkspace::default();
+            let (a1, _) = striped.run_into(&om, &s1, &mut ws);
+            let (a2, _) = striped.run_into(&om, &s2, &mut ws);
+            assert_eq!(a1, striped.run(&om, &s1).0, "backend={backend}");
+            assert_eq!(a2, striped.run(&om, &s2).0, "backend={backend}");
+        }
     }
 
     #[test]
     fn stripe_geometry() {
         let om = om(17, 2, &BuildParams::default());
-        let striped = StripedVit::new(&om);
+        let striped = StripedVit::with_backend(&om, Backend::Scalar);
         assert_eq!(striped.q, 3); // ceil(17/8)
         assert_eq!(striped.cells_per_row(), 72);
+    }
+
+    #[test]
+    fn workspace_shared_across_backends() {
+        // One workspace must be reusable by instances on different
+        // backends (the AVX2 layout resizes it transparently).
+        let om = om(50, 13, &BuildParams::default());
+        let mut rng = StdRng::seed_from_u64(26);
+        let seq = random_seq(&mut rng, 90);
+        let expect = vit_filter_scalar(&om, &seq);
+        let mut ws = VitWorkspace::default();
+        for backend in Backend::all_available() {
+            let striped = StripedVit::with_backend(&om, backend);
+            let (got, _) = striped.run_into(&om, &seq, &mut ws);
+            assert_eq!(expect, got, "backend={backend}");
+        }
     }
 }

@@ -6,9 +6,9 @@
 //! pool (one task per sequence, work-stealing handles the length skew),
 //! with measured cell throughput for the analytic speedup model.
 
+use crate::quantized::{MsvOutcome, VitOutcome};
 use crate::striped_msv::StripedMsv;
 use crate::striped_vit::{LazyFStats, StripedVit, VitWorkspace};
-use crate::quantized::{MsvOutcome, VitOutcome};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::vitprofile::VitProfile;
 use h3w_seqdb::SeqDb;
@@ -186,8 +186,7 @@ mod tests {
         assert!(out[0].is_some());
         assert!(out[1].is_none());
         assert!(out[db.len() - 1].is_some());
-        let expect_cells =
-            3 * 40 * (db.seqs[0].len() as u64 + db.seqs[db.len() - 1].len() as u64);
+        let expect_cells = 3 * 40 * (db.seqs[0].len() as u64 + db.seqs[db.len() - 1].len() as u64);
         assert_eq!(t.cells, expect_cells);
     }
 
@@ -196,8 +195,16 @@ mod tests {
         let (msv, vit, db) = setup();
         let tm = measure_msv_throughput(&msv, &db, 50);
         let tv = measure_vit_throughput(&vit, &db, 50);
-        assert!(tm.cells_per_sec > 1e6, "MSV throughput {}", tm.cells_per_sec);
-        assert!(tv.cells_per_sec > 1e6, "Vit throughput {}", tv.cells_per_sec);
+        assert!(
+            tm.cells_per_sec > 1e6,
+            "MSV throughput {}",
+            tm.cells_per_sec
+        );
+        assert!(
+            tv.cells_per_sec > 1e6,
+            "Vit throughput {}",
+            tv.cells_per_sec
+        );
         // Per-cell, Viterbi does ≫ more work than MSV; with the 3× cell
         // accounting they land within an order of magnitude.
         assert!(tm.cells_per_sec > tv.cells_per_sec / 10.0);

@@ -443,7 +443,11 @@ mod tests {
         // match line.
         let match_line = text.lines().nth(1).unwrap();
         assert!(
-            match_line.chars().filter(|c| c.is_ascii_lowercase()).count() >= 10,
+            match_line
+                .chars()
+                .filter(|c| c.is_ascii_lowercase())
+                .count()
+                >= 10,
             "match line too weak: {match_line:?}"
         );
     }

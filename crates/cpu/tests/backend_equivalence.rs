@@ -1,0 +1,146 @@
+//! Property tests: every SIMD backend is bit-identical to the scalar
+//! reference for the striped MSV and P7Viterbi filters — scores, overflow
+//! flags, and the survivor sets they induce — across model sizes that
+//! straddle both the 16/32-lane (MSV) and 8/16-lane (Viterbi) stripe
+//! boundaries, and across degenerate sequences (empty, single-residue,
+//! longer than 64 KiB).
+
+use h3w_cpu::striped_msv::StripedMsv;
+use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
+use h3w_cpu::Backend;
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::calibrate::random_seq;
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::vitprofile::VitProfile;
+use h3w_hmm::NullModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn profiles(m: usize, seed: u64) -> (MsvProfile, VitProfile) {
+    let bg = NullModel::new();
+    let core = synthetic_model(m, seed, &BuildParams::default());
+    let p = Profile::config(&core, &bg);
+    (MsvProfile::from_profile(&p), VitProfile::from_profile(&p))
+}
+
+/// Assert every available backend reproduces the scalar outcome on `seq`,
+/// bit for bit.
+fn assert_backends_match(
+    msv: &MsvProfile,
+    vit: &VitProfile,
+    seq: &[u8],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let smsv = StripedMsv::with_backend(msv, Backend::Scalar);
+    let svit = StripedVit::with_backend(vit, Backend::Scalar);
+    let mut dp = Vec::new();
+    let mut ws = VitWorkspace::default();
+    let m0 = smsv.run_into(msv, seq, &mut dp);
+    let v0 = svit.run_into(vit, seq, &mut ws).0;
+    for backend in Backend::all_available() {
+        if backend == Backend::Scalar {
+            continue;
+        }
+        let mb = StripedMsv::with_backend(msv, backend).run_into(msv, seq, &mut dp);
+        let vb = StripedVit::with_backend(vit, backend)
+            .run_into(vit, seq, &mut ws)
+            .0;
+        prop_assert_eq!(
+            (m0.xj, m0.overflow, m0.score.to_bits()),
+            (mb.xj, mb.overflow, mb.score.to_bits()),
+            "MSV {} vs scalar diverged ({ctx})",
+            backend
+        );
+        prop_assert_eq!(
+            (v0.xc, v0.score.to_bits()),
+            (vb.xc, vb.score.to_bits()),
+            "Viterbi {} vs scalar diverged ({ctx})",
+            backend
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn filters_bit_identical_across_backends(
+        m in 1usize..400,
+        model_seed in 0u64..10_000,
+        seq_seed in 0u64..10_000,
+        len in 0usize..600,
+    ) {
+        let (msv, vit) = profiles(m, model_seed);
+        let seq = random_seq(&mut StdRng::seed_from_u64(seq_seed), len);
+        assert_backends_match(&msv, &vit, &seq, &format!("m={m} len={len}"))?;
+    }
+
+    #[test]
+    fn survivor_sets_identical_across_backends(
+        m in 1usize..200,
+        seq_seed in 0u64..10_000,
+    ) {
+        // A batch of sequences thresholded on the MSV/Viterbi scores must
+        // select the same survivors under every backend.
+        let (msv, vit) = profiles(m, 17);
+        let mut rng = StdRng::seed_from_u64(seq_seed);
+        let seqs: Vec<Vec<u8>> = (0..24).map(|i| random_seq(&mut rng, 20 + 13 * i)).collect();
+        let mask = |backend: Backend| -> (Vec<bool>, Vec<bool>) {
+            let smsv = StripedMsv::with_backend(&msv, backend);
+            let svit = StripedVit::with_backend(&vit, backend);
+            let mut dp = Vec::new();
+            let mut ws = VitWorkspace::default();
+            let ms: Vec<f32> = seqs.iter().map(|s| smsv.run_into(&msv, s, &mut dp).score).collect();
+            let vs: Vec<f32> = seqs.iter().map(|s| svit.run_into(&vit, s, &mut ws).0.score).collect();
+            // Median split: roughly half the batch "survives" each stage,
+            // so a single flipped score is certain to flip a mask bit.
+            let median = |xs: &[f32]| {
+                let mut v = xs.to_vec();
+                v.sort_by(f32::total_cmp);
+                v[v.len() / 2]
+            };
+            let (tm, tv) = (median(&ms), median(&vs));
+            (
+                ms.iter().map(|&s| s >= tm).collect(),
+                vs.iter().map(|&s| s >= tv).collect(),
+            )
+        };
+        let scalar = mask(Backend::Scalar);
+        for backend in Backend::all_available() {
+            prop_assert_eq!(&scalar, &mask(backend), "survivors diverged under {}", backend);
+        }
+    }
+}
+
+#[test]
+fn degenerate_sequences_match_across_backends() {
+    // Empty input, a single residue, and a > 64 KiB sequence — the cases
+    // that stress workspace sizing, the q=0 wrap, and overflow handling.
+    let mut rng = StdRng::seed_from_u64(99);
+    let long = random_seq(&mut rng, 70_000);
+    for m in [1usize, 16, 31, 32, 33, 257] {
+        let (msv, vit) = profiles(m, 5);
+        for seq in [&[][..], &[0u8][..], &[19u8][..], &long[..]] {
+            assert_backends_match(&msv, &vit, seq, &format!("m={m} len={}", seq.len()))
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn forced_backend_env_var_is_honored() {
+    // H3W_SIMD_BACKEND is read once (OnceLock) — spawn a child test run
+    // would be heavy, so just check from_name round-trips the accepted
+    // spellings used by the env override.
+    for (name, want) in [
+        ("scalar", Backend::Scalar),
+        ("sse2", Backend::Sse2),
+        ("avx2", Backend::Avx2),
+    ] {
+        assert_eq!(Backend::from_name(name), Some(want));
+    }
+    assert_eq!(Backend::from_name("neon"), None);
+}

@@ -6,7 +6,7 @@
 //! All profile scores in this workspace are log-odds in **nats** against
 //! this model.
 
-use crate::alphabet::{expand_scores, BACKGROUND_F, N_CODES, N_STANDARD, Residue};
+use crate::alphabet::{expand_scores, Residue, BACKGROUND_F, N_CODES, N_STANDARD};
 
 /// The background model: residue frequencies plus the null length model.
 #[derive(Debug, Clone)]

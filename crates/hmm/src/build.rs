@@ -192,9 +192,8 @@ mod tests {
     fn gappy_params_raise_dd() {
         let g = synthetic_model(100, 1, &BuildParams::gappy());
         let c = synthetic_model(100, 1, &BuildParams::default());
-        let mean_dd = |m: &CoreModel| {
-            m.nodes.iter().map(|n| n.t.dd as f64).sum::<f64>() / m.len() as f64
-        };
+        let mean_dd =
+            |m: &CoreModel| m.nodes.iter().map(|n| n.t.dd as f64).sum::<f64>() / m.len() as f64;
         assert!(mean_dd(&g) > mean_dd(&c) + 0.3);
     }
 

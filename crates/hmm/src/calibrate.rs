@@ -72,10 +72,7 @@ pub fn fit_gumbel_mu(scores: &[f32], lambda: f32) -> f32 {
     assert!(!scores.is_empty(), "cannot fit an empty sample");
     let l = lambda as f64;
     let min = scores.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
-    let sum: f64 = scores
-        .iter()
-        .map(|&s| (-l * (s as f64 - min)).exp())
-        .sum();
+    let sum: f64 = scores.iter().map(|&s| (-l * (s as f64 - min)).exp()).sum();
     (min - (sum / scores.len() as f64).ln() / l) as f32
 }
 

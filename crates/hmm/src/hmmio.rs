@@ -57,9 +57,21 @@ pub fn write_hmm(model: &CoreModel, stats: Option<&Calibration>) -> String {
     let _ = writeln!(out, "ALPH  amino");
     if let Some(c) = stats {
         // HMMER prints (mu, lambda) per stage; we carry λ in per-nat units.
-        let _ = writeln!(out, "STATS LOCAL MSV      {:9.4} {:8.5}", c.mu_msv, c.lambda);
-        let _ = writeln!(out, "STATS LOCAL VITERBI  {:9.4} {:8.5}", c.mu_vit, c.lambda);
-        let _ = writeln!(out, "STATS LOCAL FORWARD  {:9.4} {:8.5}", c.tau_fwd, c.lambda);
+        let _ = writeln!(
+            out,
+            "STATS LOCAL MSV      {:9.4} {:8.5}",
+            c.mu_msv, c.lambda
+        );
+        let _ = writeln!(
+            out,
+            "STATS LOCAL VITERBI  {:9.4} {:8.5}",
+            c.mu_vit, c.lambda
+        );
+        let _ = writeln!(
+            out,
+            "STATS LOCAL FORWARD  {:9.4} {:8.5}",
+            c.tau_fwd, c.lambda
+        );
     }
     let _ = write!(out, "HMM     ");
     for &ch in &SYMBOLS[..N_STANDARD] {
@@ -119,9 +131,7 @@ pub fn read_hmm(text: &str) -> Result<HmmFile, HmmParseError> {
     let mut lines = text.lines().enumerate().peekable();
 
     // Header.
-    let (ln, first) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty file"))?;
+    let (ln, first) = lines.next().ok_or_else(|| err(1, "empty file"))?;
     if !first.starts_with("HMMER3") {
         return Err(err(ln + 1, format!("not a HMMER3 file: {first:?}")));
     }
@@ -231,9 +241,7 @@ pub fn read_hmm(text: &str) -> Result<HmmFile, HmmParseError> {
             .unwrap_or('A');
         let cons = crate::alphabet::digitize(cons_char).map_err(|e| err(ln, e.to_string()))?;
 
-        let (i2, ins_line) = lines
-            .next()
-            .ok_or_else(|| err(ln, "missing insert line"))?;
+        let (i2, ins_line) = lines.next().ok_or_else(|| err(ln, "missing insert line"))?;
         let ins_toks: Vec<&str> = ins_line.split_whitespace().collect();
         let ins = parse_probs(i2 + 1, &ins_toks)?;
 

@@ -7,7 +7,7 @@
 //! gap-majority (HMMER's `--fast` rule), collect weighted counts with
 //! background pseudocounts, and emit a [`CoreModel`].
 
-use crate::alphabet::{digitize, is_gap, is_standard, symbol, BACKGROUND_F, N_STANDARD, Residue};
+use crate::alphabet::{digitize, is_gap, is_standard, symbol, Residue, BACKGROUND_F, N_STANDARD};
 use crate::plan7::{CoreModel, Node, NodeTrans};
 
 /// One aligned row set (sequences padded with gap symbols to equal width).
@@ -25,7 +25,11 @@ pub struct Msa {
 #[derive(Debug, Clone, PartialEq)]
 pub enum MsaError {
     /// Two rows of different lengths.
-    RaggedRows { name: String, expected: usize, got: usize },
+    RaggedRows {
+        name: String,
+        expected: usize,
+        got: usize,
+    },
     /// A character that is neither a residue nor a gap.
     BadChar { name: String, ch: char },
     /// The alignment has no rows or no columns.
@@ -71,8 +75,10 @@ impl Msa {
                     if ch.is_whitespace() {
                         continue;
                     }
-                    let code =
-                        digitize(ch).map_err(|_| MsaError::BadChar { name: name.clone(), ch })?;
+                    let code = digitize(ch).map_err(|_| MsaError::BadChar {
+                        name: name.clone(),
+                        ch,
+                    })?;
                     row.push(code);
                 }
             }
@@ -263,7 +269,11 @@ enum Col {
 }
 
 /// Build a core model from an alignment (`hmmbuild`-style).
-pub fn build_from_msa(msa: &Msa, name: &str, params: &MsaBuildParams) -> Result<CoreModel, MsaError> {
+pub fn build_from_msa(
+    msa: &Msa,
+    name: &str,
+    params: &MsaBuildParams,
+) -> Result<CoreModel, MsaError> {
     if msa.rows.is_empty() {
         return Err(MsaError::Empty);
     }
@@ -365,21 +375,20 @@ pub fn build_from_msa(msa: &Msa, name: &str, params: &MsaBuildParams) -> Result<
                     node += 1;
                 }
                 Col::Insert => {
-                    if !is_gap(r)
-                        && node > 0 {
-                            if is_standard(r) {
-                                ins_counts[node - 1][r as usize] += w;
-                            }
-                            let t = &mut t_counts[node - 1];
-                            match state {
-                                St::M => t.mi += w,
-                                St::I => t.ii += w,
-                                St::D => t.mi += w, // D→I folded (no D→I in Plan-7)
-                                St::Begin => {}
-                            }
-                            state = St::I;
+                    if !is_gap(r) && node > 0 {
+                        if is_standard(r) {
+                            ins_counts[node - 1][r as usize] += w;
                         }
-                        // Inserts before node 1 are N-flank: ignored.
+                        let t = &mut t_counts[node - 1];
+                        match state {
+                            St::M => t.mi += w,
+                            St::I => t.ii += w,
+                            St::D => t.mi += w, // D→I folded (no D→I in Plan-7)
+                            St::Begin => {}
+                        }
+                        state = St::I;
+                    }
+                    // Inserts before node 1 are N-flank: ignored.
                 }
             }
         }
@@ -533,10 +542,7 @@ M-VQLG
         let rand_seq: Vec<u8> = (0..30).map(|_| rng.gen_range(0u8..20)).collect();
         let s_hom = ungapped_best(&prof, &hom);
         let s_bg = ungapped_best(&prof, &rand_seq);
-        assert!(
-            s_hom > s_bg + 10.0,
-            "homolog {s_hom} vs background {s_bg}"
-        );
+        assert!(s_hom > s_bg + 10.0, "homolog {s_hom} vs background {s_bg}");
     }
 
     #[test]
@@ -608,8 +614,7 @@ mod weight_tests {
         }
         text.push_str(">odd\nWWWWWW\n");
         let msa = Msa::parse_afa(&text).unwrap();
-        let weighted =
-            build_from_msa(&msa, "w", &MsaBuildParams::default()).unwrap();
+        let weighted = build_from_msa(&msa, "w", &MsaBuildParams::default()).unwrap();
         let params = MsaBuildParams {
             position_based_weights: false,
             ..Default::default()

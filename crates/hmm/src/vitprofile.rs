@@ -103,9 +103,7 @@ impl VitProfile {
         // Destination-aligned: entering node k means leaving node k-1, so
         // index k0 reads the profile's source arrays at k0 (= node k-1),
         // which are −∞ at 0 already.
-        let dest = |v: &[f32]| -> Vec<i16> {
-            (0..m).map(|k0| wordify(scale, v[k0])).collect()
-        };
+        let dest = |v: &[f32]| -> Vec<i16> { (0..m).map(|k0| wordify(scale, v[k0])).collect() };
         // Self-node transitions at node k = k0+1.
         let selfn = |v: &[f32]| -> Vec<i16> {
             (0..m)

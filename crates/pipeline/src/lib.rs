@@ -15,7 +15,7 @@ pub mod run;
 pub mod stream;
 
 pub use config::PipelineConfig;
-pub use report::{Hit, PipelineResult, StageStats};
 pub use multi::{best_hits_per_target, scan, FamilyResult, TargetMatch};
+pub use report::{Hit, PipelineResult, StageStats};
 pub use run::Pipeline;
 pub use stream::{search_chunked, FastaChunks};

@@ -115,15 +115,24 @@ mod tests {
         }
         let results = scan(&families, &db, PipelineConfig::default(), 9);
         assert_eq!(results.len(), 3);
-        let hits_of = |i: usize| -> Vec<&str> {
-            results[i].hits.iter().map(|h| h.name.as_str()).collect()
-        };
+        let hits_of =
+            |i: usize| -> Vec<&str> { results[i].hits.iter().map(|h| h.name.as_str()).collect() };
         // Family 0 finds its own homologs, not family 2's.
         let h0 = hits_of(0);
-        assert!(h0.iter().filter(|n| n.starts_with("fam0")).count() >= 4, "{h0:?}");
-        assert_eq!(h0.iter().filter(|n| n.starts_with("fam2")).count(), 0, "{h0:?}");
+        assert!(
+            h0.iter().filter(|n| n.starts_with("fam0")).count() >= 4,
+            "{h0:?}"
+        );
+        assert_eq!(
+            h0.iter().filter(|n| n.starts_with("fam2")).count(),
+            0,
+            "{h0:?}"
+        );
         let h2 = hits_of(2);
-        assert!(h2.iter().filter(|n| n.starts_with("fam2")).count() >= 4, "{h2:?}");
+        assert!(
+            h2.iter().filter(|n| n.starts_with("fam2")).count() >= 4,
+            "{h2:?}"
+        );
         // Family 1 planted nothing.
         assert!(results[1].hits.len() <= 1, "{:?}", hits_of(1));
     }
@@ -142,6 +151,7 @@ mod tests {
                     fwd_score: 30.0,
                     pvalue: 1e-9,
                     evalue: 1e-6,
+                    posterior: None,
                 }],
                 passed: (1, 1),
             },
@@ -156,6 +166,7 @@ mod tests {
                     fwd_score: 50.0,
                     pvalue: 1e-12,
                     evalue: 1e-9,
+                    posterior: None,
                 }],
                 passed: (1, 1),
             },

@@ -1,6 +1,9 @@
 //! Pipeline results: per-stage statistics (the Fig. 1 quantities) and the
 //! reported hit list.
 
+use h3w_cpu::Posterior;
+use std::sync::Arc;
+
 /// One reported homolog.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hit {
@@ -18,6 +21,9 @@ pub struct Hit {
     pub pvalue: f64,
     /// E-value (`P × database size`).
     pub evalue: f64,
+    /// Posterior decoding computed for the null2 correction, shared with
+    /// domain reporting (`None` when null2 is off).
+    pub posterior: Option<Arc<Posterior>>,
 }
 
 /// One stage's funnel and timing numbers.

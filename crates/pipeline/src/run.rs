@@ -14,6 +14,7 @@ use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device};
 use h3w_cpu::reference::forward_generic;
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
+use h3w_cpu::Backend;
 use h3w_hmm::calibrate::{self, Calibration};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::plan7::CoreModel;
@@ -23,7 +24,12 @@ use h3w_hmm::NullModel;
 use h3w_seqdb::{PackedDb, SeqDb};
 use h3w_simt::DeviceSpec;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Lengths covered by the precomputed `null1(L)` table; longer targets
+/// fall back to the closed-form evaluation.
+const NULL1_TABLE_LEN: usize = 16384;
 
 /// A fully prepared query: profile, quantized tables, striped filters,
 /// calibration.
@@ -48,23 +54,49 @@ pub struct Pipeline {
     pub cal: Calibration,
     /// Stage thresholds.
     pub config: PipelineConfig,
+    /// SIMD backend the striped filters dispatched to.
+    backend: Backend,
+    /// `null1(L)` for `L ∈ 0..NULL1_TABLE_LEN`, hoisting the per-call
+    /// `NullModel` clone out of [`Pipeline::corrected`].
+    null1: Vec<f32>,
 }
 
 impl Pipeline {
     /// Prepare a query model: configure, quantize, stripe and calibrate
-    /// (deterministic given `seed`).
+    /// (deterministic given `seed`). The SIMD backend is auto-detected
+    /// (`H3W_SIMD_BACKEND` overrides).
     pub fn prepare(core: &CoreModel, config: PipelineConfig, seed: u64) -> Pipeline {
+        Self::prepare_with_backend(core, config, seed, Backend::detect())
+    }
+
+    /// [`Pipeline::prepare`] with an explicit SIMD backend (downgraded to
+    /// scalar if unavailable on this host) — for benchmarking and
+    /// cross-backend equivalence tests.
+    pub fn prepare_with_backend(
+        core: &CoreModel,
+        config: PipelineConfig,
+        seed: u64,
+        backend: Backend,
+    ) -> Pipeline {
         let bg = NullModel::new();
         let profile = Profile::config(core, &bg);
-        let null1_cal = {
+        // Length-indexed null1 table: one NullModel walk at prepare time
+        // replaces a clone + set_length on every corrected() call.
+        let null1: Vec<f32> = {
             let mut b = bg.clone();
-            b.set_length(calibrate::DEFAULT_LEN);
-            b.null1_score(calibrate::DEFAULT_LEN)
+            (0..NULL1_TABLE_LEN)
+                .map(|len| {
+                    b.set_length(len);
+                    b.null1_score(len)
+                })
+                .collect()
         };
+        let null1_cal = null1[calibrate::DEFAULT_LEN];
         let msv = MsvProfile::from_profile(&profile);
         let vit = VitProfile::from_profile(&profile);
-        let striped_msv = StripedMsv::new(&msv);
-        let striped_vit = StripedVit::new(&vit);
+        let striped_msv = StripedMsv::with_backend(&msv, backend);
+        let striped_vit = StripedVit::with_backend(&vit, backend);
+        let backend = striped_msv.backend();
         let mut ws = VitWorkspace::default();
         let mut dp = Vec::new();
         let cal = calibrate::calibrate(
@@ -84,14 +116,28 @@ impl Pipeline {
             striped_vit,
             cal,
             config,
+            backend,
+            null1,
         }
     }
 
-    /// Null-corrected score: `raw − null1(len)` (nats).
+    /// The SIMD backend the striped filters dispatched to (shared by the
+    /// MSV and Viterbi filters; see `h3w_cpu::Backend::detect`).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Null-corrected score: `raw − null1(len)` (nats). Table lookup for
+    /// lengths under [`NULL1_TABLE_LEN`]; identical closed form beyond.
     pub fn corrected(&self, raw: f32, len: usize) -> f32 {
-        let mut b = self.bg.clone();
-        b.set_length(len);
-        raw - b.null1_score(len)
+        let null1 = match self.null1.get(len) {
+            Some(&v) => v,
+            None => {
+                let p1 = len as f32 / (len as f32 + 1.0);
+                len as f32 * p1.ln() + (1.0 - p1).ln()
+            }
+        };
+        raw - null1
     }
 
     /// P-value of a null-corrected MSV filter score for a target of
@@ -131,11 +177,20 @@ impl Pipeline {
     }
 
     /// Decode the domain structure of a reported hit (posterior-decoded
-    /// homology regions, HMMER's post-Forward step).
+    /// homology regions, HMMER's post-Forward step). Reuses the posterior
+    /// already computed for the null2 correction when the hit carries one,
+    /// decoding from scratch only otherwise.
     pub fn domains_for_hit(&self, db: &SeqDb, hit: &Hit) -> Vec<h3w_cpu::Domain> {
-        let seq = &db.seqs[hit.seqid as usize].residues;
-        let post = h3w_cpu::posterior_decode(&self.profile, seq);
-        h3w_cpu::find_domains(&post, 0.5, 3)
+        let decoded;
+        let post = match hit.posterior.as_deref() {
+            Some(p) => p,
+            None => {
+                let seq = &db.seqs[hit.seqid as usize].residues;
+                decoded = h3w_cpu::posterior_decode(&self.profile, seq);
+                &decoded
+            }
+        };
+        h3w_cpu::find_domains(post, 0.5, 3)
     }
 
     /// Sweep a database entirely on the multi-core striped CPU baseline.
@@ -148,7 +203,9 @@ impl Pipeline {
             .seqs
             .par_iter()
             .map_init(Vec::new, |dp, seq| {
-                self.striped_msv.run_into(&self.msv, &seq.residues, dp).score
+                self.striped_msv
+                    .run_into(&self.msv, &seq.residues, dp)
+                    .score
             })
             .collect();
         let msv_time = t0.elapsed().as_secs_f64();
@@ -166,7 +223,12 @@ impl Pipeline {
             .par_iter()
             .zip(pass1.par_iter())
             .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
-                keep.then(|| self.striped_vit.run_into(&self.vit, &seq.residues, ws).0.score)
+                keep.then(|| {
+                    self.striped_vit
+                        .run_into(&self.vit, &seq.residues, ws)
+                        .0
+                        .score
+                })
             })
             .collect();
         let vit_time = t1.elapsed().as_secs_f64();
@@ -224,24 +286,18 @@ impl Pipeline {
             .collect();
         let n1 = pass1.iter().filter(|&&b| b).count();
 
-        // Survivors form the Viterbi stage's device workload.
-        let mut survivors = SeqDb::new(format!("{}|msv-pass", db.name));
-        let mut survivor_ids = Vec::new();
-        for (i, seq) in db.seqs.iter().enumerate() {
-            if pass1[i] {
-                survivors.seqs.push(seq.clone());
-                survivor_ids.push(i);
-            }
-        }
+        // Survivors form the Viterbi stage's device workload: an index
+        // subset over the already-packed words — no sequence is cloned or
+        // repacked on the stage hand-off.
+        let sub = packed.subset_by_mask(&pass1);
         let mut vit_scores: Vec<Option<f32>> = vec![None; n];
         let vit_time_s;
-        if survivors.is_empty() {
+        if sub.is_empty() {
             vit_time_s = 0.0;
         } else {
-            let vpacked = PackedDb::from_db(&survivors);
-            let vit_run = run_vit_device(&self.vit, &vpacked, dev, None)?;
+            let vit_run = run_vit_device(&self.vit, &sub, dev, None)?;
             for h in &vit_run.hits {
-                vit_scores[survivor_ids[h.seqid as usize]] = Some(h.score);
+                vit_scores[sub.parent_id(h.seqid as usize)] = Some(h.score);
             }
             vit_time_s = vit_run.run.time.total_s;
         }
@@ -297,27 +353,21 @@ impl Pipeline {
             .zip(&db.seqs)
             .map(|(h, q)| self.msv_pvalue(h.score, q.len()) < self.config.f1)
             .collect();
-        let mut survivors = SeqDb::new(format!("{}|msv-pass", db.name));
-        let mut ids = Vec::new();
-        for (i, seq) in db.seqs.iter().enumerate() {
-            if pass1[i] {
-                survivors.seqs.push(seq.clone());
-                ids.push(i);
-            }
-        }
+        // Both survivor hand-offs are zero-copy index subsets into the one
+        // PackedDb built above; hit seqids are remapped through parent_id.
+        let sub = packed.subset_by_mask(&pass1);
         let n = db.len();
         let mut vit_scores: Vec<Option<f32>> = vec![None; n];
         let mut vit_time_s = 0.0;
         let mut fwd_scores: Vec<Option<f32>> = vec![None; n];
         let mut fwd_time_s = 0.0;
-        let n1 = ids.len();
+        let n1 = sub.n_seqs();
         let mut n2 = 0usize;
-        if !survivors.is_empty() {
-            let vpacked = PackedDb::from_db(&survivors);
-            let vit_run = run_vit_device(&self.vit, &vpacked, dev, None)?;
+        if !sub.is_empty() {
+            let vit_run = run_vit_device(&self.vit, &sub, dev, None)?;
             vit_time_s = vit_run.run.time.total_s;
             for h in &vit_run.hits {
-                vit_scores[ids[h.seqid as usize]] = Some(h.score);
+                vit_scores[sub.parent_id(h.seqid as usize)] = Some(h.score);
             }
             let pass2: Vec<bool> = (0..n)
                 .map(|i| {
@@ -325,21 +375,13 @@ impl Pipeline {
                         .is_some_and(|s| self.vit_pvalue(s, db.seqs[i].len()) < self.config.f2)
                 })
                 .collect();
-            let mut fsurv = SeqDb::new(format!("{}|vit-pass", db.name));
-            let mut fids = Vec::new();
-            for (i, seq) in db.seqs.iter().enumerate() {
-                if pass2[i] {
-                    fsurv.seqs.push(seq.clone());
-                    fids.push(i);
-                }
-            }
-            n2 = fids.len();
-            if !fsurv.is_empty() {
-                let fpacked = PackedDb::from_db(&fsurv);
-                let fwd_run = run_fwd_device(&self.profile, &fpacked, dev)?;
+            let fsub = packed.subset_by_mask(&pass2);
+            n2 = fsub.n_seqs();
+            if !fsub.is_empty() {
+                let fwd_run = run_fwd_device(&self.profile, &fsub, dev)?;
                 fwd_time_s = fwd_run.run.time.total_s;
                 for h in &fwd_run.hits {
-                    fwd_scores[fids[h.seqid as usize]] = Some(h.score);
+                    fwd_scores[fsub.parent_id(h.seqid as usize)] = Some(h.score);
                 }
             }
         }
@@ -381,10 +423,14 @@ impl Pipeline {
         for i in 0..n {
             let Some(mut fwd_sc) = fwd[i] else { continue };
             // Optional biased-composition correction (HMMER's null2),
-            // computed from the posterior decoding of this survivor.
+            // computed from the posterior decoding of this survivor. The
+            // posterior rides along on the hit so domain reporting never
+            // re-decodes it.
+            let mut posterior = None;
             if self.config.null2 {
                 let post = h3w_cpu::posterior_decode(&self.profile, &db.seqs[i].residues);
                 fwd_sc -= h3w_cpu::null2_correction(&self.bg, &db.seqs[i].residues, &post);
+                posterior = Some(Arc::new(post));
             }
             let p = self.fwd_pvalue(fwd_sc, db.seqs[i].len());
             if p >= self.config.f3 {
@@ -400,6 +446,7 @@ impl Pipeline {
                     fwd_score: fwd_sc,
                     pvalue: p,
                     evalue,
+                    posterior,
                 });
             }
         }
@@ -466,6 +513,55 @@ mod tests {
     }
 
     #[test]
+    fn null1_table_matches_clone_path() {
+        // The precomputed table (and the closed-form fallback past its
+        // end) must be bit-identical to the original clone + set_length
+        // evaluation it replaced.
+        let (pipe, _) = setup(0.0, 0.00001);
+        for len in [1usize, 2, 5, 100, 350, 4096, 16383, 16384, 16385, 100_000] {
+            let mut b = pipe.bg.clone();
+            b.set_length(len);
+            let want = 0.5f32 - b.null1_score(len);
+            let got = pipe.corrected(0.5, len);
+            assert_eq!(got.to_bits(), want.to_bits(), "len {len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn forced_backends_report_identical_hits() {
+        // Pipeline-level cross-backend equivalence: every available SIMD
+        // backend must produce the same calibration, survivor sets, and
+        // hit list as the scalar reference.
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 3);
+        let mut baseline: Option<PipelineResult> = None;
+        for backend in Backend::all_available() {
+            let pipe = Pipeline::prepare_with_backend(&core, PipelineConfig::default(), 7, backend);
+            assert_eq!(pipe.backend(), backend);
+            let res = pipe.run_cpu(&db);
+            match &baseline {
+                None => {
+                    assert_eq!(backend, Backend::Scalar);
+                    baseline = Some(res);
+                }
+                Some(base) => {
+                    assert_eq!(base.hits, res.hits, "backend {backend} hit list diverged");
+                    for (a, b) in base.stages.iter().zip(&res.stages) {
+                        assert_eq!(
+                            (a.seqs_in, a.seqs_out),
+                            (b.seqs_in, b.seqs_out),
+                            "backend {backend} funnel diverged at {}",
+                            a.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gpu_pipeline_reports_same_hits_as_cpu() {
         // Bit-exact filters ⇒ identical survivor sets ⇒ identical hits.
         let (pipe, db) = setup(0.02, 0.0002);
@@ -491,7 +587,10 @@ mod tests {
         let af: Vec<u32> = a.hits.iter().map(|h| h.seqid).collect();
         let bf: Vec<u32> = b.hits.iter().map(|h| h.seqid).collect();
         for id in &af {
-            assert!(bf.contains(id), "filtered pipeline found {id} but --max lost it");
+            assert!(
+                bf.contains(id),
+                "filtered pipeline found {id} but --max lost it"
+            );
         }
         assert!(bf.len() >= af.len());
     }
@@ -544,7 +643,9 @@ mod gpu_full_tests {
         spec.homolog_fraction = 0.05;
         let db = generate(&spec, Some(&core), 11);
         let cpu = pipe.run_cpu(&db);
-        let gpu = pipe.run_gpu_full(&db, &h3w_simt::DeviceSpec::tesla_k40()).unwrap();
+        let gpu = pipe
+            .run_gpu_full(&db, &h3w_simt::DeviceSpec::tesla_k40())
+            .unwrap();
         // Filters are bit-exact; the Forward kernel drifts < 0.01 nats,
         // far from any threshold on this seeded workload.
         assert_eq!(
@@ -614,12 +715,8 @@ mod null2_tests {
         let corrected = Pipeline::prepare(&model, cfg, 7);
         let raw_hits = plain.run_cpu(&db);
         let cor_hits = corrected.run_cpu(&db);
-        let junk = |r: &PipelineResult| {
-            r.hits
-                .iter()
-                .filter(|h| h.name.starts_with("junk"))
-                .count()
-        };
+        let junk =
+            |r: &PipelineResult| r.hits.iter().filter(|h| h.name.starts_with("junk")).count();
         assert!(
             junk(&raw_hits) >= 3,
             "uncorrected pipeline should be fooled ({} junk hits)",
@@ -631,5 +728,19 @@ mod null2_tests {
             junk(&cor_hits),
             junk(&raw_hits)
         );
+        // null2 hits carry the posterior used for the correction; domain
+        // reporting reuses it and must match a from-scratch decode.
+        assert!(raw_hits.hits.iter().all(|h| h.posterior.is_none()));
+        for h in &cor_hits.hits {
+            let post = h.posterior.as_deref().expect("null2 hit lacks posterior");
+            assert_eq!(
+                *post,
+                h3w_cpu::posterior_decode(&corrected.profile, &db.seqs[h.seqid as usize].residues)
+            );
+            let doms = corrected.domains_for_hit(&db, h);
+            let mut bare = h.clone();
+            bare.posterior = None;
+            assert_eq!(doms, corrected.domains_for_hit(&db, &bare));
+        }
     }
 }

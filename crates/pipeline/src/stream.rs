@@ -84,9 +84,7 @@ impl<'a> Iterator for FastaChunks<'a> {
                 }
             } else {
                 let Some(seq) = current.as_mut() else {
-                    return Some(Err(FastaError::DataBeforeHeader {
-                        line: self.line_no,
-                    }));
+                    return Some(Err(FastaError::DataBeforeHeader { line: self.line_no }));
                 };
                 for ch in line.chars() {
                     if ch.is_whitespace() {
@@ -180,7 +178,11 @@ mod tests {
         let chunks: Vec<SeqDb> = FastaChunks::new(&text, 20_000)
             .collect::<Result<_, _>>()
             .unwrap();
-        assert!(chunks.len() > 3, "expected several chunks, got {}", chunks.len());
+        assert!(
+            chunks.len() > 3,
+            "expected several chunks, got {}",
+            chunks.len()
+        );
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, db.len());
         let residues: u64 = chunks.iter().map(|c| c.total_residues()).sum();
@@ -225,7 +227,10 @@ mod tests {
     fn chunk_errors_propagate() {
         let bad = ">a\nMK1V\n";
         let r: Result<Vec<SeqDb>, _> = FastaChunks::new(bad, 100).collect();
-        assert!(matches!(r, Err(FastaError::BadResidue { line: 2, ch: '1' })));
+        assert!(matches!(
+            r,
+            Err(FastaError::BadResidue { line: 2, ch: '1' })
+        ));
         let orphan = "MKV\n>a\nMKV\n";
         let r: Result<Vec<SeqDb>, _> = FastaChunks::new(orphan, 100).collect();
         assert!(matches!(r, Err(FastaError::DataBeforeHeader { line: 1 })));

@@ -157,11 +157,7 @@ fn emit_trace(rng: &mut StdRng, model: &CoreModel, out: &mut Vec<Residue>) {
             }
             St::D => {
                 let u: f32 = rng.gen();
-                state = if u < node.t.dm {
-                    St::M
-                } else {
-                    St::D
-                };
+                state = if u < node.t.dm { St::M } else { St::D };
                 k += 1;
             }
         }
@@ -189,8 +185,7 @@ pub fn generate(spec: &DbGenSpec, model: Option<&CoreModel>, seed: u64) -> SeqDb
     let mut db = SeqDb::new(spec.name.clone());
     db.seqs.reserve(spec.n_seqs);
     for i in 0..spec.n_seqs {
-        let is_homolog =
-            model.is_some() && (rng.gen::<f64>() < spec.homolog_fraction);
+        let is_homolog = model.is_some() && (rng.gen::<f64>() < spec.homolog_fraction);
         let residues = if is_homolog {
             let mut s = sample_homolog(&mut rng, model.unwrap(), spec.mean_len as usize / 4);
             s.truncate(spec.max_len);
@@ -199,8 +194,7 @@ pub fn generate(spec: &DbGenSpec, model: Option<&CoreModel>, seed: u64) -> SeqDb
             }
             s
         } else {
-            let len = (lognorm.sample(&mut rng).round() as usize)
-                .clamp(spec.min_len, spec.max_len);
+            let len = (lognorm.sample(&mut rng).round() as usize).clamp(spec.min_len, spec.max_len);
             random_seq(&mut rng, len)
         };
         db.seqs.push(DigitalSeq {

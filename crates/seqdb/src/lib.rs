@@ -13,6 +13,6 @@ pub mod seq;
 pub mod stats;
 
 pub use gen::{generate, DbGenSpec};
-pub use pack::{pack_seq, unpack_slot, PackedDb, RESIDUES_PER_WORD};
+pub use pack::{pack_seq, unpack_slot, PackedDb, PackedSubset, PackedView, RESIDUES_PER_WORD};
 pub use seq::{DigitalSeq, SeqDb};
 pub use stats::{db_stats, DbStats};

@@ -51,6 +51,137 @@ pub struct PackedDb {
     pub lengths: Vec<u32>,
 }
 
+/// A borrowed, zero-copy reading of packed sequence data — either a whole
+/// [`PackedDb`] or an index subset of one ([`PackedSubset`]).
+///
+/// The device kernels consume this instead of `&PackedDb`, so routing the
+/// survivors of one pipeline stage into the next is a gather of `u32`
+/// offsets/lengths rather than a clone-and-repack of the residues
+/// themselves: the word buffer is always the original database's.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedView<'a> {
+    /// Packed words (the *parent* buffer; offsets index into it).
+    pub words: &'a [u32],
+    /// Word offset of each sequence within `words`.
+    pub offsets: &'a [u32],
+    /// Residue length of each sequence.
+    pub lengths: &'a [u32],
+}
+
+impl<'a> PackedView<'a> {
+    /// Number of sequences in the view.
+    #[inline]
+    pub fn n_seqs(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when the view holds no sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Total real residues in the view.
+    pub fn total_residues(&self) -> u64 {
+        self.lengths.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Total residue *slots* including pad waste. Computed from lengths
+    /// (not `words.len()`, which is the parent buffer for a subset).
+    pub fn padded_residues(&self) -> u64 {
+        self.lengths
+            .iter()
+            .map(|&l| (l as u64).div_ceil(RESIDUES_PER_WORD as u64).max(1))
+            .sum::<u64>()
+            * RESIDUES_PER_WORD as u64
+    }
+
+    /// Random-access decode of residue `i` of sequence `seqid`.
+    ///
+    /// Out-of-range positions return [`PAD_CODE`], mirroring what a kernel
+    /// reading past a sequence tail observes.
+    #[inline]
+    pub fn residue(&self, seqid: usize, i: usize) -> Residue {
+        if i >= self.lengths[seqid] as usize {
+            return PAD_CODE;
+        }
+        let word = self.words[self.offsets[seqid] as usize + i / RESIDUES_PER_WORD];
+        unpack_slot(word, i % RESIDUES_PER_WORD)
+    }
+
+    /// Iterate the real residues of sequence `seqid`.
+    pub fn iter_seq(&self, seqid: usize) -> impl Iterator<Item = Residue> + 'a {
+        let len = self.lengths[seqid] as usize;
+        let off = self.offsets[seqid] as usize;
+        let words = self.words;
+        (0..len)
+            .map(move |i| unpack_slot(words[off + i / RESIDUES_PER_WORD], i % RESIDUES_PER_WORD))
+    }
+
+    /// Unpack sequence `seqid` into a fresh vector.
+    pub fn unpack_seq(&self, seqid: usize) -> Vec<Residue> {
+        self.iter_seq(seqid).collect()
+    }
+}
+
+impl<'a> From<&'a PackedDb> for PackedView<'a> {
+    fn from(db: &'a PackedDb) -> PackedView<'a> {
+        db.view()
+    }
+}
+
+impl<'a> From<&'a PackedSubset<'a>> for PackedView<'a> {
+    fn from(sub: &'a PackedSubset<'a>) -> PackedView<'a> {
+        sub.view()
+    }
+}
+
+/// An index subset of a [`PackedDb`]: survivor routing between pipeline
+/// stages without cloning residues. Owns only the gathered `u32`
+/// offset/length rows plus the parent-id map; the packed words stay
+/// borrowed from the parent database.
+#[derive(Debug, Clone)]
+pub struct PackedSubset<'a> {
+    words: &'a [u32],
+    offsets: Vec<u32>,
+    lengths: Vec<u32>,
+    parent_ids: Vec<u32>,
+}
+
+impl<'a> PackedSubset<'a> {
+    /// Number of sequences in the subset.
+    #[inline]
+    pub fn n_seqs(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when the subset holds no sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// The parent database's sequence id behind subset position `i`.
+    #[inline]
+    pub fn parent_id(&self, i: usize) -> usize {
+        self.parent_ids[i] as usize
+    }
+
+    /// The full parent-id map (subset order).
+    pub fn parent_ids(&self) -> &[u32] {
+        &self.parent_ids
+    }
+
+    /// Borrow the subset as a kernel-consumable view.
+    pub fn view(&self) -> PackedView<'_> {
+        PackedView {
+            words: self.words,
+            offsets: &self.offsets,
+            lengths: &self.lengths,
+        }
+    }
+}
+
 impl PackedDb {
     /// Pack every sequence of a database.
     pub fn from_db(db: &SeqDb) -> PackedDb {
@@ -134,6 +265,44 @@ impl PackedDb {
     /// Unpack sequence `seqid` into a fresh vector.
     pub fn unpack_seq(&self, seqid: usize) -> Vec<Residue> {
         self.iter_seq(seqid).collect()
+    }
+
+    /// Borrow the whole database as a kernel-consumable view.
+    pub fn view(&self) -> PackedView<'_> {
+        PackedView {
+            words: &self.words,
+            offsets: &self.offsets,
+            lengths: &self.lengths,
+        }
+    }
+
+    /// Zero-copy index subset: sequence `i` of the result is sequence
+    /// `ids[i]` of `self`, backed by the same word buffer.
+    pub fn subset(&self, ids: &[u32]) -> PackedSubset<'_> {
+        let mut offsets = Vec::with_capacity(ids.len());
+        let mut lengths = Vec::with_capacity(ids.len());
+        for &id in ids {
+            offsets.push(self.offsets[id as usize]);
+            lengths.push(self.lengths[id as usize]);
+        }
+        PackedSubset {
+            words: &self.words,
+            offsets,
+            lengths,
+            parent_ids: ids.to_vec(),
+        }
+    }
+
+    /// Zero-copy subset of the sequences whose mask entry is `true`.
+    pub fn subset_by_mask(&self, mask: &[bool]) -> PackedSubset<'_> {
+        assert_eq!(mask.len(), self.n_seqs());
+        let ids: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &keep)| keep)
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.subset(&ids)
     }
 }
 
@@ -220,5 +389,59 @@ mod tests {
         let db = sample_db();
         let packed = PackedDb::from_db(&db);
         assert_eq!(packed.bytes(), (6 * 4 + 3 * 4 + 3 * 4) as u64);
+    }
+
+    #[test]
+    fn full_view_matches_db() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        let view = packed.view();
+        assert_eq!(view.n_seqs(), packed.n_seqs());
+        assert_eq!(view.total_residues(), packed.total_residues());
+        assert_eq!(view.padded_residues(), packed.padded_residues());
+        for i in 0..packed.n_seqs() {
+            assert_eq!(view.unpack_seq(i), packed.unpack_seq(i));
+        }
+        assert_eq!(view.residue(1, 2), PAD_CODE);
+    }
+
+    #[test]
+    fn subset_views_share_words_and_remap_ids() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        let sub = packed.subset(&[2, 0]);
+        assert_eq!(sub.n_seqs(), 2);
+        assert_eq!(sub.parent_id(0), 2);
+        assert_eq!(sub.parent_id(1), 0);
+        let view = sub.view();
+        // Same underlying word buffer — no residues were copied.
+        assert!(std::ptr::eq(view.words.as_ptr(), packed.words.as_ptr()));
+        assert_eq!(view.unpack_seq(0), db.seqs[2].residues);
+        assert_eq!(view.unpack_seq(1), db.seqs[0].residues);
+        assert_eq!(
+            view.total_residues(),
+            (db.seqs[2].len() + db.seqs[0].len()) as u64
+        );
+        // Padded accounting covers only the subset's own words.
+        assert_eq!(view.padded_residues(), (3 + 2) * 6);
+    }
+
+    #[test]
+    fn subset_by_mask_selects_survivors() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        let sub = packed.subset_by_mask(&[true, false, true]);
+        assert_eq!(sub.parent_ids(), &[0, 2]);
+        assert_eq!(sub.view().unpack_seq(1), db.seqs[2].residues);
+    }
+
+    #[test]
+    fn empty_subset_is_empty_view() {
+        let db = sample_db();
+        let packed = PackedDb::from_db(&db);
+        let sub = packed.subset(&[]);
+        assert!(sub.is_empty());
+        assert!(sub.view().is_empty());
+        assert_eq!(sub.view().total_residues(), 0);
     }
 }

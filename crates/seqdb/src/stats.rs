@@ -100,7 +100,9 @@ mod tests {
         assert_eq!(st.max_len, 40);
         assert!((st.mean_len - 25.0).abs() < 1e-12);
         assert_eq!(st.median_len, 30);
-        let sigma = (((10f64 - 25.).powi(2) + (20f64 - 25.).powi(2) + (30f64 - 25.).powi(2)
+        let sigma = (((10f64 - 25.).powi(2)
+            + (20f64 - 25.).powi(2)
+            + (30f64 - 25.).powi(2)
             + (40f64 - 25.).powi(2))
             / 4.0)
             .sqrt();

@@ -29,7 +29,9 @@ pub mod timing;
 
 pub use counters::KernelStats;
 pub use device::{Arch, CpuSpec, DeviceSpec, WARP_SIZE};
-pub use exec::{run_grid, run_grid_blocks, BlockKernel, GridResult, KernelConfig, SimtCtx, WarpKernel};
+pub use exec::{
+    run_grid, run_grid_blocks, BlockKernel, GridResult, KernelConfig, SimtCtx, WarpKernel,
+};
 pub use lanes::{butterfly_max, lane_ids, Lanes};
 pub use occupancy::{occupancy, saturating_grid, OccLimit, Occupancy};
 pub use smem::SharedMem;

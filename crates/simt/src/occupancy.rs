@@ -126,7 +126,12 @@ mod tests {
     fn fermi_has_less_headroom() {
         let k = occupancy(&DeviceSpec::tesla_k40(), &cfg(8, 40, 4096));
         let f = occupancy(&DeviceSpec::gtx_580(), &cfg(8, 40, 4096));
-        assert!(f.occupancy < k.occupancy, "{} vs {}", f.occupancy, k.occupancy);
+        assert!(
+            f.occupancy < k.occupancy,
+            "{} vs {}",
+            f.occupancy,
+            k.occupancy
+        );
         assert_eq!(f.limit, OccLimit::Registers); // 32768/(40*32*8) = 3 blocks = 24/48
     }
 

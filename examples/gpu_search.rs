@@ -40,7 +40,10 @@ fn main() {
     let s = &run.run.stats;
     println!();
     println!("MSV kernel telemetry ({:?} config):", run.run.mem);
-    println!("  occupancy          : {:.0}%", run.run.occupancy.occupancy * 100.0);
+    println!(
+        "  occupancy          : {:.0}%",
+        run.run.occupancy.occupancy * 100.0
+    );
     println!("  rows processed     : {}", s.rows);
     println!(
         "  barriers           : {} (launch staging only — zero per row)",

@@ -31,7 +31,12 @@ fn main() {
     println!();
     println!("partition balance (residues per device):");
     for (i, p) in parts.iter().enumerate() {
-        println!("  device {}: {:>8} residues / {:>4} seqs", i, p.total_residues(), p.len());
+        println!(
+            "  device {}: {:>8} residues / {:>4} seqs",
+            i,
+            p.total_residues(),
+            p.len()
+        );
     }
 
     let run = run_msv_multi(&msv, &db, &dev, 4, None).expect("multi-GPU run");
@@ -65,5 +70,8 @@ fn main() {
     );
     let total: usize = run.devices.iter().map(|d| d.hits.len()).sum();
     assert_eq!(total, db.len());
-    println!("all {} sequences scored exactly once across the 4 devices", total);
+    println!(
+        "all {} sequences scored exactly once across the 4 devices",
+        total
+    );
 }

@@ -55,8 +55,8 @@ fn run(args: &[String]) -> Result<(), String> {
         synthetic_model(m, seed, &params)
     } else {
         let in_path = args.get(1).ok_or("missing alignment path")?;
-        let text = std::fs::read_to_string(in_path)
-            .map_err(|e| format!("reading {in_path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(in_path).map_err(|e| format!("reading {in_path}: {e}"))?;
         let msa = Msa::parse_afa(&text).map_err(|e| e.to_string())?;
         let name = flag_value(args, "--name").unwrap_or_else(|| {
             std::path::Path::new(in_path)

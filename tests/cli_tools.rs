@@ -23,7 +23,11 @@ fn build_generate_search_round_trip() {
         .args([hmm.to_str().unwrap(), "--synthetic", "60", "--seed", "4"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "hmmbuild: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "hmmbuild: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&hmm).unwrap();
     assert!(text.starts_with("HMMER3/f"));
     assert!(text.contains("STATS LOCAL MSV"));
@@ -45,7 +49,11 @@ fn build_generate_search_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "dbgen: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "dbgen: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // hmmsearch with a hit table
     let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
@@ -57,18 +65,30 @@ fn build_generate_search_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "hmmsearch: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "hmmsearch: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("MSV"));
     assert!(stdout.contains("hits reported:"));
     let table = std::fs::read_to_string(&tbl).unwrap();
     assert!(table.starts_with("#target"));
     let hom_hits = table.lines().filter(|l| l.starts_with("hom|")).count();
-    assert!(hom_hits >= 5, "expected planted homolog hits, table:\n{table}");
+    assert!(
+        hom_hits >= 5,
+        "expected planted homolog hits, table:\n{table}"
+    );
 
     // GPU path reports the same hit names.
     let out_gpu = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
-        .args([hmm.to_str().unwrap(), fasta.to_str().unwrap(), "--gpu", "k40"])
+        .args([
+            hmm.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+            "--gpu",
+            "k40",
+        ])
         .output()
         .unwrap();
     assert!(out_gpu.status.success());
@@ -101,10 +121,19 @@ fn hmmbuild_from_alignment_and_chunked_search() {
     std::fs::write(&afa, text).unwrap();
 
     let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
-        .args([hmm.to_str().unwrap(), afa.to_str().unwrap(), "--name", "FAM"])
+        .args([
+            hmm.to_str().unwrap(),
+            afa.to_str().unwrap(),
+            "--name",
+            "FAM",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("match columns"), "{stderr}");
 
@@ -132,7 +161,11 @@ fn hmmbuild_from_alignment_and_chunked_search() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pipeline over"));
 
@@ -148,7 +181,9 @@ fn cli_errors_are_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("hmmsearch:"));
 
-    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild")).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
@@ -192,7 +227,11 @@ fn hmmscan_multi_model_library() {
         .args([lib.to_str().unwrap(), fasta.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("per-family summary"));
     // Model A (SYN00050-…) must report hits; its homologs were planted.

@@ -41,24 +41,32 @@ fn msv_three_way_equality_all_devices_and_configs() {
             .map(|s| msv_filter_scalar(&om, &s.residues))
             .collect();
         for (i, s) in db.seqs.iter().enumerate() {
-            assert_eq!(striped.run(&om, &s.residues), scalar[i], "striped m={m} seq {i}");
+            assert_eq!(
+                striped.run(&om, &s.residues),
+                scalar[i],
+                "striped m={m} seq {i}"
+            );
         }
 
         // GPU kernels.
         for dev in [DeviceSpec::tesla_k40(), DeviceSpec::gtx_580()] {
             for mem in [MemConfig::Shared, MemConfig::Global] {
-                let Some((mut cfg, _)) =
-                    best_config(hmmer3_warp::core::Stage::Msv, m, mem, &dev)
+                let Some((mut cfg, _)) = best_config(hmmer3_warp::core::Stage::Msv, m, mem, &dev)
                 else {
                     continue;
                 };
                 cfg.blocks = 3;
                 cfg.track_hazards = true;
-                let layout =
-                    smem_layout(hmmer3_warp::core::Stage::Msv, m, cfg.warps_per_block, mem, &dev);
+                let layout = smem_layout(
+                    hmmer3_warp::core::Stage::Msv,
+                    m,
+                    cfg.warps_per_block,
+                    mem,
+                    &dev,
+                );
                 let kernel = MsvWarpKernel {
                     om: &om,
-                    db: &packed,
+                    db: packed.view(),
                     mem,
                     layout,
                     use_shfl: dev.has_shfl,
@@ -103,7 +111,11 @@ fn vit_three_way_equality_all_devices_and_configs() {
             .map(|s| vit_filter_scalar(&om, &s.residues))
             .collect();
         for (i, s) in db.seqs.iter().enumerate() {
-            assert_eq!(striped.run(&om, &s.residues).0, scalar[i], "striped m={m} seq {i}");
+            assert_eq!(
+                striped.run(&om, &s.residues).0,
+                scalar[i],
+                "striped m={m} seq {i}"
+            );
         }
 
         for dev in [DeviceSpec::tesla_k40(), DeviceSpec::gtx_580()] {
@@ -124,7 +136,7 @@ fn vit_three_way_equality_all_devices_and_configs() {
                 );
                 let kernel = VitWarpKernel {
                     om: &om,
-                    db: &packed,
+                    db: packed.view(),
                     mem,
                     layout,
                     use_shfl: dev.has_shfl,

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Benchmarks are ordinary `harness = false` binaries, so `cargo test`
+//! executes them too. Like upstream criterion, this harness detects the
+//! `--bench` flag cargo passes under `cargo bench`: with the flag each
+//! benchmark is timed (warm-up then a measured window) and a
+//! `ns/iter` + throughput line is printed; without it each closure runs
+//! once as a smoke test so `cargo test` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box for parity with criterion.
+pub use std::hint::black_box;
+
+/// Work-rate annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration (cells, residues, ...).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    /// Full timing (under `cargo bench`) vs. one-shot smoke (under
+    /// `cargo test`).
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: bool,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work rate used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the measured window is time-bounded here,
+    /// so the sample count has no effect.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measure: self.measure,
+            ns_per_iter: None,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measure: self.measure,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        self.report(&id.into(), &b);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let Some(ns) = b.ns_per_iter else {
+            return; // smoke mode
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.3} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>12.3} MiB/s",
+                    n as f64 / ns * 1e9 / (1024.0 * 1024.0) / 1e6
+                )
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<40} {:>14.1} ns/iter{}", self.name, id, ns, rate);
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Run the routine: timed under `cargo bench`, once under `cargo test`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm up caches and branch predictors.
+        let warmup = Instant::now();
+        while warmup.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+        }
+        // Measured window.
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        self.ns_per_iter = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once_without_reporting() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_the_closure() {
+        let mut c = Criterion { measure: true };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("inc", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        g.finish();
+    }
+}

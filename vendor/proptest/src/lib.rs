@@ -1,0 +1,322 @@
+//! Offline stand-in for the `proptest` crate (API-compatible subset).
+//!
+//! Implements the strategy combinators and macros this workspace uses:
+//! range strategies, `prop::collection::vec`, `prop::array::uniform32`,
+//! `proptest!` with `#![proptest_config(..)]`, `prop_assert!`, and
+//! `prop_assert_eq!`. Cases are drawn uniformly (with a deliberate bias
+//! toward range endpoints) from a generator seeded by the test name, so
+//! failures reproduce deterministically. Unlike upstream proptest there
+//! is no shrinking: a failing case reports the exact generated inputs
+//! instead of a minimized one.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRngCore;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The generator handed to strategies.
+pub struct TestRng(TestRngCore);
+
+impl TestRng {
+    /// Deterministic generator derived from the test name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(TestRngCore::seed_from_u64(h))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Endpoint-biased uniform draw from `[lo, hi)`: property failures
+/// cluster at range edges, so hit them more often than chance would.
+fn biased_range<T: SampleUniform + std::fmt::Debug>(rng: &mut TestRng, lo: T, hi: T) -> T {
+    match rng.gen_range(0u8..16) {
+        0 => lo,
+        _ => rng.gen_range(lo..hi),
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        biased_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        if rng.gen_range(0u8..16) == 0 {
+            *self.start()
+        } else {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            // Bias toward the extreme lengths — that is where length-
+            // dependent properties (empty input, single element) break.
+            let len = match rng.gen_range(0u8..8) {
+                0 => self.size.start,
+                1 => self.size.end - 1,
+                _ => rng.gen_range(self.size.clone()),
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`prop::array`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[T; 32]` from one element strategy.
+    pub struct UniformArray32<S>(S);
+
+    /// 32-element arrays of `element` values.
+    pub fn uniform32<S: Strategy>(element: S) -> UniformArray32<S> {
+        UniformArray32(element)
+    }
+
+    impl<S: Strategy> Strategy for UniformArray32<S> {
+        type Value = [S::Value; 32];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 32] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the only knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config overriding the number of cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion, carrying the formatted message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure from a formatted message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub mod prelude {
+    //! The proptest prelude.
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs, reporting the generated values on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                // Render inputs before the body runs — it may move them.
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..10, 2..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -4i16..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in pairs()) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            for &b in &v { prop_assert!(b < 10); }
+        }
+
+        #[test]
+        fn arrays_have_32_lanes(a in prop::array::uniform32(0u8..4)) {
+            prop_assert_eq!(a.len(), 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails'")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(unreachable_code)]
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(false, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn endpoint_bias_hits_empty_vec() {
+        // With 1/8 bias toward the minimum length, an empty vec should
+        // appear well within 200 draws.
+        let mut rng = crate::TestRng::for_test("endpoint_bias");
+        let strat = prop::collection::vec(0u8..5, 0..40);
+        assert!((0..200).any(|_| crate::Strategy::generate(&strat, &mut rng).is_empty()));
+    }
+}

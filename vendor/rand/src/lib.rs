@@ -1,0 +1,326 @@
+//! Offline stand-in for the `rand` crate (API-compatible subset).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal local
+//! implementations. This crate reproduces the slice of the `rand 0.8` API
+//! the workspace uses — `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen`, `Rng::gen_range`, `Rng::gen_bool` — on top of a
+//! xoshiro256++ core seeded through SplitMix64.
+//!
+//! The streams differ from upstream `rand`'s ChaCha12-based `StdRng`, so
+//! seeded test fixtures produce *different but equally deterministic*
+//! data. Every test in the workspace asserts distributional or
+//! cross-implementation properties rather than golden values, so the
+//! substitution is behavior-preserving.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` via SplitMix64 expansion (the same scheme
+    /// upstream `rand` documents for this method).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut state);
+            for (i, b) in chunk.iter_mut().enumerate() {
+                *b = (v >> (8 * i)) as u8;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sampling of a "standard" value of a type from raw bits
+/// (the role of `rand::distributions::Standard`).
+pub trait StandardSample {
+    /// Draw one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly sampleable from a range (the role of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = widening_mod(rng.next_u64(), span);
+                (low as i128 + v as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = widening_mod(rng.next_u64(), span);
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Map a uniform 64-bit word onto `[0, span)` by widening multiply —
+/// bias is < 2⁻⁶⁴·span, far below anything a test could observe.
+#[inline]
+fn widening_mod(word: u64, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        (word as u128 * span) >> 64
+    } else {
+        word as u128 % span
+    }
+}
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                let v = low + u * (high - low);
+                if v < high { v } else { <$t>::from_bits(high.to_bits() - 1) }
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                low + u * (high - low)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing extension trait (`rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a standard value of `T` (uniform bits; floats in `[0, 1)`).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    #[inline]
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut v = 0u64;
+                for j in 0..8 {
+                    v |= (seed[i * 8 + j] as u64) << (8 * j);
+                }
+                *word = v;
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0xbf58_476d_1ce4_e5b9,
+                    0x94d0_49bb_1331_11eb,
+                    0x2545_f491_4f6c_dd1d,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-20i16..17);
+            assert!((-20..17).contains(&v));
+            let u = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        // Mean of u8 draws over 0..200 ≈ 99.5; loose 3σ window.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0u8..200) as f64).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 99.5).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `rand_distr` crate (API-compatible subset).
+//!
+//! Provides the `Distribution` trait plus the `Normal` and `LogNormal`
+//! distributions used by the sequence-database generator. Normal deviates
+//! come from the Box-Muller transform — a different stream than upstream's
+//! ziggurat sampler, but the same distribution, which is all the
+//! workspace's statistical tests assert.
+
+use rand::{Rng, RngCore};
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter (variance)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can sample values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Normal (Gaussian) distribution, sampled via Box-Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: two uniforms -> one standard normal deviate.
+        // u1 is kept away from 0 so ln(u1) is finite.
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// A log-normal whose logarithm is `N(mu, sigma)`.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mu = 5.0f64; // median ~148.4
+        let d = LogNormal::new(mu, 0.6).unwrap();
+        let n = 100_000;
+        let below = (0..n).filter(|_| d.sample(&mut rng) < mu.exp()).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median frac {frac}");
+    }
+
+    #[test]
+    fn rejects_negative_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

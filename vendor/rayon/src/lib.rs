@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rayon` crate (API-compatible subset).
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! rayon's parallel-iterator surface (`par_iter`, `into_par_iter`, `map`,
+//! `map_init`, `zip`, `enumerate`, `collect`) executed *sequentially*.
+//! The host this workspace targets exposes a single CPU core, so a
+//! work-stealing pool would buy nothing; sequential execution is exactly
+//! equivalent for the deterministic collect-into-`Vec` patterns used here.
+
+pub mod prelude {
+    //! The rayon prelude: iterator-conversion traits.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// carries rayon's method surface.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<R, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Map each item with access to per-worker scratch state created by
+    /// `init` (rayon creates one per split; sequentially there is one).
+    pub fn map_init<T, R, INIT, F>(self, init: INIT, mut f: F) -> ParIter<impl Iterator<Item = R>>
+    where
+        INIT: FnOnce() -> T,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        ParIter(self.0.scan(init(), move |state, item| Some(f(state, item))))
+    }
+
+    /// Pair items with a second parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Count items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Sum items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Filter items by a predicate.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// By-reference conversion (`par_iter`), mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the iterator.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Iterate shared references "in parallel".
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// By-value conversion (`into_par_iter`), mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type yielded by the iterator.
+    type Item;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParIter<std::vec::IntoIter<T>> {
+        ParIter(self.into_iter())
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn into_par_iter(self) -> ParIter<std::ops::Range<$t>> {
+                ParIter(self)
+            }
+        }
+    )*};
+}
+impl_into_par_range!(usize, u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = [1, 2, 3, 4];
+        let out: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn map_init_shares_scratch() {
+        let v = vec![3usize, 1, 4, 1, 5];
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(Vec::new, |scratch: &mut Vec<u8>, &n| {
+                scratch.resize(n, 0);
+                scratch.len()
+            })
+            .collect();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn zip_and_enumerate() {
+        let a = [10, 20, 30];
+        let b = [true, false, true];
+        let out: Vec<(usize, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .filter(|(_, (_, &keep))| keep)
+            .map(|(i, (&x, _))| (i, x))
+            .collect();
+        assert_eq!(out, vec![(0, 10), (2, 30)]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..5usize).into_par_iter().map(|b| b * b).collect();
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -6,14 +6,15 @@
 //! makespan. Partitioning is round-robin over length-sorted sequences so
 //! per-device residue totals stay balanced.
 
+use crate::fault::{run_chunks_ft, RetryPolicy, SweepError, SweepTrace};
 use crate::layout::{MemConfig, Stage};
 use crate::stats_model::DbAggregates;
-use crate::tiered::{model_stage_time, run_msv_device, run_vit_device, MsvRun, VitRun};
+use crate::tiered::{model_stage_time, run_msv_device_on, run_vit_device_on, MsvRun, VitRun};
 use crate::vit_warp::WarpLazyStats;
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::vitprofile::VitProfile;
 use h3w_seqdb::{PackedDb, SeqDb};
-use h3w_simt::{DeviceSpec, TimeBreakdown};
+use h3w_simt::{DeviceSpec, FaultInjector, TimeBreakdown};
 
 /// Split a database across `n` devices: length-sorted round-robin, which
 /// bounds the per-device residue skew by one max-length sequence.
@@ -33,8 +34,16 @@ pub fn partition_db(db: &SeqDb, n: usize) -> Vec<SeqDb> {
 /// round-robin as [`partition_db`], but returning parent-id lists suitable
 /// for [`PackedDb::subset`] — no sequence is cloned.
 pub fn partition_ids(packed: &PackedDb, n: usize) -> Vec<Vec<u32>> {
+    let all: Vec<u32> = (0..packed.n_seqs() as u32).collect();
+    partition_id_slice(packed, &all, n)
+}
+
+/// [`partition_ids`] restricted to an arbitrary id subset — how a stage's
+/// **survivor set** splits across devices (the fault-tolerant pipeline
+/// partitions survivors, not the whole database, for its later stages).
+pub fn partition_id_slice(packed: &PackedDb, ids: &[u32], n: usize) -> Vec<Vec<u32>> {
     assert!(n >= 1);
-    let mut order: Vec<u32> = (0..packed.n_seqs() as u32).collect();
+    let mut order: Vec<u32> = ids.to_vec();
     // Longest first, ties by original position (matches
     // SeqDb::length_sorted_order).
     order.sort_by_key(|&i| (std::cmp::Reverse(packed.lengths[i as usize]), i));
@@ -48,19 +57,25 @@ pub fn partition_ids(packed: &PackedDb, n: usize) -> Vec<Vec<u32>> {
 /// Result of a functional multi-device MSV execution.
 #[derive(Debug)]
 pub struct MultiMsvRun {
-    /// Per-device runs (partition order).
+    /// Per-chunk runs (completion order; one per partition when
+    /// fault-free, more after redistribution).
     pub devices: Vec<MsvRun>,
     /// Makespan across devices.
     pub makespan_s: f64,
+    /// Fault/recovery journal (empty when fault-free).
+    pub trace: SweepTrace,
 }
 
 /// Result of a functional multi-device Viterbi execution.
 #[derive(Debug)]
 pub struct MultiVitRun {
-    /// Per-device runs (partition order).
+    /// Per-chunk runs (completion order; one per partition when
+    /// fault-free, more after redistribution).
     pub devices: Vec<VitRun>,
     /// Makespan across devices.
     pub makespan_s: f64,
+    /// Fault/recovery journal (empty when fault-free).
+    pub trace: SweepTrace,
 }
 
 /// Run the MSV stage across `n` identical devices (functional). The
@@ -72,24 +87,45 @@ pub fn run_msv_multi(
     dev: &DeviceSpec,
     n: usize,
     mem: Option<MemConfig>,
-) -> Result<MultiMsvRun, String> {
+) -> Result<MultiMsvRun, SweepError> {
+    run_msv_multi_ft(om, db, dev, n, mem, &RetryPolicy::no_wait(), None)
+}
+
+/// [`run_msv_multi`] under a fault model: transient faults retry per
+/// `policy`, a dead device's partition redistributes across survivors,
+/// and the merged hit set stays bit-identical to a fault-free sweep
+/// (every warp scores its sequence independently, so placement is
+/// invisible in the scores).
+pub fn run_msv_multi_ft(
+    om: &MsvProfile,
+    db: &SeqDb,
+    dev: &DeviceSpec,
+    n: usize,
+    mem: Option<MemConfig>,
+    policy: &RetryPolicy,
+    injector: Option<&FaultInjector>,
+) -> Result<MultiMsvRun, SweepError> {
     let packed = PackedDb::from_db(db);
-    let mut devices = Vec::with_capacity(n);
-    for ids in partition_ids(&packed, n) {
-        let sub = packed.subset(&ids);
-        let mut run = run_msv_device(om, &sub, dev, mem)?;
-        for h in &mut run.hits {
-            h.seqid = sub.parent_id(h.seqid as usize) as u32;
-        }
-        devices.push(run);
-    }
-    let makespan_s = devices
-        .iter()
-        .map(|r| r.run.time.total_s)
-        .fold(0.0f64, f64::max);
+    let device_ids: Vec<usize> = (0..n).collect();
+    let (devices, makespan_s, trace) = run_chunks_ft(
+        partition_ids(&packed, n),
+        &device_ids,
+        policy,
+        injector,
+        |ids, ctx| {
+            let sub = packed.subset(ids);
+            let mut run = run_msv_device_on(om, &sub, dev, mem, ctx)?;
+            for h in &mut run.hits {
+                h.seqid = sub.parent_id(h.seqid as usize) as u32;
+            }
+            Ok(run)
+        },
+        |r| r.run.time.total_s,
+    )?;
     Ok(MultiMsvRun {
         devices,
         makespan_s,
+        trace,
     })
 }
 
@@ -101,24 +137,41 @@ pub fn run_vit_multi(
     dev: &DeviceSpec,
     n: usize,
     mem: Option<MemConfig>,
-) -> Result<MultiVitRun, String> {
+) -> Result<MultiVitRun, SweepError> {
+    run_vit_multi_ft(om, db, dev, n, mem, &RetryPolicy::no_wait(), None)
+}
+
+/// [`run_vit_multi`] under a fault model; see [`run_msv_multi_ft`].
+pub fn run_vit_multi_ft(
+    om: &VitProfile,
+    db: &SeqDb,
+    dev: &DeviceSpec,
+    n: usize,
+    mem: Option<MemConfig>,
+    policy: &RetryPolicy,
+    injector: Option<&FaultInjector>,
+) -> Result<MultiVitRun, SweepError> {
     let packed = PackedDb::from_db(db);
-    let mut devices = Vec::with_capacity(n);
-    for ids in partition_ids(&packed, n) {
-        let sub = packed.subset(&ids);
-        let mut run = run_vit_device(om, &sub, dev, mem)?;
-        for h in &mut run.hits {
-            h.seqid = sub.parent_id(h.seqid as usize) as u32;
-        }
-        devices.push(run);
-    }
-    let makespan_s = devices
-        .iter()
-        .map(|r| r.run.time.total_s)
-        .fold(0.0f64, f64::max);
+    let device_ids: Vec<usize> = (0..n).collect();
+    let (devices, makespan_s, trace) = run_chunks_ft(
+        partition_ids(&packed, n),
+        &device_ids,
+        policy,
+        injector,
+        |ids, ctx| {
+            let sub = packed.subset(ids);
+            let mut run = run_vit_device_on(om, &sub, dev, mem, ctx)?;
+            for h in &mut run.hits {
+                h.seqid = sub.parent_id(h.seqid as usize) as u32;
+            }
+            Ok(run)
+        },
+        |r| r.run.time.total_s,
+    )?;
     Ok(MultiVitRun {
         devices,
         makespan_s,
+        trace,
     })
 }
 
@@ -202,6 +255,60 @@ mod tests {
         }
         assert!(seen.iter().all(|&b| b));
         assert!(run.makespan_s > 0.0);
+    }
+
+    fn msv_scores(run: &MultiMsvRun) -> Vec<(u32, u8, bool)> {
+        let mut all: Vec<(u32, u8, bool)> = run
+            .devices
+            .iter()
+            .flat_map(|d| d.hits.iter().map(|h| (h.seqid, h.xj, h.overflow)))
+            .collect();
+        all.sort_by_key(|t| t.0);
+        all
+    }
+
+    #[test]
+    fn killed_device_sweep_is_bit_identical() {
+        // Kill 1 of 4 devices on its first launch: its partition spreads
+        // over the survivors and the merged scores match fault-free.
+        let (om, db) = setup(40);
+        let dev = DeviceSpec::gtx_580();
+        let baseline = run_msv_multi(&om, &db, &dev, 4, None).unwrap();
+        let inj = FaultInjector::new(h3w_simt::FaultPlan::none().kill_device(2, 0), 4);
+        let faulted =
+            run_msv_multi_ft(&om, &db, &dev, 4, None, &RetryPolicy::no_wait(), Some(&inj)).unwrap();
+        assert_eq!(faulted.trace.lost_devices, vec![2]);
+        assert!(faulted.trace.redistributed_seqs > 0);
+        assert_eq!(msv_scores(&faulted), msv_scores(&baseline));
+    }
+
+    #[test]
+    fn transient_faults_do_not_change_scores() {
+        let (om, db) = setup(40);
+        let dev = DeviceSpec::gtx_580();
+        let baseline = run_msv_multi(&om, &db, &dev, 3, None).unwrap();
+        let plan = h3w_simt::FaultPlan::none()
+            .transient(0, 0, h3w_simt::FaultKind::KernelTimeout, 1)
+            .transient(1, 0, h3w_simt::FaultKind::LaunchTransient, 2);
+        let inj = FaultInjector::new(plan, 3);
+        let faulted =
+            run_msv_multi_ft(&om, &db, &dev, 3, None, &RetryPolicy::no_wait(), Some(&inj)).unwrap();
+        assert_eq!(faulted.trace.retries, 3);
+        assert!(faulted.trace.lost_devices.is_empty());
+        assert_eq!(msv_scores(&faulted), msv_scores(&baseline));
+    }
+
+    #[test]
+    fn all_devices_lost_surfaces_typed_error() {
+        let (om, db) = setup(40);
+        let dev = DeviceSpec::gtx_580();
+        let plan = h3w_simt::FaultPlan::none()
+            .kill_device(0, 0)
+            .kill_device(1, 0);
+        let inj = FaultInjector::new(plan, 2);
+        let err = run_msv_multi_ft(&om, &db, &dev, 2, None, &RetryPolicy::no_wait(), Some(&inj))
+            .unwrap_err();
+        assert_eq!(err, SweepError::AllDevicesLost { n_devices: 2 });
     }
 
     #[test]

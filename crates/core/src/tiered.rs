@@ -9,6 +9,7 @@
 //! global-memory tables by *modeled time*, which lands the switch near the
 //! paper's observed threshold (≈ model size 1002 for MSV on Kepler).
 
+use crate::fault::{DeviceCtx, SweepError};
 use crate::layout::{best_config, smem_layout, MemConfig, Stage};
 use crate::msv_warp::{MsvHit, MsvWarpKernel};
 use crate::stats_model::{predict_msv, predict_vit, DbAggregates, LaunchShape};
@@ -130,20 +131,39 @@ fn finalize_run(
 }
 
 /// Run the MSV stage functionally on one device. `mem = None` applies the
-/// automatic switch.
+/// automatic switch. Fault-free entry point; the multi-device orchestrator
+/// uses [`run_msv_device_on`] to thread a fault-injection context.
 pub fn run_msv_device<'a>(
     om: &MsvProfile,
     db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
     mem: Option<MemConfig>,
-) -> Result<MsvRun, String> {
+) -> Result<MsvRun, SweepError> {
+    run_msv_device_on(om, db, dev, mem, &DeviceCtx::fault_free())
+}
+
+/// [`run_msv_device`] with an explicit device identity and fault injector.
+/// The injector is consulted exactly where a real `cudaLaunchKernel` /
+/// `cudaDeviceSynchronize` error would surface: before the grid runs.
+pub fn run_msv_device_on<'a>(
+    om: &MsvProfile,
+    db: impl Into<PackedView<'a>>,
+    dev: &DeviceSpec,
+    mem: Option<MemConfig>,
+    ctx: &DeviceCtx,
+) -> Result<MsvRun, SweepError> {
     let db = db.into();
     let agg = DbAggregates::from_packed(db);
     let mem = mem
         .or_else(|| auto_mem_config(Stage::Msv, om.m, dev, &agg))
-        .ok_or_else(|| format!("model size {} fits no configuration", om.m))?;
-    let (mut cfg, occ) =
-        best_config(Stage::Msv, om.m, mem, dev).ok_or("no feasible launch config")?;
+        .ok_or(SweepError::NoConfig {
+            stage: "msv",
+            m: om.m,
+        })?;
+    let (mut cfg, occ) = best_config(Stage::Msv, om.m, mem, dev).ok_or(SweepError::NoConfig {
+        stage: "msv",
+        m: om.m,
+    })?;
     cfg.blocks = saturating_grid(dev, &occ, DEFAULT_WAVES)
         .min(db.n_seqs().div_ceil(cfg.warps_per_block).max(1));
     let layout = smem_layout(Stage::Msv, om.m, cfg.warps_per_block, mem, dev);
@@ -155,7 +175,11 @@ pub fn run_msv_device<'a>(
         use_shfl: dev.has_shfl,
         double_buffer: true,
     };
-    let r = run_grid(dev, &cfg, &kernel)?;
+    ctx.check_launch()?;
+    let r = run_grid(dev, &cfg, &kernel).map_err(|msg| SweepError::Launch {
+        device: ctx.device,
+        msg,
+    })?;
     let mut hits: Vec<MsvHit> = r.outputs.into_iter().flatten().collect();
     hits.sort_by_key(|h| h.seqid);
     Ok(MsvRun {
@@ -164,20 +188,38 @@ pub fn run_msv_device<'a>(
     })
 }
 
-/// Run the P7Viterbi stage functionally on one device.
+/// Run the P7Viterbi stage functionally on one device. Fault-free entry
+/// point; see [`run_vit_device_on`].
 pub fn run_vit_device<'a>(
     om: &VitProfile,
     db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
     mem: Option<MemConfig>,
-) -> Result<VitRun, String> {
+) -> Result<VitRun, SweepError> {
+    run_vit_device_on(om, db, dev, mem, &DeviceCtx::fault_free())
+}
+
+/// [`run_vit_device`] with an explicit device identity and fault injector.
+pub fn run_vit_device_on<'a>(
+    om: &VitProfile,
+    db: impl Into<PackedView<'a>>,
+    dev: &DeviceSpec,
+    mem: Option<MemConfig>,
+    ctx: &DeviceCtx,
+) -> Result<VitRun, SweepError> {
     let db = db.into();
     let agg = DbAggregates::from_packed(db);
     let mem = mem
         .or_else(|| auto_mem_config(Stage::Viterbi, om.m, dev, &agg))
-        .ok_or_else(|| format!("model size {} fits no configuration", om.m))?;
+        .ok_or(SweepError::NoConfig {
+            stage: "viterbi",
+            m: om.m,
+        })?;
     let (mut cfg, occ) =
-        best_config(Stage::Viterbi, om.m, mem, dev).ok_or("no feasible launch config")?;
+        best_config(Stage::Viterbi, om.m, mem, dev).ok_or(SweepError::NoConfig {
+            stage: "viterbi",
+            m: om.m,
+        })?;
     cfg.blocks = saturating_grid(dev, &occ, DEFAULT_WAVES)
         .min(db.n_seqs().div_ceil(cfg.warps_per_block).max(1));
     let layout = smem_layout(Stage::Viterbi, om.m, cfg.warps_per_block, mem, dev);
@@ -189,7 +231,11 @@ pub fn run_vit_device<'a>(
         use_shfl: dev.has_shfl,
         dd_mode: DdMode::default(),
     };
-    let r = run_grid(dev, &cfg, &kernel)?;
+    ctx.check_launch()?;
+    let r = run_grid(dev, &cfg, &kernel).map_err(|msg| SweepError::Launch {
+        device: ctx.device,
+        msg,
+    })?;
     let mut hits = Vec::new();
     let mut lazy = WarpLazyStats::default();
     for (h, l) in r.outputs {
@@ -214,15 +260,30 @@ pub struct FwdRun {
     pub run: StageRun,
 }
 
-/// Run the Forward stage functionally on one device.
+/// Run the Forward stage functionally on one device. Fault-free entry
+/// point; see [`run_fwd_device_on`].
 pub fn run_fwd_device<'a>(
     prof: &h3w_hmm::Profile,
     db: impl Into<PackedView<'a>>,
     dev: &DeviceSpec,
-) -> Result<FwdRun, String> {
+) -> Result<FwdRun, SweepError> {
+    run_fwd_device_on(prof, db, dev, &DeviceCtx::fault_free())
+}
+
+/// [`run_fwd_device`] with an explicit device identity and fault injector.
+pub fn run_fwd_device_on<'a>(
+    prof: &h3w_hmm::Profile,
+    db: impl Into<PackedView<'a>>,
+    dev: &DeviceSpec,
+    ctx: &DeviceCtx,
+) -> Result<FwdRun, SweepError> {
     let db = db.into();
-    let (mut cfg, occ) = best_config(Stage::Forward, prof.m, MemConfig::Global, dev)
-        .ok_or("no feasible Forward launch config")?;
+    let (mut cfg, occ) = best_config(Stage::Forward, prof.m, MemConfig::Global, dev).ok_or(
+        SweepError::NoConfig {
+            stage: "forward",
+            m: prof.m,
+        },
+    )?;
     cfg.blocks = saturating_grid(dev, &occ, DEFAULT_WAVES)
         .min(db.n_seqs().div_ceil(cfg.warps_per_block).max(1));
     let layout = smem_layout(
@@ -233,7 +294,11 @@ pub fn run_fwd_device<'a>(
         dev,
     );
     let kernel = crate::fwd_warp::FwdWarpKernel { prof, db, layout };
-    let r = run_grid(dev, &cfg, &kernel)?;
+    ctx.check_launch()?;
+    let r = run_grid(dev, &cfg, &kernel).map_err(|msg| SweepError::Launch {
+        device: ctx.device,
+        msg,
+    })?;
     let mut hits: Vec<crate::fwd_warp::FwdHit> = r.outputs.into_iter().flatten().collect();
     hits.sort_by_key(|h| h.seqid);
     Ok(FwdRun {

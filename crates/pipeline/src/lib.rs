@@ -8,14 +8,18 @@
 //! filter stages on a simulated GPU; [`report`] carries the funnel and
 //! time-fraction statistics Fig. 1 reports.
 
+pub mod checkpoint;
 pub mod config;
 pub mod multi;
+pub mod orchestrator;
 pub mod report;
 pub mod run;
 pub mod stream;
 
+pub use checkpoint::{CheckpointError, StreamCheckpoint};
 pub use config::PipelineConfig;
 pub use multi::{best_hits_per_target, scan, FamilyResult, TargetMatch};
+pub use orchestrator::{FtSweep, SweepReport};
 pub use report::{Hit, PipelineResult, StageStats};
 pub use run::Pipeline;
-pub use stream::{search_chunked, FastaChunks};
+pub use stream::{search_chunked, search_chunked_checkpointed, FastaChunks};

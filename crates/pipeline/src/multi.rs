@@ -81,7 +81,7 @@ pub fn best_hits_per_target(results: &[FamilyResult]) -> Vec<(u32, Vec<TargetMat
     }
     let mut out: Vec<(u32, Vec<TargetMatch>)> = by_target.into_iter().collect();
     for (_, v) in &mut out {
-        v.sort_by(|a, b| a.evalue.partial_cmp(&b.evalue).unwrap());
+        v.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
     }
     out
 }

@@ -1,0 +1,368 @@
+//! Fault-tolerant multi-device sweep orchestration.
+//!
+//! [`Pipeline::run_gpu_ft`] is the deployment entry point the paper's
+//! §IV-A multi-GPU story needs in practice: the MSV and Viterbi filter
+//! stages fan out across `n` devices through the recovery engine
+//! ([`h3w_core::fault::run_chunks_ft`]) — transient faults retry with
+//! capped backoff, a dead device's partition redistributes across
+//! survivors, and when every device is gone the stage (and the rest of
+//! the sweep) degrades to the striped CPU backend. Because the CPU and
+//! device filters are bit-identical and every sequence is scored
+//! independently, the reported hits and funnel counters are **always**
+//! bit-identical to a fault-free run; only the modeled stage times and
+//! the recovery journal differ.
+
+use crate::report::{PipelineResult, StageStats};
+use crate::run::Pipeline;
+use h3w_core::fault::{run_chunks_ft, RetryPolicy, SweepError, SweepTrace};
+use h3w_core::multi_gpu::partition_id_slice;
+use h3w_core::tiered::{run_msv_device_on, run_vit_device_on};
+use h3w_cpu::reference::forward_generic;
+use h3w_cpu::striped_vit::VitWorkspace;
+use h3w_seqdb::{PackedDb, SeqDb};
+use h3w_simt::{DeviceSpec, FaultInjector};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// How a fault-tolerant sweep runs: device pool size, retry policy, and
+/// the (optional) fault injector driving the simulation.
+#[derive(Clone, Copy)]
+pub struct FtSweep<'a> {
+    /// Devices in the pool (all the same [`DeviceSpec`], per §IV-A).
+    pub n_devices: usize,
+    /// Transient-fault retry policy.
+    pub policy: RetryPolicy,
+    /// Armed fault plan, if simulating faults.
+    pub injector: Option<&'a FaultInjector>,
+}
+
+impl FtSweep<'_> {
+    /// An `n`-device sweep with no injected faults and no retry waits.
+    pub fn fault_free(n_devices: usize) -> FtSweep<'static> {
+        FtSweep {
+            n_devices,
+            policy: RetryPolicy::no_wait(),
+            injector: None,
+        }
+    }
+}
+
+/// A completed fault-tolerant sweep: the (fault-invariant) results plus
+/// the recovery journal.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Hits and funnel counters — bit-identical to a fault-free sweep.
+    pub result: PipelineResult,
+    /// What the recovery engine did across all stages.
+    pub trace: SweepTrace,
+    /// True if any stage fell back to the striped CPU backend.
+    pub degraded_to_cpu: bool,
+}
+
+impl Pipeline {
+    /// Sweep a database with MSV + Viterbi fanned out over `n` simulated
+    /// devices under a fault model, Forward on the host. Survives device
+    /// loss by redistribution and total device loss by CPU fallback;
+    /// planning errors ([`SweepError::NoConfig`] / [`SweepError::Launch`])
+    /// still propagate, since no amount of rerouting fixes those.
+    pub fn run_gpu_ft(
+        &self,
+        db: &SeqDb,
+        dev: &DeviceSpec,
+        sweep: &FtSweep,
+    ) -> Result<SweepReport, SweepError> {
+        assert!(sweep.n_devices >= 1);
+        let n = db.len();
+        let packed = PackedDb::from_db(db);
+        let mut devices: Vec<usize> = (0..sweep.n_devices).collect();
+        let mut trace = SweepTrace::default();
+        let mut degraded = false;
+
+        // Stage 1: MSV over everything.
+        let all_ids: Vec<u32> = (0..n as u32).collect();
+        let mut msv_scores: Vec<f32> = vec![0.0; n];
+        let msv_time;
+        match self.ft_stage_msv(&packed, &all_ids, dev, sweep, &devices) {
+            Ok((scores, makespan, t)) => {
+                for (id, s) in scores {
+                    msv_scores[id as usize] = s;
+                }
+                msv_time = makespan;
+                devices.retain(|d| !t.lost_devices.contains(d));
+                trace.merge(&t);
+            }
+            Err(SweepError::AllDevicesLost { .. }) => {
+                degraded = true;
+                // The engine's trace dies with the error; every device
+                // still in the pool is gone, so journal them here.
+                trace.lost_devices.append(&mut devices);
+                trace
+                    .events
+                    .push("MSV: all devices lost; striped CPU fallback".into());
+                let t0 = Instant::now();
+                msv_scores = db
+                    .seqs
+                    .par_iter()
+                    .map_init(Vec::new, |dp, seq| {
+                        self.striped_msv
+                            .run_into(&self.msv, &seq.residues, dp)
+                            .score
+                    })
+                    .collect();
+                msv_time = t0.elapsed().as_secs_f64();
+            }
+            Err(e) => return Err(e),
+        }
+        let pass1: Vec<bool> = msv_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
+            .collect();
+        let n1 = pass1.iter().filter(|&&b| b).count();
+
+        // Stage 2: Viterbi over survivors.
+        let survivors: Vec<u32> = (0..n as u32).filter(|&i| pass1[i as usize]).collect();
+        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
+        let mut vit_time = 0.0;
+        if !survivors.is_empty() {
+            let mut on_cpu = devices.is_empty();
+            if !on_cpu {
+                match self.ft_stage_vit(&packed, &survivors, dev, sweep, &devices) {
+                    Ok((scores, makespan, t)) => {
+                        for (id, s) in scores {
+                            vit_scores[id as usize] = Some(s);
+                        }
+                        vit_time = makespan;
+                        devices.retain(|d| !t.lost_devices.contains(d));
+                        trace.merge(&t);
+                    }
+                    Err(SweepError::AllDevicesLost { .. }) => {
+                        degraded = true;
+                        trace.lost_devices.append(&mut devices);
+                        on_cpu = true;
+                        trace
+                            .events
+                            .push("Viterbi: all devices lost; striped CPU fallback".into());
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // No partial device results survive an AllDevicesLost (the
+            // engine drops them), so the CPU path rescoring every survivor
+            // never double-scores.
+            if on_cpu {
+                let t1 = Instant::now();
+                let cpu: Vec<(u32, f32)> = survivors
+                    .par_iter()
+                    .map_init(VitWorkspace::default, |ws, &id| {
+                        let seq = &db.seqs[id as usize].residues;
+                        (id, self.striped_vit.run_into(&self.vit, seq, ws).0.score)
+                    })
+                    .collect();
+                for (id, s) in cpu {
+                    vit_scores[id as usize] = Some(s);
+                }
+                vit_time = t1.elapsed().as_secs_f64();
+            }
+        }
+        let pass2: Vec<bool> = vit_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
+            .collect();
+        let n2 = pass2.iter().filter(|&&b| b).count();
+
+        // Stage 3: Forward on the host, as in the paper's deployment.
+        let t2 = Instant::now();
+        let fwd_scores: Vec<Option<f32>> = db
+            .seqs
+            .par_iter()
+            .zip(pass2.par_iter())
+            .map(|(seq, &keep)| keep.then(|| forward_generic(&self.profile, &seq.residues)))
+            .collect();
+        let fwd_time = t2.elapsed().as_secs_f64();
+
+        let res_of = |mask: &[bool]| -> u64 {
+            db.seqs
+                .iter()
+                .zip(mask)
+                .filter(|&(_, &k)| k)
+                .map(|(s, _)| s.len() as u64)
+                .sum()
+        };
+        let r1 = res_of(&pass1);
+        let r2 = res_of(&pass2);
+        let result = self.assemble(
+            db,
+            msv_scores,
+            vit_scores,
+            fwd_scores,
+            [
+                StageStats::new("MSV (multi-GPU)", n, n1, msv_time)
+                    .with_residues(db.total_residues()),
+                StageStats::new("P7Viterbi (multi-GPU)", n1, n2, vit_time).with_residues(r1),
+                StageStats::new("Forward (host)", n2, n2, fwd_time).with_residues(r2),
+            ],
+        );
+        Ok(SweepReport {
+            result,
+            trace,
+            degraded_to_cpu: degraded,
+        })
+    }
+
+    /// MSV stage through the recovery engine: survivor ids in, global
+    /// `(seqid, score)` pairs out.
+    #[allow(clippy::type_complexity)]
+    fn ft_stage_msv(
+        &self,
+        packed: &PackedDb,
+        ids: &[u32],
+        dev: &DeviceSpec,
+        sweep: &FtSweep,
+        devices: &[usize],
+    ) -> Result<(Vec<(u32, f32)>, f64, SweepTrace), SweepError> {
+        let (runs, makespan, trace) = run_chunks_ft(
+            partition_id_slice(packed, ids, devices.len()),
+            devices,
+            &sweep.policy,
+            sweep.injector,
+            |chunk, ctx| {
+                let sub = packed.subset(chunk);
+                let run = run_msv_device_on(&self.msv, &sub, dev, None, ctx)?;
+                let scores: Vec<(u32, f32)> = run
+                    .hits
+                    .iter()
+                    .map(|h| (sub.parent_id(h.seqid as usize) as u32, h.score))
+                    .collect();
+                Ok((scores, run.run.time.total_s))
+            },
+            |(_, t)| *t,
+        )?;
+        let scores = runs.into_iter().flat_map(|(s, _)| s).collect();
+        Ok((scores, makespan, trace))
+    }
+
+    /// Viterbi stage through the recovery engine; same shape as
+    /// [`Pipeline::ft_stage_msv`].
+    #[allow(clippy::type_complexity)]
+    fn ft_stage_vit(
+        &self,
+        packed: &PackedDb,
+        ids: &[u32],
+        dev: &DeviceSpec,
+        sweep: &FtSweep,
+        devices: &[usize],
+    ) -> Result<(Vec<(u32, f32)>, f64, SweepTrace), SweepError> {
+        let (runs, makespan, trace) = run_chunks_ft(
+            partition_id_slice(packed, ids, devices.len()),
+            devices,
+            &sweep.policy,
+            sweep.injector,
+            |chunk, ctx| {
+                let sub = packed.subset(chunk);
+                let run = run_vit_device_on(&self.vit, &sub, dev, None, ctx)?;
+                let scores: Vec<(u32, f32)> = run
+                    .hits
+                    .iter()
+                    .map(|h| (sub.parent_id(h.seqid as usize) as u32, h.score))
+                    .collect();
+                Ok((scores, run.run.time.total_s))
+            },
+            |(_, t)| *t,
+        )?;
+        let scores = runs.into_iter().flat_map(|(s, _)| s).collect();
+        Ok((scores, makespan, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_simt::{FaultKind, FaultPlan};
+
+    fn setup() -> (Pipeline, SeqDb) {
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 3);
+        (pipe, db)
+    }
+
+    fn funnel(r: &PipelineResult) -> Vec<(usize, usize)> {
+        r.stages.iter().map(|s| (s.seqs_in, s.seqs_out)).collect()
+    }
+
+    #[test]
+    fn fault_free_ft_sweep_matches_single_device_gpu() {
+        let (pipe, db) = setup();
+        let dev = DeviceSpec::tesla_k40();
+        let single = pipe.run_gpu(&db, &dev).unwrap();
+        let ft = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(4)).unwrap();
+        assert!(!ft.degraded_to_cpu);
+        assert_eq!(ft.result.hits, single.hits);
+        assert_eq!(funnel(&ft.result), funnel(&single));
+    }
+
+    #[test]
+    fn device_death_mid_sweep_is_invisible_in_results() {
+        let (pipe, db) = setup();
+        let dev = DeviceSpec::tesla_k40();
+        let clean = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(4)).unwrap();
+        // Device 1 dies on its second launch: after its MSV chunk, during
+        // the Viterbi stage (or a redistributed MSV chunk).
+        let inj = FaultInjector::new(FaultPlan::none().kill_device(1, 1), 4);
+        let sweep = FtSweep {
+            n_devices: 4,
+            policy: RetryPolicy::no_wait(),
+            injector: Some(&inj),
+        };
+        let faulted = pipe.run_gpu_ft(&db, &dev, &sweep).unwrap();
+        assert_eq!(faulted.trace.lost_devices, vec![1]);
+        assert!(!faulted.degraded_to_cpu);
+        assert_eq!(faulted.result.hits, clean.result.hits);
+        assert_eq!(funnel(&faulted.result), funnel(&clean.result));
+    }
+
+    #[test]
+    fn total_device_loss_degrades_to_cpu_bit_identically() {
+        let (pipe, db) = setup();
+        let dev = DeviceSpec::tesla_k40();
+        let clean = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(2)).unwrap();
+        let plan = FaultPlan::none().kill_device(0, 0).kill_device(1, 1);
+        let inj = FaultInjector::new(plan, 2);
+        let sweep = FtSweep {
+            n_devices: 2,
+            policy: RetryPolicy::no_wait(),
+            injector: Some(&inj),
+        };
+        let faulted = pipe.run_gpu_ft(&db, &dev, &sweep).unwrap();
+        assert!(faulted.degraded_to_cpu);
+        assert_eq!(faulted.result.hits, clean.result.hits);
+        assert_eq!(funnel(&faulted.result), funnel(&clean.result));
+    }
+
+    #[test]
+    fn transient_storm_retries_without_result_drift() {
+        let (pipe, db) = setup();
+        let dev = DeviceSpec::tesla_k40();
+        let clean = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(3)).unwrap();
+        let plan = FaultPlan::none()
+            .transient(0, 0, FaultKind::KernelTimeout, 1)
+            .transient(2, 0, FaultKind::LaunchTransient, 2);
+        let inj = FaultInjector::new(plan, 3);
+        let sweep = FtSweep {
+            n_devices: 3,
+            policy: RetryPolicy::no_wait(),
+            injector: Some(&inj),
+        };
+        let faulted = pipe.run_gpu_ft(&db, &dev, &sweep).unwrap();
+        assert!(faulted.trace.retries >= 3);
+        assert!(faulted.trace.lost_devices.is_empty());
+        assert_eq!(faulted.result.hits, clean.result.hits);
+    }
+}

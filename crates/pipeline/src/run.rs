@@ -10,6 +10,7 @@
 
 use crate::config::PipelineConfig;
 use crate::report::{Hit, PipelineResult, StageStats};
+use h3w_core::fault::SweepError;
 use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device};
 use h3w_cpu::reference::forward_generic;
 use h3w_cpu::striped_msv::StripedMsv;
@@ -274,7 +275,7 @@ impl Pipeline {
 
     /// Sweep with MSV + Viterbi on a simulated GPU (modeled stage times)
     /// and Forward on the host.
-    pub fn run_gpu(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, String> {
+    pub fn run_gpu(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
         let n = db.len();
         let packed = PackedDb::from_db(db);
         let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
@@ -344,7 +345,7 @@ impl Pipeline {
     /// Sweep with **all three** stages on the simulated device — the §VI
     /// future-work deployment (the Forward kernel scores the Viterbi
     /// survivors with the same warp-per-sequence schedule).
-    pub fn run_gpu_full(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, String> {
+    pub fn run_gpu_full(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
         let packed = PackedDb::from_db(db);
         let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
         let pass1: Vec<bool> = msv_run
@@ -410,7 +411,7 @@ impl Pipeline {
         ))
     }
 
-    fn assemble(
+    pub(crate) fn assemble(
         &self,
         db: &SeqDb,
         msv: Vec<f32>,
@@ -422,6 +423,11 @@ impl Pipeline {
         let mut hits = Vec::new();
         for i in 0..n {
             let Some(mut fwd_sc) = fwd[i] else { continue };
+            // A non-finite Forward score cannot be ranked or reported
+            // honestly; drop the sequence rather than panic downstream.
+            if !fwd_sc.is_finite() {
+                continue;
+            }
             // Optional biased-composition correction (HMMER's null2),
             // computed from the posterior decoding of this survivor. The
             // posterior rides along on the hit so domain reporting never
@@ -433,7 +439,7 @@ impl Pipeline {
                 posterior = Some(Arc::new(post));
             }
             let p = self.fwd_pvalue(fwd_sc, db.seqs[i].len());
-            if p >= self.config.f3 {
+            if !p.is_finite() || p >= self.config.f3 {
                 continue;
             }
             let evalue = p * n as f64;
@@ -450,7 +456,7 @@ impl Pipeline {
                 });
             }
         }
-        hits.sort_by(|a, b| a.evalue.partial_cmp(&b.evalue).unwrap());
+        hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
         PipelineResult::new(stages, hits, n)
     }
 }

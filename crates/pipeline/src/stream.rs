@@ -8,12 +8,16 @@
 //! as a single-pass run would).
 //!
 //! [`FastaChunks`] drives the same flow straight from FASTA text without
-//! materializing the whole database.
+//! materializing the whole database. [`search_chunked_checkpointed`]
+//! persists the sweep state after every chunk so a killed process resumes
+//! where it left off with bit-identical results.
 
+use crate::checkpoint::{CheckpointError, StreamCheckpoint};
 use crate::report::{Hit, PipelineResult, StageStats};
 use crate::run::Pipeline;
 use h3w_seqdb::fasta::FastaError;
 use h3w_seqdb::{DigitalSeq, SeqDb};
+use std::path::Path;
 
 /// Iterator over bounded-residue chunks of a FASTA text.
 pub struct FastaChunks<'a> {
@@ -150,8 +154,81 @@ where
         }
         seq_base += chunk.len() as u32;
     }
-    hits.sort_by(|a, b| a.evalue.partial_cmp(&b.evalue).unwrap());
+    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
     PipelineResult::new(stages, hits, total_seqs)
+}
+
+/// [`search_chunked`] with checkpoint/resume. After every chunk the
+/// accumulated state (chunk cursor, funnel counters, survivor hits) is
+/// written atomically to `ckpt_path`; if that file already exists, the
+/// sweep resumes after its last completed chunk, skipping finished work.
+///
+/// Resume requires the **same chunking** (same input, same chunk bound) —
+/// the skip path re-counts the skipped sequences and rejects a checkpoint
+/// whose cursor does not line up. A killed-then-resumed sweep reports
+/// bit-identical hits and funnel counts to an uninterrupted one (floats
+/// persist as raw IEEE-754 bits; see [`crate::checkpoint`]).
+pub fn search_chunked_checkpointed<I>(
+    pipe: &Pipeline,
+    chunks: I,
+    total_seqs: usize,
+    ckpt_path: &Path,
+) -> Result<PipelineResult, CheckpointError>
+where
+    I: IntoIterator<Item = SeqDb>,
+{
+    let mut state = if ckpt_path.exists() {
+        let ck = StreamCheckpoint::load(ckpt_path)?;
+        if ck.total_seqs != total_seqs {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for a {}-sequence sweep, this one has {total_seqs}",
+                ck.total_seqs
+            )));
+        }
+        ck
+    } else {
+        StreamCheckpoint::fresh(total_seqs)
+    };
+    let resume_from = state.chunks_done;
+    let mut skipped_seqs = 0u32;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        if i < resume_from {
+            skipped_seqs += chunk.len() as u32;
+            if i + 1 == resume_from && skipped_seqs != state.seq_base {
+                return Err(CheckpointError::Mismatch(format!(
+                    "resumed chunking replays {skipped_seqs} sequences where the checkpoint \
+                     recorded {}; was the chunk size or input changed?",
+                    state.seq_base
+                )));
+            }
+            continue;
+        }
+        let res = pipe.run_cpu(&chunk);
+        for (acc, st) in state.stages.iter_mut().zip(&res.stages) {
+            acc.seqs_in += st.seqs_in;
+            acc.seqs_out += st.seqs_out;
+            acc.residues_in += st.residues_in;
+            acc.time_s += st.time_s;
+        }
+        for mut h in res.hits {
+            h.evalue = h.pvalue * total_seqs as f64;
+            h.seqid += state.seq_base;
+            // Posteriors are not persisted (see StreamCheckpoint), so drop
+            // them here too: a live sweep and a resumed one must agree.
+            h.posterior = None;
+            if h.evalue <= pipe.config.report_evalue {
+                state.hits.push(h);
+            }
+        }
+        state.seq_base += chunk.len() as u32;
+        state.chunks_done = i + 1;
+        state.save(ckpt_path)?;
+    }
+    let StreamCheckpoint {
+        stages, mut hits, ..
+    } = state;
+    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
+    Ok(PipelineResult::new(stages, hits, total_seqs))
 }
 
 #[cfg(test)]
@@ -234,6 +311,70 @@ mod tests {
         let orphan = "MKV\n>a\nMKV\n";
         let r: Result<Vec<SeqDb>, _> = FastaChunks::new(orphan, 100).collect();
         assert!(matches!(r, Err(FastaError::DataBeforeHeader { line: 1 })));
+    }
+
+    fn tmp_ckpt(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("h3w-stream-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep.ckpt")
+    }
+
+    #[test]
+    fn killed_and_resumed_sweep_matches_uninterrupted() {
+        let (pipe, db) = setup();
+        let text = fasta::render(&db);
+        let all: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(all.len() >= 3, "need several chunks, got {}", all.len());
+        let baseline = search_chunked(&pipe, all.clone(), db.len());
+
+        // "Kill" the sweep after two chunks: run it on a truncated chunk
+        // stream, leaving the checkpoint behind.
+        let path = tmp_ckpt("resume");
+        let _ = std::fs::remove_file(&path);
+        let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &path).unwrap();
+        let ck = StreamCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.chunks_done, 2);
+        assert_eq!(ck.seq_base as usize, all[0].len() + all[1].len());
+
+        // Resume with the full stream: chunks 0–1 are skipped, the rest
+        // run, and the merged result is bit-identical to the baseline.
+        let resumed = search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path).unwrap();
+        assert_eq!(resumed.hits, baseline.hits);
+        for (a, b) in resumed.stages.iter().zip(&baseline.stages) {
+            assert_eq!(
+                (a.seqs_in, a.seqs_out, a.residues_in),
+                (b.seqs_in, b.seqs_out, b.residues_in),
+                "funnel diverged at {}",
+                a.name
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_rejects_changed_chunking_and_scale() {
+        let (pipe, db) = setup();
+        let text = fasta::render(&db);
+        let all: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let path = tmp_ckpt("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &path).unwrap();
+        // Different database size: a different sweep.
+        let err = search_chunked_checkpointed(&pipe, all.clone(), db.len() + 1, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        // Different chunk bound: the skip cursor no longer lines up.
+        let rechunked: Vec<SeqDb> = FastaChunks::new(&text, 4_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let err = search_chunked_checkpointed(&pipe, rechunked, db.len(), &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! * [`occupancy`](mod@occupancy) — NVIDIA residency rules (registers / shared memory /
 //!   slots);
 //! * [`timing`] — counted events × device rates with occupancy-driven
-//!   latency hiding and measured load imbalance.
+//!   latency hiding and measured load imbalance;
+//! * [`fault`] — deterministic device-fault injection (device-lost,
+//!   kernel timeout, transient launch failure, memory exhaustion) at the
+//!   launch boundary where real CUDA errors surface.
 
 pub mod counters;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod lanes;
 pub mod occupancy;
 pub mod smem;
@@ -32,6 +36,7 @@ pub use device::{Arch, CpuSpec, DeviceSpec, WARP_SIZE};
 pub use exec::{
     run_grid, run_grid_blocks, BlockKernel, GridResult, KernelConfig, SimtCtx, WarpKernel,
 };
+pub use fault::{DeviceFault, FaultInjector, FaultKind, FaultPlan, PlannedFault};
 pub use lanes::{butterfly_max, lane_ids, Lanes};
 pub use occupancy::{occupancy, saturating_grid, OccLimit, Occupancy};
 pub use smem::SharedMem;

@@ -6,54 +6,47 @@
 //!       [--hom FRAC --model query.hmm] [--seed S]
 //! ```
 
+use hmmer3_warp::cli::{self, Args};
 use hmmer3_warp::hmm::hmmio::read_hmm;
 use hmmer3_warp::prelude::*;
 use hmmer3_warp::seqdb::fasta;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "dbgen <out.fasta> [--preset swissprot|envnr] [--scale F] [--hom FRAC --model query.hmm] \
+[--seed S]";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("dbgen: {e}");
-            eprintln!("usage: dbgen <out.fasta> [--preset swissprot|envnr] [--scale F] [--hom FRAC --model query.hmm] [--seed S]");
-            ExitCode::FAILURE
-        }
-    }
+    cli::guarded_main("dbgen", USAGE, run)
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn run(args: &[String]) -> Result<(), String> {
-    let out_path = args.first().ok_or("missing output path")?;
-    let mut spec = match flag_value(args, "--preset").as_deref() {
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[],
+        &["--preset", "--scale", "--hom", "--model", "--seed"],
+    )?;
+    let out_path = args.positional(0, "output path")?;
+    args.no_extra_positionals(1)?;
+    let mut spec = match args.value("--preset") {
         None | Some("swissprot") => DbGenSpec::swissprot_like(),
         Some("envnr") => DbGenSpec::envnr_like(),
         Some(other) => return Err(format!("unknown preset {other:?}")),
     };
-    let scale: f64 = flag_value(args, "--scale")
-        .map(|v| v.parse().map_err(|_| "bad --scale"))
-        .transpose()?
-        .unwrap_or(1e-3);
+    let scale = match args.parse_value::<f64>("--scale")? {
+        Some(s) => cli::require_positive_finite("--scale", s)?,
+        None => 1e-3,
+    };
     spec = spec.scaled(scale);
-    if let Some(h) = flag_value(args, "--hom") {
-        spec.homolog_fraction = h.parse().map_err(|_| "bad --hom")?;
+    if let Some(h) = args.parse_value::<f64>("--hom")? {
+        spec.homolog_fraction = cli::require_unit_fraction("--hom", h)?;
     }
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(1);
+    let seed = args.parse_value::<u64>("--seed")?.unwrap_or(1);
 
-    let model = match flag_value(args, "--model") {
+    let model = match args.value("--model") {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-            Some(read_hmm(&text).map_err(|e| e.to_string())?.model)
+            let text = cli::read_file(path)?;
+            Some(read_hmm(&text).map_err(|e| format!("{path}: {e}"))?.model)
         }
         None => None,
     };
@@ -62,7 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     let db = generate(&spec, model.as_ref(), seed);
-    std::fs::write(out_path, fasta::render(&db)).map_err(|e| format!("writing: {e}"))?;
+    std::fs::write(out_path, fasta::render(&db)).map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!(
         "wrote {out_path}: {} sequences, {} residues ({})",
         db.len(),

@@ -10,55 +10,43 @@
 //! The output carries `STATS LOCAL` calibration lines fitted with this
 //! crate's striped filters, so `hmmsearch` can skip recalibration.
 
+use hmmer3_warp::cli::{self, Args};
 use hmmer3_warp::hmm::hmmio::write_hmm;
 use hmmer3_warp::hmm::msa::{build_from_msa, Msa, MsaBuildParams};
 use hmmer3_warp::pipeline::{Pipeline, PipelineConfig};
 use hmmer3_warp::prelude::*;
 use std::process::ExitCode;
 
+const USAGE: &str = "hmmbuild <out.hmm> <alignment.afa> [--name NAME]\n       \
+hmmbuild <out.hmm> --synthetic M [--seed S] [--gappy]";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("hmmbuild: {e}");
-            eprintln!(
-                "usage: hmmbuild <out.hmm> <alignment.afa> [--name NAME]\n       hmmbuild <out.hmm> --synthetic M [--seed S] [--gappy]"
-            );
-            ExitCode::FAILURE
-        }
-    }
+    cli::guarded_main("hmmbuild", USAGE, run)
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn run(args: &[String]) -> Result<(), String> {
-    let out_path = args.first().ok_or("missing output path")?;
-    let model = if args.iter().any(|a| a == "--synthetic") {
-        let m: usize = flag_value(args, "--synthetic")
-            .ok_or("--synthetic needs a model length")?
-            .parse()
-            .map_err(|_| "bad model length")?;
-        let seed: u64 = flag_value(args, "--seed")
-            .map(|v| v.parse().map_err(|_| "bad seed"))
-            .transpose()?
-            .unwrap_or(42);
-        let params = if args.iter().any(|a| a == "--gappy") {
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["--gappy"], &["--synthetic", "--seed", "--name"])?;
+    let out_path = args.positional(0, "output path")?;
+    let model = if args.value("--synthetic").is_some() {
+        args.no_extra_positionals(1)?;
+        let m = match args.parse_value::<usize>("--synthetic")? {
+            Some(0) => return Err("--synthetic model length must be at least 1".into()),
+            Some(m) => m,
+            None => unreachable!("presence checked above"),
+        };
+        let seed = args.parse_value::<u64>("--seed")?.unwrap_or(42);
+        let params = if args.has("--gappy") {
             BuildParams::gappy()
         } else {
             BuildParams::default()
         };
         synthetic_model(m, seed, &params)
     } else {
-        let in_path = args.get(1).ok_or("missing alignment path")?;
-        let text =
-            std::fs::read_to_string(in_path).map_err(|e| format!("reading {in_path}: {e}"))?;
-        let msa = Msa::parse_afa(&text).map_err(|e| e.to_string())?;
-        let name = flag_value(args, "--name").unwrap_or_else(|| {
+        let in_path = args.positional(1, "alignment path")?;
+        args.no_extra_positionals(2)?;
+        let text = cli::read_file(in_path)?;
+        let msa = Msa::parse_afa(&text).map_err(|e| format!("{in_path}: {e}"))?;
+        let name = args.value("--name").map(str::to_string).unwrap_or_else(|| {
             std::path::Path::new(in_path)
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())

@@ -9,44 +9,40 @@
 //! (as Pfam releases do). Each family runs the full filter pipeline;
 //! output lists, per target, the families that hit it, best E-value first.
 
+use hmmer3_warp::cli::{self, Args};
 use hmmer3_warp::hmm::hmmio::read_hmm_many;
 use hmmer3_warp::pipeline::{best_hits_per_target, scan, PipelineConfig};
 use hmmer3_warp::seqdb::fasta;
 use std::process::ExitCode;
 
+const USAGE: &str = "hmmscan <models.hmm> <targets.fasta> [-E evalue]";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("hmmscan: {e}");
-            eprintln!("usage: hmmscan <models.hmm> <targets.fasta> [-E evalue]");
-            ExitCode::FAILURE
-        }
-    }
+    cli::guarded_main("hmmscan", USAGE, run)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let hmm_path = args.first().ok_or("missing model library")?;
-    let fa_path = args.get(1).ok_or("missing target FASTA")?;
-    let hmm_text =
-        std::fs::read_to_string(hmm_path).map_err(|e| format!("reading {hmm_path}: {e}"))?;
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[], &["-E"])?;
+    let hmm_path = args.positional(0, "model library")?;
+    let fa_path = args.positional(1, "target FASTA")?;
+    args.no_extra_positionals(2)?;
+
+    let mut config = PipelineConfig::default();
+    if let Some(e) = args.parse_value::<f64>("-E")? {
+        config.report_evalue = cli::require_positive_finite("-E", e)?;
+    }
+
+    let hmm_text = cli::read_file(hmm_path)?;
     let models: Vec<_> = read_hmm_many(&hmm_text)
-        .map_err(|e| e.to_string())?
+        .map_err(|e| format!("{hmm_path}: {e}"))?
         .into_iter()
         .map(|f| f.model)
         .collect();
-    let fa_text =
-        std::fs::read_to_string(fa_path).map_err(|e| format!("reading {fa_path}: {e}"))?;
-    let db = fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
-
-    let mut config = PipelineConfig::default();
-    if let Some(i) = args.iter().position(|a| a == "-E") {
-        config.report_evalue = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .ok_or("bad -E value")?;
+    if models.is_empty() {
+        return Err(format!("{hmm_path}: no models"));
     }
+    let fa_text = cli::read_file(fa_path)?;
+    let db = fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
     eprintln!(
         "scanning {} sequences against {} families...",
         db.len(),

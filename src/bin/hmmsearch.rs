@@ -4,7 +4,9 @@
 //! hmmsearch <query.hmm> <targets.fasta> [options]
 //!
 //! options:
-//!   --gpu [k40|gtx580]   run MSV+Viterbi on the simulated device
+//!   --gpu <k40|gtx580>   run MSV+Viterbi on the simulated device
+//!   --devices <n>        fan the device stages over n simulated GPUs
+//!                        (fault-tolerant orchestration; requires --gpu)
 //!   --max                disable the filter cascade (full sensitivity)
 //!   -E <evalue>          report threshold (default 10.0)
 //!   --ali                print alignment blocks for each hit
@@ -12,54 +14,87 @@
 //!   --null2              apply the biased-composition score correction
 //!   --tbl <path>         write a tab-separated hit table
 //!   --chunk <residues>   stream the database in bounded chunks
+//!   --checkpoint <path>  with --chunk: persist sweep state after every
+//!                        chunk and resume from it if it already exists
 //!   --gpu-full           like --gpu, plus the Forward stage on-device
 //! ```
 //!
 //! Runs the full HMMER3-style task pipeline (Fig. 1 of the paper):
 //! MSV filter → P7Viterbi filter → Forward, with calibrated E-values.
 
+use hmmer3_warp::cli::{self, Args};
 use hmmer3_warp::hmm::hmmio::read_hmm;
-use hmmer3_warp::pipeline::{Pipeline, PipelineConfig, PipelineResult};
+use hmmer3_warp::pipeline::{FtSweep, Pipeline, PipelineConfig, PipelineResult};
 use hmmer3_warp::prelude::*;
-use hmmer3_warp::seqdb::fasta;
 use std::process::ExitCode;
 
+const USAGE: &str = "hmmsearch <query.hmm> <targets.fasta> [--gpu k40|gtx580] [--devices n] \
+[--max] [-E evalue] [--ali] [--dom] [--null2] [--tbl path] [--chunk residues] \
+[--checkpoint path] [--gpu-full]";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("hmmsearch: {e}");
-            eprintln!("usage: hmmsearch <query.hmm> <targets.fasta> [--gpu [k40|gtx580]] [--max] [-E evalue] [--ali] [--tbl path]");
-            ExitCode::FAILURE
-        }
+    cli::guarded_main("hmmsearch", USAGE, run)
+}
+
+fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
+    match name {
+        "k40" => Ok(DeviceSpec::tesla_k40()),
+        "gtx580" => Ok(DeviceSpec::gtx_580()),
+        other => Err(format!("unknown device {other:?} (expected k40 or gtx580)")),
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let hmm_path = args.first().ok_or("missing query .hmm")?;
-    let fa_path = args.get(1).ok_or("missing target FASTA")?;
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &["--max", "--ali", "--dom", "--null2", "--gpu-full"],
+        &[
+            "--gpu",
+            "--devices",
+            "-E",
+            "--tbl",
+            "--chunk",
+            "--checkpoint",
+        ],
+    )?;
+    let hmm_path = args.positional(0, "query .hmm")?;
+    let fa_path = args.positional(1, "target FASTA")?;
+    args.no_extra_positionals(2)?;
 
-    let hmm_text =
-        std::fs::read_to_string(hmm_path).map_err(|e| format!("reading {hmm_path}: {e}"))?;
-    let parsed = read_hmm(&hmm_text).map_err(|e| e.to_string())?;
-    let fa_text =
-        std::fs::read_to_string(fa_path).map_err(|e| format!("reading {fa_path}: {e}"))?;
-    let db = fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
-
-    let mut config = if args.iter().any(|a| a == "--max") {
+    let mut config = if args.has("--max") {
         PipelineConfig::max_sensitivity()
     } else {
         PipelineConfig::default()
     };
-    if args.iter().any(|a| a == "--null2") {
-        config.null2 = true;
+    config.null2 = config.null2 || args.has("--null2");
+    if let Some(e) = args.parse_value::<f64>("-E")? {
+        config.report_evalue = cli::require_positive_finite("-E", e)?;
     }
-    if let Some(i) = args.iter().position(|a| a == "-E") {
-        config.report_evalue = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .ok_or("bad -E value")?;
+    let gpu = args.value("--gpu").map(device_by_name).transpose()?;
+    let devices = match args.parse_value::<usize>("--devices")? {
+        None => 1,
+        Some(0) => return Err("--devices must be at least 1".into()),
+        Some(_) if gpu.is_none() => return Err("--devices requires --gpu".into()),
+        Some(n) => n,
+    };
+    let chunk = match args.parse_value::<u64>("--chunk")? {
+        Some(0) => return Err("--chunk must be at least 1 residue".into()),
+        other => other,
+    };
+    let checkpoint = args.value("--checkpoint");
+    if checkpoint.is_some() && chunk.is_none() {
+        return Err("--checkpoint requires --chunk (it checkpoints the chunk stream)".into());
+    }
+    if chunk.is_some() && (gpu.is_some() || args.has("--gpu-full")) {
+        return Err("--chunk streams on the CPU pipeline; drop --gpu/--gpu-full".into());
+    }
+
+    let hmm_text = cli::read_file(hmm_path)?;
+    let parsed = read_hmm(&hmm_text).map_err(|e| format!("{hmm_path}: {e}"))?;
+    let fa_text = cli::read_file(fa_path)?;
+    let db = hmmer3_warp::seqdb::fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
+    if db.is_empty() {
+        return Err(format!("{fa_path}: no sequences"));
     }
 
     eprintln!(
@@ -72,43 +107,59 @@ fn run(args: &[String]) -> Result<(), String> {
     );
     let pipe = Pipeline::prepare(&parsed.model, config, 0x5_eac4);
 
-    let result: PipelineResult = if args.iter().any(|a| a == "--gpu-full") {
-        let dev = DeviceSpec::tesla_k40();
+    let result: PipelineResult = if args.has("--gpu-full") {
+        let dev = gpu.unwrap_or_else(DeviceSpec::tesla_k40);
         eprintln!("running all three stages on simulated {}", dev.name);
         pipe.run_gpu_full(&db, &dev)?
-    } else if let Some(i) = args.iter().position(|a| a == "--gpu") {
-        let dev = match args.get(i + 1).map(String::as_str) {
-            Some("gtx580") => DeviceSpec::gtx_580(),
-            _ => DeviceSpec::tesla_k40(),
-        };
-        eprintln!("running MSV + P7Viterbi on simulated {}", dev.name);
-        pipe.run_gpu(&db, &dev)?
-    } else if let Some(i) = args.iter().position(|a| a == "--chunk") {
-        let max: u64 = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .ok_or("bad --chunk size")?;
+    } else if let Some(dev) = gpu {
+        if devices > 1 {
+            eprintln!(
+                "running MSV + P7Viterbi on {devices} simulated {} devices",
+                dev.name
+            );
+            let report = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(devices))?;
+            report.result
+        } else {
+            eprintln!("running MSV + P7Viterbi on simulated {}", dev.name);
+            pipe.run_gpu(&db, &dev)?
+        }
+    } else if let Some(max) = chunk {
         eprintln!("streaming in ≤{max}-residue chunks");
         let chunks: Vec<_> = hmmer3_warp::pipeline::FastaChunks::new(&fa_text, max)
             .collect::<Result<_, _>>()
             .map_err(|e| e.to_string())?;
-        hmmer3_warp::pipeline::search_chunked(&pipe, chunks, db.len())
+        match checkpoint {
+            Some(path) => {
+                let path = std::path::Path::new(path);
+                if path.exists() {
+                    eprintln!("resuming from checkpoint {}", path.display());
+                }
+                let res = hmmer3_warp::pipeline::search_chunked_checkpointed(
+                    &pipe,
+                    chunks,
+                    db.len(),
+                    path,
+                )
+                .map_err(|e| e.to_string())?;
+                eprintln!("checkpoint saved to {}", path.display());
+                res
+            }
+            None => hmmer3_warp::pipeline::search_chunked(&pipe, chunks, db.len()),
+        }
     } else {
         pipe.run_cpu(&db)
     };
 
     print!("{}", result.render());
 
-    if args.iter().any(|a| a == "--ali" || a == "--dom") {
-        let show_ali = args.iter().any(|a| a == "--ali");
-        let show_dom = args.iter().any(|a| a == "--dom");
+    if args.has("--ali") || args.has("--dom") {
         for hit in result.hits.iter().take(25) {
             println!();
             println!(
                 ">> {}  (fwd {:.2} nats, E = {:.3e})",
                 hit.name, hit.fwd_score, hit.evalue
             );
-            if show_dom {
+            if args.has("--dom") {
                 for (n, d) in pipe.domains_for_hit(&db, hit).iter().enumerate() {
                     println!(
                         "   domain {}: residues {}..{} (mean posterior {:.2})",
@@ -119,15 +170,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     );
                 }
             }
-            if show_ali {
+            if args.has("--ali") {
                 let (_, text) = pipe.align_hit(&parsed.model, &db, hit);
                 print!("{text}");
             }
         }
     }
 
-    if let Some(i) = args.iter().position(|a| a == "--tbl") {
-        let path = args.get(i + 1).ok_or("missing --tbl path")?;
+    if let Some(path) = args.value("--tbl") {
         let mut out = String::from("#target\tfwd_nats\tmsv_nats\tvit_nats\tpvalue\tevalue\n");
         for h in &result.hits {
             out.push_str(&format!(

@@ -1,0 +1,216 @@
+//! Shared command-line plumbing for the workspace binaries.
+//!
+//! Every tool gets the same contract: unknown flags, malformed values,
+//! and missing operands exit with status 1 and a one-line diagnostic
+//! plus the usage string — never a panic backtrace. A panic that does
+//! escape a tool (a bug, by definition) is caught at the top level and
+//! reported as an internal error, still with a nonzero exit.
+
+use std::process::ExitCode;
+
+/// Parsed command line: positionals in order, plus recognized flags.
+/// Construction rejects anything not declared up front.
+#[derive(Debug)]
+pub struct Args {
+    positional: Vec<String>,
+    bools: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+}
+
+impl Args {
+    /// Strict parse: every `-`/`--` token must appear in `bool_flags` or
+    /// `value_flags` (which consume the following token as their value).
+    /// A lone `-` counts as positional, as does anything after `--`.
+    pub fn parse(
+        argv: &[String],
+        bool_flags: &'static [&'static str],
+        value_flags: &'static [&'static str],
+    ) -> Result<Args, String> {
+        let mut args = Args {
+            positional: Vec::new(),
+            bools: Vec::new(),
+            values: Vec::new(),
+        };
+        let mut it = argv.iter();
+        let mut no_more_flags = false;
+        while let Some(tok) = it.next() {
+            if no_more_flags || !tok.starts_with('-') || tok == "-" {
+                args.positional.push(tok.clone());
+            } else if tok == "--" {
+                no_more_flags = true;
+            } else if let Some(&flag) = bool_flags.iter().find(|&&f| f == tok) {
+                if !args.bools.contains(&flag) {
+                    args.bools.push(flag);
+                }
+            } else if let Some(&flag) = value_flags.iter().find(|&&f| f == tok) {
+                let Some(value) = it.next() else {
+                    return Err(format!("{flag} needs a value"));
+                };
+                args.values.push((flag, value.clone()));
+            } else {
+                return Err(format!("unknown flag {tok:?}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Was this boolean flag given?
+    pub fn has(&self, flag: &str) -> bool {
+        self.bools.contains(&flag)
+    }
+
+    /// Raw value of a value flag (last occurrence wins).
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `idx`-th positional, or a "missing …" error naming it.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Reject extra positional operands beyond `max`.
+    pub fn no_extra_positionals(&self, max: usize) -> Result<(), String> {
+        match self.positional.get(max) {
+            Some(extra) => Err(format!("unexpected argument {extra:?}")),
+            None => Ok(()),
+        }
+    }
+
+    /// Parse a value flag into `T`, with a diagnostic naming the flag and
+    /// echoing the offending text. `Ok(None)` when the flag is absent.
+    pub fn parse_value<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.value(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {flag} value {raw:?}")),
+        }
+    }
+}
+
+/// `value` must be finite and strictly positive (E-value and scale
+/// thresholds).
+pub fn require_positive_finite(flag: &str, value: f64) -> Result<f64, String> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(format!(
+            "{flag} must be a positive finite number, got {value}"
+        ))
+    }
+}
+
+/// `value` must lie in `[0, 1]` (fractions).
+pub fn require_unit_fraction(flag: &str, value: f64) -> Result<f64, String> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(format!("{flag} must be within [0, 1], got {value}"))
+    }
+}
+
+/// Read a whole file with a diagnostic that names it.
+pub fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Run a tool body with the shared error contract: `Err` prints
+/// `tool: error` + usage and exits 1; an escaped panic prints an
+/// internal-error line (no backtrace) and also exits 1. `--help`/`-h`
+/// anywhere prints usage and exits 0.
+pub fn guarded_main(
+    tool: &str,
+    usage: &str,
+    run: impl FnOnce(&[String]) -> Result<(), String>,
+) -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: {usage}");
+        return ExitCode::SUCCESS;
+    }
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&argv)));
+    std::panic::set_hook(hook);
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("{tool}: {e}");
+            eprintln!("usage: {usage}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown cause".into());
+            eprintln!("{tool}: internal error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(toks: &[&str]) -> Vec<String> {
+        toks.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn strict_parse_accepts_declared_flags_only() {
+        let a = Args::parse(
+            &argv(&["q.hmm", "db.fa", "--max", "-E", "0.5"]),
+            &["--max"],
+            &["-E"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0, "query").unwrap(), "q.hmm");
+        assert_eq!(a.positional(1, "db").unwrap(), "db.fa");
+        assert!(a.has("--max"));
+        assert_eq!(a.parse_value::<f64>("-E").unwrap(), Some(0.5));
+        assert!(a.no_extra_positionals(2).is_ok());
+        assert!(a.no_extra_positionals(1).is_err());
+
+        let err = Args::parse(&argv(&["--bogus"]), &["--max"], &["-E"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        let err = Args::parse(&argv(&["-E"]), &[], &["-E"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn double_dash_ends_flag_parsing() {
+        let a = Args::parse(&argv(&["--", "--not-a-flag"]), &[], &[]).unwrap();
+        assert_eq!(a.positional(0, "x").unwrap(), "--not-a-flag");
+    }
+
+    #[test]
+    fn bad_values_name_the_flag() {
+        let a = Args::parse(&argv(&["-E", "ten"]), &[], &["-E"]).unwrap();
+        let err = a.parse_value::<f64>("-E").unwrap_err();
+        assert!(err.contains("-E") && err.contains("ten"), "{err}");
+    }
+
+    #[test]
+    fn numeric_guards() {
+        assert!(require_positive_finite("-E", 1.5).is_ok());
+        assert!(require_positive_finite("-E", 0.0).is_err());
+        assert!(require_positive_finite("-E", f64::NAN).is_err());
+        assert!(require_positive_finite("-E", f64::INFINITY).is_err());
+        assert!(require_unit_fraction("--hom", 0.0).is_ok());
+        assert!(require_unit_fraction("--hom", 1.0).is_ok());
+        assert!(require_unit_fraction("--hom", 1.1).is_err());
+        assert!(require_unit_fraction("--hom", f64::NAN).is_err());
+    }
+}

@@ -38,14 +38,17 @@ pub use h3w_pipeline as pipeline;
 pub use h3w_seqdb as seqdb;
 pub use h3w_simt as simt;
 
+pub mod cli;
+
 /// The types most applications need.
 pub mod prelude {
     pub use h3w_core::tiered::{run_msv_device, run_vit_device};
-    pub use h3w_core::{MemConfig, Stage};
+    pub use h3w_core::{MemConfig, RetryPolicy, Stage, SweepError, SweepTrace};
     pub use h3w_hmm::build::{synthetic_model, BuildParams, PAPER_MODEL_SIZES};
     pub use h3w_hmm::{CoreModel, MsvProfile, NullModel, Profile, VitProfile};
-    pub use h3w_pipeline::{Pipeline, PipelineConfig};
+    pub use h3w_pipeline::{FtSweep, Pipeline, PipelineConfig, StreamCheckpoint};
     pub use h3w_seqdb::gen::{generate, DbGenSpec};
     pub use h3w_seqdb::{DigitalSeq, PackedDb, SeqDb};
     pub use h3w_simt::DeviceSpec;
+    pub use h3w_simt::{FaultInjector, FaultKind, FaultPlan};
 }

@@ -188,6 +188,269 @@ fn cli_errors_are_reported() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
 
+/// Run a binary, asserting a nonzero exit, a diagnostic containing
+/// `needle` on stderr, and — the panic-free contract — no backtrace.
+fn expect_failure(bin: &str, args: &[&str], needle: &str) {
+    let exe = match bin {
+        "hmmsearch" => env!("CARGO_BIN_EXE_hmmsearch"),
+        "hmmscan" => env!("CARGO_BIN_EXE_hmmscan"),
+        "hmmbuild" => env!("CARGO_BIN_EXE_hmmbuild"),
+        "dbgen" => env!("CARGO_BIN_EXE_dbgen"),
+        other => panic!("unknown tool {other}"),
+    };
+    let out = Command::new(exe).args(args).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{bin} {args:?} unexpectedly succeeded"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{bin} {args:?}: expected {needle:?} in stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "{bin} {args:?} leaked a panic:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_flags_and_values_are_rejected_without_panicking() {
+    expect_failure("hmmsearch", &["--frobnicate"], "unknown flag");
+    expect_failure("hmmsearch", &["q.hmm", "db.fa", "-E"], "needs a value");
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "-E", "ten"],
+        "bad -E value",
+    );
+    expect_failure("hmmsearch", &["q.hmm", "db.fa", "-E", "-3"], "-E must be");
+    expect_failure("hmmsearch", &["q.hmm", "db.fa", "--chunk", "0"], "--chunk");
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--checkpoint", "x.ckpt"],
+        "--checkpoint requires --chunk",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--devices", "2"],
+        "--devices requires --gpu",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--gpu", "voodoo2"],
+        "unknown device",
+    );
+    expect_failure("hmmsearch", &["only.hmm"], "missing target FASTA");
+    expect_failure("hmmscan", &["lib.hmm"], "missing target FASTA");
+    expect_failure("hmmbuild", &["out.hmm", "--synthetic", "0"], "--synthetic");
+    expect_failure(
+        "hmmbuild",
+        &["out.hmm", "in.afa", "extra"],
+        "unexpected argument",
+    );
+    expect_failure(
+        "dbgen",
+        &["out.fa", "--preset", "uniprot"],
+        "unknown preset",
+    );
+    expect_failure("dbgen", &["out.fa", "--scale", "-1"], "--scale must be");
+    expect_failure("dbgen", &["out.fa", "--hom", "1.5"], "--hom must be");
+}
+
+#[test]
+fn malformed_inputs_are_diagnosed_not_panicked() {
+    let dir = tmpdir("malformed");
+    let good_fa = dir.join("good.fasta");
+    std::fs::write(&good_fa, ">s1\nMKVLAWQRST\n").unwrap();
+
+    // Garbage where an HMM is expected.
+    let bad_hmm = dir.join("bad.hmm");
+    std::fs::write(&bad_hmm, "not an hmm file\n\u{0}\u{1}\u{2}\n").unwrap();
+    expect_failure(
+        "hmmsearch",
+        &[bad_hmm.to_str().unwrap(), good_fa.to_str().unwrap()],
+        "bad.hmm",
+    );
+    expect_failure(
+        "hmmscan",
+        &[bad_hmm.to_str().unwrap(), good_fa.to_str().unwrap()],
+        "bad.hmm",
+    );
+
+    // A structurally valid header cut off mid-model.
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .args([dir.join("q.hmm").to_str().unwrap(), "--synthetic", "20"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let full = std::fs::read_to_string(dir.join("q.hmm")).unwrap();
+    let truncated = dir.join("trunc.hmm");
+    std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+    expect_failure(
+        "hmmsearch",
+        &[truncated.to_str().unwrap(), good_fa.to_str().unwrap()],
+        "trunc.hmm",
+    );
+
+    // Bad residues in the target database.
+    let bad_fa = dir.join("bad.fasta");
+    std::fs::write(&bad_fa, ">s1\nMKV1LA\n").unwrap();
+    expect_failure(
+        "hmmsearch",
+        &[
+            dir.join("q.hmm").to_str().unwrap(),
+            bad_fa.to_str().unwrap(),
+        ],
+        "hmmsearch:",
+    );
+
+    // An alignment that is not aligned FASTA.
+    let bad_afa = dir.join("bad.afa");
+    std::fs::write(&bad_afa, "this is not an alignment\n").unwrap();
+    expect_failure(
+        "hmmbuild",
+        &[
+            dir.join("o.hmm").to_str().unwrap(),
+            bad_afa.to_str().unwrap(),
+        ],
+        "bad.afa",
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    for bin in [
+        env!("CARGO_BIN_EXE_hmmsearch"),
+        env!("CARGO_BIN_EXE_hmmscan"),
+        env!("CARGO_BIN_EXE_hmmbuild"),
+        env!("CARGO_BIN_EXE_dbgen"),
+    ] {
+        let out = Command::new(bin).arg("--help").output().unwrap();
+        assert!(out.status.success(), "{bin} --help failed");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    }
+}
+
+#[test]
+fn multi_device_search_matches_single_device() {
+    let dir = tmpdir("ftgpu");
+    let hmm = dir.join("q.hmm");
+    let fasta = dir.join("t.fasta");
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .args([hmm.to_str().unwrap(), "--synthetic", "50", "--seed", "6"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            fasta.to_str().unwrap(),
+            "--scale",
+            "0.00005",
+            "--hom",
+            "0.05",
+            "--model",
+            hmm.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+            .args([
+                hmm.to_str().unwrap(),
+                fasta.to_str().unwrap(),
+                "--gpu",
+                "k40",
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains("E ="))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let single = run(&[]);
+    let multi = run(&["--devices", "3"]);
+    assert_eq!(single, multi, "multi-device hits diverge");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_search_resumes_to_identical_output() {
+    let dir = tmpdir("ckpt");
+    let hmm = dir.join("q.hmm");
+    let fasta = dir.join("t.fasta");
+    let ckpt = dir.join("sweep.ckpt");
+    let out = Command::new(env!("CARGO_BIN_EXE_hmmbuild"))
+        .args([hmm.to_str().unwrap(), "--synthetic", "55", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            fasta.to_str().unwrap(),
+            "--scale",
+            "0.00008",
+            "--hom",
+            "0.04",
+            "--model",
+            hmm.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Stage timings vary run to run; compare the hit lines and count.
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+            .args([
+                hmm.to_str().unwrap(),
+                fasta.to_str().unwrap(),
+                "--chunk",
+                "5000",
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        let hits: Vec<String> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains("E =") || l.contains("hits reported:"))
+            .map(str::to_string)
+            .collect();
+        (
+            out.status.success(),
+            hits,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    let (ok, baseline, _) = run(&[]);
+    assert!(ok);
+    // First checkpointed run writes the checkpoint and matches the plain
+    // streamed run.
+    let (ok, first, stderr) = run(&["--checkpoint", ckpt.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(ckpt.exists(), "checkpoint file not written");
+    assert_eq!(first, baseline);
+    // Second run resumes from the finished checkpoint — every chunk is
+    // skipped — and still reports identical output.
+    let (ok, resumed, stderr) = run(&["--checkpoint", ckpt.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("resuming from checkpoint"), "{stderr}");
+    assert_eq!(resumed, baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn hmmscan_multi_model_library() {
     let dir = tmpdir("scan");

@@ -267,6 +267,77 @@ proptest! {
         prop_assert!((mean - 1.0).abs() < 1e-3, "mean {}", mean);
     }
 
+    /// Parsers are total: truncating and byte-mutating a valid FASTA
+    /// file yields `Ok` or a structured error — never a panic. The
+    /// streaming chunker sees the same mutated text.
+    #[test]
+    fn mutated_fasta_never_panics_the_parser(
+        lens in prop::collection::vec(1usize..40, 1..8),
+        cut_frac in 0.0f64..=1.0,
+        flips in prop::collection::vec((0usize..4096, 0u8..=255u8), 0..6),
+    ) {
+        use hmmer3_warp::pipeline::FastaChunks;
+        use hmmer3_warp::seqdb::fasta;
+        let mut db = SeqDb::new("p");
+        for (i, &l) in lens.iter().enumerate() {
+            db.seqs.push(DigitalSeq {
+                name: format!("s{i}"),
+                desc: String::new(),
+                residues: (0..l).map(|j| ((i * 7 + j) % 20) as u8).collect(),
+            });
+        }
+        let mut bytes = fasta::render(&db).into_bytes();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        bytes.truncate(cut);
+        for (pos, val) in flips {
+            if let Some(n) = bytes.len().checked_sub(1) {
+                bytes[pos % (n + 1)] = val;
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = fasta::parse("fuzz", &text);
+        let _ = FastaChunks::new(&text, 64).collect::<Result<Vec<_>, _>>();
+    }
+
+    /// Same totality contract for the HMM reader: any truncation or byte
+    /// mutation of a written model file parses or errors, never panics.
+    #[test]
+    fn mutated_hmm_never_panics_the_reader(
+        m in 1usize..25,
+        seed in 0u64..200,
+        cut_frac in 0.0f64..=1.0,
+        flips in prop::collection::vec((0usize..65536, 0u8..=255u8), 0..6),
+    ) {
+        use hmmer3_warp::hmm::hmmio::{read_hmm, read_hmm_many, write_hmm};
+        let model = synthetic_model(m, seed, &BuildParams::default());
+        let mut bytes = write_hmm(&model, None).into_bytes();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        bytes.truncate(cut);
+        for (pos, val) in flips {
+            if let Some(n) = bytes.len().checked_sub(1) {
+                bytes[pos % (n + 1)] = val;
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = read_hmm(&text);
+        let _ = read_hmm_many(&text);
+    }
+
+    /// Arbitrary bytes (not derived from any valid file) never panic the
+    /// FASTA parser, the HMM reader, or the checkpoint JSON parser.
+    #[test]
+    fn arbitrary_text_never_panics_any_parser(
+        bytes in prop::collection::vec(0u8..=255u8, 0..200),
+    ) {
+        use hmmer3_warp::hmm::hmmio::read_hmm;
+        use hmmer3_warp::pipeline::StreamCheckpoint;
+        use hmmer3_warp::seqdb::fasta;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = fasta::parse("fuzz", &text);
+        let _ = read_hmm(&text);
+        let _ = StreamCheckpoint::from_json(&text);
+    }
+
     /// hmmio round-trip for arbitrary synthetic models: name, length and
     /// consensus survive; probabilities within printed precision.
     #[test]

@@ -1,0 +1,89 @@
+//! Criterion benches for the batched interleaved MSV/SSV kernels —
+//! per-width latency of one length-binned batch against the
+//! single-sequence striped filter on the same sequences. The CI smoke run
+//! (`cargo test --benches`) executes each once to keep the harness honest;
+//! real numbers come from `--bench batch` and the `throughput` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use h3w_cpu::striped_msv::StripedMsv;
+use h3w_cpu::{BatchWorkspace, MsvOutcome, StripedSsv, MAX_BATCH};
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::calibrate::random_seq;
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::NullModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEQ_LEN: usize = 400;
+const MODEL_M: usize = 400;
+
+fn setup() -> (MsvProfile, Vec<Vec<u8>>) {
+    let bg = NullModel::new();
+    let core = synthetic_model(MODEL_M, 7, &BuildParams::default());
+    let p = Profile::config(&core, &bg);
+    let mut rng = StdRng::seed_from_u64(11);
+    let seqs = (0..MAX_BATCH)
+        .map(|_| random_seq(&mut rng, SEQ_LEN))
+        .collect();
+    (MsvProfile::from_profile(&p), seqs)
+}
+
+fn bench_batched_msv(c: &mut Criterion) {
+    let (om, seqs) = setup();
+    let striped = StripedMsv::new(&om);
+    let mut g = c.benchmark_group("batched_msv");
+    for width in [1usize, 2, 3, 4] {
+        let refs: Vec<&[u8]> = seqs[..width].iter().map(|s| s.as_slice()).collect();
+        g.throughput(Throughput::Elements((MODEL_M * SEQ_LEN * width) as u64));
+        g.bench_with_input(BenchmarkId::new("interleaved", width), &width, |b, _| {
+            let mut ws = BatchWorkspace::default();
+            let mut out = vec![
+                MsvOutcome {
+                    xj: 0,
+                    overflow: false,
+                    score: 0.0
+                };
+                width
+            ];
+            b.iter(|| striped.run_batch_into(&om, &refs, &mut ws, &mut out))
+        });
+    }
+    // The single-sequence kernel over the same total work as width 4.
+    g.throughput(Throughput::Elements((MODEL_M * SEQ_LEN * MAX_BATCH) as u64));
+    g.bench_function("single_sequence_x4", |b| {
+        let mut dp = Vec::new();
+        b.iter(|| {
+            for s in &seqs {
+                std::hint::black_box(striped.run_into(&om, s, &mut dp).score);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_batched_ssv(c: &mut Criterion) {
+    let (om, seqs) = setup();
+    let striped = StripedSsv::new(&om);
+    let mut g = c.benchmark_group("batched_ssv");
+    for width in [1usize, 2, 3, 4] {
+        let refs: Vec<&[u8]> = seqs[..width].iter().map(|s| s.as_slice()).collect();
+        g.throughput(Throughput::Elements((MODEL_M * SEQ_LEN * width) as u64));
+        g.bench_with_input(BenchmarkId::new("interleaved", width), &width, |b, _| {
+            let mut ws = BatchWorkspace::default();
+            let mut out = vec![
+                MsvOutcome {
+                    xj: 0,
+                    overflow: false,
+                    score: 0.0
+                };
+                width
+            ];
+            b.iter(|| striped.run_batch_into(&om, &refs, &mut ws, &mut out))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_msv, bench_batched_ssv);
+criterion_main!(benches);

@@ -1,10 +1,17 @@
 //! Measure this host's striped-filter throughput (cells/s) — the evidence
 //! behind the `CpuModel` constants recorded in EXPERIMENTS.md.
 //!
+//! Prints the single-sequence numbers plus a `batched_filter_loops`
+//! section: the interleaved MSV/SSV kernels at batch widths 1/2/4 on every
+//! available backend, so the batching win is visible per-host.
+//!
 //! Usage: `cargo run --release -p h3w-bench --bin host_throughput`
 
 fn main() {
-    use h3w_cpu::sweep::{measure_msv_throughput, measure_vit_throughput};
+    use h3w_cpu::sweep::{
+        measure_msv_batched, measure_msv_throughput, measure_ssv_batched, measure_vit_throughput,
+    };
+    use h3w_cpu::{Backend, StripedMsv, StripedSsv};
     use h3w_hmm::profile::Profile;
     use h3w_hmm::*;
     use h3w_seqdb::gen::{generate, DbGenSpec};
@@ -24,4 +31,23 @@ fn main() {
         "host striped Vit: {:.2} Gcell/s (x3-state) single-thread",
         tv.cells_per_sec / 1e9
     );
+
+    println!("\nbatched_filter_loops (single-thread, real cells):");
+    for backend in Backend::all_available() {
+        let sm = StripedMsv::with_backend(&msv, backend);
+        let ss = StripedSsv::with_backend(&msv, backend);
+        for width in [1usize, 2, 3, 4] {
+            // Warm up once, then measure.
+            measure_msv_batched(&sm, &msv, &db, 200, width);
+            let t_msv = measure_msv_batched(&sm, &msv, &db, 1000, width);
+            measure_ssv_batched(&ss, &msv, &db, 200, width);
+            let t_ssv = measure_ssv_batched(&ss, &msv, &db, 1000, width);
+            println!(
+                "  {:6} S={width}: MSV {:7.2} Mcell/s   SSV {:7.2} Mcell/s",
+                backend.name(),
+                t_msv.cells_per_sec / 1e6,
+                t_ssv.cells_per_sec / 1e6,
+            );
+        }
+    }
 }

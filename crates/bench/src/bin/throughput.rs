@@ -13,7 +13,8 @@
 use h3w_bench::json::Json;
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
-use h3w_cpu::Backend;
+use h3w_cpu::sweep::{measure_msv_batched, measure_ssv_batched};
+use h3w_cpu::{Backend, StripedSsv};
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
@@ -45,9 +46,10 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
-fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> Vec<Json> {
+fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> (Vec<Json>, Vec<(Backend, f64)>) {
     let residues = db.total_residues() as f64;
     let mut rows = Vec::new();
+    let mut msv_rps = Vec::new();
     for backend in Backend::all_available() {
         let smsv = StripedMsv::with_backend(msv, backend);
         let svit = StripedVit::with_backend(vit, backend);
@@ -63,6 +65,7 @@ fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> Vec<Json> {
                 std::hint::black_box(svit.run_into(vit, &seq.residues, &mut ws).0.score);
             }
         });
+        msv_rps.push((backend, residues / msv_s));
         rows.push(Json::Obj(vec![
             ("backend", Json::Str(backend.name().into())),
             ("msv_time_s", Json::Num(msv_s)),
@@ -71,7 +74,60 @@ fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> Vec<Json> {
             ("vit_residues_per_sec", Json::Num(residues / vit_s)),
         ]));
     }
-    rows
+    (rows, msv_rps)
+}
+
+/// The batched interleaved kernels at widths 1/2/4 on every backend:
+/// real-cell throughput plus, per backend, the speedup of the best batched
+/// MSV width over the *single-sequence* striped sweep (`single_msv_rps` is
+/// the `filter_loops` measurement, residues/s). This is the evidence for
+/// the batching tentpole — the AVX2 ratio is the ≥ 1.5× acceptance bar.
+fn batched_rows(msv: &MsvProfile, db: &SeqDb, single_msv_rps: &[(Backend, f64)]) -> Json {
+    let m = msv.m as f64;
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for backend in Backend::all_available() {
+        let smsv = StripedMsv::with_backend(msv, backend);
+        let sssv = StripedSsv::with_backend(msv, backend);
+        let mut best_msv = 0.0f64;
+        for width in [1usize, 2, 3, 4] {
+            // Warm-up pass, then best of 5 (same estimator as time_best).
+            measure_msv_batched(&smsv, msv, db, db.len(), width);
+            measure_ssv_batched(&sssv, msv, db, db.len(), width);
+            let mut msv_cps = 0.0f64;
+            let mut ssv_cps = 0.0f64;
+            for _ in 0..5 {
+                msv_cps =
+                    msv_cps.max(measure_msv_batched(&smsv, msv, db, db.len(), width).cells_per_sec);
+                ssv_cps =
+                    ssv_cps.max(measure_ssv_batched(&sssv, msv, db, db.len(), width).cells_per_sec);
+            }
+            best_msv = best_msv.max(msv_cps);
+            rows.push(Json::Obj(vec![
+                ("backend", Json::Str(backend.name().into())),
+                ("width", Json::Num(width as f64)),
+                ("msv_cells_per_sec", Json::Num(msv_cps)),
+                ("msv_residues_per_sec", Json::Num(msv_cps / m)),
+                ("ssv_cells_per_sec", Json::Num(ssv_cps)),
+                ("ssv_residues_per_sec", Json::Num(ssv_cps / m)),
+            ]));
+        }
+        let single = single_msv_rps
+            .iter()
+            .find(|(b, _)| *b == backend)
+            .map(|&(_, r)| r * m)
+            .unwrap_or(f64::NAN);
+        speedups.push(Json::Obj(vec![
+            ("backend", Json::Str(backend.name().into())),
+            ("batched_msv_cells_per_sec", Json::Num(best_msv)),
+            ("single_msv_cells_per_sec", Json::Num(single)),
+            ("batched_over_single", Json::Num(best_msv / single)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("rows", Json::Arr(rows)),
+        ("msv_batched_speedup", Json::Arr(speedups)),
+    ])
 }
 
 fn stage_rows(stages: &[h3w_pipeline::StageStats]) -> Json {
@@ -114,7 +170,11 @@ fn main() {
     );
 
     // Tight filter loops, every backend.
-    let filters = filter_rows(&msv, &vit, &db);
+    let (filters, single_msv_rps) = filter_rows(&msv, &vit, &db);
+
+    // Batched interleaved kernels (widths × backends) and the
+    // batched-over-single MSV speedup per backend.
+    let batched = batched_rows(&msv, &db, &single_msv_rps);
 
     // Full run_cpu funnel per backend; best-of-3 stage times.
     let mut cpu_rows = Vec::new();
@@ -184,6 +244,7 @@ fn main() {
             Json::Str(Backend::detect().name().into()),
         ),
         ("filter_loops", Json::Arr(filters)),
+        ("batched_filter_loops", batched),
         ("run_cpu", Json::Arr(cpu_rows)),
         (
             "run_gpu",

@@ -101,6 +101,18 @@ impl Backend {
     pub fn best_available() -> Backend {
         *Backend::all_available().last().unwrap_or(&Backend::Scalar)
     }
+
+    /// How many sequences the batched filter kernels should interleave on
+    /// this backend (see [`crate::batch`]). The real SIMD backends want
+    /// four independent dependency chains to cover the per-row broadcast
+    /// latency; the emulated scalar backend spills past two (each emulated
+    /// vector is itself 16 registers wide), so it stops there.
+    pub fn preferred_batch_width(self) -> usize {
+        match self {
+            Backend::Scalar => 2,
+            Backend::Sse2 | Backend::Avx2 => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for Backend {

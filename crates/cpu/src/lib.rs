@@ -13,6 +13,7 @@
 //!    for "HMMER 3.0 utilizing multi-core and SSE capabilities" (§IV).
 
 pub mod backend;
+pub mod batch;
 pub mod null2;
 pub mod posterior;
 pub mod quantized;
@@ -26,6 +27,7 @@ pub mod traceback;
 pub mod x86;
 
 pub use backend::Backend;
+pub use batch::{BatchWorkspace, MAX_BATCH};
 pub use null2::null2_correction;
 pub use posterior::{find_domains, posterior_decode, Domain, Posterior};
 pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
@@ -35,5 +37,8 @@ pub use reference::{
 pub use ssv::{ssv_filter_scalar, ssv_reference, StripedSsv};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
-pub use sweep::{msv_sweep, vit_sweep, vit_sweep_masked, SweepTiming};
+pub use sweep::{
+    length_binned_batches, msv_outcomes_batched, msv_sweep, msv_sweep_batched, resolve_batch_width,
+    ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked, SweepTiming,
+};
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};

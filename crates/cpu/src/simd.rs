@@ -12,6 +12,22 @@ pub type V16u8 = [u8; 16];
 /// 8 × i16 vector (one SSE register of word scores).
 pub type V8i16 = [i16; 8];
 
+/// A 16-byte-aligned byte vector for 128-bit emission tables and DP rows.
+///
+/// `Vec<[u8; 16]>` has alignment 1, so a 16-byte SSE2 row load from it can
+/// straddle a cache line (a split load costs an extra cycle and a second
+/// fill buffer on every row of every sequence). Pinning rows to their
+/// natural alignment removes the split — the 128-bit sibling of
+/// [`ByteRow32`](crate::x86::ByteRow32).
+#[repr(C, align(16))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteRow16(pub [u8; 16]);
+
+impl ByteRow16 {
+    /// The all-zero row (the DP floor).
+    pub const ZERO: ByteRow16 = ByteRow16([0u8; 16]);
+}
+
 /// Broadcast a byte to all lanes (`_mm_set1_epi8`).
 #[inline(always)]
 pub fn splat_u8(v: u8) -> V16u8 {
@@ -30,6 +46,16 @@ pub fn max_u8(a: V16u8, b: V16u8) -> V16u8 {
     let mut r = [0u8; 16];
     for i in 0..16 {
         r[i] = a[i].max(b[i]);
+    }
+    r
+}
+
+/// Lane-wise unsigned minimum (`_mm_min_epu8`).
+#[inline(always)]
+pub fn min_u8(a: V16u8, b: V16u8) -> V16u8 {
+    let mut r = [0u8; 16];
+    for i in 0..16 {
+        r[i] = a[i].min(b[i]);
     }
     r
 }

@@ -23,9 +23,11 @@
 //! score = (xmax − BASE)/scale + ln½ + move      // E→C, C→T
 //! ```
 
+use crate::backend::Backend;
+use crate::batch::BatchWorkspace;
 use crate::quantized::MsvOutcome;
-use crate::simd::{adds_u8, hmax_u8, max_u8, shift_u8, splat_u8, subs_u8, V16u8};
-use h3w_hmm::alphabet::{Residue, N_CODES};
+use crate::simd::ByteRow16;
+use h3w_hmm::alphabet::Residue;
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
 
@@ -90,81 +92,104 @@ pub fn ssv_filter_scalar(om: &MsvProfile, seq: &[Residue]) -> MsvOutcome {
     }
 }
 
-/// Striped 16-lane SSV filter (Farrar layout; same stripes as
-/// [`StripedMsv`](crate::striped_msv::StripedMsv)).
+/// Striped SSV filter (Farrar layout; same stripes — and in fact the same
+/// emission tables — as [`StripedMsv`](crate::striped_msv::StripedMsv)).
+///
+/// Backend-dispatched like the MSV filter: portable 16-lane scalar, real
+/// SSE2 over the same layout, AVX2 over the re-striped 32-lane layout.
+/// All row loops live in [`crate::batch`] — a single-sequence run is just
+/// a width-1 batch, so there is exactly one SSV kernel to keep bit-exact.
 #[derive(Debug, Clone)]
 pub struct StripedSsv {
     /// Model length.
     pub m: usize,
-    /// Vectors per row.
+    /// Vectors per row in the 16-lane layout.
     pub q: usize,
-    base: u8,
-    bias: u8,
-    overflow_at: u8,
-    rbv: Vec<V16u8>,
+    backend: Backend,
+    pub(crate) base: u8,
+    pub(crate) bias: u8,
+    pub(crate) overflow_at: u8,
+    /// Striped biased costs, code-major: `rbv[code * q + qi]`.
+    pub(crate) rbv: Vec<ByteRow16>,
+    #[cfg(target_arch = "x86_64")]
+    pub(crate) avx: Option<crate::striped_msv::AvxMsv>,
 }
 
 impl StripedSsv {
-    /// Re-stripe an [`MsvProfile`] for SSV.
+    /// Re-stripe an [`MsvProfile`] for SSV on the auto-detected backend.
     pub fn new(om: &MsvProfile) -> StripedSsv {
-        let m = om.m;
-        let q = m.div_ceil(16).max(1);
-        let mut rbv = vec![[255u8; 16]; N_CODES * q];
-        for code in 0..N_CODES {
-            for qi in 0..q {
-                for (z, slot) in rbv[code * q + qi].iter_mut().enumerate() {
-                    let k0 = z * q + qi;
-                    if k0 < m {
-                        *slot = om.cost(code as u8, k0);
-                    }
-                }
-            }
-        }
+        StripedSsv::with_backend(om, Backend::detect())
+    }
+
+    /// Re-stripe for a specific backend (downgrades to scalar if the
+    /// requested backend cannot run on this CPU).
+    pub fn with_backend(om: &MsvProfile, backend: Backend) -> StripedSsv {
+        let backend = if backend.available() {
+            backend
+        } else {
+            Backend::Scalar
+        };
+        let (q, rbv) = crate::striped_msv::stripe16(om);
+        #[cfg(target_arch = "x86_64")]
+        let avx = (backend == Backend::Avx2).then(|| crate::striped_msv::stripe32(om));
         StripedSsv {
-            m,
+            m: om.m,
             q,
+            backend,
             base: om.base,
             bias: om.bias,
             overflow_at: om.overflow_limit(),
             rbv,
+            #[cfg(target_arch = "x86_64")]
+            avx,
         }
     }
 
-    /// Score one sequence (bit-exact with the scalar spec). Note the
-    /// absence of any per-row horizontal reduction — `xmaxv` stays a
-    /// vector until the sequence ends.
-    pub fn run(&self, om: &MsvProfile, seq: &[Residue]) -> MsvOutcome {
-        let q = self.q;
-        let lc = om.len_costs(seq.len());
-        let xbv = splat_u8(self.base.saturating_sub(lc.tjbm));
-        let biasv = splat_u8(self.bias);
-        let mut dp = vec![splat_u8(0); q];
-        let mut xmaxv = splat_u8(0);
-        for &x in seq {
-            let row = &self.rbv[x as usize * q..(x as usize + 1) * q];
-            let mut mpv = shift_u8(dp[q - 1], 0);
-            for (qi, rv) in row.iter().enumerate() {
-                let sv = subs_u8(adds_u8(max_u8(mpv, xbv), biasv), *rv);
-                xmaxv = max_u8(xmaxv, sv);
-                mpv = dp[qi];
-                dp[qi] = sv;
-            }
-            // Overflow check is cheap: one hmax per row would defeat the
-            // point; test the vector against the limit lane-wise instead.
-            if xmaxv.iter().any(|&v| v >= self.overflow_at) {
-                return MsvOutcome {
-                    xj: 255,
-                    overflow: true,
-                    score: MsvProfile::overflow_score(),
-                };
-            }
-        }
-        let xmax = hmax_u8(xmaxv);
-        MsvOutcome {
-            xj: xmax,
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Score one sequence as a width-1 batch, reusing `ws` as the row
+    /// buffer. Bit-exact with the scalar spec on every backend.
+    pub fn run_into(
+        &self,
+        om: &MsvProfile,
+        seq: &[Residue],
+        ws: &mut BatchWorkspace,
+    ) -> MsvOutcome {
+        let mut out = [MsvOutcome {
+            xj: 0,
             overflow: false,
-            score: ssv_score_to_nats(om, xmax, seq.len()),
+            score: 0.0,
+        }];
+        self.run_batch_into(om, &[seq], ws, &mut out);
+        out[0]
+    }
+
+    /// Score one sequence with a fresh workspace.
+    pub fn run(&self, om: &MsvProfile, seq: &[Residue]) -> MsvOutcome {
+        self.run_into(om, seq, &mut BatchWorkspace::default())
+    }
+
+    /// DP cells *computed* per residue row (`lanes · Q`, striping phantoms
+    /// included) — see
+    /// [`StripedMsv::padded_cells_per_row`](crate::striped_msv::StripedMsv::padded_cells_per_row).
+    pub fn padded_cells_per_row(&self) -> usize {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => self
+                .avx
+                .as_ref()
+                .map(|t| 32 * t.q)
+                .unwrap_or_else(|| 32 * self.m.div_ceil(32).max(1)),
+            _ => 16 * self.q,
         }
+    }
+
+    /// DP cells *meaningful* per residue row — exactly `M`.
+    pub fn real_cells_per_row(&self) -> usize {
+        self.m
     }
 }
 

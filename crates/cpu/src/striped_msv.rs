@@ -17,7 +17,7 @@
 
 use crate::backend::Backend;
 use crate::quantized::MsvOutcome;
-use crate::simd::{adds_u8, hmax_u8, max_u8, shift_u8, splat_u8, subs_u8, V16u8};
+use crate::simd::{adds_u8, hmax_u8, max_u8, shift_u8, splat_u8, subs_u8, ByteRow16};
 use h3w_hmm::alphabet::{Residue, N_CODES};
 use h3w_hmm::msvprofile::MsvProfile;
 
@@ -31,11 +31,52 @@ pub const MSV_LANES_AVX2: usize = 32;
 /// code-major, phantoms pinned to 255.
 #[cfg(target_arch = "x86_64")]
 #[derive(Debug, Clone)]
-struct AvxMsv {
+pub(crate) struct AvxMsv {
     /// Vectors per row: `⌈M/32⌉`.
-    q: usize,
+    pub(crate) q: usize,
     /// `rbv[code * q + qi]`, 32-byte aligned rows.
-    rbv: Vec<crate::x86::ByteRow32>,
+    pub(crate) rbv: Vec<crate::x86::ByteRow32>,
+}
+
+/// Stripe an [`MsvProfile`]'s biased byte costs into the 16-lane layout
+/// (`Q = ⌈M/16⌉`, code-major, phantoms pinned to 255). MSV and SSV share
+/// the same emission tables, so both striped filters build from here.
+pub(crate) fn stripe16(om: &MsvProfile) -> (usize, Vec<ByteRow16>) {
+    let m = om.m;
+    let q = m.div_ceil(MSV_LANES).max(1);
+    let mut rbv = vec![ByteRow16([255u8; MSV_LANES]); N_CODES * q];
+    for code in 0..N_CODES {
+        for qi in 0..q {
+            let vec = &mut rbv[code * q + qi].0;
+            for (z, slot) in vec.iter_mut().enumerate() {
+                let k0 = z * q + qi;
+                if k0 < m {
+                    *slot = om.cost(code as u8, k0);
+                }
+            }
+        }
+    }
+    (q, rbv)
+}
+
+/// Stripe into the re-striped 32-lane AVX2 layout (`Q = ⌈M/32⌉`).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn stripe32(om: &MsvProfile) -> AvxMsv {
+    let m = om.m;
+    let q32 = m.div_ceil(MSV_LANES_AVX2).max(1);
+    let mut rbv32 = vec![crate::x86::ByteRow32([255u8; MSV_LANES_AVX2]); N_CODES * q32];
+    for code in 0..N_CODES {
+        for qi in 0..q32 {
+            let vec = &mut rbv32[code * q32 + qi].0;
+            for (z, slot) in vec.iter_mut().enumerate() {
+                let k0 = z * q32 + qi;
+                if k0 < m {
+                    *slot = om.cost(code as u8, k0);
+                }
+            }
+        }
+    }
+    AvxMsv { q: q32, rbv: rbv32 }
 }
 
 /// A profile's MSV tables rearranged into the striped layout.
@@ -46,14 +87,14 @@ pub struct StripedMsv {
     /// Vectors per row in the 16-lane layout: `⌈M/16⌉`.
     pub q: usize,
     backend: Backend,
-    base: u8,
-    bias: u8,
-    overflow_at: u8,
+    pub(crate) base: u8,
+    pub(crate) bias: u8,
+    pub(crate) overflow_at: u8,
     /// Striped biased costs, code-major: `rbv[code * q + qi]`.
     /// Phantom positions (`k0 ≥ M`) cost 255, pinning them to the floor.
-    rbv: Vec<V16u8>,
+    pub(crate) rbv: Vec<ByteRow16>,
     #[cfg(target_arch = "x86_64")]
-    avx: Option<AvxMsv>,
+    pub(crate) avx: Option<AvxMsv>,
 }
 
 impl StripedMsv {
@@ -70,39 +111,11 @@ impl StripedMsv {
         } else {
             Backend::Scalar
         };
-        let m = om.m;
-        let q = m.div_ceil(MSV_LANES).max(1);
-        let mut rbv = vec![[255u8; MSV_LANES]; N_CODES * q];
-        for code in 0..N_CODES {
-            for qi in 0..q {
-                let vec = &mut rbv[code * q + qi];
-                for (z, slot) in vec.iter_mut().enumerate() {
-                    let k0 = z * q + qi;
-                    if k0 < m {
-                        *slot = om.cost(code as u8, k0);
-                    }
-                }
-            }
-        }
+        let (q, rbv) = stripe16(om);
         #[cfg(target_arch = "x86_64")]
-        let avx = (backend == Backend::Avx2).then(|| {
-            let q32 = m.div_ceil(MSV_LANES_AVX2).max(1);
-            let mut rbv32 = vec![crate::x86::ByteRow32([255u8; MSV_LANES_AVX2]); N_CODES * q32];
-            for code in 0..N_CODES {
-                for qi in 0..q32 {
-                    let vec = &mut rbv32[code * q32 + qi].0;
-                    for (z, slot) in vec.iter_mut().enumerate() {
-                        let k0 = z * q32 + qi;
-                        if k0 < m {
-                            *slot = om.cost(code as u8, k0);
-                        }
-                    }
-                }
-            }
-            AvxMsv { q: q32, rbv: rbv32 }
-        });
+        let avx = (backend == Backend::Avx2).then(|| stripe32(om));
         StripedMsv {
-            m,
+            m: om.m,
             q,
             backend,
             base: om.base,
@@ -121,7 +134,12 @@ impl StripedMsv {
 
     /// Score one sequence, reusing `dp` as the row buffer (resized as
     /// needed). Bit-identical to the scalar reference on every backend.
-    pub fn run_into(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<V16u8>) -> MsvOutcome {
+    pub fn run_into(
+        &self,
+        om: &MsvProfile,
+        seq: &[Residue],
+        dp: &mut Vec<ByteRow16>,
+    ) -> MsvOutcome {
         match self.backend {
             Backend::Scalar => self.run_scalar(om, seq, dp),
             #[cfg(target_arch = "x86_64")]
@@ -136,11 +154,11 @@ impl StripedMsv {
     }
 
     /// Portable reference row loop (emulated 16-lane vectors).
-    fn run_scalar(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<V16u8>) -> MsvOutcome {
+    fn run_scalar(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<ByteRow16>) -> MsvOutcome {
         let q = self.q;
         let lc = om.len_costs(seq.len());
         dp.clear();
-        dp.resize(q, splat_u8(0));
+        dp.resize(q, ByteRow16::ZERO);
 
         let biasv = splat_u8(self.bias);
         let mut xj = 0u8;
@@ -148,12 +166,12 @@ impl StripedMsv {
         for &x in seq {
             let row = &self.rbv[x as usize * q..(x as usize + 1) * q];
             let mut xev = splat_u8(0);
-            let mut mpv = shift_u8(dp[q - 1], 0);
+            let mut mpv = shift_u8(dp[q - 1].0, 0);
             for (qi, rv) in row.iter().enumerate() {
-                let sv = subs_u8(adds_u8(max_u8(mpv, xbv), biasv), *rv);
+                let sv = subs_u8(adds_u8(max_u8(mpv, xbv), biasv), rv.0);
                 xev = max_u8(xev, sv);
-                mpv = dp[qi];
-                dp[qi] = sv;
+                mpv = dp[qi].0;
+                dp[qi] = ByteRow16(sv);
             }
             let xe = hmax_u8(xev);
             if xe >= self.overflow_at {
@@ -171,14 +189,19 @@ impl StripedMsv {
 
     /// SSE2 row loop: identical 16-lane layout, real 128-bit intrinsics.
     #[cfg(target_arch = "x86_64")]
-    unsafe fn run_sse2(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<V16u8>) -> MsvOutcome {
+    unsafe fn run_sse2(
+        &self,
+        om: &MsvProfile,
+        seq: &[Residue],
+        dp: &mut Vec<ByteRow16>,
+    ) -> MsvOutcome {
         use crate::x86::{hmax_epu8, loadu128, shl1_u8_128, storeu128};
         use core::arch::x86_64::*;
 
         let q = self.q;
         let lc = om.len_costs(seq.len());
         dp.clear();
-        dp.resize(q, [0u8; MSV_LANES]);
+        dp.resize(q, ByteRow16::ZERO);
         let dpb = dp.as_mut_ptr() as *mut u8;
 
         let biasv = _mm_set1_epi8(self.bias as i8);
@@ -215,7 +238,12 @@ impl StripedMsv {
     /// vectors.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    unsafe fn run_avx2(&self, om: &MsvProfile, seq: &[Residue], dp: &mut Vec<V16u8>) -> MsvOutcome {
+    unsafe fn run_avx2(
+        &self,
+        om: &MsvProfile,
+        seq: &[Residue],
+        dp: &mut Vec<ByteRow16>,
+    ) -> MsvOutcome {
         use crate::x86::{align32, loadu256, shl1_u8_256, storeu256};
         use core::arch::x86_64::*;
 
@@ -228,7 +256,7 @@ impl StripedMsv {
         dp.clear();
         // Two spare 16-byte entries let the working pointer snap to a
         // 32-byte boundary so row loads/stores never split a cache line.
-        dp.resize(2 * q + 2, [0u8; MSV_LANES]);
+        dp.resize(2 * q + 2, ByteRow16::ZERO);
         let dpb = align32(dp.as_mut_ptr() as *mut u8);
 
         let biasv = _mm256_set1_epi8(self.bias as i8);
@@ -292,10 +320,31 @@ impl StripedMsv {
         self.run_into(om, seq, &mut dp)
     }
 
-    /// DP cells computed per residue row (16·Q, including phantom lanes) —
-    /// the throughput denominator for calibration.
-    pub fn cells_per_row(&self) -> usize {
-        MSV_LANES * self.q
+    /// DP cells *computed* per residue row — `lanes · Q`, **including**
+    /// striping phantoms. This is the work the hardware actually performs,
+    /// the right denominator for calibration against measured kernel time.
+    /// Never mix it with [`Self::real_cells_per_row`] (the `M` cells the
+    /// sweep accounting reports).
+    pub fn padded_cells_per_row(&self) -> usize {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                MSV_LANES_AVX2
+                    * self
+                        .avx
+                        .as_ref()
+                        .map(|t| t.q)
+                        .unwrap_or_else(|| self.m.div_ceil(MSV_LANES_AVX2).max(1))
+            }
+            _ => MSV_LANES * self.q,
+        }
+    }
+
+    /// DP cells *meaningful* per residue row — exactly `M`, excluding
+    /// striping phantoms. This is the denominator the database sweeps
+    /// report ([`crate::sweep::SweepTiming::real_cells`]).
+    pub fn real_cells_per_row(&self) -> usize {
+        self.m
     }
 }
 
@@ -375,7 +424,8 @@ mod tests {
         let om = om(33, 2);
         let striped = StripedMsv::with_backend(&om, Backend::Scalar);
         assert_eq!(striped.q, 3); // ceil(33/16)
-        assert_eq!(striped.cells_per_row(), 48);
+        assert_eq!(striped.padded_cells_per_row(), 48);
+        assert_eq!(striped.real_cells_per_row(), 33);
     }
 
     #[test]

@@ -553,9 +553,19 @@ impl StripedVit {
         self.run_into(om, seq, &mut ws)
     }
 
-    /// DP cells computed per residue row (3 states × 8·Q incl. phantoms).
-    pub fn cells_per_row(&self) -> usize {
+    /// DP cells *computed* per residue row (3 states × 8·Q, **including**
+    /// striping phantoms) — the calibration denominator. Not the same
+    /// quantity as [`Self::real_cells_per_row`], which the sweep
+    /// accounting reports.
+    pub fn padded_cells_per_row(&self) -> usize {
         3 * VIT_LANES * self.q
+    }
+
+    /// DP cells *meaningful* per residue row (3 states × `M`, excluding
+    /// striping phantoms) — the denominator behind
+    /// [`crate::sweep::SweepTiming::real_cells`].
+    pub fn real_cells_per_row(&self) -> usize {
+        3 * self.m
     }
 }
 
@@ -671,7 +681,8 @@ mod tests {
         let om = om(17, 2, &BuildParams::default());
         let striped = StripedVit::with_backend(&om, Backend::Scalar);
         assert_eq!(striped.q, 3); // ceil(17/8)
-        assert_eq!(striped.cells_per_row(), 72);
+        assert_eq!(striped.padded_cells_per_row(), 72);
+        assert_eq!(striped.real_cells_per_row(), 51);
     }
 
     #[test]

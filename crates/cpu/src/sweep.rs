@@ -3,43 +3,199 @@
 //! The paper's speedups are measured against "HMMER 3.0 utilizing
 //! multi-core and SSE capabilities on Intel Core i5 quad core" (§IV).
 //! This module is that baseline: the striped filters fanned across a Rayon
-//! pool (one task per sequence, work-stealing handles the length skew),
-//! with measured cell throughput for the analytic speedup model.
+//! pool, with measured cell throughput for the analytic speedup model.
+//!
+//! Two sweep shapes exist for the byte filters:
+//!
+//! * **one task per sequence** ([`msv_sweep`]) — work-stealing handles the
+//!   length skew;
+//! * **one task per batch** ([`msv_sweep_batched`], [`ssv_sweep_batched`])
+//!   — the [length-binned scheduler](length_binned_batches) groups
+//!   near-equal-length sequences into batches of `S` and the interleaved
+//!   kernels in [`crate::batch`] score each batch in one fused loop,
+//!   hiding the per-row reduction latency behind `S` independent chains.
+//!
+//! Both produce bit-identical outcomes; the batched shape is faster
+//! because the single-sequence row loop is latency-bound (see
+//! [`crate::batch`]).
 
+use crate::backend::Backend;
+use crate::batch::{BatchWorkspace, MAX_BATCH};
 use crate::quantized::{MsvOutcome, VitOutcome};
+use crate::ssv::StripedSsv;
 use crate::striped_msv::StripedMsv;
 use crate::striped_vit::{LazyFStats, StripedVit, VitWorkspace};
+use h3w_hmm::alphabet::Residue;
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::vitprofile::VitProfile;
-use h3w_seqdb::SeqDb;
+use h3w_seqdb::{DigitalSeq, SeqDb};
 use rayon::prelude::*;
 use std::time::Instant;
 
-/// Measured throughput of one sweep.
+/// Measured throughput of one sweep, with **both** cell denominators kept
+/// explicit so calibration and bench numbers can never silently mix them:
+///
+/// * `real_cells` — meaningful DP cells (model length × residues swept,
+///   ×3 states for Viterbi), the denominator database-level numbers are
+///   reported in;
+/// * `padded_cells` — cells the hardware actually computed
+///   (`lanes · Q` per row, including striping phantoms), the denominator
+///   for calibrating an analytic kernel-time model.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepTiming {
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// DP cells processed (model length × total residues; real cells, not
-    /// counting striping phantoms).
-    pub cells: u64,
-    /// Cells per second.
+    /// Meaningful DP cells processed (no striping phantoms).
+    pub real_cells: u64,
+    /// DP cells computed including striping phantoms.
+    pub padded_cells: u64,
+    /// `real_cells / seconds` — the headline throughput number.
     pub cells_per_sec: f64,
 }
 
-fn timing(seconds: f64, cells: u64) -> SweepTiming {
+impl SweepTiming {
+    /// `padded_cells / seconds` — hardware-work throughput, for kernel
+    /// calibration only.
+    pub fn padded_cells_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.padded_cells as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn timing(seconds: f64, real_cells: u64, padded_cells: u64) -> SweepTiming {
     SweepTiming {
         seconds,
-        cells,
+        real_cells,
+        padded_cells,
         cells_per_sec: if seconds > 0.0 {
-            cells as f64 / seconds
+            real_cells as f64 / seconds
         } else {
             0.0
         },
     }
 }
 
-/// MSV-filter every sequence of a database in parallel.
+/// Resolve a requested batch width: `0` means "auto" (the backend's
+/// preferred interleave), anything else is clamped to
+/// `1..=`[`MAX_BATCH`].
+pub fn resolve_batch_width(backend: Backend, requested: usize) -> usize {
+    if requested == 0 {
+        backend.preferred_batch_width()
+    } else {
+        requested.clamp(1, MAX_BATCH)
+    }
+}
+
+/// The length-binned batch schedule: indices of the selected sequences
+/// (all of them, or `mask`-selected survivors), sorted by descending
+/// length and chunked into batches of `width`.
+///
+/// Sorting is what makes interleaving pay: batch members enter the fused
+/// loop near-lockstep, so almost no rows run below full width. Descending
+/// order also hands Rayon the long batches first, shrinking the tail.
+/// Callers scatter outcomes back through the returned indices, so output
+/// order is unaffected.
+pub fn length_binned_batches(
+    lens: &[usize],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> Vec<Vec<usize>> {
+    let width = width.clamp(1, MAX_BATCH);
+    let mut idx: Vec<usize> = match mask {
+        Some(m) => {
+            assert_eq!(m.len(), lens.len());
+            (0..lens.len()).filter(|&i| m[i]).collect()
+        }
+        None => (0..lens.len()).collect(),
+    };
+    idx.sort_by_key(|&i| std::cmp::Reverse(lens[i]));
+    idx.chunks(width).map(|c| c.to_vec()).collect()
+}
+
+const ZERO_OUTCOME: MsvOutcome = MsvOutcome {
+    xj: 0,
+    overflow: false,
+    score: 0.0,
+};
+
+/// Shared batched-sweep driver: schedule, score batches in parallel,
+/// scatter back to original order.
+fn sweep_batched_with<F>(
+    run_batch: &F,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> Vec<Option<MsvOutcome>>
+where
+    F: Fn(&[&[Residue]], &mut BatchWorkspace, &mut [MsvOutcome]) + Sync,
+{
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let batches = length_binned_batches(&lens, mask, width);
+    let scored: Vec<Vec<MsvOutcome>> = batches
+        .par_iter()
+        .map_init(BatchWorkspace::default, |ws, batch| {
+            let refs: Vec<&[Residue]> =
+                batch.iter().map(|&i| seqs[i].residues.as_slice()).collect();
+            let mut out = vec![ZERO_OUTCOME; refs.len()];
+            run_batch(&refs, ws, &mut out);
+            out
+        })
+        .collect();
+    let mut result = vec![None; seqs.len()];
+    for (batch, outs) in batches.iter().zip(scored) {
+        for (&i, o) in batch.iter().zip(outs) {
+            result[i] = Some(o);
+        }
+    }
+    result
+}
+
+/// Batched MSV outcomes for the `mask`-selected subset of `seqs`
+/// (`None` = all), in original sequence order. `width = 0` auto-selects
+/// the backend's preferred interleave.
+pub fn msv_outcomes_batched(
+    striped: &StripedMsv,
+    om: &MsvProfile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> Vec<Option<MsvOutcome>> {
+    let width = resolve_batch_width(striped.backend(), width);
+    sweep_batched_with(
+        &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
+            striped.run_batch_into(om, refs, ws, out)
+        },
+        seqs,
+        mask,
+        width,
+    )
+}
+
+/// Batched SSV outcomes for the `mask`-selected subset of `seqs`
+/// (`None` = all), in original sequence order.
+pub fn ssv_outcomes_batched(
+    striped: &StripedSsv,
+    om: &MsvProfile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> Vec<Option<MsvOutcome>> {
+    let width = resolve_batch_width(striped.backend(), width);
+    sweep_batched_with(
+        &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
+            striped.run_batch_into(om, refs, ws, out)
+        },
+        seqs,
+        mask,
+        width,
+    )
+}
+
+/// MSV-filter every sequence of a database in parallel (one task per
+/// sequence).
 pub fn msv_sweep(om: &MsvProfile, db: &SeqDb) -> (Vec<MsvOutcome>, SweepTiming) {
     let striped = StripedMsv::new(om);
     let start = Instant::now();
@@ -49,7 +205,65 @@ pub fn msv_sweep(om: &MsvProfile, db: &SeqDb) -> (Vec<MsvOutcome>, SweepTiming) 
         .map_init(Vec::new, |dp, seq| striped.run_into(om, &seq.residues, dp))
         .collect();
     let secs = start.elapsed().as_secs_f64();
-    (outcomes, timing(secs, om.m as u64 * db.total_residues()))
+    let res = db.total_residues();
+    (
+        outcomes,
+        timing(
+            secs,
+            striped.real_cells_per_row() as u64 * res,
+            striped.padded_cells_per_row() as u64 * res,
+        ),
+    )
+}
+
+/// MSV-filter every sequence with the interleaved batch kernels
+/// (length-binned schedule, one task per batch). Outcomes are
+/// bit-identical to [`msv_sweep`], in original order.
+pub fn msv_sweep_batched(
+    om: &MsvProfile,
+    db: &SeqDb,
+    width: usize,
+) -> (Vec<MsvOutcome>, SweepTiming) {
+    let striped = StripedMsv::new(om);
+    let start = Instant::now();
+    let outcomes: Vec<MsvOutcome> = msv_outcomes_batched(&striped, om, &db.seqs, None, width)
+        .into_iter()
+        .map(|o| o.expect("unmasked batched sweep scores every sequence"))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    let res = db.total_residues();
+    (
+        outcomes,
+        timing(
+            secs,
+            striped.real_cells_per_row() as u64 * res,
+            striped.padded_cells_per_row() as u64 * res,
+        ),
+    )
+}
+
+/// SSV-filter every sequence with the interleaved batch kernels.
+pub fn ssv_sweep_batched(
+    om: &MsvProfile,
+    db: &SeqDb,
+    width: usize,
+) -> (Vec<MsvOutcome>, SweepTiming) {
+    let striped = StripedSsv::new(om);
+    let start = Instant::now();
+    let outcomes: Vec<MsvOutcome> = ssv_outcomes_batched(&striped, om, &db.seqs, None, width)
+        .into_iter()
+        .map(|o| o.expect("unmasked batched sweep scores every sequence"))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    let res = db.total_residues();
+    (
+        outcomes,
+        timing(
+            secs,
+            striped.real_cells_per_row() as u64 * res,
+            striped.padded_cells_per_row() as u64 * res,
+        ),
+    )
 }
 
 /// Viterbi-filter every sequence of a database in parallel.
@@ -73,10 +287,14 @@ pub fn vit_sweep(om: &VitProfile, db: &SeqDb) -> (Vec<VitOutcome>, SweepTiming, 
         agg.rows_extra += st.rows_extra;
         agg.max_passes = agg.max_passes.max(st.max_passes);
     }
-    // 3 states per cell.
+    let res = db.total_residues();
     (
         outcomes,
-        timing(secs, 3 * om.m as u64 * db.total_residues()),
+        timing(
+            secs,
+            striped.real_cells_per_row() as u64 * res,
+            striped.padded_cells_per_row() as u64 * res,
+        ),
         agg,
     )
 }
@@ -100,14 +318,21 @@ pub fn vit_sweep_masked(
         })
         .collect();
     let secs = start.elapsed().as_secs_f64();
-    let cells: u64 = db
+    let res: u64 = db
         .seqs
         .iter()
         .zip(mask)
         .filter(|&(_, &keep)| keep)
-        .map(|(s, _)| 3 * om.m as u64 * s.len() as u64)
+        .map(|(s, _)| s.len() as u64)
         .sum();
-    (outcomes, timing(secs, cells))
+    (
+        outcomes,
+        timing(
+            secs,
+            striped.real_cells_per_row() as u64 * res,
+            striped.padded_cells_per_row() as u64 * res,
+        ),
+    )
 }
 
 /// Measure single-thread striped-MSV throughput (cells/s) on a sample —
@@ -116,32 +341,102 @@ pub fn measure_msv_throughput(om: &MsvProfile, db: &SeqDb, max_seqs: usize) -> S
     let striped = StripedMsv::new(om);
     let mut dp = Vec::new();
     let take = db.seqs.iter().take(max_seqs);
-    let mut cells = 0u64;
+    let mut res = 0u64;
     let start = Instant::now();
     for seq in take {
         std::hint::black_box(striped.run_into(om, &seq.residues, &mut dp));
-        cells += om.m as u64 * seq.len() as u64;
+        res += seq.len() as u64;
     }
-    timing(start.elapsed().as_secs_f64(), cells)
+    timing(
+        start.elapsed().as_secs_f64(),
+        striped.real_cells_per_row() as u64 * res,
+        striped.padded_cells_per_row() as u64 * res,
+    )
+}
+
+/// Measure single-thread **batched** striped-MSV throughput at a given
+/// interleave width (the `batched_filter_loops` bench rows).
+pub fn measure_msv_batched(
+    striped: &StripedMsv,
+    om: &MsvProfile,
+    db: &SeqDb,
+    max_seqs: usize,
+    width: usize,
+) -> SweepTiming {
+    let n = max_seqs.min(db.len());
+    let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
+    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let mut ws = BatchWorkspace::default();
+    let mut out = [ZERO_OUTCOME; MAX_BATCH];
+    let res: u64 = lens.iter().map(|&l| l as u64).sum();
+    let start = Instant::now();
+    for batch in &batches {
+        let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+        for (r, &i) in refs.iter_mut().zip(batch.iter()) {
+            *r = &db.seqs[i].residues;
+        }
+        striped.run_batch_into(om, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        std::hint::black_box(&out);
+    }
+    timing(
+        start.elapsed().as_secs_f64(),
+        striped.real_cells_per_row() as u64 * res,
+        striped.padded_cells_per_row() as u64 * res,
+    )
+}
+
+/// Measure single-thread **batched** striped-SSV throughput.
+pub fn measure_ssv_batched(
+    striped: &StripedSsv,
+    om: &MsvProfile,
+    db: &SeqDb,
+    max_seqs: usize,
+    width: usize,
+) -> SweepTiming {
+    let n = max_seqs.min(db.len());
+    let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
+    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let mut ws = BatchWorkspace::default();
+    let mut out = [ZERO_OUTCOME; MAX_BATCH];
+    let res: u64 = lens.iter().map(|&l| l as u64).sum();
+    let start = Instant::now();
+    for batch in &batches {
+        let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+        for (r, &i) in refs.iter_mut().zip(batch.iter()) {
+            *r = &db.seqs[i].residues;
+        }
+        striped.run_batch_into(om, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        std::hint::black_box(&out);
+    }
+    timing(
+        start.elapsed().as_secs_f64(),
+        striped.real_cells_per_row() as u64 * res,
+        striped.padded_cells_per_row() as u64 * res,
+    )
 }
 
 /// Measure single-thread striped-Viterbi throughput (cells/s) on a sample.
 pub fn measure_vit_throughput(om: &VitProfile, db: &SeqDb, max_seqs: usize) -> SweepTiming {
     let striped = StripedVit::new(om);
     let mut ws = VitWorkspace::default();
-    let mut cells = 0u64;
+    let mut res = 0u64;
     let start = Instant::now();
     for seq in db.seqs.iter().take(max_seqs) {
         std::hint::black_box(striped.run_into(om, &seq.residues, &mut ws));
-        cells += 3 * om.m as u64 * seq.len() as u64;
+        res += seq.len() as u64;
     }
-    timing(start.elapsed().as_secs_f64(), cells)
+    timing(
+        start.elapsed().as_secs_f64(),
+        striped.real_cells_per_row() as u64 * res,
+        striped.padded_cells_per_row() as u64 * res,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::quantized::{msv_filter_scalar, vit_filter_scalar};
+    use crate::ssv::ssv_filter_scalar;
     use h3w_hmm::background::NullModel;
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_hmm::profile::Profile;
@@ -172,8 +467,62 @@ mod tests {
             assert_eq!(m_out[i], msv_filter_scalar(&msv, &seq.residues), "seq {i}");
             assert_eq!(v_out[i], vit_filter_scalar(&vit, &seq.residues), "seq {i}");
         }
-        assert_eq!(m_t.cells, 40 * db.total_residues());
+        assert_eq!(m_t.real_cells, 40 * db.total_residues());
+        assert!(m_t.padded_cells >= m_t.real_cells);
         assert!(m_t.cells_per_sec > 0.0);
+        assert!(m_t.padded_cells_per_sec() >= m_t.cells_per_sec);
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_sequence_sweep() {
+        let (msv, _, db) = setup();
+        let (want, _) = msv_sweep(&msv, &db);
+        for width in [0usize, 1, 2, 3, 4] {
+            let (got, t) = msv_sweep_batched(&msv, &db, width);
+            assert_eq!(want, got, "width={width}");
+            assert_eq!(t.real_cells, 40 * db.total_residues());
+        }
+    }
+
+    #[test]
+    fn batched_ssv_sweep_matches_scalar_spec() {
+        let (msv, _, db) = setup();
+        let (got, t) = ssv_sweep_batched(&msv, &db, 0);
+        for (i, seq) in db.seqs.iter().enumerate() {
+            assert_eq!(got[i], ssv_filter_scalar(&msv, &seq.residues), "seq {i}");
+        }
+        assert_eq!(t.real_cells, 40 * db.total_residues());
+    }
+
+    #[test]
+    fn masked_batched_outcomes_respect_mask_and_order() {
+        let (msv, _, db) = setup();
+        let striped = StripedMsv::new(&msv);
+        let mask: Vec<bool> = (0..db.len()).map(|i| i % 3 != 1).collect();
+        let got = msv_outcomes_batched(&striped, &msv, &db.seqs, Some(&mask), 0);
+        for (i, seq) in db.seqs.iter().enumerate() {
+            match got[i] {
+                Some(o) => {
+                    assert!(mask[i]);
+                    assert_eq!(o, msv_filter_scalar(&msv, &seq.residues), "seq {i}");
+                }
+                None => assert!(!mask[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn length_binning_covers_exactly_the_selection() {
+        let lens = [5usize, 100, 3, 42, 42, 7, 900, 1];
+        let mask = [true, false, true, true, true, true, true, true];
+        let batches = length_binned_batches(&lens, Some(&mask), 4);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 3, 4, 5, 6, 7]); // 1 is masked out
+                                                     // Within the schedule, lengths are non-increasing.
+        let flat: Vec<usize> = batches.iter().flatten().map(|&i| lens[i]).collect();
+        assert!(flat.windows(2).all(|w| w[0] >= w[1]), "{flat:?}");
+        assert!(batches.iter().all(|b| b.len() <= 4 && !b.is_empty()));
     }
 
     #[test]
@@ -187,7 +536,7 @@ mod tests {
         assert!(out[1].is_none());
         assert!(out[db.len() - 1].is_some());
         let expect_cells = 3 * 40 * (db.seqs[0].len() as u64 + db.seqs[db.len() - 1].len() as u64);
-        assert_eq!(t.cells, expect_cells);
+        assert_eq!(t.real_cells, expect_cells);
     }
 
     #[test]

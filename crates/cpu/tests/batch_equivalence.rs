@@ -1,0 +1,222 @@
+//! Property tests: the batched interleaved MSV/SSV kernels are bit-identical
+//! to the single-sequence kernels — scores, overflow flags, `xJ` state —
+//! across every available backend, every batch width `1..=MAX_BATCH`, and
+//! the hard cases: overflowing slots dropping out mid-batch, length-skewed
+//! batches where slots retire one by one, and empty/degenerate sequences.
+//!
+//! The CI equivalence job runs this file twice: natively (AVX2/SSE2 where
+//! the runner has them) and under `H3W_SIMD_BACKEND=scalar`.
+
+use h3w_cpu::striped_msv::StripedMsv;
+use h3w_cpu::{
+    length_binned_batches, msv_filter_scalar, msv_outcomes_batched, ssv_filter_scalar,
+    ssv_outcomes_batched, Backend, BatchWorkspace, MsvOutcome, StripedSsv, MAX_BATCH,
+};
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::calibrate::random_seq;
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::plan7::CoreModel;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::NullModel;
+use h3w_seqdb::gen::sample_homolog;
+use h3w_seqdb::DigitalSeq;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_and_profile(m: usize, seed: u64) -> (CoreModel, MsvProfile) {
+    let bg = NullModel::new();
+    let core = synthetic_model(m, seed, &BuildParams::default());
+    let p = Profile::config(&core, &bg);
+    let om = MsvProfile::from_profile(&p);
+    (core, om)
+}
+
+fn bits(o: &MsvOutcome) -> (u8, bool, u32) {
+    (o.xj, o.overflow, o.score.to_bits())
+}
+
+/// Score `seqs` through the batched kernel at `width` on `backend` and
+/// assert every outcome matches the scalar single-sequence references.
+fn assert_batched_matches(
+    om: &MsvProfile,
+    seqs: &[Vec<u8>],
+    backend: Backend,
+    width: usize,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let smsv = StripedMsv::with_backend(om, backend);
+    let sssv = StripedSsv::with_backend(om, backend);
+    let mut ws = BatchWorkspace::default();
+    for batch in seqs.chunks(width) {
+        let refs: Vec<&[u8]> = batch.iter().map(|s| s.as_slice()).collect();
+        let mut got_msv = vec![
+            MsvOutcome {
+                xj: 0,
+                overflow: false,
+                score: 0.0
+            };
+            refs.len()
+        ];
+        let mut got_ssv = got_msv.clone();
+        smsv.run_batch_into(om, &refs, &mut ws, &mut got_msv);
+        sssv.run_batch_into(om, &refs, &mut ws, &mut got_ssv);
+        for (i, seq) in batch.iter().enumerate() {
+            let want_msv = msv_filter_scalar(om, seq);
+            let want_ssv = ssv_filter_scalar(om, seq);
+            prop_assert_eq!(
+                bits(&want_msv),
+                bits(&got_msv[i]),
+                "MSV {} S={} slot {} len {} diverged ({ctx})",
+                backend,
+                width,
+                i,
+                seq.len()
+            );
+            prop_assert_eq!(
+                bits(&want_ssv),
+                bits(&got_ssv[i]),
+                "SSV {} S={} slot {} len {} diverged ({ctx})",
+                backend,
+                width,
+                i,
+                seq.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_kernels_bit_identical_for_random_batches(
+        m in 1usize..300,
+        model_seed in 0u64..10_000,
+        seq_seed in 0u64..10_000,
+    ) {
+        let (_, om) = model_and_profile(m, model_seed);
+        let mut rng = StdRng::seed_from_u64(seq_seed);
+        // Length-skewed on purpose: slots retire at different rows, so the
+        // fused loop re-dispatches at every narrower width.
+        let seqs: Vec<Vec<u8>> = (0..MAX_BATCH)
+            .map(|i| random_seq(&mut rng, 3 + 97 * i * i))
+            .collect();
+        for backend in Backend::all_available() {
+            for width in 1..=MAX_BATCH {
+                assert_batched_matches(&om, &seqs, backend, width, "random")?;
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_homologs_interleaved_with_background(
+        m in 40usize..160,
+        seq_seed in 0u64..10_000,
+    ) {
+        // Repeated homolog segments push the 8-bit MSV score into
+        // saturation; the overflowing slot must retire without nudging the
+        // background sequences sharing its batch.
+        let (core, om) = model_and_profile(m, 11);
+        let mut rng = StdRng::seed_from_u64(seq_seed);
+        let mut hot = Vec::new();
+        for _ in 0..6 {
+            hot.extend(sample_homolog(&mut rng, &core, 3));
+        }
+        let seqs = vec![
+            random_seq(&mut rng, 240),
+            hot,
+            random_seq(&mut rng, 60),
+            random_seq(&mut rng, 400),
+        ];
+        for backend in Backend::all_available() {
+            for width in 2..=MAX_BATCH {
+                assert_batched_matches(&om, &seqs, backend, width, "overflow")?;
+            }
+        }
+    }
+
+    #[test]
+    fn masked_batched_sweep_matches_filters(
+        m in 1usize..200,
+        seq_seed in 0u64..10_000,
+        mask_bits in 0u32..(1 << 10),
+    ) {
+        // The full scheduler path: mask → length bins → batched kernels →
+        // scatter back to input order.
+        let (_, om) = model_and_profile(m, 7);
+        let mut rng = StdRng::seed_from_u64(seq_seed);
+        let seqs: Vec<DigitalSeq> = (0..10)
+            .map(|i| DigitalSeq {
+                name: format!("s{i}"),
+                desc: String::new(),
+                residues: random_seq(&mut rng, 11 + 53 * i),
+            })
+            .collect();
+        let mask: Vec<bool> = (0..10).map(|i| mask_bits & (1 << i) != 0).collect();
+        let striped_msv = StripedMsv::new(&om);
+        let striped_ssv = StripedSsv::new(&om);
+        let got_msv = msv_outcomes_batched(&striped_msv, &om, &seqs, Some(&mask), 0);
+        let got_ssv = ssv_outcomes_batched(&striped_ssv, &om, &seqs, Some(&mask), 0);
+        for i in 0..10 {
+            prop_assert_eq!(got_msv[i].is_some(), mask[i]);
+            prop_assert_eq!(got_ssv[i].is_some(), mask[i]);
+            if let Some(o) = &got_msv[i] {
+                prop_assert_eq!(bits(&msv_filter_scalar(&om, &seqs[i].residues)), bits(o));
+            }
+            if let Some(o) = &got_ssv[i] {
+                prop_assert_eq!(bits(&ssv_filter_scalar(&om, &seqs[i].residues)), bits(o));
+            }
+        }
+    }
+
+    #[test]
+    fn length_binning_is_a_permutation_of_the_selection(
+        n in 0usize..40,
+        width in 1usize..=MAX_BATCH,
+        mask_seed in 0u64..1000,
+        len_seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut lrng = StdRng::seed_from_u64(len_seed);
+        let lens: Vec<usize> = (0..n).map(|_| lrng.gen_range(0..5000)).collect();
+        let mut mrng = StdRng::seed_from_u64(mask_seed);
+        let mask: Vec<bool> = (0..n).map(|_| mrng.gen_bool(0.5)).collect();
+        let batches = length_binned_batches(&lens, Some(&mask), width);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        for b in &batches {
+            prop_assert!(!b.is_empty() && b.len() <= width);
+            // Within a batch, lengths are non-increasing (lockstep bins).
+            for w in b.windows(2) {
+                prop_assert!(lens[w[0]] >= lens[w[1]]);
+            }
+        }
+        seen.sort_unstable();
+        let want: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        prop_assert_eq!(seen, want);
+    }
+}
+
+#[test]
+fn degenerate_batches_match_single_sequence() {
+    // Empty sequences, width-1 batches, all-empty batches, and a batch
+    // whose members differ in length by 1000× — the retire logic's edge
+    // cases, exercised on every backend.
+    let (_, om) = model_and_profile(33, 5);
+    let mut rng = StdRng::seed_from_u64(99);
+    let long = random_seq(&mut rng, 50_000);
+    let sets: Vec<Vec<Vec<u8>>> = vec![
+        vec![vec![], vec![], vec![], vec![]],
+        vec![vec![0u8], vec![], vec![19u8], vec![]],
+        vec![long.clone(), random_seq(&mut rng, 50), vec![7u8], vec![]],
+    ];
+    for backend in Backend::all_available() {
+        for seqs in &sets {
+            for width in 1..=MAX_BATCH {
+                assert_batched_matches(&om, seqs, backend, width, "degenerate")
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+}

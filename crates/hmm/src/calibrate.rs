@@ -101,6 +101,24 @@ pub fn exp_pvalue(score: f32, tau: f32, lambda: f32) -> f64 {
     (-x).exp().min(1.0)
 }
 
+/// Fit a Gumbel location for one extra scoring function over the same
+/// deterministic `(seed, n, len)` random-sequence stream [`calibrate`]
+/// draws — for optional filter stages (e.g. an SSV pre-filter) calibrated
+/// outside the three-stage fit.
+pub fn calibrate_gumbel_mu<F>(seed: u64, n: usize, len: usize, mut score: F) -> f32
+where
+    F: FnMut(&[Residue]) -> f32,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scores: Vec<f32> = (0..n)
+        .map(|_| {
+            let seq = random_seq(&mut rng, len);
+            score(&seq)
+        })
+        .collect();
+    fit_gumbel_mu(&scores, LAMBDA)
+}
+
 /// Calibrate all three stages of the pipeline from scoring closures.
 ///
 /// Each closure scores one digital sequence in nats. `n` random sequences

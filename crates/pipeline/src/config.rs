@@ -22,6 +22,20 @@ pub struct PipelineConfig {
     /// before P-values (HMMER applies it by default; here it is opt-in so
     /// raw-score comparisons across implementations stay exact).
     pub null2: bool,
+    /// Run the SSV filter as a stage-0 pre-filter ahead of MSV (off by
+    /// default, so the default funnel is exactly HMMER 3.0's). SSV is MSV
+    /// without the J (multi-hit) state — cheaper per row and the best-case
+    /// kernel for batched interleaving — at a small sensitivity cost the
+    /// loose `f0` threshold keeps negligible.
+    pub ssv: bool,
+    /// SSV pre-filter P-value threshold (only read when `ssv` is on).
+    /// Deliberately looser than `f1` so near-threshold MSV candidates are
+    /// never cut by the cheaper approximation.
+    pub f0: f64,
+    /// Batch width for the interleaved filter sweeps: `0` picks the
+    /// backend's preferred width, `1` scores sequences one at a time
+    /// (bit-identical either way; see `h3w_cpu::batch`).
+    pub batch: usize,
 }
 
 impl Default for PipelineConfig {
@@ -32,6 +46,9 @@ impl Default for PipelineConfig {
             f3: 1e-5,
             report_evalue: 10.0,
             null2: false,
+            ssv: false,
+            f0: 0.08,
+            batch: 0,
         }
     }
 }
@@ -45,6 +62,9 @@ impl PipelineConfig {
             f3: 1.0,
             report_evalue: 10.0,
             null2: false,
+            ssv: false,
+            f0: 1.0,
+            batch: 0,
         }
     }
 }
@@ -66,5 +86,14 @@ mod tests {
         let c = PipelineConfig::max_sensitivity();
         assert_eq!(c.f1, 1.0);
         assert_eq!(c.f2, 1.0);
+        assert!(!c.ssv);
+    }
+
+    #[test]
+    fn ssv_prefilter_defaults_off_and_loose() {
+        let c = PipelineConfig::default();
+        assert!(!c.ssv, "SSV must be opt-in: default funnels are HMMER's");
+        assert!(c.f0 > c.f1, "f0 must be looser than f1");
+        assert_eq!(c.batch, 0, "batch width defaults to auto");
     }
 }

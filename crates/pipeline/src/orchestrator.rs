@@ -99,16 +99,20 @@ impl Pipeline {
                 trace
                     .events
                     .push("MSV: all devices lost; striped CPU fallback".into());
+                // The CPU fallback goes through the same batched
+                // interleaved sweep as `run_cpu` — bit-identical scores,
+                // but the degraded stage keeps the fast path.
                 let t0 = Instant::now();
-                msv_scores = db
-                    .seqs
-                    .par_iter()
-                    .map_init(Vec::new, |dp, seq| {
-                        self.striped_msv
-                            .run_into(&self.msv, &seq.residues, dp)
-                            .score
-                    })
-                    .collect();
+                msv_scores = h3w_cpu::msv_outcomes_batched(
+                    &self.striped_msv,
+                    &self.msv,
+                    &db.seqs,
+                    None,
+                    self.config.batch,
+                )
+                .into_iter()
+                .map(|o| o.expect("unmasked sweep scores everything").score)
+                .collect();
                 msv_time = t0.elapsed().as_secs_f64();
             }
             Err(e) => return Err(e),

@@ -15,7 +15,7 @@ use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device};
 use h3w_cpu::reference::forward_generic;
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
-use h3w_cpu::Backend;
+use h3w_cpu::{msv_outcomes_batched, ssv_outcomes_batched, Backend, BatchWorkspace, StripedSsv};
 use h3w_hmm::calibrate::{self, Calibration};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::plan7::CoreModel;
@@ -31,6 +31,14 @@ use std::time::Instant;
 /// Lengths covered by the precomputed `null1(L)` table; longer targets
 /// fall back to the closed-form evaluation.
 const NULL1_TABLE_LEN: usize = 16384;
+
+/// The opt-in SSV stage-0 pre-filter: the striped filter plus its own
+/// calibrated Gumbel location (SSV scores sit below MSV scores — no J
+/// state — so they need their own null distribution).
+struct SsvPrefilter {
+    striped: StripedSsv,
+    mu: f32,
+}
 
 /// A fully prepared query: profile, quantized tables, striped filters,
 /// calibration.
@@ -57,6 +65,9 @@ pub struct Pipeline {
     pub config: PipelineConfig,
     /// SIMD backend the striped filters dispatched to.
     backend: Backend,
+    /// SSV stage-0 pre-filter — built (and calibrated) only when
+    /// `config.ssv` asked for it.
+    ssv: Option<SsvPrefilter>,
     /// `null1(L)` for `L ∈ 0..NULL1_TABLE_LEN`, hoisting the per-call
     /// `NullModel` clone out of [`Pipeline::corrected`].
     null1: Vec<f32>,
@@ -108,6 +119,20 @@ impl Pipeline {
             |s| striped_vit.run_into(&vit, s, &mut ws).0.score - null1_cal,
             |s| forward_generic(&profile, s) - null1_cal,
         );
+        // The SSV pre-filter is calibrated over the same deterministic
+        // random-sequence stream, so an SSV-enabled pipeline stays fully
+        // reproducible from (model, seed).
+        let ssv = config.ssv.then(|| {
+            let striped = StripedSsv::with_backend(&msv, backend);
+            let mut ws = BatchWorkspace::default();
+            let mu = calibrate::calibrate_gumbel_mu(
+                seed,
+                calibrate::DEFAULT_N,
+                calibrate::DEFAULT_LEN,
+                |s| striped.run_into(&msv, s, &mut ws).score - null1_cal,
+            );
+            SsvPrefilter { striped, mu }
+        });
         Pipeline {
             bg,
             profile,
@@ -118,6 +143,7 @@ impl Pipeline {
             cal,
             config,
             backend,
+            ssv,
             null1,
         }
     }
@@ -145,6 +171,14 @@ impl Pipeline {
     /// length `len`.
     pub fn msv_pvalue(&self, raw: f32, len: usize) -> f64 {
         calibrate::gumbel_pvalue(self.corrected(raw, len), self.cal.mu_msv, self.cal.lambda)
+    }
+
+    /// P-value of a null-corrected SSV pre-filter score. Panics unless the
+    /// pipeline was prepared with `config.ssv` (there is no SSV
+    /// calibration otherwise).
+    pub fn ssv_pvalue(&self, raw: f32, len: usize) -> f64 {
+        let pre = self.ssv.as_ref().expect("SSV pre-filter not enabled");
+        calibrate::gumbel_pvalue(self.corrected(raw, len), pre.mu, self.cal.lambda)
     }
 
     /// P-value of a null-corrected Viterbi filter score.
@@ -195,25 +229,46 @@ impl Pipeline {
     }
 
     /// Sweep a database entirely on the multi-core striped CPU baseline.
+    ///
+    /// The filter stage runs through the batched interleaved kernels on a
+    /// length-binned schedule (`config.batch` picks the width; outcomes
+    /// are bit-identical at every width). With `config.ssv` the cheaper
+    /// SSV filter screens the database first and MSV only scores its
+    /// survivors — both fold into one "SSV+MSV" stage record so the
+    /// three-stage funnel shape is preserved.
     pub fn run_cpu(&self, db: &SeqDb) -> PipelineResult {
         let n = db.len();
 
-        // Stage 1: MSV filter over everything.
+        // Stage 1: (optional SSV, then) MSV filter, batched.
         let t0 = Instant::now();
-        let msv_scores: Vec<f32> = db
-            .seqs
-            .par_iter()
-            .map_init(Vec::new, |dp, seq| {
-                self.striped_msv
-                    .run_into(&self.msv, &seq.residues, dp)
-                    .score
-            })
-            .collect();
+        let pass0: Option<Vec<bool>> = self.ssv.as_ref().map(|pre| {
+            ssv_outcomes_batched(&pre.striped, &self.msv, &db.seqs, None, self.config.batch)
+                .iter()
+                .zip(&db.seqs)
+                .map(|(o, q)| {
+                    let sc = o.expect("unmasked sweep scores everything").score;
+                    self.ssv_pvalue(sc, q.len()) < self.config.f0
+                })
+                .collect()
+        });
+        let msv_out = msv_outcomes_batched(
+            &self.striped_msv,
+            &self.msv,
+            &db.seqs,
+            pass0.as_deref(),
+            self.config.batch,
+        );
         let msv_time = t0.elapsed().as_secs_f64();
-        let pass1: Vec<bool> = msv_scores
+        // Sequences the SSV pre-filter cut never reach MSV; −∞ keeps them
+        // below every threshold without inventing a score.
+        let msv_scores: Vec<f32> = msv_out
+            .iter()
+            .map(|o| o.map_or(f32::NEG_INFINITY, |o| o.score))
+            .collect();
+        let pass1: Vec<bool> = msv_out
             .iter()
             .zip(&db.seqs)
-            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
+            .map(|(o, q)| o.is_some_and(|o| self.msv_pvalue(o.score, q.len()) < self.config.f1))
             .collect();
         let n1 = pass1.iter().filter(|&&b| b).count();
 
@@ -266,11 +321,23 @@ impl Pipeline {
             vit_scores,
             fwd_scores,
             [
-                StageStats::new("MSV", n, n1, msv_time).with_residues(db.total_residues()),
+                StageStats::new(self.stage0_name(), n, n1, msv_time)
+                    .with_residues(db.total_residues()),
                 StageStats::new("P7Viterbi", n1, n2, vit_time).with_residues(r1),
                 StageStats::new("Forward", n2, n2, fwd_time).with_residues(r2),
             ],
         )
+    }
+
+    /// Label of the first funnel stage: `"SSV+MSV"` when the pre-filter is
+    /// on, plain `"MSV"` otherwise. `stream.rs` uses the same label so
+    /// chunked and single-pass reports agree.
+    pub fn stage0_name(&self) -> &'static str {
+        if self.ssv.is_some() {
+            "SSV+MSV"
+        } else {
+            "MSV"
+        }
     }
 
     /// Sweep with MSV + Viterbi on a simulated GPU (modeled stage times)
@@ -565,6 +632,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_widths_are_bit_identical_in_run_cpu() {
+        // The acceptance bar for the interleaved kernels: batching on
+        // (auto or any explicit width) changes nothing observable —
+        // identical hits, identical funnel counters.
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 3);
+        let cfg = PipelineConfig {
+            batch: 1,
+            ..Default::default()
+        };
+        let mut pipe = Pipeline::prepare(&core, cfg, 7);
+        let base = pipe.run_cpu(&db);
+        assert!(!base.hits.is_empty());
+        for batch in [0usize, 2, 3, 4] {
+            pipe.config.batch = batch;
+            let res = pipe.run_cpu(&db);
+            assert_eq!(base.hits, res.hits, "batch {batch}: hit list diverged");
+            for (a, b) in base.stages.iter().zip(&res.stages) {
+                assert_eq!(
+                    (a.seqs_in, a.seqs_out),
+                    (b.seqs_in, b.seqs_out),
+                    "batch {batch}: funnel diverged at {}",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ssv_prefilter_cuts_background_but_keeps_hits() {
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0004);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 3);
+        let plain = Pipeline::prepare(&core, PipelineConfig::default(), 7);
+        let cfg = PipelineConfig {
+            ssv: true,
+            ..Default::default()
+        };
+        let pre = Pipeline::prepare(&core, cfg, 7);
+        let a = plain.run_cpu(&db);
+        let b = pre.run_cpu(&db);
+        assert_eq!(a.stages[0].name, "MSV");
+        assert_eq!(b.stages[0].name, "SSV+MSV");
+        // MSV survivors with the pre-filter are a subset of those without
+        // (a sequence must pass SSV to even reach MSV)…
+        assert!(b.stages[0].seqs_out <= a.stages[0].seqs_out);
+        // …and the loose f0 threshold keeps every reported hit: real
+        // homologs sit far below P = 0.08 on the single-hit score too.
+        assert_eq!(a.hits, b.hits);
     }
 
     #[test]

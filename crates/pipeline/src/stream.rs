@@ -130,7 +130,7 @@ where
     I: IntoIterator<Item = SeqDb>,
 {
     let mut stages = [
-        StageStats::new("MSV", 0, 0, 0.0),
+        StageStats::new(pipe.stage0_name(), 0, 0, 0.0),
         StageStats::new("P7Viterbi", 0, 0, 0.0),
         StageStats::new("Forward", 0, 0, 0.0),
     ];
@@ -189,6 +189,9 @@ where
     } else {
         StreamCheckpoint::fresh(total_seqs)
     };
+    // The checkpoint's stage labels follow the pipeline configuration
+    // (the counters, not the labels, carry the resume state).
+    state.stages[0].name = pipe.stage0_name().to_string();
     let resume_from = state.chunks_done;
     let mut skipped_seqs = 0u32;
     for (i, chunk) in chunks.into_iter().enumerate() {

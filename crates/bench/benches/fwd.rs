@@ -1,0 +1,68 @@
+//! Criterion benches for the striped odds-space Forward filter — the
+//! stage-3 kernel — against the generic log-space reference, per backend
+//! and per batch width. The CI smoke run (`cargo test --benches`)
+//! executes each once to keep the harness honest; real numbers come from
+//! `--bench fwd` and the `throughput` binary's `forward_loops` section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use h3w_cpu::reference::forward_generic;
+use h3w_cpu::{Backend, FwdBatchWorkspace, FwdWorkspace, StripedFwd, MAX_BATCH};
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::calibrate::random_seq;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::NullModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEQ_LEN: usize = 400;
+const MODEL_M: usize = 400;
+
+fn setup() -> (Profile, Vec<Vec<u8>>) {
+    let bg = NullModel::new();
+    let core = synthetic_model(MODEL_M, 7, &BuildParams::default());
+    let p = Profile::config(&core, &bg);
+    let mut rng = StdRng::seed_from_u64(13);
+    let seqs = (0..MAX_BATCH)
+        .map(|_| random_seq(&mut rng, SEQ_LEN))
+        .collect();
+    (p, seqs)
+}
+
+fn bench_forward_kernels(c: &mut Criterion) {
+    let (p, seqs) = setup();
+    let mut g = c.benchmark_group("forward");
+    // One sequence: every backend's striped kernel vs the reference.
+    g.throughput(Throughput::Elements((3 * MODEL_M * SEQ_LEN) as u64));
+    for backend in Backend::all_available() {
+        let f = StripedFwd::with_backend(&p, backend);
+        g.bench_with_input(
+            BenchmarkId::new("striped", backend.name()),
+            &backend,
+            |b, _| {
+                let mut ws = FwdWorkspace::default();
+                b.iter(|| std::hint::black_box(f.run_into(&p, &seqs[0], &mut ws)))
+            },
+        );
+    }
+    g.bench_function("generic_reference", |b| {
+        b.iter(|| std::hint::black_box(forward_generic(&p, &seqs[0])))
+    });
+    g.finish();
+
+    // Batched survivor rescoring on the detected backend.
+    let f = StripedFwd::new(&p);
+    let mut g = c.benchmark_group("forward_batched");
+    for width in [1usize, 2, 4] {
+        let refs: Vec<&[u8]> = seqs[..width].iter().map(|s| s.as_slice()).collect();
+        g.throughput(Throughput::Elements((3 * MODEL_M * SEQ_LEN * width) as u64));
+        g.bench_with_input(BenchmarkId::new("interleaved", width), &width, |b, _| {
+            let mut ws = FwdBatchWorkspace::default();
+            let mut out = vec![0.0f32; width];
+            b.iter(|| f.run_batch_into(&p, &refs, &mut ws, &mut out))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward_kernels);
+criterion_main!(benches);

@@ -13,8 +13,10 @@
 use h3w_bench::json::Json;
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
-use h3w_cpu::sweep::{measure_msv_batched, measure_ssv_batched};
-use h3w_cpu::{Backend, StripedSsv};
+use h3w_cpu::sweep::{
+    measure_fwd_batched, measure_fwd_generic, measure_msv_batched, measure_ssv_batched,
+};
+use h3w_cpu::{Backend, StripedFwd, StripedSsv};
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
@@ -130,6 +132,52 @@ fn batched_rows(msv: &MsvProfile, db: &SeqDb, single_msv_rps: &[(Backend, f64)])
     ])
 }
 
+/// Stage-3 Forward loops: the generic log-space reference (single
+/// thread, capped workload — it is orders of magnitude slower) against
+/// the striped odds-space filter at widths 1 and 4 on every backend.
+/// `speedup_vs_generic` on the widest backend is the tentpole's ≥ 10×
+/// acceptance bar; all rates are real cells/s (`3·M·L`, no phantoms).
+fn forward_rows(profile: &Profile, db: &SeqDb) -> Json {
+    // ~50 sequences keeps the generic reference's measurement near the
+    // MIN_MEASURE_S budget at M=400.
+    let generic_cap = 50.min(db.len());
+    measure_fwd_generic(profile, db, generic_cap); // warm-up
+    let mut generic_cps = 0.0f64;
+    for _ in 0..3 {
+        generic_cps = generic_cps.max(measure_fwd_generic(profile, db, generic_cap).cells_per_sec);
+    }
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for backend in Backend::all_available() {
+        let f = StripedFwd::with_backend(profile, backend);
+        let mut best = 0.0f64;
+        for width in [1usize, 4] {
+            measure_fwd_batched(&f, profile, db, db.len(), width); // warm-up
+            let mut cps = 0.0f64;
+            for _ in 0..5 {
+                cps = cps.max(measure_fwd_batched(&f, profile, db, db.len(), width).cells_per_sec);
+            }
+            best = best.max(cps);
+            rows.push(Json::Obj(vec![
+                ("backend", Json::Str(backend.name().into())),
+                ("width", Json::Num(width as f64)),
+                ("fwd_cells_per_sec", Json::Num(cps)),
+            ]));
+        }
+        speedups.push(Json::Obj(vec![
+            ("backend", Json::Str(backend.name().into())),
+            ("striped_fwd_cells_per_sec", Json::Num(best)),
+            ("generic_fwd_cells_per_sec", Json::Num(generic_cps)),
+            ("speedup_vs_generic", Json::Num(best / generic_cps)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("generic_cells_per_sec", Json::Num(generic_cps)),
+        ("rows", Json::Arr(rows)),
+        ("fwd_speedup", Json::Arr(speedups)),
+    ])
+}
+
 fn stage_rows(stages: &[h3w_pipeline::StageStats]) -> Json {
     Json::Arr(
         stages
@@ -175,6 +223,9 @@ fn main() {
     // Batched interleaved kernels (widths × backends) and the
     // batched-over-single MSV speedup per backend.
     let batched = batched_rows(&msv, &db, &single_msv_rps);
+
+    // Stage-3 Forward loops: striped odds-space vs the generic reference.
+    let forward = forward_rows(&profile, &db);
 
     // Full run_cpu funnel per backend; best-of-3 stage times.
     let mut cpu_rows = Vec::new();
@@ -245,6 +296,7 @@ fn main() {
         ),
         ("filter_loops", Json::Arr(filters)),
         ("batched_filter_loops", batched),
+        ("forward_loops", forward),
         ("run_cpu", Json::Arr(cpu_rows)),
         (
             "run_gpu",

@@ -20,6 +20,7 @@ pub mod quantized;
 pub mod reference;
 pub mod simd;
 pub mod ssv;
+pub mod striped_fwd;
 pub mod striped_msv;
 pub mod striped_vit;
 pub mod sweep;
@@ -29,16 +30,18 @@ pub mod x86;
 pub use backend::Backend;
 pub use batch::{BatchWorkspace, MAX_BATCH};
 pub use null2::null2_correction;
-pub use posterior::{find_domains, posterior_decode, Domain, Posterior};
+pub use posterior::{find_domains, posterior_decode, posterior_decode_with, Domain, Posterior};
 pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
 pub use reference::{
     backward_generic, forward_generic, msv_filter_model, msv_generic, viterbi_filter_model,
 };
 pub use ssv::{ssv_filter_scalar, ssv_reference, StripedSsv};
+pub use striped_fwd::{FwdBatchWorkspace, FwdMatrix, FwdWorkspace, StripedFwd};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{
-    length_binned_batches, msv_outcomes_batched, msv_sweep, msv_sweep_batched, resolve_batch_width,
-    ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked, SweepTiming,
+    fwd_scores_batched, length_binned_batches, msv_outcomes_batched, msv_sweep, msv_sweep_batched,
+    resolve_batch_width, ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked,
+    SweepTiming,
 };
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};

@@ -8,11 +8,18 @@
 //! homologous state)` from the Forward/Backward lattices, and a
 //! threshold-based segmenter that returns domain intervals.
 //!
-//! Numerically everything runs in log space with the table-driven
-//! `flogsum`; posteriors are exponentiated
-//! per row against the total sequence score.
+//! The Forward half of the lattice comes from the striped odds-space
+//! filter ([`StripedFwd::run_recording`]) — the same kernel the
+//! pipeline's stage 3 runs, so a survivor's recorded matrix can be
+//! decoded directly instead of re-running a generic DP. The Backward
+//! lattice stays in log space with the table-driven `flogsum`, and the
+//! per-row posterior combines the two in linear space:
+//! `P(i) = Σ_k fwd_odds(i,k) · exp(bwd(i,k) + scale(i) − total)`.
+//! Striped Forward values are bit-identical on every backend, so
+//! posteriors (and the null2 corrections built on them) are too.
 
 use crate::reference::flogsum;
+use crate::striped_fwd::{FwdWorkspace, StripedFwd};
 use h3w_hmm::alphabet::Residue;
 use h3w_hmm::profile::{Profile, NEG_INF};
 
@@ -39,7 +46,15 @@ pub struct Domain {
 
 /// Forward/Backward posterior decoding (O(L·M) time, O(L·M) memory —
 /// reported-hit scale, like [`viterbi_trace`](crate::traceback::viterbi_trace)).
+/// Stripes the profile's Forward tables on the fly; when a
+/// [`StripedFwd`] already exists (the pipeline holds one), use
+/// [`posterior_decode_with`] — the results are identical.
 pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
+    posterior_decode_with(p, &StripedFwd::new(p), seq)
+}
+
+/// [`posterior_decode`] reusing an existing striped-Forward table set.
+pub fn posterior_decode_with(p: &Profile, fwd: &StripedFwd, seq: &[Residue]) -> Posterior {
     let m = p.m;
     let l = seq.len();
     if l == 0 || m == 0 {
@@ -49,40 +64,11 @@ pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
         };
     }
     let xs = p.specials_for(l);
-    let idx = |i: usize, k: usize| i * (m + 1) + k;
 
-    // Forward lattice (filter conventions, as everywhere in this crate).
-    let mut fm = vec![NEG_INF; (l + 1) * (m + 1)];
-    let mut fi = vec![NEG_INF; (l + 1) * (m + 1)];
-    let mut fd = vec![NEG_INF; (l + 1) * (m + 1)];
-    let mut f_xb = vec![NEG_INF; l + 1];
-    let mut f_xe = vec![NEG_INF; l + 1];
-    let mut f_xj = vec![NEG_INF; l + 1];
-    let mut f_xc = vec![NEG_INF; l + 1];
-    f_xb[0] = xs.move_sc;
-    for i in 1..=l {
-        let x = seq[i - 1] as usize;
-        for k in 1..=m {
-            let mut mv = f_xb[i - 1] + p.bmk[k];
-            mv = flogsum(mv, fm[idx(i - 1, k - 1)] + p.tmm[k - 1]);
-            mv = flogsum(mv, fi[idx(i - 1, k - 1)] + p.tim[k - 1]);
-            mv = flogsum(mv, fd[idx(i - 1, k - 1)] + p.tdm[k - 1]);
-            fm[idx(i, k)] = mv + p.msc[k][x];
-            if k < m {
-                fi[idx(i, k)] = flogsum(fm[idx(i - 1, k)] + p.tmi[k], fi[idx(i - 1, k)] + p.tii[k]);
-            }
-            fd[idx(i, k)] = flogsum(
-                fm[idx(i, k - 1)] + p.tmd[k - 1],
-                fd[idx(i, k - 1)] + p.tdd[k - 1],
-            );
-            f_xe[i] = flogsum(f_xe[i], fm[idx(i, k)]);
-        }
-        f_xj[i] = flogsum(f_xj[i - 1] + xs.loop_sc, f_xe[i] + xs.e_to_j);
-        f_xc[i] = flogsum(f_xc[i - 1] + xs.loop_sc, f_xe[i] + xs.e_to_c);
-        let n_i = i as f32 * xs.loop_sc;
-        f_xb[i] = flogsum(n_i, f_xj[i]) + xs.move_sc;
-    }
-    let total = f_xc[l] + xs.move_sc;
+    // Forward lattice: the striped odds-space filter, recorded.
+    let mut fwd_ws = FwdWorkspace::default();
+    let mat = fwd.run_recording(p, seq, &mut fwd_ws);
+    let total = mat.total;
     if !total.is_finite() {
         return Posterior {
             total: NEG_INF,
@@ -152,17 +138,28 @@ pub fn posterior_decode(p: &Profile, seq: &[Residue]) -> Posterior {
         }
     }
 
-    // Posterior per row: mass of M/I states at row i over the total.
+    // Posterior per row: mass of M/I states at row i over the total,
+    // combined in linear space. The recorded Forward cell is
+    // `odds · exp(scale(i))`, so each term is
+    // `odds · exp(bwd + scale(i) − total)`; the shared exponent shift
+    // is hoisted per row.
     let mut homology = Vec::with_capacity(l);
     for i in 1..=l {
-        let mut lp = NEG_INF;
+        let adj = mat.scale(i) - total;
+        let mut num = 0.0f32;
         for k in 1..=m {
-            lp = flogsum(lp, fm[idx(i, k)] + bm[bidx(i, k)]);
+            let fm_o = mat.m_odds(i, k);
+            if fm_o > 0.0 {
+                num += fm_o * (bm[bidx(i, k)] + adj).exp();
+            }
             if k < m {
-                lp = flogsum(lp, fi[idx(i, k)] + bi[bidx(i, k)]);
+                let fi_o = mat.i_odds(i, k);
+                if fi_o > 0.0 {
+                    num += fi_o * (bi[bidx(i, k)] + adj).exp();
+                }
             }
         }
-        homology.push(((lp - total).exp()).clamp(0.0, 1.0));
+        homology.push(num.clamp(0.0, 1.0));
     }
     Posterior { total, homology }
 }

@@ -1,0 +1,914 @@
+//! Striped odds-space Forward filter — the float sibling of HMMER 3.0's
+//! `p7_ForwardFilter` (fwdfilter.c), replacing the scalar log-space
+//! [`forward_generic`](crate::reference::forward_generic) on the
+//! pipeline's stage-3 hot path.
+//!
+//! # Odds space + renormalization
+//!
+//! `forward_generic` works in nats and spends a table-driven `flogsum`
+//! per cell edge — a dozen dependent scalar ops. This filter works in
+//! *odds space* (`exp` of the log-odds), where log-sum-exp collapses to
+//! `a*b + c`: four multiply-adds per M cell, all vectorizable. The price
+//! is dynamic range: a strong homolog's odds overflow `f32` after a few
+//! hundred residues. Per HMMER's fwdfilter, each row's Σ-over-M (`xE`)
+//! is checked against [`RESCALE_THRESHOLD`]; when it trips, the current
+//! DP row and the special states are multiplied by `1/xE` and `ln(xE)`
+//! accumulates into a running `totscale`. The final score is
+//! `totscale + ln(xC) + move_sc` — exact in nats, no underflow (the
+//! filter's score floor ≈ −45 nats sits far above the `f32` denormal
+//! range) and no overflow (rescaling caps row magnitudes).
+//!
+//! # One stripe, three backends, bit-identical
+//!
+//! Unlike the MSV/Viterbi filters (whose AVX2 backends re-stripe to
+//! wider lanes — safe there because saturated max is striping-agnostic),
+//! float *addition* is not associative, so a wider stripe would change
+//! scores between backends and break the pipeline's cross-backend
+//! bit-identity guarantee. Instead **all** backends share the canonical
+//! 4-lane Farrar stripe (`Q = ⌈M/4⌉`, position `qi` lane `z` holds node
+//! `k = z·Q + qi + 1`) and the exact same per-row operation order:
+//!
+//! * `xE` accumulates into an even-`qi` and an odd-`qi` register,
+//!   reduced at the end by the fixed tree `(v0+v2)+(v1+v3)` — precisely
+//!   what AVX2 gets for free from its low/high 128-bit halves.
+//! * The serial D→D chain runs at 128-bit width in every backend: one
+//!   full in-lane pass, then ≤ 3 cross-lane carry-only correction
+//!   passes (exact, since each pass propagates the previous pass's
+//!   increment — see `dd_passes`), with a deterministic `== 0.0` early
+//!   exit.
+//!
+//! The AVX2 backend therefore speeds up the *same* arithmetic by
+//! processing two adjacent stripe vectors per 256-bit op (the element
+//! set and rounding of each op is unchanged), and scalar/SSE2/AVX2 all
+//! return bit-identical scores — so hits, calibration, and posterior
+//! values do not depend on `H3W_SIMD_BACKEND`.
+//!
+//! Tables are destination-aligned exactly like
+//! [`h3w_hmm::vitprofile`]: index `k0 = k−1` holds everything entering
+//! node `k`, so the row loop indexes every table with the same `qi`.
+
+use crate::backend::Backend;
+use crate::batch::MAX_BATCH;
+use crate::simd::{add_f32, all_zero_f32, hsum_f32, mul_f32, shift_f32, splat_f32, V4f32};
+use h3w_hmm::alphabet::{Residue, N_CODES};
+use h3w_hmm::profile::{Profile, SpecialScores, NEG_INF};
+
+/// Float lanes in the canonical stripe (every backend).
+pub const FWD_LANES: usize = 4;
+
+/// Rescale when a row's odds-space `xE` exceeds this. Low enough that a
+/// further row of growth cannot approach `f32::MAX`, high enough that
+/// background sequences (whose `xE` stays O(1)) never pay the `ln`.
+const RESCALE_THRESHOLD: f32 = 1.0e10;
+
+const ZERO4: V4f32 = [0.0; 4];
+
+/// Per-target special transitions in odds space (`exp` of
+/// [`SpecialScores`]); `exp(−∞) = 0` keeps unihit `E→J` exact.
+#[derive(Debug, Clone, Copy)]
+struct OddsSpecials {
+    loop_o: f32,
+    move_o: f32,
+    e2j_o: f32,
+    e2c_o: f32,
+    /// Kept in nats for the final score recovery.
+    move_sc: f32,
+}
+
+impl OddsSpecials {
+    fn from_scores(xs: &SpecialScores) -> OddsSpecials {
+        OddsSpecials {
+            loop_o: xs.loop_sc.exp(),
+            move_o: xs.move_sc.exp(),
+            e2j_o: xs.e_to_j.exp(),
+            e2c_o: xs.e_to_c.exp(),
+            move_sc: xs.move_sc,
+        }
+    }
+}
+
+/// Special-state values for one in-flight sequence, in odds space, plus
+/// the accumulated log of all scale factors applied so far.
+#[derive(Debug, Clone, Copy)]
+struct RowState {
+    xn: f32,
+    xj: f32,
+    xc: f32,
+    xb: f32,
+    totscale: f32,
+}
+
+impl RowState {
+    fn start(sp: &OddsSpecials) -> RowState {
+        // Row 0: N = 1 (zero nats), J = C = 0 (−∞), B = N·move.
+        RowState {
+            xn: 1.0,
+            xj: 0.0,
+            xc: 0.0,
+            xb: sp.move_o,
+            totscale: 0.0,
+        }
+    }
+
+    /// Recover the score in nats; `xC == 0` (e.g. the empty sequence)
+    /// is −∞ exactly, matching the generic reference.
+    fn finish(&self, sp: &OddsSpecials) -> f32 {
+        if self.xc > 0.0 {
+            self.totscale + self.xc.ln() + sp.move_sc
+        } else {
+            NEG_INF
+        }
+    }
+}
+
+/// Reusable double-buffered DP rows (previous + current M/I/D) for one
+/// in-flight sequence. Double-buffering — rather than the in-place row
+/// update the integer filters use — lets the AVX2 backend load the
+/// shifted diagonal of a vector *pair* as one unaligned 256-bit load.
+#[derive(Debug, Default)]
+pub struct FwdWorkspace {
+    pm: Vec<V4f32>,
+    pi: Vec<V4f32>,
+    pd: Vec<V4f32>,
+    cm: Vec<V4f32>,
+    ci: Vec<V4f32>,
+    cd: Vec<V4f32>,
+}
+
+impl FwdWorkspace {
+    fn reset(&mut self, q: usize) {
+        for buf in [
+            &mut self.pm,
+            &mut self.pi,
+            &mut self.pd,
+            &mut self.cm,
+            &mut self.ci,
+            &mut self.cd,
+        ] {
+            buf.clear();
+            buf.resize(q, ZERO4);
+        }
+    }
+
+    fn swap(&mut self) {
+        std::mem::swap(&mut self.pm, &mut self.cm);
+        std::mem::swap(&mut self.pi, &mut self.ci);
+        std::mem::swap(&mut self.pd, &mut self.cd);
+    }
+}
+
+/// Per-worker state for [`StripedFwd::run_batch_into`]: one DP arena per
+/// interleaved slot, grown once and reused across every batch the worker
+/// scores (the sweep's scratch-buffer-reuse contract).
+#[derive(Debug, Default)]
+pub struct FwdBatchWorkspace {
+    slots: Vec<FwdWorkspace>,
+}
+
+/// Recorded striped Forward lattice for posterior decoding: the
+/// odds-space M/I rows (D never enters the posterior numerator under
+/// filter conventions — E collects M only and D emits nothing), the
+/// cumulative ln-scale per row, and the final score.
+#[derive(Debug, Clone)]
+pub struct FwdMatrix {
+    /// Model length.
+    pub m: usize,
+    /// Stripe vectors per row.
+    pub q: usize,
+    /// Sequence length (rows `1..=l` are recorded).
+    pub l: usize,
+    rows_m: Vec<V4f32>,
+    rows_i: Vec<V4f32>,
+    scales: Vec<f32>,
+    /// Forward score in nats (length model included).
+    pub total: f32,
+}
+
+impl FwdMatrix {
+    #[inline]
+    fn at(&self, rows: &[V4f32], i: usize, k: usize) -> f32 {
+        debug_assert!(i >= 1 && i <= self.l && k >= 1 && k <= self.m);
+        let k0 = k - 1;
+        rows[(i - 1) * self.q + (k0 % self.q)][k0 / self.q]
+    }
+
+    /// Raw odds-space `M(i,k)` (pre-scale; multiply by `exp(scale(i))`
+    /// for the true odds). `i ∈ 1..=l`, `k ∈ 1..=m`.
+    #[inline]
+    pub fn m_odds(&self, i: usize, k: usize) -> f32 {
+        self.at(&self.rows_m, i, k)
+    }
+
+    /// Raw odds-space `I(i,k)`.
+    #[inline]
+    pub fn i_odds(&self, i: usize, k: usize) -> f32 {
+        self.at(&self.rows_i, i, k)
+    }
+
+    /// Cumulative ln of the scale factors applied up to and including
+    /// row `i` — `ln M(i,k) = ln(m_odds) + scale(i)` in nats.
+    #[inline]
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i - 1]
+    }
+
+    /// `M(i,k)` in nats (−∞ where the odds are zero).
+    #[inline]
+    pub fn m_log(&self, i: usize, k: usize) -> f32 {
+        self.m_odds(i, k).ln() + self.scale(i)
+    }
+
+    /// `I(i,k)` in nats.
+    #[inline]
+    pub fn i_log(&self, i: usize, k: usize) -> f32 {
+        self.i_odds(i, k).ln() + self.scale(i)
+    }
+}
+
+/// A profile's Forward tables in odds space, rearranged into the
+/// canonical 4-lane stripe. Phantom positions hold odds `0.0` (= −∞),
+/// so they can never contribute probability mass.
+#[derive(Debug, Clone)]
+pub struct StripedFwd {
+    /// Model length.
+    pub m: usize,
+    /// Vectors per row: `⌈M/4⌉`.
+    pub q: usize,
+    backend: Backend,
+    /// Striped odds emissions, code-major: `rfv[code * q + qi]`.
+    rfv: Vec<V4f32>,
+    tmm: Vec<V4f32>,
+    tim: Vec<V4f32>,
+    tdm: Vec<V4f32>,
+    tmd: Vec<V4f32>,
+    tdd: Vec<V4f32>,
+    tmi: Vec<V4f32>,
+    tii: Vec<V4f32>,
+    bmk: Vec<V4f32>,
+}
+
+impl StripedFwd {
+    /// Stripe a [`Profile`] for the auto-detected backend.
+    pub fn new(p: &Profile) -> StripedFwd {
+        StripedFwd::with_backend(p, Backend::detect())
+    }
+
+    /// Stripe for a specific backend (downgrades to scalar if the
+    /// requested backend cannot run on this CPU). The stripe layout is
+    /// the same for every backend; only the row-loop dispatch differs.
+    pub fn with_backend(p: &Profile, backend: Backend) -> StripedFwd {
+        let backend = if backend.available() {
+            backend
+        } else {
+            Backend::Scalar
+        };
+        let m = p.m;
+        let q = m.div_ceil(FWD_LANES).max(1);
+        let stripe = |table: &dyn Fn(usize) -> f32| -> Vec<V4f32> {
+            (0..q)
+                .map(|qi| {
+                    core::array::from_fn(|z| {
+                        let k0 = z * q + qi;
+                        if k0 < m {
+                            table(k0).exp()
+                        } else {
+                            0.0
+                        }
+                    })
+                })
+                .collect()
+        };
+        let mut rfv = Vec::with_capacity(N_CODES * q);
+        for code in 0..N_CODES {
+            rfv.extend(stripe(&|k0| p.msc[k0 + 1][code]));
+        }
+        StripedFwd {
+            m,
+            q,
+            backend,
+            rfv,
+            // Destination-aligned: Profile stores the transition into
+            // node k at index k-1 = k0 already.
+            tmm: stripe(&|k0| p.tmm[k0]),
+            tim: stripe(&|k0| p.tim[k0]),
+            tdm: stripe(&|k0| p.tdm[k0]),
+            tmd: stripe(&|k0| p.tmd[k0]),
+            tdd: stripe(&|k0| p.tdd[k0]),
+            // I_k self transitions live at node k = k0+1; no I_M state.
+            tmi: stripe(&|k0| if k0 + 1 < m { p.tmi[k0 + 1] } else { NEG_INF }),
+            tii: stripe(&|k0| if k0 + 1 < m { p.tii[k0 + 1] } else { NEG_INF }),
+            bmk: stripe(&|k0| p.bmk[k0 + 1]),
+        }
+    }
+
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// True DP cells per residue row (3 states × M nodes).
+    pub fn real_cells_per_row(&self) -> u64 {
+        3 * self.m as u64
+    }
+
+    /// Cells the striped kernel actually computes per row (phantoms
+    /// included).
+    pub fn padded_cells_per_row(&self) -> u64 {
+        (3 * FWD_LANES * self.q) as u64
+    }
+
+    /// Score one sequence in nats, reusing `ws` buffers. Bit-identical
+    /// on every backend.
+    pub fn run_into(&self, p: &Profile, seq: &[Residue], ws: &mut FwdWorkspace) -> f32 {
+        debug_assert_eq!(p.m, self.m);
+        let sp = OddsSpecials::from_scores(&p.specials_for(seq.len()));
+        ws.reset(self.q);
+        let mut st = RowState::start(&sp);
+        for &x in seq {
+            self.advance_row(x, ws, &mut st, &sp);
+        }
+        st.finish(&sp)
+    }
+
+    /// Convenience wrapper allocating a fresh workspace.
+    pub fn run(&self, p: &Profile, seq: &[Residue]) -> f32 {
+        let mut ws = FwdWorkspace::default();
+        self.run_into(p, seq, &mut ws)
+    }
+
+    /// Score up to [`MAX_BATCH`] sequences with row-level interleaving:
+    /// each residue row advances every live slot before the next row,
+    /// giving the out-of-order core [`MAX_BATCH`] independent dependency
+    /// chains to overlap (the same win the batched MSV kernel gets).
+    /// Slots are fully independent, so results are bit-identical to
+    /// [`StripedFwd::run_into`] at every width.
+    pub fn run_batch_into(
+        &self,
+        p: &Profile,
+        seqs: &[&[Residue]],
+        ws: &mut FwdBatchWorkspace,
+        out: &mut [f32],
+    ) {
+        let n = seqs.len();
+        assert!(n <= MAX_BATCH, "batch of {n} exceeds MAX_BATCH");
+        assert_eq!(out.len(), n);
+        while ws.slots.len() < n {
+            ws.slots.push(FwdWorkspace::default());
+        }
+        let sps: [OddsSpecials; MAX_BATCH] = core::array::from_fn(|i| {
+            let len = seqs.get(i).map_or(0, |s| s.len());
+            OddsSpecials::from_scores(&p.specials_for(len))
+        });
+        let mut sts: [RowState; MAX_BATCH] = core::array::from_fn(|i| RowState::start(&sps[i]));
+        for slot in ws.slots.iter_mut().take(n) {
+            slot.reset(self.q);
+        }
+        let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+        for r in 0..max_len {
+            for (i, seq) in seqs.iter().enumerate() {
+                if let Some(&x) = seq.get(r) {
+                    self.advance_row(x, &mut ws.slots[i], &mut sts[i], &sps[i]);
+                }
+            }
+        }
+        for i in 0..n {
+            out[i] = sts[i].finish(&sps[i]);
+        }
+    }
+
+    /// Score one sequence and record the odds-space M/I lattice plus the
+    /// per-row cumulative scales for posterior decoding. The recorded
+    /// values (and `total`) are bit-identical to [`StripedFwd::run_into`].
+    pub fn run_recording(&self, p: &Profile, seq: &[Residue], ws: &mut FwdWorkspace) -> FwdMatrix {
+        debug_assert_eq!(p.m, self.m);
+        let l = seq.len();
+        let sp = OddsSpecials::from_scores(&p.specials_for(l));
+        ws.reset(self.q);
+        let mut st = RowState::start(&sp);
+        let mut rows_m = Vec::with_capacity(l * self.q);
+        let mut rows_i = Vec::with_capacity(l * self.q);
+        let mut scales = Vec::with_capacity(l);
+        for &x in seq {
+            self.advance_row(x, ws, &mut st, &sp);
+            rows_m.extend_from_slice(&ws.cm);
+            rows_i.extend_from_slice(&ws.ci);
+            scales.push(st.totscale);
+        }
+        FwdMatrix {
+            m: self.m,
+            q: self.q,
+            l,
+            rows_m,
+            rows_i,
+            scales,
+            total: st.finish(&sp),
+        }
+    }
+
+    /// One residue row: swap buffers, run the backend row loop, update
+    /// the specials, rescale if `xE` tripped the threshold. The specials
+    /// update and rescale are scalar and elementwise — identical on
+    /// every backend by construction.
+    #[inline]
+    fn advance_row(&self, x: Residue, ws: &mut FwdWorkspace, st: &mut RowState, sp: &OddsSpecials) {
+        ws.swap();
+        let xe = match self.backend {
+            Backend::Scalar => self.row_scalar(x as usize, ws, st.xb),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: with_backend only selects Sse2/Avx2 when the CPU
+            // reports the feature (SSE2 is the x86_64 baseline).
+            Backend::Sse2 => unsafe { self.row_sse2(x as usize, ws, st.xb) },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { self.row_avx2(x as usize, ws, st.xb) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.row_scalar(x as usize, ws, st.xb),
+        };
+        st.xj = st.xj * sp.loop_o + xe * sp.e2j_o;
+        st.xc = st.xc * sp.loop_o + xe * sp.e2c_o;
+        st.xn *= sp.loop_o;
+        st.xb = (st.xn + st.xj) * sp.move_o;
+        if xe > RESCALE_THRESHOLD {
+            st.totscale += xe.ln();
+            let inv = 1.0 / xe;
+            st.xj *= inv;
+            st.xc *= inv;
+            st.xn *= inv;
+            st.xb *= inv;
+            for buf in [&mut ws.cm, &mut ws.ci, &mut ws.cd] {
+                for v in buf.iter_mut() {
+                    for lane in v.iter_mut() {
+                        *lane *= inv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Portable reference row loop (emulated 4-lane vectors). This is
+    /// the canonical operation order the intrinsic backends replicate.
+    #[allow(clippy::needless_range_loop)]
+    fn row_scalar(&self, x: usize, ws: &mut FwdWorkspace, xb: f32) -> f32 {
+        let q = self.q;
+        let row = &self.rfv[x * q..(x + 1) * q];
+        let FwdWorkspace {
+            pm,
+            pi,
+            pd,
+            cm,
+            ci,
+            cd,
+        } = ws;
+        let xbv = splat_f32(xb);
+        let mut acc_e = ZERO4;
+        let mut acc_o = ZERO4;
+        let mut mpv = shift_f32(pm[q - 1], 0.0);
+        let mut ipv = shift_f32(pi[q - 1], 0.0);
+        let mut dpv = shift_f32(pd[q - 1], 0.0);
+        let mut mcur_prev = ZERO4; // M of position qi-1, current row
+        for qi in 0..q {
+            let mut sv = mul_f32(xbv, self.bmk[qi]);
+            sv = add_f32(sv, mul_f32(mpv, self.tmm[qi]));
+            sv = add_f32(sv, mul_f32(ipv, self.tim[qi]));
+            sv = add_f32(sv, mul_f32(dpv, self.tdm[qi]));
+            sv = mul_f32(sv, row[qi]);
+            if qi % 2 == 0 {
+                acc_e = add_f32(acc_e, sv);
+            } else {
+                acc_o = add_f32(acc_o, sv);
+            }
+            ci[qi] = add_f32(mul_f32(pm[qi], self.tmi[qi]), mul_f32(pi[qi], self.tii[qi]));
+            // M→D seed; the qi=0 wrap and all D→D arrive below.
+            cd[qi] = mul_f32(mcur_prev, self.tmd[qi]);
+            mpv = pm[qi];
+            ipv = pi[qi];
+            dpv = pd[qi];
+            cm[qi] = sv;
+            mcur_prev = sv;
+        }
+        // Cross-lane M→D seed into qi = 0.
+        cd[0] = add_f32(cd[0], mul_f32(shift_f32(mcur_prev, 0.0), self.tmd[0]));
+        // D→D pass 1: full in-lane propagation (cross-lane input zero).
+        let mut dprev = ZERO4;
+        for qi in 0..q {
+            cd[qi] = add_f32(cd[qi], mul_f32(dprev, self.tdd[qi]));
+            dprev = cd[qi];
+        }
+        // Cross-lane carry-only correction passes: pass p hands each
+        // lane the *increment* pass p-1 added at qi = q-1 of the lane
+        // below; D is linear in its inputs, so propagating increments
+        // (never re-reading the D row) is exact and cannot double
+        // count. Lane 0's chain head is exact after pass 1, so ≤ 3
+        // passes close the fixed point; a pass whose carry multiplies
+        // to exact zero everywhere ends the loop early (deterministic,
+        // hence backend-identical).
+        let mut carry = shift_f32(dprev, 0.0);
+        for _ in 1..FWD_LANES {
+            let mut corr = mul_f32(carry, self.tdd[0]);
+            if all_zero_f32(corr) {
+                break;
+            }
+            cd[0] = add_f32(cd[0], corr);
+            for qi in 1..q {
+                corr = mul_f32(corr, self.tdd[qi]);
+                cd[qi] = add_f32(cd[qi], corr);
+            }
+            carry = shift_f32(corr, 0.0);
+        }
+        hsum_f32(add_f32(acc_e, acc_o))
+    }
+
+    /// SSE2 row loop — the same 4-lane stripe and operation order as
+    /// [`StripedFwd::row_scalar`], with real 128-bit intrinsics.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn row_sse2(&self, x: usize, ws: &mut FwdWorkspace, xb: f32) -> f32 {
+        use crate::x86::{hsum_ps, loadu_ps, shl1_ps_128, storeu_ps};
+        use core::arch::x86_64::*;
+        let q = self.q;
+        let row = self.rfv.as_ptr().add(x * q) as *const f32;
+        let FwdWorkspace {
+            pm,
+            pi,
+            pd,
+            cm,
+            ci,
+            cd,
+        } = ws;
+        let pm = pm.as_ptr() as *const f32;
+        let pi = pi.as_ptr() as *const f32;
+        let pd = pd.as_ptr() as *const f32;
+        let cm = cm.as_mut_ptr() as *mut f32;
+        let ci = ci.as_mut_ptr() as *mut f32;
+        let cd = cd.as_mut_ptr() as *mut f32;
+        let tmm = self.tmm.as_ptr() as *const f32;
+        let tim = self.tim.as_ptr() as *const f32;
+        let tdm = self.tdm.as_ptr() as *const f32;
+        let tmd = self.tmd.as_ptr() as *const f32;
+        let tmi = self.tmi.as_ptr() as *const f32;
+        let tii = self.tii.as_ptr() as *const f32;
+        let bmk = self.bmk.as_ptr() as *const f32;
+
+        let xbv = _mm_set1_ps(xb);
+        let mut acc_e = _mm_setzero_ps();
+        let mut acc_o = _mm_setzero_ps();
+        let mut mpv = shl1_ps_128(loadu_ps(pm.add(4 * (q - 1))));
+        let mut ipv = shl1_ps_128(loadu_ps(pi.add(4 * (q - 1))));
+        let mut dpv = shl1_ps_128(loadu_ps(pd.add(4 * (q - 1))));
+        let mut mcur_prev = _mm_setzero_ps();
+        for qi in 0..q {
+            let o = 4 * qi;
+            let mut sv = _mm_mul_ps(xbv, loadu_ps(bmk.add(o)));
+            sv = _mm_add_ps(sv, _mm_mul_ps(mpv, loadu_ps(tmm.add(o))));
+            sv = _mm_add_ps(sv, _mm_mul_ps(ipv, loadu_ps(tim.add(o))));
+            sv = _mm_add_ps(sv, _mm_mul_ps(dpv, loadu_ps(tdm.add(o))));
+            sv = _mm_mul_ps(sv, loadu_ps(row.add(o)));
+            if qi % 2 == 0 {
+                acc_e = _mm_add_ps(acc_e, sv);
+            } else {
+                acc_o = _mm_add_ps(acc_o, sv);
+            }
+            let iv = _mm_add_ps(
+                _mm_mul_ps(loadu_ps(pm.add(o)), loadu_ps(tmi.add(o))),
+                _mm_mul_ps(loadu_ps(pi.add(o)), loadu_ps(tii.add(o))),
+            );
+            storeu_ps(ci.add(o), iv);
+            storeu_ps(cd.add(o), _mm_mul_ps(mcur_prev, loadu_ps(tmd.add(o))));
+            mpv = loadu_ps(pm.add(o));
+            ipv = loadu_ps(pi.add(o));
+            dpv = loadu_ps(pd.add(o));
+            storeu_ps(cm.add(o), sv);
+            mcur_prev = sv;
+        }
+        let wrap = _mm_mul_ps(shl1_ps_128(mcur_prev), loadu_ps(tmd));
+        storeu_ps(cd, _mm_add_ps(loadu_ps(cd), wrap));
+        self.dd_passes_x86(cd);
+        hsum_ps(_mm_add_ps(acc_e, acc_o))
+    }
+
+    /// AVX2 row loop: identical stripe and arithmetic, but two adjacent
+    /// stripe vectors (`qi`, `qi+1`) per 256-bit op. The low half maps
+    /// to even `qi` and the high half to odd `qi`, so the single 256-bit
+    /// `xE` accumulator *is* the scalar backend's even/odd accumulator
+    /// pair, and the double-buffered rows make each diagonal pair one
+    /// unaligned load at `prev + (qi-1)`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_avx2(&self, x: usize, ws: &mut FwdWorkspace, xb: f32) -> f32 {
+        use crate::x86::{hsum_ps, loadu_ps, loadu_ps256, shl1_ps_128, storeu_ps, storeu_ps256};
+        use core::arch::x86_64::*;
+        let q = self.q;
+        if q < 2 {
+            return self.row_sse2(x, ws, xb);
+        }
+        let row = self.rfv.as_ptr().add(x * q) as *const f32;
+        let FwdWorkspace {
+            pm,
+            pi,
+            pd,
+            cm,
+            ci,
+            cd,
+        } = ws;
+        let pm = pm.as_ptr() as *const f32;
+        let pi = pi.as_ptr() as *const f32;
+        let pd = pd.as_ptr() as *const f32;
+        let cm = cm.as_mut_ptr() as *mut f32;
+        let ci = ci.as_mut_ptr() as *mut f32;
+        let cd = cd.as_mut_ptr() as *mut f32;
+        let tmm = self.tmm.as_ptr() as *const f32;
+        let tim = self.tim.as_ptr() as *const f32;
+        let tdm = self.tdm.as_ptr() as *const f32;
+        let tmd = self.tmd.as_ptr() as *const f32;
+        let tmi = self.tmi.as_ptr() as *const f32;
+        let tii = self.tii.as_ptr() as *const f32;
+        let bmk = self.bmk.as_ptr() as *const f32;
+
+        let xbv = _mm256_set1_ps(xb);
+        let mut acc = _mm256_setzero_ps();
+        let mut acc_tail = _mm_setzero_ps();
+        // Diagonal pair for (qi=0, qi=1): low = cross-lane wrap of
+        // prev[q-1], high = prev[0].
+        let pair0 = |p: *const f32| -> __m256 {
+            _mm256_insertf128_ps::<1>(
+                _mm256_castps128_ps256(shl1_ps_128(loadu_ps(p.add(4 * (q - 1))))),
+                loadu_ps(p),
+            )
+        };
+        let mut sv_carry = _mm_setzero_ps(); // M at the pair's qi-1
+        for pair in 0..q / 2 {
+            let qi = 2 * pair;
+            let o = 4 * qi;
+            let (mpv, ipv, dpv) = if qi == 0 {
+                (pair0(pm), pair0(pi), pair0(pd))
+            } else {
+                (
+                    loadu_ps256(pm.add(o - 4)),
+                    loadu_ps256(pi.add(o - 4)),
+                    loadu_ps256(pd.add(o - 4)),
+                )
+            };
+            let mut sv = _mm256_mul_ps(xbv, loadu_ps256(bmk.add(o)));
+            sv = _mm256_add_ps(sv, _mm256_mul_ps(mpv, loadu_ps256(tmm.add(o))));
+            sv = _mm256_add_ps(sv, _mm256_mul_ps(ipv, loadu_ps256(tim.add(o))));
+            sv = _mm256_add_ps(sv, _mm256_mul_ps(dpv, loadu_ps256(tdm.add(o))));
+            sv = _mm256_mul_ps(sv, loadu_ps256(row.add(o)));
+            acc = _mm256_add_ps(acc, sv);
+            let iv = _mm256_add_ps(
+                _mm256_mul_ps(loadu_ps256(pm.add(o)), loadu_ps256(tmi.add(o))),
+                _mm256_mul_ps(loadu_ps256(pi.add(o)), loadu_ps256(tii.add(o))),
+            );
+            storeu_ps256(ci.add(o), iv);
+            // M→D seed pair: [M(qi-1), M(qi)] = [carry, sv.low].
+            let dseed = _mm256_insertf128_ps::<1>(
+                _mm256_castps128_ps256(sv_carry),
+                _mm256_castps256_ps128(sv),
+            );
+            storeu_ps256(cd.add(o), _mm256_mul_ps(dseed, loadu_ps256(tmd.add(o))));
+            storeu_ps256(cm.add(o), sv);
+            sv_carry = _mm256_extractf128_ps::<1>(sv);
+        }
+        if q % 2 == 1 {
+            // Odd trailing vector at 128-bit; its qi = q-1 is even, so
+            // it accumulates on the even (low-half) side.
+            let qi = q - 1;
+            let o = 4 * qi;
+            let xbv1 = _mm256_castps256_ps128(xbv);
+            let mut sv = _mm_mul_ps(xbv1, loadu_ps(bmk.add(o)));
+            sv = _mm_add_ps(
+                sv,
+                _mm_mul_ps(loadu_ps(pm.add(o - 4)), loadu_ps(tmm.add(o))),
+            );
+            sv = _mm_add_ps(
+                sv,
+                _mm_mul_ps(loadu_ps(pi.add(o - 4)), loadu_ps(tim.add(o))),
+            );
+            sv = _mm_add_ps(
+                sv,
+                _mm_mul_ps(loadu_ps(pd.add(o - 4)), loadu_ps(tdm.add(o))),
+            );
+            sv = _mm_mul_ps(sv, loadu_ps(row.add(o)));
+            acc_tail = sv;
+            let iv = _mm_add_ps(
+                _mm_mul_ps(loadu_ps(pm.add(o)), loadu_ps(tmi.add(o))),
+                _mm_mul_ps(loadu_ps(pi.add(o)), loadu_ps(tii.add(o))),
+            );
+            storeu_ps(ci.add(o), iv);
+            storeu_ps(cd.add(o), _mm_mul_ps(sv_carry, loadu_ps(tmd.add(o))));
+            storeu_ps(cm.add(o), sv);
+            sv_carry = sv;
+        }
+        let wrap = _mm_mul_ps(shl1_ps_128(sv_carry), loadu_ps(tmd));
+        storeu_ps(cd, _mm_add_ps(loadu_ps(cd), wrap));
+        self.dd_passes_x86(cd);
+        // (low + tail) rebuilds the scalar even accumulator exactly
+        // (same addition sequence), then the canonical reduction.
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        hsum_ps(_mm_add_ps(_mm_add_ps(lo, acc_tail), hi))
+    }
+
+    /// The serial D→D resolution at 128-bit width — shared by the SSE2
+    /// and AVX2 backends (and mirrored op-for-op by the scalar one) so
+    /// the order-sensitive part of the row is identical everywhere.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn dd_passes_x86(&self, cd: *mut f32) {
+        use crate::x86::{all_zero_ps, loadu_ps, shl1_ps_128, storeu_ps};
+        use core::arch::x86_64::*;
+        let q = self.q;
+        let tdd = self.tdd.as_ptr() as *const f32;
+        let mut dprev = _mm_setzero_ps();
+        for qi in 0..q {
+            let o = 4 * qi;
+            let v = _mm_add_ps(loadu_ps(cd.add(o)), _mm_mul_ps(dprev, loadu_ps(tdd.add(o))));
+            storeu_ps(cd.add(o), v);
+            dprev = v;
+        }
+        let mut carry = shl1_ps_128(dprev);
+        for _ in 1..FWD_LANES {
+            let mut corr = _mm_mul_ps(carry, loadu_ps(tdd));
+            if all_zero_ps(corr) {
+                break;
+            }
+            storeu_ps(cd, _mm_add_ps(loadu_ps(cd), corr));
+            for qi in 1..q {
+                let o = 4 * qi;
+                corr = _mm_mul_ps(corr, loadu_ps(tdd.add(o)));
+                storeu_ps(cd.add(o), _mm_add_ps(loadu_ps(cd.add(o)), corr));
+            }
+            carry = shl1_ps_128(corr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::forward_generic;
+    use h3w_hmm::background::NullModel;
+    use h3w_hmm::build::{synthetic_model, BuildParams};
+    use h3w_hmm::calibrate::random_seq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(m: usize, seed: u64) -> Profile {
+        let bg = NullModel::new();
+        Profile::config(&synthetic_model(m, seed, &BuildParams::default()), &bg)
+    }
+
+    #[test]
+    fn stripe_geometry() {
+        for (m, q) in [(1usize, 1usize), (4, 1), (5, 2), (8, 2), (9, 3), (130, 33)] {
+            let p = profile(m, 3);
+            let f = StripedFwd::new(&p);
+            assert_eq!(f.q, q, "m={m}");
+            assert_eq!(f.real_cells_per_row(), 3 * m as u64);
+            assert_eq!(f.padded_cells_per_row(), (3 * 4 * q) as u64);
+        }
+    }
+
+    #[test]
+    fn matches_generic_forward_over_sizes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for m in [1usize, 5, 7, 8, 9, 15, 16, 17, 33, 64, 130] {
+            let p = profile(m, m as u64);
+            let f = StripedFwd::new(&p);
+            for len in [1usize, 3, 40, 300] {
+                let seq = random_seq(&mut rng, len);
+                let exact = forward_generic(&p, &seq);
+                let striped = f.run(&p, &seq);
+                // The gap here is the *generic* side's flogsum table
+                // bias (measured envelope ≈ 0.01 + 0.012·ln(1+L) nats,
+                // growing with every row's specials updates); the
+                // striped path itself tracks an exact log-sum-exp
+                // Forward to < 1e-3 nats — see tests/fwd_equivalence.rs.
+                let budget = 0.012 + 0.014 * (1.0 + len as f32).ln();
+                assert!(
+                    (exact - striped).abs() < budget,
+                    "m={m} len={len}: generic {exact} vs striped {striped}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_backends() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for m in [1usize, 7, 9, 33, 130] {
+            let p = profile(m, 100 + m as u64);
+            let base = StripedFwd::with_backend(&p, Backend::Scalar);
+            for len in [0usize, 1, 9, 250] {
+                let seq = random_seq(&mut rng, len);
+                let want = base.run(&p, &seq);
+                for backend in Backend::all_available() {
+                    let f = StripedFwd::with_backend(&p, backend);
+                    let got = f.run(&p, &seq);
+                    assert_eq!(
+                        want.to_bits(),
+                        got.to_bits(),
+                        "m={m} len={len} backend={backend}: {want} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescaling_regime_is_bit_identical_and_finite() {
+        // A long tandem homolog drives odds through many rescales.
+        let bg = NullModel::new();
+        let core = synthetic_model(40, 21, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut seq = Vec::new();
+        for _ in 0..40 {
+            seq.extend(h3w_seqdb::gen::sample_homolog(&mut rng, &core, 3));
+        }
+        let base = StripedFwd::with_backend(&p, Backend::Scalar);
+        let want = base.run(&p, &seq);
+        assert!(want.is_finite() && want > 100.0, "tandem score {want}");
+        let exact = forward_generic(&p, &seq);
+        assert!(
+            (exact - want).abs() < 0.05 + 2e-4 * seq.len() as f32,
+            "generic {exact} vs striped {want} over {} residues",
+            seq.len()
+        );
+        for backend in Backend::all_available() {
+            let f = StripedFwd::with_backend(&p, backend);
+            assert_eq!(f.run(&p, &seq).to_bits(), want.to_bits(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_neg_inf() {
+        let p = profile(12, 5);
+        let f = StripedFwd::new(&p);
+        assert_eq!(f.run(&p, &[]), NEG_INF);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let p = profile(19, 6);
+        let f = StripedFwd::new(&p);
+        let mut rng = StdRng::seed_from_u64(7);
+        let seqs: Vec<Vec<u8>> = (0..6).map(|i| random_seq(&mut rng, 17 + i * 31)).collect();
+        let mut ws = FwdWorkspace::default();
+        let fresh: Vec<f32> = seqs.iter().map(|s| f.run(&p, s)).collect();
+        // Long → short → long reuse must not leak state between runs.
+        for (i, s) in seqs.iter().enumerate().rev() {
+            assert_eq!(f.run_into(&p, s, &mut ws).to_bits(), fresh[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_widths_are_bit_identical() {
+        let p = profile(27, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let seqs: Vec<Vec<u8>> = (0..8)
+            .map(|i| random_seq(&mut rng, [0usize, 5, 60, 61, 200, 10, 33, 100][i]))
+            .collect();
+        for backend in Backend::all_available() {
+            let f = StripedFwd::with_backend(&p, backend);
+            let single: Vec<f32> = seqs.iter().map(|s| f.run(&p, s)).collect();
+            let mut ws = FwdBatchWorkspace::default();
+            for width in 1..=MAX_BATCH {
+                for chunk in seqs.chunks(width) {
+                    let refs: Vec<&[u8]> = chunk.iter().map(|s| s.as_slice()).collect();
+                    let mut out = vec![0f32; refs.len()];
+                    f.run_batch_into(&p, &refs, &mut ws, &mut out);
+                    for (s, got) in chunk.iter().zip(&out) {
+                        let want =
+                            single[seqs.iter().position(|t| t.as_ptr() == s.as_ptr()).unwrap()];
+                        assert_eq!(want.to_bits(), got.to_bits(), "{backend} width {width}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recording_matches_run_and_indexes_correctly() {
+        let p = profile(21, 10);
+        let f = StripedFwd::new(&p);
+        let mut rng = StdRng::seed_from_u64(13);
+        let seq = random_seq(&mut rng, 75);
+        let mut ws = FwdWorkspace::default();
+        let mat = f.run_recording(&p, &seq, &mut ws);
+        assert_eq!(mat.total.to_bits(), f.run(&p, &seq).to_bits());
+        assert_eq!((mat.l, mat.m, mat.q), (75, 21, f.q));
+        // Row 1 M values must equal the first-row recurrence directly:
+        // M(1,k) = xB(0)·bmk[k]·emis, everything else zero.
+        let xs = p.specials_for(seq.len());
+        let xb0 = xs.move_sc;
+        for k in 1..=p.m {
+            let want = xb0 + p.bmk[k] + p.msc[k][seq[0] as usize];
+            let got = mat.m_log(1, k);
+            assert!(
+                (want - got).abs() < 1e-4 || (want == NEG_INF && got == NEG_INF),
+                "k={k}: {want} vs {got}"
+            );
+            // I on row 1 needs an M on row 0: impossible.
+            if k < p.m {
+                assert_eq!(mat.i_odds(1, k), 0.0);
+            }
+        }
+    }
+}

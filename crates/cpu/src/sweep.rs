@@ -23,10 +23,12 @@ use crate::backend::Backend;
 use crate::batch::{BatchWorkspace, MAX_BATCH};
 use crate::quantized::{MsvOutcome, VitOutcome};
 use crate::ssv::StripedSsv;
+use crate::striped_fwd::{FwdBatchWorkspace, StripedFwd};
 use crate::striped_msv::StripedMsv;
 use crate::striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 use h3w_hmm::alphabet::Residue;
 use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::profile::Profile;
 use h3w_hmm::vitprofile::VitProfile;
 use h3w_seqdb::{DigitalSeq, SeqDb};
 use rayon::prelude::*;
@@ -122,7 +124,10 @@ const ZERO_OUTCOME: MsvOutcome = MsvOutcome {
 };
 
 /// Shared batched-sweep driver: schedule, score batches in parallel,
-/// scatter back to original order.
+/// scatter back to original order. The per-batch sequence refs and
+/// outcomes live in fixed [`MAX_BATCH`] arrays — a worker's only heap
+/// state is its `map_init` workspace arena, so the steady-state hot
+/// loop performs no allocation at all.
 fn sweep_batched_with<F>(
     run_batch: &F,
     seqs: &[DigitalSeq],
@@ -134,13 +139,15 @@ where
 {
     let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
     let batches = length_binned_batches(&lens, mask, width);
-    let scored: Vec<Vec<MsvOutcome>> = batches
+    let scored: Vec<[MsvOutcome; MAX_BATCH]> = batches
         .par_iter()
         .map_init(BatchWorkspace::default, |ws, batch| {
-            let refs: Vec<&[Residue]> =
-                batch.iter().map(|&i| seqs[i].residues.as_slice()).collect();
-            let mut out = vec![ZERO_OUTCOME; refs.len()];
-            run_batch(&refs, ws, &mut out);
+            let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+            for (r, &i) in refs.iter_mut().zip(batch.iter()) {
+                *r = &seqs[i].residues;
+            }
+            let mut out = [ZERO_OUTCOME; MAX_BATCH];
+            run_batch(&refs[..batch.len()], ws, &mut out[..batch.len()]);
             out
         })
         .collect();
@@ -148,6 +155,43 @@ where
     for (batch, outs) in batches.iter().zip(scored) {
         for (&i, o) in batch.iter().zip(outs) {
             result[i] = Some(o);
+        }
+    }
+    result
+}
+
+/// Batched striped-Forward scores (nats) for the `mask`-selected subset
+/// of `seqs` (`None` = all), in original sequence order — the pipeline's
+/// stage-3 survivor rescoring. Same no-allocation discipline and
+/// length-binned schedule as the byte-filter sweeps; slots are fully
+/// independent, so scores are bit-identical at every width and on every
+/// backend.
+pub fn fwd_scores_batched(
+    striped: &StripedFwd,
+    p: &Profile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> Vec<Option<f32>> {
+    let width = resolve_batch_width(striped.backend(), width);
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let batches = length_binned_batches(&lens, mask, width);
+    let scored: Vec<[f32; MAX_BATCH]> = batches
+        .par_iter()
+        .map_init(FwdBatchWorkspace::default, |ws, batch| {
+            let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+            for (r, &i) in refs.iter_mut().zip(batch.iter()) {
+                *r = &seqs[i].residues;
+            }
+            let mut out = [0f32; MAX_BATCH];
+            striped.run_batch_into(p, &refs[..batch.len()], ws, &mut out[..batch.len()]);
+            out
+        })
+        .collect();
+    let mut result = vec![None; seqs.len()];
+    for (batch, outs) in batches.iter().zip(scored) {
+        for (&i, s) in batch.iter().zip(outs) {
+            result[i] = Some(s);
         }
     }
     result
@@ -415,6 +459,51 @@ pub fn measure_ssv_batched(
     )
 }
 
+/// Measure single-thread **batched** striped-Forward throughput at a
+/// given interleave width (the `forward_loops` bench rows).
+pub fn measure_fwd_batched(
+    striped: &StripedFwd,
+    p: &Profile,
+    db: &SeqDb,
+    max_seqs: usize,
+    width: usize,
+) -> SweepTiming {
+    let n = max_seqs.min(db.len());
+    let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
+    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let mut ws = FwdBatchWorkspace::default();
+    let mut out = [0f32; MAX_BATCH];
+    let res: u64 = lens.iter().map(|&l| l as u64).sum();
+    let start = Instant::now();
+    for batch in &batches {
+        let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+        for (r, &i) in refs.iter_mut().zip(batch.iter()) {
+            *r = &db.seqs[i].residues;
+        }
+        striped.run_batch_into(p, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        std::hint::black_box(&out);
+    }
+    timing(
+        start.elapsed().as_secs_f64(),
+        striped.real_cells_per_row() * res,
+        striped.padded_cells_per_row() * res,
+    )
+}
+
+/// Measure single-thread throughput of the scalar log-space
+/// [`forward_generic`](crate::reference::forward_generic) on a sample —
+/// the before side of the stage-3 Amdahl ledger.
+pub fn measure_fwd_generic(p: &Profile, db: &SeqDb, max_seqs: usize) -> SweepTiming {
+    let mut res = 0u64;
+    let start = Instant::now();
+    for seq in db.seqs.iter().take(max_seqs) {
+        std::hint::black_box(crate::reference::forward_generic(p, &seq.residues));
+        res += seq.len() as u64;
+    }
+    let cells = 3 * p.m as u64 * res;
+    timing(start.elapsed().as_secs_f64(), cells, cells)
+}
+
 /// Measure single-thread striped-Viterbi throughput (cells/s) on a sample.
 pub fn measure_vit_throughput(om: &VitProfile, db: &SeqDb, max_seqs: usize) -> SweepTiming {
     let striped = StripedVit::new(om);
@@ -537,6 +626,35 @@ mod tests {
         assert!(out[db.len() - 1].is_some());
         let expect_cells = 3 * 40 * (db.seqs[0].len() as u64 + db.seqs[db.len() - 1].len() as u64);
         assert_eq!(t.real_cells, expect_cells);
+    }
+
+    #[test]
+    fn batched_fwd_scores_match_single_runs() {
+        let bg = NullModel::new();
+        let core = synthetic_model(40, 17, &BuildParams::default());
+        let p = Profile::config(&core, &bg);
+        let mut spec = DbGenSpec::swissprot_like().scaled(0.0002);
+        spec.homolog_fraction = 0.1;
+        let db = generate(&spec, Some(&core), 5);
+        let striped = StripedFwd::new(&p);
+        let mask: Vec<bool> = (0..db.len()).map(|i| i % 4 != 2).collect();
+        for width in [0usize, 1, 3, 4] {
+            let got = fwd_scores_batched(&striped, &p, &db.seqs, Some(&mask), width);
+            for (i, seq) in db.seqs.iter().enumerate() {
+                match got[i] {
+                    Some(s) => {
+                        assert!(mask[i]);
+                        let want = striped.run(&p, &seq.residues);
+                        assert_eq!(want.to_bits(), s.to_bits(), "seq {i} width {width}");
+                    }
+                    None => assert!(!mask[i]),
+                }
+            }
+        }
+        let t = measure_fwd_batched(&striped, &p, &db, 30, 4);
+        let tg = measure_fwd_generic(&p, &db, 30);
+        assert!(t.cells_per_sec > 1e6, "striped fwd {}", t.cells_per_sec);
+        assert!(tg.cells_per_sec > 1e4, "generic fwd {}", tg.cells_per_sec);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct PipelineConfig {
     /// backend's preferred width, `1` scores sequences one at a time
     /// (bit-identical either way; see `h3w_cpu::batch`).
     pub batch: usize,
+    /// Escape hatch: score stage 3 with the generic log-space Forward
+    /// (`forward_generic`) instead of the striped odds-space filter.
+    /// Off by default — the striped filter is the production path and is
+    /// *closer* to the exact recurrence than the flogsum-table generic
+    /// code (see DESIGN.md) — but the oracle remains one flag away for
+    /// A/B validation and drift triage.
+    pub fwd_generic: bool,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +56,7 @@ impl Default for PipelineConfig {
             ssv: false,
             f0: 0.08,
             batch: 0,
+            fwd_generic: false,
         }
     }
 }
@@ -65,6 +73,7 @@ impl PipelineConfig {
             ssv: false,
             f0: 1.0,
             batch: 0,
+            fwd_generic: false,
         }
     }
 }
@@ -95,5 +104,11 @@ mod tests {
         assert!(!c.ssv, "SSV must be opt-in: default funnels are HMMER's");
         assert!(c.f0 > c.f1, "f0 must be looser than f1");
         assert_eq!(c.batch, 0, "batch width defaults to auto");
+    }
+
+    #[test]
+    fn striped_forward_is_the_default_stage3() {
+        assert!(!PipelineConfig::default().fwd_generic);
+        assert!(!PipelineConfig::max_sensitivity().fwd_generic);
     }
 }

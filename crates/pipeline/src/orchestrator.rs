@@ -17,7 +17,6 @@ use crate::run::Pipeline;
 use h3w_core::fault::{run_chunks_ft, RetryPolicy, SweepError, SweepTrace};
 use h3w_core::multi_gpu::partition_id_slice;
 use h3w_core::tiered::{run_msv_device_on, run_vit_device_on};
-use h3w_cpu::reference::forward_generic;
 use h3w_cpu::striped_vit::VitWorkspace;
 use h3w_seqdb::{PackedDb, SeqDb};
 use h3w_simt::{DeviceSpec, FaultInjector};
@@ -176,26 +175,12 @@ impl Pipeline {
             .collect();
         let n2 = pass2.iter().filter(|&&b| b).count();
 
-        // Stage 3: Forward on the host, as in the paper's deployment.
-        let t2 = Instant::now();
-        let fwd_scores: Vec<Option<f32>> = db
-            .seqs
-            .par_iter()
-            .zip(pass2.par_iter())
-            .map(|(seq, &keep)| keep.then(|| forward_generic(&self.profile, &seq.residues)))
-            .collect();
-        let fwd_time = t2.elapsed().as_secs_f64();
+        // Stage 3: Forward on the host, as in the paper's deployment —
+        // the same striped batched stage body as run_cpu / run_gpu.
+        let (fwd_scores, fwd_time) = self.forward_stage(db, &pass2);
 
-        let res_of = |mask: &[bool]| -> u64 {
-            db.seqs
-                .iter()
-                .zip(mask)
-                .filter(|&(_, &k)| k)
-                .map(|(s, _)| s.len() as u64)
-                .sum()
-        };
-        let r1 = res_of(&pass1);
-        let r2 = res_of(&pass2);
+        let r1 = Pipeline::masked_residues(db, &pass1);
+        let r2 = Pipeline::masked_residues(db, &pass2);
         let result = self.assemble(
             db,
             msv_scores,

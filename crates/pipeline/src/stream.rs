@@ -3,7 +3,8 @@
 //! The paper's Env_nr workload is 1.29 G residues — comfortably more than
 //! one wants resident while also holding DP buffers. [`search_chunked`]
 //! sweeps a database in bounded-size chunks (each chunk swept with the
-//! normal parallel pipeline), merging per-chunk survivors and keeping
+//! normal parallel pipeline — batched filters and the striped odds-space
+//! Forward for stage 3), merging per-chunk survivors and keeping
 //! E-values global (P-values scale by the *total* database size, exactly
 //! as a single-pass run would).
 //!

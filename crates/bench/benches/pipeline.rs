@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use h3w_hmm::build::{synthetic_model, BuildParams};
-use h3w_pipeline::{Pipeline, PipelineConfig};
+use h3w_pipeline::{ExecPlan, Pipeline, PipelineConfig};
 use h3w_seqdb::gen::{generate, DbGenSpec};
 use h3w_seqdb::SeqDb;
 
@@ -37,7 +37,7 @@ fn bench_sweep(c: &mut Criterion) {
         let (pipe, db) = workload(m);
         g.throughput(Throughput::Elements(m as u64 * db.total_residues()));
         g.bench_with_input(BenchmarkId::new("cpu_full", m), &m, |b, _| {
-            b.iter(|| pipe.run_cpu(&db))
+            b.iter(|| pipe.search(&db, &ExecPlan::Cpu).unwrap())
         });
     }
     g.finish();

@@ -18,7 +18,7 @@ use h3w_cpu::reference::{msv_filter_model, viterbi_filter_model};
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_hmm::profile::Profile;
 use h3w_hmm::NullModel;
-use h3w_pipeline::{Pipeline, PipelineConfig};
+use h3w_pipeline::{ExecPlan, Pipeline, PipelineConfig};
 use h3w_seqdb::gen::{generate, DbGenSpec};
 use h3w_seqdb::PackedDb;
 use h3w_simt::DeviceSpec;
@@ -88,8 +88,12 @@ fn main() {
     assert!(msv_err_max < 2.0 && vit_err_max < 2.0);
 
     // 3. Pipeline hit-list identity.
-    let cpu = pipe.run_cpu(&db);
-    let gpu = pipe.run_gpu(&db, &dev).unwrap();
+    let cpu = pipe
+        .search(&db, &ExecPlan::Cpu)
+        .expect("the CPU plan cannot fail");
+    let gpu = pipe
+        .search(&db, &ExecPlan::Device { dev: dev.clone() })
+        .unwrap();
     let cpu_ids: Vec<u32> = cpu.hits.iter().map(|h| h.seqid).collect();
     let gpu_ids: Vec<u32> = gpu.hits.iter().map(|h| h.seqid).collect();
     println!(

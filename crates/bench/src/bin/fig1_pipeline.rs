@@ -9,7 +9,7 @@
 
 use h3w_bench::DbPreset;
 use h3w_hmm::build::{synthetic_model, BuildParams};
-use h3w_pipeline::{Pipeline, PipelineConfig};
+use h3w_pipeline::{ExecPlan, Pipeline, PipelineConfig};
 use h3w_seqdb::gen::generate;
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
     println!("generating {} ({} sequences)...", spec.name, spec.n_seqs);
     let db = generate(&spec, Some(&model), 0xdb1);
     println!("running CPU pipeline...");
-    let res = pipe.run_cpu(&db);
+    let res = pipe
+        .search(&db, &ExecPlan::Cpu)
+        .expect("the CPU plan cannot fail");
     println!();
     println!("=== Figure 1: HMMER3 task pipeline ===");
     print!("{}", res.render());

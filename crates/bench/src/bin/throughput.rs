@@ -4,9 +4,13 @@
 //! Sweeps an Env_nr-like workload three ways for every SIMD backend the
 //! host supports:
 //!   * tight striped-filter loops (MSV / P7Viterbi residues per second),
-//!   * the full `Pipeline::run_cpu` funnel (per-stage residues/sec from
-//!     the stage stats),
-//!   * one `Pipeline::run_gpu` sweep on the modeled device for reference.
+//!   * the full `Pipeline::search` funnel (per-stage residues/sec),
+//!   * one `Pipeline::search` sweep on the modeled device for reference.
+//!
+//! Every measured loop is recorded into an `h3w-trace` telemetry tree
+//! via `record_sweep` / `search_traced`, and the JSON rows are emitted
+//! from that tree — the bench carries no ad-hoc stopwatch structs of its
+//! own. The full telemetry tree ships in the output under `telemetry`.
 //!
 //! Usage: `cargo run --release -p h3w-bench --bin throughput`
 
@@ -15,6 +19,7 @@ use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
 use h3w_cpu::sweep::{
     measure_fwd_batched, measure_fwd_generic, measure_msv_batched, measure_ssv_batched,
+    record_sweep, SweepTiming,
 };
 use h3w_cpu::{Backend, StripedFwd, StripedSsv};
 use h3w_hmm::build::{synthetic_model, BuildParams};
@@ -22,10 +27,11 @@ use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
 use h3w_hmm::vitprofile::VitProfile;
 use h3w_hmm::NullModel;
-use h3w_pipeline::{Pipeline, PipelineConfig};
+use h3w_pipeline::{ExecPlan, Pipeline, PipelineConfig, StageStats};
 use h3w_seqdb::gen::{generate, DbGenSpec};
 use h3w_seqdb::SeqDb;
 use h3w_simt::DeviceSpec;
+use h3w_trace::{Telemetry, Trace};
 use std::time::Instant;
 
 const MODEL_M: usize = 400;
@@ -48,8 +54,38 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
-fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> (Vec<Json>, Vec<(Backend, f64)>) {
+/// A bench-local [`SweepTiming`] for loops timed with [`time_best`].
+fn timing_of(seconds: f64, real_cells: u64, padded_cells: u64) -> SweepTiming {
+    SweepTiming {
+        seconds,
+        real_cells,
+        padded_cells,
+        cells_per_sec: if seconds > 0.0 {
+            real_cells as f64 / seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Read one recorded sweep back out of the telemetry tree: seconds and
+/// the real-cell counter (the headline denominators every row derives
+/// from).
+fn sweep_at(tel: &Telemetry, path: &str) -> (f64, f64) {
+    let node = tel
+        .at_path(path)
+        .unwrap_or_else(|| panic!("telemetry path {path} missing"));
+    (node.seconds, node.counter("real_cells") as f64)
+}
+
+fn filter_rows(
+    msv: &MsvProfile,
+    vit: &VitProfile,
+    db: &SeqDb,
+    trace: &Trace,
+) -> (Vec<Json>, Vec<(Backend, f64)>) {
     let residues = db.total_residues() as f64;
+    let res = db.total_residues();
     let mut rows = Vec::new();
     let mut msv_rps = Vec::new();
     for backend in Backend::all_available() {
@@ -67,6 +103,24 @@ fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> (Vec<Json>, Ve
                 std::hint::black_box(svit.run_into(vit, &seq.residues, &mut ws).0.score);
             }
         });
+        record_sweep(
+            trace,
+            &format!("bench/filters/{backend}/msv"),
+            &timing_of(
+                msv_s,
+                smsv.real_cells_per_row() as u64 * res,
+                smsv.padded_cells_per_row() as u64 * res,
+            ),
+        );
+        record_sweep(
+            trace,
+            &format!("bench/filters/{backend}/vit"),
+            &timing_of(
+                vit_s,
+                svit.real_cells_per_row() as u64 * res,
+                svit.padded_cells_per_row() as u64 * res,
+            ),
+        );
         msv_rps.push((backend, residues / msv_s));
         rows.push(Json::Obj(vec![
             ("backend", Json::Str(backend.name().into())),
@@ -84,26 +138,58 @@ fn filter_rows(msv: &MsvProfile, vit: &VitProfile, db: &SeqDb) -> (Vec<Json>, Ve
 /// MSV width over the *single-sequence* striped sweep (`single_msv_rps` is
 /// the `filter_loops` measurement, residues/s). This is the evidence for
 /// the batching tentpole — the AVX2 ratio is the ≥ 1.5× acceptance bar.
-fn batched_rows(msv: &MsvProfile, db: &SeqDb, single_msv_rps: &[(Backend, f64)]) -> Json {
+/// The best-of-5 timing per (backend, width) is recorded into the trace
+/// and the rows below are read back from the snapshot.
+fn batched_rows(
+    msv: &MsvProfile,
+    db: &SeqDb,
+    single_msv_rps: &[(Backend, f64)],
+    trace: &Trace,
+) -> Json {
     let m = msv.m as f64;
-    let mut rows = Vec::new();
-    let mut speedups = Vec::new();
     for backend in Backend::all_available() {
         let smsv = StripedMsv::with_backend(msv, backend);
         let sssv = StripedSsv::with_backend(msv, backend);
-        let mut best_msv = 0.0f64;
         for width in [1usize, 2, 3, 4] {
             // Warm-up pass, then best of 5 (same estimator as time_best).
             measure_msv_batched(&smsv, msv, db, db.len(), width);
             measure_ssv_batched(&sssv, msv, db, db.len(), width);
-            let mut msv_cps = 0.0f64;
-            let mut ssv_cps = 0.0f64;
-            for _ in 0..5 {
-                msv_cps =
-                    msv_cps.max(measure_msv_batched(&smsv, msv, db, db.len(), width).cells_per_sec);
-                ssv_cps =
-                    ssv_cps.max(measure_ssv_batched(&sssv, msv, db, db.len(), width).cells_per_sec);
+            let mut best_m = measure_msv_batched(&smsv, msv, db, db.len(), width);
+            let mut best_s = measure_ssv_batched(&sssv, msv, db, db.len(), width);
+            for _ in 0..4 {
+                let t = measure_msv_batched(&smsv, msv, db, db.len(), width);
+                if t.seconds < best_m.seconds {
+                    best_m = t;
+                }
+                let t = measure_ssv_batched(&sssv, msv, db, db.len(), width);
+                if t.seconds < best_s.seconds {
+                    best_s = t;
+                }
             }
+            record_sweep(
+                trace,
+                &format!("bench/batched/{backend}/msv_w{width}"),
+                &best_m,
+            );
+            record_sweep(
+                trace,
+                &format!("bench/batched/{backend}/ssv_w{width}"),
+                &best_s,
+            );
+        }
+    }
+    let tel = trace.snapshot().expect("bench trace is on");
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for backend in Backend::all_available() {
+        let mut best_msv = 0.0f64;
+        for width in [1usize, 2, 3, 4] {
+            let (msv_s, msv_cells) =
+                sweep_at(&tel, &format!("bench/batched/{backend}/msv_w{width}"));
+            let (ssv_s, ssv_cells) =
+                sweep_at(&tel, &format!("bench/batched/{backend}/ssv_w{width}"));
+            let msv_cps = msv_cells / msv_s;
+            let ssv_cps = ssv_cells / ssv_s;
             best_msv = best_msv.max(msv_cps);
             rows.push(Json::Obj(vec![
                 ("backend", Json::Str(backend.name().into())),
@@ -137,26 +223,43 @@ fn batched_rows(msv: &MsvProfile, db: &SeqDb, single_msv_rps: &[(Backend, f64)])
 /// the striped odds-space filter at widths 1 and 4 on every backend.
 /// `speedup_vs_generic` on the widest backend is the tentpole's ≥ 10×
 /// acceptance bar; all rates are real cells/s (`3·M·L`, no phantoms).
-fn forward_rows(profile: &Profile, db: &SeqDb) -> Json {
+fn forward_rows(profile: &Profile, db: &SeqDb, trace: &Trace) -> Json {
     // ~50 sequences keeps the generic reference's measurement near the
     // MIN_MEASURE_S budget at M=400.
     let generic_cap = 50.min(db.len());
     measure_fwd_generic(profile, db, generic_cap); // warm-up
-    let mut generic_cps = 0.0f64;
-    for _ in 0..3 {
-        generic_cps = generic_cps.max(measure_fwd_generic(profile, db, generic_cap).cells_per_sec);
+    let mut best_g = measure_fwd_generic(profile, db, generic_cap);
+    for _ in 0..2 {
+        let t = measure_fwd_generic(profile, db, generic_cap);
+        if t.seconds < best_g.seconds {
+            best_g = t;
+        }
     }
+    record_sweep(trace, "bench/forward/generic", &best_g);
+    for backend in Backend::all_available() {
+        let f = StripedFwd::with_backend(profile, backend);
+        for width in [1usize, 4] {
+            measure_fwd_batched(&f, profile, db, db.len(), width); // warm-up
+            let mut best = measure_fwd_batched(&f, profile, db, db.len(), width);
+            for _ in 0..4 {
+                let t = measure_fwd_batched(&f, profile, db, db.len(), width);
+                if t.seconds < best.seconds {
+                    best = t;
+                }
+            }
+            record_sweep(trace, &format!("bench/forward/{backend}/w{width}"), &best);
+        }
+    }
+    let tel = trace.snapshot().expect("bench trace is on");
+    let (g_s, g_cells) = sweep_at(&tel, "bench/forward/generic");
+    let generic_cps = g_cells / g_s;
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     for backend in Backend::all_available() {
-        let f = StripedFwd::with_backend(profile, backend);
         let mut best = 0.0f64;
         for width in [1usize, 4] {
-            measure_fwd_batched(&f, profile, db, db.len(), width); // warm-up
-            let mut cps = 0.0f64;
-            for _ in 0..5 {
-                cps = cps.max(measure_fwd_batched(&f, profile, db, db.len(), width).cells_per_sec);
-            }
+            let (s, cells) = sweep_at(&tel, &format!("bench/forward/{backend}/w{width}"));
+            let cps = cells / s;
             best = best.max(cps);
             rows.push(Json::Obj(vec![
                 ("backend", Json::Str(backend.name().into())),
@@ -178,27 +281,46 @@ fn forward_rows(profile: &Profile, db: &SeqDb) -> Json {
     ])
 }
 
-fn stage_rows(stages: &[h3w_pipeline::StageStats]) -> Json {
+/// Stage rows read from a traced run's telemetry: the stage order comes
+/// from `StageStats` (which names the `pipeline/<stage>` nodes), but
+/// every number in the row is the telemetry node's.
+fn stage_rows(tel: &Telemetry, stages: &[StageStats]) -> Json {
     Json::Arr(
         stages
             .iter()
             .map(|s| {
-                let rps = if s.time_s > 0.0 {
-                    s.residues_in as f64 / s.time_s
+                let node = tel
+                    .at_path(&format!("pipeline/{}", s.name))
+                    .unwrap_or_else(|| panic!("no telemetry for stage {}", s.name));
+                let residues = node.counter("residues_in") as f64;
+                let rps = if node.seconds > 0.0 {
+                    residues / node.seconds
                 } else {
                     f64::NAN
                 };
                 Json::Obj(vec![
                     ("name", Json::Str(s.name.clone())),
-                    ("seqs_in", Json::Num(s.seqs_in as f64)),
-                    ("seqs_out", Json::Num(s.seqs_out as f64)),
-                    ("residues_in", Json::Num(s.residues_in as f64)),
-                    ("time_s", Json::Num(s.time_s)),
+                    ("seqs_in", Json::Num(node.counter("seqs_in") as f64)),
+                    ("seqs_out", Json::Num(node.counter("seqs_out") as f64)),
+                    ("residues_in", Json::Num(residues)),
+                    ("time_s", Json::Num(node.seconds)),
                     ("residues_per_sec", Json::Num(rps)),
                 ])
             })
             .collect(),
     )
+}
+
+/// One traced `Pipeline::search`; returns the run's telemetry plus the
+/// result (for hit counts and stage naming).
+fn traced_search(
+    pipe: &Pipeline,
+    db: &SeqDb,
+    plan: &ExecPlan,
+) -> (Telemetry, h3w_pipeline::PipelineResult) {
+    let trace = Trace::on();
+    let report = pipe.search_traced(db, plan, &trace).expect("search");
+    (trace.snapshot().expect("trace is on"), report.result)
 }
 
 fn main() {
@@ -217,29 +339,35 @@ fn main() {
         Backend::detect()
     );
 
+    // All measured loops accumulate into this trace; rows are emitted
+    // from its snapshot.
+    let trace = Trace::on();
+
     // Tight filter loops, every backend.
-    let (filters, single_msv_rps) = filter_rows(&msv, &vit, &db);
+    let (filters, single_msv_rps) = filter_rows(&msv, &vit, &db, &trace);
 
     // Batched interleaved kernels (widths × backends) and the
     // batched-over-single MSV speedup per backend.
-    let batched = batched_rows(&msv, &db, &single_msv_rps);
+    let batched = batched_rows(&msv, &db, &single_msv_rps, &trace);
 
     // Stage-3 Forward loops: striped odds-space vs the generic reference.
-    let forward = forward_rows(&profile, &db);
+    let forward = forward_rows(&profile, &db, &trace);
 
-    // Full run_cpu funnel per backend; best-of-3 stage times.
+    // Full CPU funnel per backend through `Pipeline::search`; best of 3
+    // traced runs (by total stage time), rows from that run's telemetry.
     let mut cpu_rows = Vec::new();
-    let mut msv_rps = Vec::new(); // (backend, run_cpu MSV residues/sec)
+    let mut msv_rps = Vec::new(); // (backend, funnel MSV residues/sec)
     let mut vit_rps = Vec::new();
     for backend in Backend::all_available() {
         let pipe = Pipeline::prepare_with_backend(&core, PipelineConfig::default(), 7, backend);
-        let mut best = pipe.run_cpu(&db);
+        let (mut tel, mut best) = traced_search(&pipe, &db, &ExecPlan::Cpu);
         for _ in 0..2 {
-            let r = pipe.run_cpu(&db);
-            for (b, s) in best.stages.iter_mut().zip(r.stages) {
-                if s.time_s < b.time_s {
-                    *b = s;
-                }
+            let (t, r) = traced_search(&pipe, &db, &ExecPlan::Cpu);
+            let total =
+                |x: &h3w_pipeline::PipelineResult| x.stages.iter().map(|s| s.time_s).sum::<f64>();
+            if total(&r) < total(&best) {
+                tel = t;
+                best = r;
             }
         }
         msv_rps.push((
@@ -253,15 +381,19 @@ fn main() {
         cpu_rows.push(Json::Obj(vec![
             ("backend", Json::Str(backend.name().into())),
             ("hits", Json::Num(best.hits.len() as f64)),
-            ("stages", stage_rows(&best.stages)),
+            ("stages", stage_rows(&tel, &best.stages)),
         ]));
     }
 
     // One modeled-device sweep for reference (detected backend's tables).
     let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 7);
-    let gpu = pipe
-        .run_gpu(&db, &DeviceSpec::tesla_k40())
-        .expect("run_gpu");
+    let (gpu_tel, gpu) = traced_search(
+        &pipe,
+        &db,
+        &ExecPlan::Device {
+            dev: DeviceSpec::tesla_k40(),
+        },
+    );
 
     let speedup = |rows: &[(Backend, f64)]| -> Vec<Json> {
         let scalar = rows
@@ -303,11 +435,15 @@ fn main() {
             Json::Obj(vec![
                 ("device", Json::Str("tesla_k40".into())),
                 ("backend_host_side", Json::Str(pipe.backend().name().into())),
-                ("stages", stage_rows(&gpu.stages)),
+                ("stages", stage_rows(&gpu_tel, &gpu.stages)),
             ]),
         ),
         ("msv_run_cpu", Json::Arr(speedup(&msv_rps))),
         ("vit_run_cpu", Json::Arr(speedup(&vit_rps))),
+        (
+            "telemetry",
+            Json::Raw(trace.snapshot().expect("bench trace is on").to_json()),
+        ),
     ]);
 
     let text = doc.pretty();

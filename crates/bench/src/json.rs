@@ -20,6 +20,10 @@ pub enum Json {
     Arr(Vec<Json>),
     /// Insertion-ordered object.
     Obj(Vec<(&'static str, Json)>),
+    /// Pre-rendered JSON spliced in verbatim (e.g. an `h3w-trace`
+    /// telemetry tree, which serializes itself). The caller guarantees
+    /// it is valid JSON; indentation is the embedded text's own.
+    Raw(String),
 }
 
 impl Json {
@@ -100,6 +104,7 @@ impl Json {
                 pad(out, indent);
                 out.push('}');
             }
+            Json::Raw(text) => out.push_str(text.trim_end()),
         }
     }
 }

@@ -40,8 +40,8 @@ pub use striped_fwd::{FwdBatchWorkspace, FwdMatrix, FwdWorkspace, StripedFwd};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{
-    fwd_scores_batched, length_binned_batches, msv_outcomes_batched, msv_sweep, msv_sweep_batched,
-    resolve_batch_width, ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked,
-    SweepTiming,
+    batch_schedule_stats, fwd_scores_batched, length_binned_batches, msv_outcomes_batched,
+    msv_sweep, msv_sweep_batched, record_sweep, resolve_batch_width, ssv_outcomes_batched,
+    ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats, SweepTiming,
 };
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};

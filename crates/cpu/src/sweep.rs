@@ -80,6 +80,84 @@ fn timing(seconds: f64, real_cells: u64, padded_cells: u64) -> SweepTiming {
     }
 }
 
+/// Batch-schedule accounting derived *after* a sweep from the same
+/// length-binned schedule the sweep used — an O(n) pass over the
+/// sequence lengths, so nothing is ever counted inside the fused row
+/// loop (the telemetry overhead budget lives and dies on that).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchScheduleStats {
+    /// Interleave width the schedule was built for.
+    pub width: usize,
+    /// Batches scheduled.
+    pub batches: u64,
+    /// Sequences scheduled into slots.
+    pub seqs: u64,
+    /// Real slot rows: the sum of member lengths (each slot retires after
+    /// its own sequence ends).
+    pub slot_rows: u64,
+    /// Fused-loop trips: the sum of per-batch maximum lengths.
+    pub loop_rows: u64,
+    /// Slots that retire early (their sequence is shorter than the
+    /// batch's longest) — the length-binning dropout the scheduler
+    /// minimizes.
+    pub early_finish: u64,
+}
+
+impl BatchScheduleStats {
+    /// Fraction of slot-rows the fused loop spends on real sequence data:
+    /// `slot_rows / (loop_rows × width)`. 1.0 means every slot is busy on
+    /// every trip.
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.loop_rows.saturating_mul(self.width as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.slot_rows as f64 / capacity as f64
+        }
+    }
+}
+
+/// Compute [`BatchScheduleStats`] for the schedule
+/// [`length_binned_batches`] builds over the same `(lens, mask, width)`.
+pub fn batch_schedule_stats(
+    lens: &[usize],
+    mask: Option<&[bool]>,
+    width: usize,
+) -> BatchScheduleStats {
+    let width = width.clamp(1, MAX_BATCH);
+    let batches = length_binned_batches(lens, mask, width);
+    let mut stats = BatchScheduleStats {
+        width,
+        batches: batches.len() as u64,
+        ..BatchScheduleStats::default()
+    };
+    for batch in &batches {
+        let longest = batch.iter().map(|&i| lens[i]).max().unwrap_or(0);
+        stats.loop_rows += longest as u64;
+        for &i in batch {
+            stats.seqs += 1;
+            stats.slot_rows += lens[i] as u64;
+            if lens[i] < longest {
+                stats.early_finish += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Record a measured sweep into a telemetry trace at `path`: both cell
+/// denominators as counters, the wall time as span seconds. This is how
+/// the bench throughput bins emit from telemetry instead of carrying
+/// ad-hoc stopwatch structs around.
+pub fn record_sweep(trace: &h3w_trace::Trace, path: &str, timing: &SweepTiming) {
+    if !trace.is_on() {
+        return;
+    }
+    trace.add(path, "real_cells", timing.real_cells);
+    trace.add(path, "padded_cells", timing.padded_cells);
+    trace.add_secs(path, timing.seconds);
+}
+
 /// Resolve a requested batch width: `0` means "auto" (the backend's
 /// preferred interleave), anything else is clamped to
 /// `1..=`[`MAX_BATCH`].
@@ -612,6 +690,55 @@ mod tests {
         let flat: Vec<usize> = batches.iter().flatten().map(|&i| lens[i]).collect();
         assert!(flat.windows(2).all(|w| w[0] >= w[1]), "{flat:?}");
         assert!(batches.iter().all(|b| b.len() <= 4 && !b.is_empty()));
+    }
+
+    #[test]
+    fn batch_schedule_stats_account_for_the_schedule() {
+        let lens = [100usize, 90, 80, 10, 5, 5];
+        let s = batch_schedule_stats(&lens, None, 4);
+        // Schedule: [100, 90, 80, 10] then [5, 5].
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.seqs, 6);
+        assert_eq!(s.slot_rows, 290);
+        assert_eq!(s.loop_rows, 105);
+        assert_eq!(s.early_finish, 3); // 90, 80, 10 retire early
+        assert!((s.occupancy() - 290.0 / (105.0 * 4.0)).abs() < 1e-12);
+        // Masked: only the three shortest remain, one batch of width 3.
+        let mask = [false, false, false, true, true, true];
+        let m = batch_schedule_stats(&lens, Some(&mask), 4);
+        assert_eq!(
+            (m.batches, m.seqs, m.slot_rows, m.loop_rows),
+            (1, 3, 20, 10)
+        );
+        assert_eq!(m.early_finish, 2);
+        assert_eq!(
+            batch_schedule_stats(&[], None, 4),
+            BatchScheduleStats {
+                width: 4,
+                ..BatchScheduleStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn record_sweep_mirrors_timing_into_trace() {
+        let t = SweepTiming {
+            seconds: 0.5,
+            real_cells: 1000,
+            padded_cells: 1200,
+            cells_per_sec: 2000.0,
+        };
+        let off = h3w_trace::Trace::off();
+        record_sweep(&off, "sweep/msv", &t); // must not panic or allocate
+        let on = h3w_trace::Trace::on();
+        record_sweep(&on, "sweep/msv", &t);
+        record_sweep(&on, "sweep/msv", &t);
+        let snap = on.snapshot().unwrap();
+        let node = snap.at_path("sweep/msv").unwrap();
+        assert_eq!(node.counter("real_cells"), 2000);
+        assert_eq!(node.counter("padded_cells"), 2400);
+        assert_eq!(node.span_count, 2);
+        assert!((node.seconds - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! ≈ 2% → ≈ 0.1% of sequences down the pipeline — which is precisely the
 //! 100% → 2.2% → 0.1% funnel of the paper's Fig. 1.
 
+use h3w_cpu::MAX_BATCH;
+
 /// Stage thresholds and reporting cutoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -76,6 +78,183 @@ impl PipelineConfig {
             fwd_generic: false,
         }
     }
+
+    /// Start a validated builder from the defaults. Struct-literal
+    /// construction keeps working for code that knows what it wants; the
+    /// builder is the entry point that rejects inconsistent settings
+    /// before a sweep silently does something surprising with them.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+            f0_explicit: false,
+        }
+    }
+
+    /// Validate field ranges: every P-value threshold in `(0, 1]`, the
+    /// report E-value positive and finite, the batch width within the
+    /// kernels' [`MAX_BATCH`]. (Struct literals bypass this; the builder
+    /// enforces it.)
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("f0", self.f0),
+            ("f1", self.f1),
+            ("f2", self.f2),
+            ("f3", self.f3),
+        ] {
+            if !(value.is_finite() && value > 0.0 && value <= 1.0) {
+                return Err(ConfigError::Threshold { field, value });
+            }
+        }
+        if !(self.report_evalue.is_finite() && self.report_evalue > 0.0) {
+            return Err(ConfigError::ReportEvalue {
+                value: self.report_evalue,
+            });
+        }
+        if self.batch > MAX_BATCH {
+            return Err(ConfigError::BatchTooWide {
+                requested: self.batch,
+                max: MAX_BATCH,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`PipelineConfigBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `f0` was set without enabling the SSV pre-filter — the threshold
+    /// would be silently ignored.
+    F0WithoutSsv,
+    /// A P-value threshold outside `(0, 1]`.
+    Threshold {
+        /// Which threshold (`f0`..`f3`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A non-positive or non-finite report E-value.
+    ReportEvalue {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Batch width beyond what the interleaved kernels support
+    /// (`0` = auto is always accepted).
+    BatchTooWide {
+        /// The rejected width.
+        requested: usize,
+        /// The kernels' maximum interleave.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::F0WithoutSsv => {
+                write!(
+                    f,
+                    "f0 is the SSV pre-filter threshold; enable ssv to use it"
+                )
+            }
+            ConfigError::Threshold { field, value } => {
+                write!(f, "{field} must be a P-value in (0, 1], got {value}")
+            }
+            ConfigError::ReportEvalue { value } => {
+                write!(f, "report E-value must be positive and finite, got {value}")
+            }
+            ConfigError::BatchTooWide { requested, max } => {
+                write!(
+                    f,
+                    "batch width {requested} exceeds the kernel maximum {max} (0 = auto)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`PipelineConfig`]; see
+/// [`PipelineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+    f0_explicit: bool,
+}
+
+impl PipelineConfigBuilder {
+    /// MSV filter P-value threshold (`--F1`).
+    pub fn f1(mut self, v: f64) -> Self {
+        self.config.f1 = v;
+        self
+    }
+
+    /// Viterbi filter P-value threshold (`--F2`).
+    pub fn f2(mut self, v: f64) -> Self {
+        self.config.f2 = v;
+        self
+    }
+
+    /// Forward P-value threshold (`--F3`).
+    pub fn f3(mut self, v: f64) -> Self {
+        self.config.f3 = v;
+        self
+    }
+
+    /// Report hits with E-value at or below this.
+    pub fn report_evalue(mut self, v: f64) -> Self {
+        self.config.report_evalue = v;
+        self
+    }
+
+    /// Apply the null2 biased-composition correction.
+    pub fn null2(mut self, on: bool) -> Self {
+        self.config.null2 = on;
+        self
+    }
+
+    /// Enable the SSV stage-0 pre-filter.
+    pub fn ssv(mut self, on: bool) -> Self {
+        self.config.ssv = on;
+        self
+    }
+
+    /// SSV pre-filter P-value threshold; requires [`Self::ssv`] or
+    /// [`Self::build`] rejects the configuration.
+    pub fn f0(mut self, v: f64) -> Self {
+        self.config.f0 = v;
+        self.f0_explicit = true;
+        self
+    }
+
+    /// Batch width for the interleaved filter sweeps (`0` = auto).
+    pub fn batch(mut self, width: usize) -> Self {
+        self.config.batch = width;
+        self
+    }
+
+    /// Score stage 3 with the generic log-space Forward oracle.
+    pub fn fwd_generic(mut self, on: bool) -> Self {
+        self.config.fwd_generic = on;
+        self
+    }
+
+    /// Replace everything set so far with `--max` sensitivity mode.
+    pub fn max_sensitivity(mut self) -> Self {
+        self.config = PipelineConfig::max_sensitivity();
+        self.f0_explicit = false;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        if self.f0_explicit && !self.config.ssv {
+            return Err(ConfigError::F0WithoutSsv);
+        }
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +289,93 @@ mod tests {
     fn striped_forward_is_the_default_stage3() {
         assert!(!PipelineConfig::default().fwd_generic);
         assert!(!PipelineConfig::max_sensitivity().fwd_generic);
+    }
+
+    #[test]
+    fn builder_defaults_equal_struct_defaults() {
+        assert_eq!(
+            PipelineConfig::builder().build().unwrap(),
+            PipelineConfig::default()
+        );
+        assert_eq!(
+            PipelineConfig::builder().max_sensitivity().build().unwrap(),
+            PipelineConfig::max_sensitivity()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_f0_without_ssv() {
+        let err = PipelineConfig::builder().f0(0.05).build().unwrap_err();
+        assert_eq!(err, ConfigError::F0WithoutSsv);
+        // With SSV on, the same f0 is accepted…
+        let cfg = PipelineConfig::builder()
+            .ssv(true)
+            .f0(0.05)
+            .build()
+            .unwrap();
+        assert!(cfg.ssv);
+        assert_eq!(cfg.f0, 0.05);
+        // …and enabling SSV without touching f0 keeps the loose default.
+        let cfg = PipelineConfig::builder().ssv(true).build().unwrap();
+        assert_eq!(cfg.f0, PipelineConfig::default().f0);
+    }
+
+    #[test]
+    fn builder_rejects_batch_beyond_kernel_width() {
+        let err = PipelineConfig::builder()
+            .batch(MAX_BATCH + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BatchTooWide {
+                requested: MAX_BATCH + 1,
+                max: MAX_BATCH
+            }
+        );
+        // 0 = auto and the maximum itself are both valid.
+        assert!(PipelineConfig::builder().batch(0).build().is_ok());
+        assert!(PipelineConfig::builder().batch(MAX_BATCH).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_thresholds() {
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = PipelineConfig::builder().f1(bad).build().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Threshold { field: "f1", .. }),
+                "f1 = {bad}: {err}"
+            );
+        }
+        // P = 1.0 (filter off) is in range.
+        assert!(PipelineConfig::builder()
+            .f1(1.0)
+            .f2(1.0)
+            .f3(1.0)
+            .build()
+            .is_ok());
+        let err = PipelineConfig::builder()
+            .report_evalue(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ReportEvalue { .. }));
+    }
+
+    #[test]
+    fn config_errors_render_for_cli_use() {
+        // guarded_main prints these verbatim; each must name the field.
+        assert!(ConfigError::F0WithoutSsv.to_string().contains("ssv"));
+        let e = ConfigError::Threshold {
+            field: "f2",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("f2"));
+        let e = ConfigError::BatchTooWide {
+            requested: 99,
+            max: 8,
+        };
+        assert!(e.to_string().contains("99") && e.to_string().contains('8'));
+        let e = ConfigError::ReportEvalue { value: -3.0 };
+        assert!(e.to_string().contains("-3"));
     }
 }

@@ -4,9 +4,12 @@
 //! passes ~2% of sequences at `P < 0.02`, the P7Viterbi filter passes
 //! ~0.1% at `P < 10⁻³`, and the Forward stage scores the rest in full
 //! precision. [`run::Pipeline`] prepares a query (quantization, striping,
-//! calibration) and sweeps a database on the CPU baseline or with the two
-//! filter stages on a simulated GPU; [`report`] carries the funnel and
-//! time-fraction statistics Fig. 1 reports.
+//! calibration); [`run::Pipeline::search`] sweeps a database under an
+//! [`run::ExecPlan`] — CPU baseline, simulated GPU, fully-on-device, or
+//! fault-tolerant multi-device — through one shared stage driver.
+//! [`report`] carries the funnel and time-fraction statistics Fig. 1
+//! reports; [`h3w_trace::Trace`] (re-exported here) collects the optional
+//! per-run funnel telemetry behind `hmmsearch --profile`.
 
 pub mod checkpoint;
 pub mod config;
@@ -17,9 +20,11 @@ pub mod run;
 pub mod stream;
 
 pub use checkpoint::{CheckpointError, StreamCheckpoint};
-pub use config::PipelineConfig;
+pub use config::{ConfigError, PipelineConfig, PipelineConfigBuilder};
+pub use h3w_core::fault::SweepError;
+pub use h3w_trace::{Telemetry, Trace};
 pub use multi::{best_hits_per_target, scan, FamilyResult, TargetMatch};
 pub use orchestrator::{FtSweep, SweepReport};
 pub use report::{Hit, PipelineResult, StageStats};
-pub use run::Pipeline;
-pub use stream::{search_chunked, search_chunked_checkpointed, FastaChunks};
+pub use run::{ExecPlan, Pipeline, SearchReport};
+pub use stream::{search_chunked, search_chunked_checkpointed, search_chunked_traced, FastaChunks};

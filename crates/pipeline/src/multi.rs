@@ -10,7 +10,7 @@
 
 use crate::config::PipelineConfig;
 use crate::report::Hit;
-use crate::run::Pipeline;
+use crate::run::{ExecPlan, Pipeline};
 use h3w_hmm::plan7::CoreModel;
 use h3w_seqdb::SeqDb;
 use rayon::prelude::*;
@@ -54,7 +54,9 @@ pub fn scan(
         .enumerate()
         .map(|(qi, model)| {
             let pipe = Pipeline::prepare(model, config, seed ^ (qi as u64) << 17);
-            let res = pipe.run_cpu(db);
+            let res = pipe
+                .search(db, &ExecPlan::Cpu)
+                .expect("the CPU plan cannot fail");
             FamilyResult {
                 family: model.name.clone(),
                 m: model.len(),

@@ -11,17 +11,20 @@
 //! independently, the reported hits and funnel counters are **always**
 //! bit-identical to a fault-free run; only the modeled stage times and
 //! the recovery journal differ.
+//!
+//! The stage sequencing itself lives in [`Pipeline::search_traced`]
+//! (the `ExecPlan::FaultTolerant` arms); this module holds the sweep
+//! descriptor, the per-stage recovery-engine adapters, and the
+//! [`SweepReport`]-shaped convenience wrapper.
 
-use crate::report::{PipelineResult, StageStats};
-use crate::run::Pipeline;
+use crate::report::PipelineResult;
+use crate::run::{ExecPlan, Pipeline};
 use h3w_core::fault::{run_chunks_ft, RetryPolicy, SweepError, SweepTrace};
 use h3w_core::multi_gpu::partition_id_slice;
 use h3w_core::tiered::{run_msv_device_on, run_vit_device_on};
-use h3w_cpu::striped_vit::VitWorkspace;
 use h3w_seqdb::{PackedDb, SeqDb};
 use h3w_simt::{DeviceSpec, FaultInjector};
-use rayon::prelude::*;
-use std::time::Instant;
+use h3w_trace::Trace;
 
 /// How a fault-tolerant sweep runs: device pool size, retry policy, and
 /// the (optional) fault injector driving the simulation.
@@ -64,146 +67,37 @@ impl Pipeline {
     /// loss by redistribution and total device loss by CPU fallback;
     /// planning errors ([`SweepError::NoConfig`] / [`SweepError::Launch`])
     /// still propagate, since no amount of rerouting fixes those.
+    ///
+    /// Convenience wrapper over [`Pipeline::search_traced`] with
+    /// [`ExecPlan::FaultTolerant`] — the sweep runs through exactly the
+    /// same driver as every other plan.
     pub fn run_gpu_ft(
         &self,
         db: &SeqDb,
         dev: &DeviceSpec,
         sweep: &FtSweep,
     ) -> Result<SweepReport, SweepError> {
-        assert!(sweep.n_devices >= 1);
-        let n = db.len();
-        let packed = PackedDb::from_db(db);
-        let mut devices: Vec<usize> = (0..sweep.n_devices).collect();
-        let mut trace = SweepTrace::default();
-        let mut degraded = false;
-
-        // Stage 1: MSV over everything.
-        let all_ids: Vec<u32> = (0..n as u32).collect();
-        let mut msv_scores: Vec<f32> = vec![0.0; n];
-        let msv_time;
-        match self.ft_stage_msv(&packed, &all_ids, dev, sweep, &devices) {
-            Ok((scores, makespan, t)) => {
-                for (id, s) in scores {
-                    msv_scores[id as usize] = s;
-                }
-                msv_time = makespan;
-                devices.retain(|d| !t.lost_devices.contains(d));
-                trace.merge(&t);
-            }
-            Err(SweepError::AllDevicesLost { .. }) => {
-                degraded = true;
-                // The engine's trace dies with the error; every device
-                // still in the pool is gone, so journal them here.
-                trace.lost_devices.append(&mut devices);
-                trace
-                    .events
-                    .push("MSV: all devices lost; striped CPU fallback".into());
-                // The CPU fallback goes through the same batched
-                // interleaved sweep as `run_cpu` — bit-identical scores,
-                // but the degraded stage keeps the fast path.
-                let t0 = Instant::now();
-                msv_scores = h3w_cpu::msv_outcomes_batched(
-                    &self.striped_msv,
-                    &self.msv,
-                    &db.seqs,
-                    None,
-                    self.config.batch,
-                )
-                .into_iter()
-                .map(|o| o.expect("unmasked sweep scores everything").score)
-                .collect();
-                msv_time = t0.elapsed().as_secs_f64();
-            }
-            Err(e) => return Err(e),
-        }
-        let pass1: Vec<bool> = msv_scores
-            .iter()
-            .zip(&db.seqs)
-            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
-            .collect();
-        let n1 = pass1.iter().filter(|&&b| b).count();
-
-        // Stage 2: Viterbi over survivors.
-        let survivors: Vec<u32> = (0..n as u32).filter(|&i| pass1[i as usize]).collect();
-        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
-        let mut vit_time = 0.0;
-        if !survivors.is_empty() {
-            let mut on_cpu = devices.is_empty();
-            if !on_cpu {
-                match self.ft_stage_vit(&packed, &survivors, dev, sweep, &devices) {
-                    Ok((scores, makespan, t)) => {
-                        for (id, s) in scores {
-                            vit_scores[id as usize] = Some(s);
-                        }
-                        vit_time = makespan;
-                        devices.retain(|d| !t.lost_devices.contains(d));
-                        trace.merge(&t);
-                    }
-                    Err(SweepError::AllDevicesLost { .. }) => {
-                        degraded = true;
-                        trace.lost_devices.append(&mut devices);
-                        on_cpu = true;
-                        trace
-                            .events
-                            .push("Viterbi: all devices lost; striped CPU fallback".into());
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            // No partial device results survive an AllDevicesLost (the
-            // engine drops them), so the CPU path rescoring every survivor
-            // never double-scores.
-            if on_cpu {
-                let t1 = Instant::now();
-                let cpu: Vec<(u32, f32)> = survivors
-                    .par_iter()
-                    .map_init(VitWorkspace::default, |ws, &id| {
-                        let seq = &db.seqs[id as usize].residues;
-                        (id, self.striped_vit.run_into(&self.vit, seq, ws).0.score)
-                    })
-                    .collect();
-                for (id, s) in cpu {
-                    vit_scores[id as usize] = Some(s);
-                }
-                vit_time = t1.elapsed().as_secs_f64();
-            }
-        }
-        let pass2: Vec<bool> = vit_scores
-            .iter()
-            .zip(&db.seqs)
-            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
-            .collect();
-        let n2 = pass2.iter().filter(|&&b| b).count();
-
-        // Stage 3: Forward on the host, as in the paper's deployment —
-        // the same striped batched stage body as run_cpu / run_gpu.
-        let (fwd_scores, fwd_time) = self.forward_stage(db, &pass2);
-
-        let r1 = Pipeline::masked_residues(db, &pass1);
-        let r2 = Pipeline::masked_residues(db, &pass2);
-        let result = self.assemble(
-            db,
-            msv_scores,
-            vit_scores,
-            fwd_scores,
-            [
-                StageStats::new("MSV (multi-GPU)", n, n1, msv_time)
-                    .with_residues(db.total_residues()),
-                StageStats::new("P7Viterbi (multi-GPU)", n1, n2, vit_time).with_residues(r1),
-                StageStats::new("Forward (host)", n2, n2, fwd_time).with_residues(r2),
-            ],
-        );
+        let trace = if Self::profile_env() {
+            Trace::on()
+        } else {
+            Trace::off()
+        };
+        let plan = ExecPlan::FaultTolerant {
+            dev: dev.clone(),
+            sweep: *sweep,
+        };
+        let report = self.search_traced(db, &plan, &trace)?;
         Ok(SweepReport {
-            result,
-            trace,
-            degraded_to_cpu: degraded,
+            result: report.result,
+            trace: report.recovery,
+            degraded_to_cpu: report.degraded_to_cpu,
         })
     }
 
     /// MSV stage through the recovery engine: survivor ids in, global
     /// `(seqid, score)` pairs out.
     #[allow(clippy::type_complexity)]
-    fn ft_stage_msv(
+    pub(crate) fn ft_stage_msv(
         &self,
         packed: &PackedDb,
         ids: &[u32],
@@ -235,7 +129,7 @@ impl Pipeline {
     /// Viterbi stage through the recovery engine; same shape as
     /// [`Pipeline::ft_stage_msv`].
     #[allow(clippy::type_complexity)]
-    fn ft_stage_vit(
+    pub(crate) fn ft_stage_vit(
         &self,
         packed: &PackedDb,
         ids: &[u32],
@@ -290,7 +184,9 @@ mod tests {
     fn fault_free_ft_sweep_matches_single_device_gpu() {
         let (pipe, db) = setup();
         let dev = DeviceSpec::tesla_k40();
-        let single = pipe.run_gpu(&db, &dev).unwrap();
+        let single = pipe
+            .search(&db, &ExecPlan::Device { dev: dev.clone() })
+            .unwrap();
         let ft = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(4)).unwrap();
         assert!(!ft.degraded_to_cpu);
         assert_eq!(ft.result.hits, single.hits);

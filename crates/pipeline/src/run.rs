@@ -2,23 +2,29 @@
 //!
 //! [`Pipeline`] owns every representation of one query model (float
 //! profile, 8-bit MSV tables, 16-bit Viterbi tables, striped CPU filters)
-//! plus its score calibration. It can sweep a database entirely on the
-//! CPU baseline ([`Pipeline::run_cpu`]) or with the first two stages on a
-//! simulated GPU ([`Pipeline::run_gpu`]) — the paper's deployment, where
-//! the Forward stage (4.9% of runtime, 0.1% of sequences) stays on the
-//! host.
+//! plus its score calibration. [`Pipeline::search`] is the one entry
+//! point for database sweeps: an [`ExecPlan`] picks where each stage
+//! runs — the multi-core striped CPU baseline, the simulated GPU of the
+//! paper's deployment (Forward stays on the host), the fully-on-device
+//! §VI variant, or the fault-tolerant multi-device orchestration — while
+//! the stage sequencing, thresholding, and funnel accounting are written
+//! exactly once. [`Pipeline::search_traced`] is the same driver with a
+//! caller-supplied [`Trace`] for funnel telemetry (`hmmsearch
+//! --profile`); tracing is zero-cost when the trace is disabled and
+//! never changes scores or hits when enabled.
 
 use crate::config::PipelineConfig;
+use crate::orchestrator::FtSweep;
 use crate::report::{Hit, PipelineResult, StageStats};
-use h3w_core::fault::SweepError;
-use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device};
+use h3w_core::fault::{SweepError, SweepTrace};
+use h3w_core::tiered::{run_fwd_device, run_msv_device, run_vit_device, StageRun};
 use h3w_cpu::reference::forward_generic;
 use h3w_cpu::striped_fwd::{FwdWorkspace, StripedFwd};
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
 use h3w_cpu::{
-    fwd_scores_batched, msv_outcomes_batched, posterior_decode_with, ssv_outcomes_batched, Backend,
-    BatchWorkspace, StripedSsv,
+    batch_schedule_stats, fwd_scores_batched, msv_outcomes_batched, posterior_decode_with,
+    resolve_batch_width, ssv_outcomes_batched, Backend, BatchWorkspace, StripedSsv,
 };
 use h3w_hmm::calibrate::{self, Calibration};
 use h3w_hmm::msvprofile::MsvProfile;
@@ -28,6 +34,7 @@ use h3w_hmm::vitprofile::VitProfile;
 use h3w_hmm::NullModel;
 use h3w_seqdb::{PackedDb, SeqDb};
 use h3w_simt::DeviceSpec;
+use h3w_trace::{Telemetry, Trace};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +42,52 @@ use std::time::Instant;
 /// Lengths covered by the precomputed `null1(L)` table; longer targets
 /// fall back to the closed-form evaluation.
 const NULL1_TABLE_LEN: usize = 16384;
+
+/// Where a [`Pipeline::search`] runs each stage.
+///
+/// Every plan funnels through the same driver: identical thresholding,
+/// identical survivor masks, identical hit assembly. Because the CPU and
+/// device filters are bit-exact, the reported hits are plan-invariant;
+/// only the stage labels and (measured vs modeled) stage times differ.
+#[derive(Clone)]
+pub enum ExecPlan<'a> {
+    /// The multi-core striped CPU baseline (with the optional SSV
+    /// stage-0 pre-filter when the pipeline was configured for it).
+    Cpu,
+    /// MSV + Viterbi on one simulated device, Forward on the host — the
+    /// paper's deployment.
+    Device {
+        /// The simulated device.
+        dev: DeviceSpec,
+    },
+    /// All three stages on the simulated device (§VI future work).
+    DeviceFull {
+        /// The simulated device.
+        dev: DeviceSpec,
+    },
+    /// MSV + Viterbi fanned out over a pool of simulated devices through
+    /// the fault-recovery engine, Forward on the host.
+    FaultTolerant {
+        /// The simulated device every pool member is.
+        dev: DeviceSpec,
+        /// Pool size, retry policy, and optional fault injector.
+        sweep: FtSweep<'a>,
+    },
+}
+
+/// A completed [`Pipeline::search_traced`]: results, recovery journal,
+/// and (when the trace was armed) the telemetry snapshot.
+#[derive(Debug)]
+pub struct SearchReport {
+    /// Hits and funnel counters — plan- and fault-invariant.
+    pub result: PipelineResult,
+    /// What the recovery engine did (empty for non-fault-tolerant plans).
+    pub recovery: SweepTrace,
+    /// True if a fault-tolerant stage fell back to the striped CPU.
+    pub degraded_to_cpu: bool,
+    /// The per-run telemetry tree (`None` when the trace was disabled).
+    pub telemetry: Option<Telemetry>,
+}
 
 /// The opt-in SSV stage-0 pre-filter: the striped filter plus its own
 /// calibrated Gumbel location (SSV scores sit below MSV scores — no J
@@ -247,9 +300,361 @@ impl Pipeline {
         h3w_cpu::find_domains(post, 0.5, 3)
     }
 
+    /// True when `H3W_PROFILE` asks [`Pipeline::search`] to arm a trace
+    /// (set to anything but `""`/`"0"`) — the hook CI uses to run the
+    /// whole test suite with the instrumentation live.
+    pub(crate) fn profile_env() -> bool {
+        std::env::var("H3W_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+    }
+
+    /// Sweep a database under an execution plan. **The** entry point:
+    /// every deployment (CPU baseline, single-device, fully-on-device,
+    /// fault-tolerant pool) runs through one stage-sequencing driver, so
+    /// the funnel logic and its telemetry hooks exist exactly once.
+    ///
+    /// Reported hits are plan-invariant (the filters are bit-exact across
+    /// backends); stage labels and times reflect the plan.
+    pub fn search(&self, db: &SeqDb, plan: &ExecPlan) -> Result<PipelineResult, SweepError> {
+        let trace = if Self::profile_env() {
+            Trace::on()
+        } else {
+            Trace::off()
+        };
+        self.search_traced(db, plan, &trace).map(|r| r.result)
+    }
+
+    /// [`Pipeline::search`] with a caller-supplied telemetry trace and
+    /// the full report (recovery journal, telemetry snapshot).
+    ///
+    /// With a disabled trace every hook is a no-op (no clock reads, no
+    /// allocation). With an enabled trace the accounting passes run
+    /// outside the timed stage bodies, so scores, survivor masks, hits
+    /// and measured stage times are identical either way.
+    pub fn search_traced(
+        &self,
+        db: &SeqDb,
+        plan: &ExecPlan,
+        trace: &Trace,
+    ) -> Result<SearchReport, SweepError> {
+        let whole = trace.span("pipeline");
+        let n = db.len();
+        let mut journal = SweepTrace::default();
+        let mut degraded = false;
+
+        // Device plans pack the database exactly once; both survivor
+        // hand-offs below are zero-copy index subsets into this packing.
+        let packed: Option<PackedDb> = match plan {
+            ExecPlan::Cpu => None,
+            _ => {
+                let span = trace.span("pipeline/pack");
+                let p = PackedDb::from_db(db);
+                drop(span);
+                p.record_into(trace, "pipeline/pack");
+                Some(p)
+            }
+        };
+        let mut ft_devices: Vec<usize> = match plan {
+            ExecPlan::FaultTolerant { sweep, .. } => {
+                assert!(sweep.n_devices >= 1);
+                (0..sweep.n_devices).collect()
+            }
+            _ => Vec::new(),
+        };
+
+        // Stage 1: MSV over the whole database. `eligible` marks the
+        // sequences stage 1 actually scored — the SSV pre-filter's cuts
+        // carry −∞ scores and must stay out of pass1 without a P-value
+        // evaluation.
+        let (label1, msv_scores, eligible, msv_time) = match plan {
+            ExecPlan::Cpu => {
+                let (scores, eligible, secs) = self.msv_stage_host(db, true, trace);
+                (self.stage0_name(), scores, eligible, secs)
+            }
+            ExecPlan::Device { dev } | ExecPlan::DeviceFull { dev } => {
+                let packed = packed.as_ref().expect("device plans pack");
+                let run = run_msv_device(&self.msv, packed, dev, None)?;
+                Self::record_stage_run(trace, "pipeline/MSV (GPU)", &run.run);
+                let scores: Vec<f32> = run.hits.iter().map(|h| h.score).collect();
+                ("MSV (GPU)", scores, vec![true; n], run.run.time.total_s)
+            }
+            ExecPlan::FaultTolerant { dev, sweep } => {
+                let packed = packed.as_ref().expect("device plans pack");
+                let all_ids: Vec<u32> = (0..n as u32).collect();
+                match self.ft_stage_msv(packed, &all_ids, dev, sweep, &ft_devices) {
+                    Ok((pairs, makespan, t)) => {
+                        let mut scores = vec![0.0f32; n];
+                        for (id, s) in pairs {
+                            scores[id as usize] = s;
+                        }
+                        ft_devices.retain(|d| !t.lost_devices.contains(d));
+                        journal.merge(&t);
+                        ("MSV (multi-GPU)", scores, vec![true; n], makespan)
+                    }
+                    Err(SweepError::AllDevicesLost { .. }) => {
+                        degraded = true;
+                        // The engine's journal dies with the error; every
+                        // device still in the pool is gone, so record them
+                        // here. The CPU fallback is the same batched sweep
+                        // as the CPU plan (without SSV — the degraded path
+                        // reproduces the device stage it replaces).
+                        journal.lost_devices.append(&mut ft_devices);
+                        journal
+                            .events
+                            .push("MSV: all devices lost; striped CPU fallback".into());
+                        let (scores, _, secs) = self.msv_stage_host(db, false, trace);
+                        ("MSV (multi-GPU)", scores, vec![true; n], secs)
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let pass1: Vec<bool> = msv_scores
+            .iter()
+            .zip(&db.seqs)
+            .zip(&eligible)
+            .map(|((&s, q), &e)| e && self.msv_pvalue(s, q.len()) < self.config.f1)
+            .collect();
+        let n1 = pass1.iter().filter(|&&b| b).count();
+
+        // Stage 2: Viterbi over the stage-1 survivors.
+        let (label2, vit_scores, vit_time) = match plan {
+            ExecPlan::Cpu => {
+                let (scores, secs) = self.vit_stage_host(db, &pass1);
+                ("P7Viterbi", scores, secs)
+            }
+            ExecPlan::Device { dev } | ExecPlan::DeviceFull { dev } => {
+                let packed = packed.as_ref().expect("device plans pack");
+                let sub = packed.subset_by_mask(&pass1);
+                let mut scores: Vec<Option<f32>> = vec![None; n];
+                let mut secs = 0.0;
+                if !sub.is_empty() {
+                    let run = run_vit_device(&self.vit, &sub, dev, None)?;
+                    Self::record_stage_run(trace, "pipeline/P7Viterbi (GPU)", &run.run);
+                    for h in &run.hits {
+                        scores[sub.parent_id(h.seqid as usize)] = Some(h.score);
+                    }
+                    secs = run.run.time.total_s;
+                }
+                ("P7Viterbi (GPU)", scores, secs)
+            }
+            ExecPlan::FaultTolerant { dev, sweep } => {
+                let survivors: Vec<u32> = (0..n as u32).filter(|&i| pass1[i as usize]).collect();
+                let mut scores: Vec<Option<f32>> = vec![None; n];
+                let mut secs = 0.0;
+                if !survivors.is_empty() {
+                    let mut on_cpu = ft_devices.is_empty();
+                    if !on_cpu {
+                        let packed = packed.as_ref().expect("device plans pack");
+                        match self.ft_stage_vit(packed, &survivors, dev, sweep, &ft_devices) {
+                            Ok((pairs, makespan, t)) => {
+                                for (id, s) in pairs {
+                                    scores[id as usize] = Some(s);
+                                }
+                                secs = makespan;
+                                ft_devices.retain(|d| !t.lost_devices.contains(d));
+                                journal.merge(&t);
+                            }
+                            Err(SweepError::AllDevicesLost { .. }) => {
+                                degraded = true;
+                                journal.lost_devices.append(&mut ft_devices);
+                                on_cpu = true;
+                                journal
+                                    .events
+                                    .push("Viterbi: all devices lost; striped CPU fallback".into());
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    // No partial device results survive an AllDevicesLost
+                    // (the engine drops them), so the CPU path rescoring
+                    // every survivor never double-scores.
+                    if on_cpu {
+                        let (s, t) = self.vit_stage_host(db, &pass1);
+                        scores = s;
+                        secs = t;
+                    }
+                }
+                ("P7Viterbi (multi-GPU)", scores, secs)
+            }
+        };
+        let pass2: Vec<bool> = vit_scores
+            .iter()
+            .zip(&db.seqs)
+            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
+            .collect();
+        let n2 = pass2.iter().filter(|&&b| b).count();
+
+        // Stage 3: Forward over the remainder — on the host for every
+        // plan except the §VI fully-on-device deployment.
+        let (label3, fwd_scores, fwd_time) = match plan {
+            ExecPlan::Cpu => {
+                let (scores, secs) = self.forward_stage(db, &pass2);
+                ("Forward", scores, secs)
+            }
+            ExecPlan::Device { .. } | ExecPlan::FaultTolerant { .. } => {
+                let (scores, secs) = self.forward_stage(db, &pass2);
+                ("Forward (host)", scores, secs)
+            }
+            ExecPlan::DeviceFull { dev } => {
+                let packed = packed.as_ref().expect("device plans pack");
+                let fsub = packed.subset_by_mask(&pass2);
+                let mut scores: Vec<Option<f32>> = vec![None; n];
+                let mut secs = 0.0;
+                if !fsub.is_empty() {
+                    let run = run_fwd_device(&self.profile, &fsub, dev)?;
+                    Self::record_stage_run(trace, "pipeline/Forward (GPU)", &run.run);
+                    for h in &run.hits {
+                        scores[fsub.parent_id(h.seqid as usize)] = Some(h.score);
+                    }
+                    secs = run.run.time.total_s;
+                }
+                ("Forward (GPU)", scores, secs)
+            }
+        };
+
+        let r1 = Self::masked_residues(db, &pass1);
+        let r2 = Self::masked_residues(db, &pass2);
+        let stages = [
+            StageStats::new(label1, n, n1, msv_time).with_residues(db.total_residues()),
+            StageStats::new(label2, n1, n2, vit_time).with_residues(r1),
+            StageStats::new(label3, n2, n2, fwd_time).with_residues(r2),
+        ];
+        if trace.is_on() {
+            // Funnel telemetry is recorded *from* the stage records, so
+            // the `--profile` tree and the StageStats report can never
+            // disagree. real_cells = DP cells per residue row × residues.
+            let cells_per_row = [
+                self.striped_msv.real_cells_per_row() as u64,
+                self.striped_vit.real_cells_per_row() as u64,
+                self.striped_fwd.real_cells_per_row(),
+            ];
+            for (st, cells) in stages.iter().zip(cells_per_row) {
+                let path = format!("pipeline/{}", st.name);
+                trace.add(&path, "seqs_in", st.seqs_in as u64);
+                trace.add(&path, "seqs_out", st.seqs_out as u64);
+                trace.add(&path, "residues_in", st.residues_in);
+                trace.add(&path, "real_cells", st.residues_in * cells);
+                trace.add_secs(&path, st.time_s);
+            }
+            if matches!(plan, ExecPlan::FaultTolerant { .. }) {
+                trace.add("pipeline/recovery", "retries", journal.retries as u64);
+                trace.add(
+                    "pipeline/recovery",
+                    "lost_devices",
+                    journal.lost_devices.len() as u64,
+                );
+                trace.add(
+                    "pipeline/recovery",
+                    "redistributed_seqs",
+                    journal.redistributed_seqs as u64,
+                );
+                trace.add("pipeline/recovery", "cpu_fallbacks", degraded as u64);
+            }
+        }
+        let result = self.assemble(db, msv_scores, vit_scores, fwd_scores, stages);
+        trace.add("pipeline/hits", "reported", result.hits.len() as u64);
+        drop(whole);
+        Ok(SearchReport {
+            result,
+            recovery: journal,
+            degraded_to_cpu: degraded,
+            telemetry: trace.snapshot(),
+        })
+    }
+
+    /// Host stage 1: (optional SSV, then) MSV through the batched
+    /// interleaved kernels. Returns `(scores, eligible, seconds)` where
+    /// `eligible[i]` is false for sequences the pre-filter cut (their
+    /// score is −∞). Telemetry accounting (batch-schedule shape, dropout
+    /// counts, SSV funnel) runs outside the timed region and only when
+    /// the trace is armed.
+    fn msv_stage_host(
+        &self,
+        db: &SeqDb,
+        with_ssv: bool,
+        trace: &Trace,
+    ) -> (Vec<f32>, Vec<bool>, f64) {
+        let t0 = Instant::now();
+        let pre = if with_ssv { self.ssv.as_ref() } else { None };
+        let pass0: Option<Vec<bool>> = pre.map(|pre| {
+            ssv_outcomes_batched(&pre.striped, &self.msv, &db.seqs, None, self.config.batch)
+                .iter()
+                .zip(&db.seqs)
+                .map(|(o, q)| {
+                    let sc = o.expect("unmasked sweep scores everything").score;
+                    self.ssv_pvalue(sc, q.len()) < self.config.f0
+                })
+                .collect()
+        });
+        let msv_out = msv_outcomes_batched(
+            &self.striped_msv,
+            &self.msv,
+            &db.seqs,
+            pass0.as_deref(),
+            self.config.batch,
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        if trace.is_on() {
+            let width = resolve_batch_width(self.backend, self.config.batch);
+            let lens: Vec<usize> = db.seqs.iter().map(|s| s.len()).collect();
+            let stats = batch_schedule_stats(&lens, pass0.as_deref(), width);
+            trace.add("pipeline/batch", "batches", stats.batches);
+            trace.add("pipeline/batch", "slots_filled", stats.seqs);
+            trace.add("pipeline/batch", "slot_rows", stats.slot_rows);
+            trace.add("pipeline/batch", "loop_rows", stats.loop_rows);
+            trace.add(
+                "pipeline/batch",
+                "early_finish_dropouts",
+                stats.early_finish,
+            );
+            let overflow = msv_out.iter().flatten().filter(|o| o.overflow).count();
+            trace.add("pipeline/batch", "overflow_dropouts", overflow as u64);
+            if let Some(p0) = &pass0 {
+                let kept = p0.iter().filter(|&&b| b).count() as u64;
+                trace.add("pipeline/ssv", "seqs_in", db.len() as u64);
+                trace.add("pipeline/ssv", "seqs_out", kept);
+            }
+        }
+        let scores = msv_out
+            .iter()
+            .map(|o| o.map_or(f32::NEG_INFINITY, |o| o.score))
+            .collect();
+        let eligible = msv_out.iter().map(|o| o.is_some()).collect();
+        (scores, eligible, secs)
+    }
+
+    /// Host stage 2: the Rayon-parallel striped Viterbi filter over a
+    /// survivor mask (also the fault-tolerant plan's CPU fallback).
+    fn vit_stage_host(&self, db: &SeqDb, pass1: &[bool]) -> (Vec<Option<f32>>, f64) {
+        let t1 = Instant::now();
+        let scores: Vec<Option<f32>> = db
+            .seqs
+            .par_iter()
+            .zip(pass1.par_iter())
+            .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
+                keep.then(|| {
+                    self.striped_vit
+                        .run_into(&self.vit, &seq.residues, ws)
+                        .0
+                        .score
+                })
+            })
+            .collect();
+        (scores, t1.elapsed().as_secs_f64())
+    }
+
+    /// Surface one device stage's kernel counters and modeled time split
+    /// under `{path}/device` in the telemetry tree.
+    fn record_stage_run(trace: &Trace, path: &str, run: &StageRun) {
+        if !trace.is_on() {
+            return;
+        }
+        run.stats.record_into(trace, &format!("{path}/device"));
+        run.time.record_into(trace, &format!("{path}/device/time"));
+    }
+
     /// Stage 3: Forward over the stage-2 survivor mask. One body shared
-    /// by every deployment that keeps Forward on the host (`run_cpu`,
-    /// `run_gpu`, the fault-tolerant orchestrator) — the striped
+    /// by every plan that keeps Forward on the host — the striped
     /// odds-space filter on a length-binned batched sweep by default,
     /// `forward_generic` when `config.fwd_generic` asks for the oracle.
     /// Returns `(scores, seconds)`.
@@ -285,89 +690,10 @@ impl Pipeline {
     }
 
     /// Sweep a database entirely on the multi-core striped CPU baseline.
-    ///
-    /// The filter stage runs through the batched interleaved kernels on a
-    /// length-binned schedule (`config.batch` picks the width; outcomes
-    /// are bit-identical at every width). With `config.ssv` the cheaper
-    /// SSV filter screens the database first and MSV only scores its
-    /// survivors — both fold into one "SSV+MSV" stage record so the
-    /// three-stage funnel shape is preserved.
+    #[deprecated(note = "use Pipeline::search")]
     pub fn run_cpu(&self, db: &SeqDb) -> PipelineResult {
-        let n = db.len();
-
-        // Stage 1: (optional SSV, then) MSV filter, batched.
-        let t0 = Instant::now();
-        let pass0: Option<Vec<bool>> = self.ssv.as_ref().map(|pre| {
-            ssv_outcomes_batched(&pre.striped, &self.msv, &db.seqs, None, self.config.batch)
-                .iter()
-                .zip(&db.seqs)
-                .map(|(o, q)| {
-                    let sc = o.expect("unmasked sweep scores everything").score;
-                    self.ssv_pvalue(sc, q.len()) < self.config.f0
-                })
-                .collect()
-        });
-        let msv_out = msv_outcomes_batched(
-            &self.striped_msv,
-            &self.msv,
-            &db.seqs,
-            pass0.as_deref(),
-            self.config.batch,
-        );
-        let msv_time = t0.elapsed().as_secs_f64();
-        // Sequences the SSV pre-filter cut never reach MSV; −∞ keeps them
-        // below every threshold without inventing a score.
-        let msv_scores: Vec<f32> = msv_out
-            .iter()
-            .map(|o| o.map_or(f32::NEG_INFINITY, |o| o.score))
-            .collect();
-        let pass1: Vec<bool> = msv_out
-            .iter()
-            .zip(&db.seqs)
-            .map(|(o, q)| o.is_some_and(|o| self.msv_pvalue(o.score, q.len()) < self.config.f1))
-            .collect();
-        let n1 = pass1.iter().filter(|&&b| b).count();
-
-        // Stage 2: Viterbi filter over survivors.
-        let t1 = Instant::now();
-        let vit_scores: Vec<Option<f32>> = db
-            .seqs
-            .par_iter()
-            .zip(pass1.par_iter())
-            .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
-                keep.then(|| {
-                    self.striped_vit
-                        .run_into(&self.vit, &seq.residues, ws)
-                        .0
-                        .score
-                })
-            })
-            .collect();
-        let vit_time = t1.elapsed().as_secs_f64();
-        let pass2: Vec<bool> = vit_scores
-            .iter()
-            .zip(&db.seqs)
-            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
-            .collect();
-        let n2 = pass2.iter().filter(|&&b| b).count();
-
-        // Stage 3: Forward over the remainder.
-        let (fwd_scores, fwd_time) = self.forward_stage(db, &pass2);
-
-        let r1 = Self::masked_residues(db, &pass1);
-        let r2 = Self::masked_residues(db, &pass2);
-        self.assemble(
-            db,
-            msv_scores,
-            vit_scores,
-            fwd_scores,
-            [
-                StageStats::new(self.stage0_name(), n, n1, msv_time)
-                    .with_residues(db.total_residues()),
-                StageStats::new("P7Viterbi", n1, n2, vit_time).with_residues(r1),
-                StageStats::new("Forward", n2, n2, fwd_time).with_residues(r2),
-            ],
-        )
+        self.search(db, &ExecPlan::Cpu)
+            .expect("the CPU plan cannot fail")
     }
 
     /// Label of the first funnel stage: `"SSV+MSV"` when the pre-filter is
@@ -383,125 +709,15 @@ impl Pipeline {
 
     /// Sweep with MSV + Viterbi on a simulated GPU (modeled stage times)
     /// and Forward on the host.
+    #[deprecated(note = "use Pipeline::search")]
     pub fn run_gpu(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
-        let n = db.len();
-        let packed = PackedDb::from_db(db);
-        let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
-        let msv_scores: Vec<f32> = msv_run.hits.iter().map(|h| h.score).collect();
-        let pass1: Vec<bool> = msv_scores
-            .iter()
-            .zip(&db.seqs)
-            .map(|(&s, q)| self.msv_pvalue(s, q.len()) < self.config.f1)
-            .collect();
-        let n1 = pass1.iter().filter(|&&b| b).count();
-
-        // Survivors form the Viterbi stage's device workload: an index
-        // subset over the already-packed words — no sequence is cloned or
-        // repacked on the stage hand-off.
-        let sub = packed.subset_by_mask(&pass1);
-        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
-        let vit_time_s;
-        if sub.is_empty() {
-            vit_time_s = 0.0;
-        } else {
-            let vit_run = run_vit_device(&self.vit, &sub, dev, None)?;
-            for h in &vit_run.hits {
-                vit_scores[sub.parent_id(h.seqid as usize)] = Some(h.score);
-            }
-            vit_time_s = vit_run.run.time.total_s;
-        }
-        let pass2: Vec<bool> = vit_scores
-            .iter()
-            .zip(&db.seqs)
-            .map(|(s, q)| s.is_some_and(|s| self.vit_pvalue(s, q.len()) < self.config.f2))
-            .collect();
-        let n2 = pass2.iter().filter(|&&b| b).count();
-
-        let (fwd_scores, fwd_time) = self.forward_stage(db, &pass2);
-
-        let r1 = Self::masked_residues(db, &pass1);
-        let r2 = Self::masked_residues(db, &pass2);
-        Ok(self.assemble(
-            db,
-            msv_scores,
-            vit_scores,
-            fwd_scores,
-            [
-                StageStats::new("MSV (GPU)", n, n1, msv_run.run.time.total_s)
-                    .with_residues(db.total_residues()),
-                StageStats::new("P7Viterbi (GPU)", n1, n2, vit_time_s).with_residues(r1),
-                StageStats::new("Forward (host)", n2, n2, fwd_time).with_residues(r2),
-            ],
-        ))
+        self.search(db, &ExecPlan::Device { dev: dev.clone() })
     }
 
-    /// Sweep with **all three** stages on the simulated device — the §VI
-    /// future-work deployment (the Forward kernel scores the Viterbi
-    /// survivors with the same warp-per-sequence schedule).
+    /// Sweep with **all three** stages on the simulated device.
+    #[deprecated(note = "use Pipeline::search")]
     pub fn run_gpu_full(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
-        let packed = PackedDb::from_db(db);
-        let msv_run = run_msv_device(&self.msv, &packed, dev, None)?;
-        let pass1: Vec<bool> = msv_run
-            .hits
-            .iter()
-            .zip(&db.seqs)
-            .map(|(h, q)| self.msv_pvalue(h.score, q.len()) < self.config.f1)
-            .collect();
-        // Both survivor hand-offs are zero-copy index subsets into the one
-        // PackedDb built above; hit seqids are remapped through parent_id.
-        let sub = packed.subset_by_mask(&pass1);
-        let n = db.len();
-        let mut vit_scores: Vec<Option<f32>> = vec![None; n];
-        let mut vit_time_s = 0.0;
-        let mut fwd_scores: Vec<Option<f32>> = vec![None; n];
-        let mut fwd_time_s = 0.0;
-        let n1 = sub.n_seqs();
-        let mut n2 = 0usize;
-        if !sub.is_empty() {
-            let vit_run = run_vit_device(&self.vit, &sub, dev, None)?;
-            vit_time_s = vit_run.run.time.total_s;
-            for h in &vit_run.hits {
-                vit_scores[sub.parent_id(h.seqid as usize)] = Some(h.score);
-            }
-            let pass2: Vec<bool> = (0..n)
-                .map(|i| {
-                    vit_scores[i]
-                        .is_some_and(|s| self.vit_pvalue(s, db.seqs[i].len()) < self.config.f2)
-                })
-                .collect();
-            let fsub = packed.subset_by_mask(&pass2);
-            n2 = fsub.n_seqs();
-            if !fsub.is_empty() {
-                let fwd_run = run_fwd_device(&self.profile, &fsub, dev)?;
-                fwd_time_s = fwd_run.run.time.total_s;
-                for h in &fwd_run.hits {
-                    fwd_scores[fsub.parent_id(h.seqid as usize)] = Some(h.score);
-                }
-            }
-        }
-        let msv_scores: Vec<f32> = msv_run.hits.iter().map(|h| h.score).collect();
-        let res_of = |scores: &Vec<Option<f32>>| -> u64 {
-            db.seqs
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| scores[*i].is_some())
-                .map(|(_, s)| s.len() as u64)
-                .sum()
-        };
-        let r1 = res_of(&vit_scores);
-        let r2 = res_of(&fwd_scores);
-        Ok(self.assemble(
-            db,
-            msv_scores,
-            vit_scores,
-            fwd_scores,
-            [
-                StageStats::new("MSV (GPU)", n, n1, msv_run.run.time.total_s)
-                    .with_residues(db.total_residues()),
-                StageStats::new("P7Viterbi (GPU)", n1, n2, vit_time_s).with_residues(r1),
-                StageStats::new("Forward (GPU)", n2, n2, fwd_time_s).with_residues(r2),
-            ],
-        ))
+        self.search(db, &ExecPlan::DeviceFull { dev: dev.clone() })
     }
 
     pub(crate) fn assemble(
@@ -574,7 +790,7 @@ mod tests {
     fn background_pass_rates_track_thresholds() {
         // Null P-values are uniform ⇒ ≈ f1 of background passes MSV.
         let (pipe, db) = setup(0.0, 0.0008); // ~5200 background seqs
-        let res = pipe.run_cpu(&db);
+        let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         let rate1 = res.stages[0].pass_rate();
         assert!(
             rate1 > 0.005 && rate1 < 0.05,
@@ -595,7 +811,7 @@ mod tests {
         let (pipe, db) = setup(0.02, 0.0004);
         let n_hom = db.seqs.iter().filter(|s| s.name.starts_with("hom")).count();
         assert!(n_hom >= 20, "want enough homologs, got {n_hom}");
-        let res = pipe.run_cpu(&db);
+        let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         assert!(!res.hits.is_empty());
         // Every reported hit should be a planted homolog (no false
         // positives at these E-values on this scale), and most planted
@@ -640,7 +856,7 @@ mod tests {
         for backend in Backend::all_available() {
             let pipe = Pipeline::prepare_with_backend(&core, PipelineConfig::default(), 7, backend);
             assert_eq!(pipe.backend(), backend);
-            let res = pipe.run_cpu(&db);
+            let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
             match &baseline {
                 None => {
                     assert_eq!(backend, Backend::Scalar);
@@ -662,7 +878,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_widths_are_bit_identical_in_run_cpu() {
+    fn batch_widths_are_bit_identical_in_cpu_search() {
         // The acceptance bar for the interleaved kernels: batching on
         // (auto or any explicit width) changes nothing observable —
         // identical hits, identical funnel counters.
@@ -675,11 +891,11 @@ mod tests {
             ..Default::default()
         };
         let mut pipe = Pipeline::prepare(&core, cfg, 7);
-        let base = pipe.run_cpu(&db);
+        let base = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         assert!(!base.hits.is_empty());
         for batch in [0usize, 2, 3, 4] {
             pipe.config.batch = batch;
-            let res = pipe.run_cpu(&db);
+            let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
             assert_eq!(base.hits, res.hits, "batch {batch}: hit list diverged");
             for (a, b) in base.stages.iter().zip(&res.stages) {
                 assert_eq!(
@@ -704,8 +920,8 @@ mod tests {
             ..Default::default()
         };
         let pre = Pipeline::prepare(&core, cfg, 7);
-        let a = plain.run_cpu(&db);
-        let b = pre.run_cpu(&db);
+        let a = plain.search(&db, &ExecPlan::Cpu).unwrap();
+        let b = pre.search(&db, &ExecPlan::Cpu).unwrap();
         assert_eq!(a.stages[0].name, "MSV");
         assert_eq!(b.stages[0].name, "SSV+MSV");
         // MSV survivors with the pre-filter are a subset of those without
@@ -720,8 +936,15 @@ mod tests {
     fn gpu_pipeline_reports_same_hits_as_cpu() {
         // Bit-exact filters ⇒ identical survivor sets ⇒ identical hits.
         let (pipe, db) = setup(0.02, 0.0002);
-        let cpu = pipe.run_cpu(&db);
-        let gpu = pipe.run_gpu(&db, &DeviceSpec::tesla_k40()).unwrap();
+        let cpu = pipe.search(&db, &ExecPlan::Cpu).unwrap();
+        let gpu = pipe
+            .search(
+                &db,
+                &ExecPlan::Device {
+                    dev: DeviceSpec::tesla_k40(),
+                },
+            )
+            .unwrap();
         let cpu_ids: Vec<u32> = cpu.hits.iter().map(|h| h.seqid).collect();
         let gpu_ids: Vec<u32> = gpu.hits.iter().map(|h| h.seqid).collect();
         assert_eq!(cpu_ids, gpu_ids);
@@ -737,8 +960,8 @@ mod tests {
         let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
         spec.homolog_fraction = 0.03;
         let db = generate(&spec, Some(&core), 4);
-        let a = filt.run_cpu(&db);
-        let b = maxs.run_cpu(&db);
+        let a = filt.search(&db, &ExecPlan::Cpu).unwrap();
+        let b = maxs.search(&db, &ExecPlan::Cpu).unwrap();
         let af: Vec<u32> = a.hits.iter().map(|h| h.seqid).collect();
         let bf: Vec<u32> = b.hits.iter().map(|h| h.seqid).collect();
         for id in &af {
@@ -748,6 +971,58 @@ mod tests {
             );
         }
         assert!(bf.len() >= af.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_search() {
+        // The old entry points must stay exact synonyms of the plans that
+        // replaced them until they are removed.
+        let (pipe, db) = setup(0.02, 0.0002);
+        let dev = DeviceSpec::tesla_k40();
+        let cpu = pipe.search(&db, &ExecPlan::Cpu).unwrap();
+        assert_eq!(pipe.run_cpu(&db).hits, cpu.hits);
+        let gpu = pipe
+            .search(&db, &ExecPlan::Device { dev: dev.clone() })
+            .unwrap();
+        assert_eq!(pipe.run_gpu(&db, &dev).unwrap().hits, gpu.hits);
+        let full = pipe
+            .search(&db, &ExecPlan::DeviceFull { dev: dev.clone() })
+            .unwrap();
+        assert_eq!(pipe.run_gpu_full(&db, &dev).unwrap().hits, full.hits);
+    }
+
+    #[test]
+    fn traced_search_mirrors_stage_stats_and_keeps_hits_identical() {
+        let (pipe, db) = setup(0.02, 0.0002);
+        let plain = pipe.search(&db, &ExecPlan::Cpu).unwrap();
+        let traced = pipe
+            .search_traced(&db, &ExecPlan::Cpu, &Trace::on())
+            .unwrap();
+        // Profiling must be invisible in the results…
+        assert_eq!(plain.hits, traced.result.hits);
+        let tel = traced.telemetry.expect("armed trace yields telemetry");
+        // …and the telemetry funnel must agree with the stage records
+        // count for count, second for second.
+        for st in &traced.result.stages {
+            let node = tel
+                .at_path(&format!("pipeline/{}", st.name))
+                .unwrap_or_else(|| panic!("missing telemetry node for {}", st.name));
+            assert_eq!(node.counter("seqs_in"), st.seqs_in as u64);
+            assert_eq!(node.counter("seqs_out"), st.seqs_out as u64);
+            assert_eq!(node.counter("residues_in"), st.residues_in);
+            assert!((node.seconds - st.time_s).abs() < 1e-12);
+        }
+        assert_eq!(
+            tel.at_path("pipeline/hits").unwrap().counter("reported"),
+            traced.result.hits.len() as u64
+        );
+        // A disabled trace yields no telemetry and the same results.
+        let off = pipe
+            .search_traced(&db, &ExecPlan::Cpu, &Trace::off())
+            .unwrap();
+        assert!(off.telemetry.is_none());
+        assert_eq!(off.result.hits, plain.hits);
     }
 }
 
@@ -764,7 +1039,7 @@ mod align_tests {
         let mut spec = DbGenSpec::swissprot_like().scaled(1e-4);
         spec.homolog_fraction = 0.2;
         let db = generate(&spec, Some(&core), 5);
-        let res = pipe.run_cpu(&db);
+        let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         assert!(!res.hits.is_empty());
         for hit in res.hits.iter().take(3) {
             let (aln, text) = pipe.align_hit(&core, &db, hit);
@@ -797,9 +1072,14 @@ mod gpu_full_tests {
         let mut spec = DbGenSpec::envnr_like().scaled(3e-5);
         spec.homolog_fraction = 0.05;
         let db = generate(&spec, Some(&core), 11);
-        let cpu = pipe.run_cpu(&db);
+        let cpu = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         let gpu = pipe
-            .run_gpu_full(&db, &h3w_simt::DeviceSpec::tesla_k40())
+            .search(
+                &db,
+                &ExecPlan::DeviceFull {
+                    dev: h3w_simt::DeviceSpec::tesla_k40(),
+                },
+            )
             .unwrap();
         // Filters are bit-exact. The host Forward is the striped
         // odds-space filter (within ~1e-4 nats of the exact recurrence);
@@ -871,8 +1151,8 @@ mod null2_tests {
             ..Default::default()
         };
         let corrected = Pipeline::prepare(&model, cfg, 7);
-        let raw_hits = plain.run_cpu(&db);
-        let cor_hits = corrected.run_cpu(&db);
+        let raw_hits = plain.search(&db, &ExecPlan::Cpu).unwrap();
+        let cor_hits = corrected.search(&db, &ExecPlan::Cpu).unwrap();
         let junk =
             |r: &PipelineResult| r.hits.iter().filter(|h| h.name.starts_with("junk")).count();
         assert!(

@@ -15,9 +15,10 @@
 
 use crate::checkpoint::{CheckpointError, StreamCheckpoint};
 use crate::report::{Hit, PipelineResult, StageStats};
-use crate::run::Pipeline;
+use crate::run::{ExecPlan, Pipeline};
 use h3w_seqdb::fasta::FastaError;
 use h3w_seqdb::{DigitalSeq, SeqDb};
+use h3w_trace::Trace;
 use std::path::Path;
 
 /// Iterator over bounded-residue chunks of a FASTA text.
@@ -130,6 +131,28 @@ pub fn search_chunked<I>(pipe: &Pipeline, chunks: I, total_seqs: usize) -> Pipel
 where
     I: IntoIterator<Item = SeqDb>,
 {
+    let trace = if Pipeline::profile_env() {
+        Trace::on()
+    } else {
+        Trace::off()
+    };
+    search_chunked_traced(pipe, chunks, total_seqs, &trace)
+}
+
+/// [`search_chunked`] with a caller-supplied telemetry trace: every chunk
+/// sweeps through [`Pipeline::search_traced`], so the per-chunk funnel
+/// counters and stage times *accumulate* in the one trace — the final
+/// snapshot describes the whole streamed sweep, exactly as a single-pass
+/// run over the concatenated database would.
+pub fn search_chunked_traced<I>(
+    pipe: &Pipeline,
+    chunks: I,
+    total_seqs: usize,
+    trace: &Trace,
+) -> PipelineResult
+where
+    I: IntoIterator<Item = SeqDb>,
+{
     let mut stages = [
         StageStats::new(pipe.stage0_name(), 0, 0, 0.0),
         StageStats::new("P7Viterbi", 0, 0, 0.0),
@@ -138,7 +161,10 @@ where
     let mut hits: Vec<Hit> = Vec::new();
     let mut seq_base = 0u32;
     for chunk in chunks {
-        let res = pipe.run_cpu(&chunk);
+        let res = pipe
+            .search_traced(&chunk, &ExecPlan::Cpu, trace)
+            .expect("the CPU plan cannot fail")
+            .result;
         for (acc, st) in stages.iter_mut().zip(&res.stages) {
             acc.seqs_in += st.seqs_in;
             acc.seqs_out += st.seqs_out;
@@ -207,7 +233,9 @@ where
             }
             continue;
         }
-        let res = pipe.run_cpu(&chunk);
+        let res = pipe
+            .search(&chunk, &ExecPlan::Cpu)
+            .expect("the CPU plan cannot fail");
         for (acc, st) in state.stages.iter_mut().zip(&res.stages) {
             acc.seqs_in += st.seqs_in;
             acc.seqs_out += st.seqs_out;
@@ -286,7 +314,7 @@ mod tests {
     #[test]
     fn chunked_search_equals_single_pass() {
         let (pipe, db) = setup();
-        let single = pipe.run_cpu(&db);
+        let single = pipe.search(&db, &ExecPlan::Cpu).unwrap();
         let text = fasta::render(&db);
         let chunks: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
             .collect::<Result<_, _>>()

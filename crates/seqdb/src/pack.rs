@@ -237,6 +237,19 @@ impl PackedDb {
         (self.words.len() * 4 + self.offsets.len() * 4 + self.lengths.len() * 4) as u64
     }
 
+    /// Record the packing counters (sequences, bytes, real vs. padded
+    /// residue slots) into a telemetry trace at `path`. No-op — not even
+    /// a counter read — when the trace is disabled.
+    pub fn record_into(&self, trace: &h3w_trace::Trace, path: &str) {
+        if !trace.is_on() {
+            return;
+        }
+        trace.add(path, "seqs", self.n_seqs() as u64);
+        trace.add(path, "bytes_packed", self.bytes());
+        trace.add(path, "residues", self.total_residues());
+        trace.add(path, "padded_residues", self.padded_residues());
+    }
+
     /// Random-access decode of residue `i` of sequence `seqid`.
     ///
     /// Out-of-range positions return [`PAD_CODE`], mirroring what a kernel

@@ -71,6 +71,33 @@ impl KernelStats {
             + self.barriers
     }
 
+    /// Record every counter into a telemetry trace at `path` — how the
+    /// pipeline surfaces device-stage events instead of dropping them.
+    /// No-op when the trace is disabled.
+    pub fn record_into(&self, trace: &h3w_trace::Trace, path: &str) {
+        if !trace.is_on() {
+            return;
+        }
+        for (name, value) in [
+            ("instructions", self.instructions),
+            ("smem_loads", self.smem_loads),
+            ("smem_stores", self.smem_stores),
+            ("smem_conflict_extra", self.smem_conflict_extra),
+            ("gmem_transactions", self.gmem_transactions),
+            ("gmem_bytes", self.gmem_bytes),
+            ("l2_transactions", self.l2_transactions),
+            ("l2_bytes", self.l2_bytes),
+            ("shuffles", self.shuffles),
+            ("votes", self.votes),
+            ("barriers", self.barriers),
+            ("hazards", self.hazards),
+            ("rows", self.rows),
+            ("sequences", self.sequences),
+        ] {
+            trace.add(path, name, value);
+        }
+    }
+
     /// Shared-memory accesses per row — a locality metric for reports.
     pub fn smem_per_row(&self) -> f64 {
         if self.rows == 0 {

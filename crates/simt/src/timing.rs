@@ -76,6 +76,22 @@ pub struct TimeBreakdown {
     pub imbalance: f64,
 }
 
+impl TimeBreakdown {
+    /// Record the modeled time split into a telemetry trace: the total at
+    /// `path` plus per-pipeline children (`compute`, `memory`, `l2`). All
+    /// seconds here are *modeled* device time, not wall time. No-op when
+    /// the trace is disabled.
+    pub fn record_into(&self, trace: &h3w_trace::Trace, path: &str) {
+        if !trace.is_on() {
+            return;
+        }
+        trace.add_secs(path, self.total_s);
+        trace.add_secs(&format!("{path}/compute"), self.compute_s);
+        trace.add_secs(&format!("{path}/memory"), self.memory_s);
+        trace.add_secs(&format!("{path}/l2"), self.l2_s);
+    }
+}
+
 /// Time a kernel from its aggregate stats, residency, and an imbalance
 /// factor (1.0 when unknown; see [`imbalance_factor`]).
 pub fn kernel_time(

@@ -1,0 +1,414 @@
+//! # h3w-trace — lightweight pipeline instrumentation
+//!
+//! First-class telemetry for the funnel argument the whole paper rests on
+//! (Fig. 1: MSV ≈ 80% of runtime, P7Viterbi ≈ 15%, Forward ≈ 5%): scoped
+//! span timers, monotonic counters, and a per-run [`Telemetry`] tree that
+//! serializes to JSON and renders as a funnel table in the CLI.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** A [`Trace`] is either armed or a
+//!    no-op; the disabled handle is a `None` and every operation returns
+//!    before touching a clock or a lock. Hot kernels are never
+//!    instrumented per row — only per sweep/stage aggregates are
+//!    recorded, so even an armed trace stays within a ~2% overhead
+//!    budget on the batched MSV sweep (enforced by the
+//!    `profile_overhead` bench and the CI profiling job).
+//! 2. **No external dependencies.** The workspace builds offline; JSON
+//!    emission is hand-rolled (same policy as the checkpoint format).
+//! 3. **Deterministic output.** Children keep insertion order, counters
+//!    are sorted by name, and counter values are exact `u64`s, so a
+//!    telemetry tree can be asserted against `StageStats` bit-for-bit.
+//!
+//! Paths are `/`-separated (`"pipeline/msv/device"`); recording at a path
+//! creates the intermediate nodes on demand.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One node of a telemetry tree: span totals, counters, children.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Node {
+    /// Node name (one path segment).
+    pub name: String,
+    /// Completed spans recorded at this node.
+    pub span_count: u64,
+    /// Total seconds across those spans (wall time for scoped timers,
+    /// modeled time where recorded via [`Trace::add_secs`]).
+    pub seconds: f64,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Child nodes, in first-recorded order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn named(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            ..Node::default()
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut Node {
+        // Linear scan: trees are a few dozen nodes at most.
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(Node::named(name));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    fn at_path_mut(&mut self, path: &str) -> &mut Node {
+        let mut node = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.child_mut(seg);
+        }
+        node
+    }
+
+    fn bump(&mut self, counter: &str, n: u64) {
+        match self
+            .counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(counter))
+        {
+            Ok(i) => self.counters[i].1 += n,
+            Err(i) => self.counters.insert(i, (counter.to_string(), n)),
+        }
+    }
+
+    /// Child with this name, if recorded.
+    pub fn child(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Node at a `/`-separated path below this one.
+    pub fn at_path(&self, path: &str) -> Option<&Node> {
+        let mut node = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.child(seg)?;
+        }
+        Some(node)
+    }
+
+    /// Value of a counter at this node (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Seconds of this node plus all descendants whose own parents
+    /// recorded no span — used for coverage checks ("did the stage spans
+    /// account for the pipeline span?").
+    pub fn descendant_seconds(&self) -> f64 {
+        self.children
+            .iter()
+            .map(|c| c.seconds + c.descendant_seconds())
+            .sum()
+    }
+
+    fn write_json(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(indent);
+        let pad2 = "  ".repeat(indent + 1);
+        let _ = write!(out, "{{\n{pad2}\"name\": ");
+        write_json_str(out, &self.name);
+        let _ = write!(
+            out,
+            ",\n{pad2}\"spans\": {},\n{pad2}\"seconds\": {:.9}",
+            self.span_count, self.seconds
+        );
+        if !self.counters.is_empty() {
+            let _ = write!(out, ",\n{pad2}\"counters\": {{");
+            for (i, (k, v)) in self.counters.iter().enumerate() {
+                let _ = write!(out, "{}\n{pad2}  ", if i == 0 { "" } else { "," });
+                write_json_str(out, k);
+                let _ = write!(out, ": {v}");
+            }
+            let _ = write!(out, "\n{pad2}}}");
+        }
+        if !self.children.is_empty() {
+            let _ = write!(out, ",\n{pad2}\"children\": [");
+            for (i, c) in self.children.iter().enumerate() {
+                let _ = write!(out, "{}\n{pad2}  ", if i == 0 { "" } else { "," });
+                c.write_json(out, indent + 2);
+            }
+            let _ = write!(out, "\n{pad2}]");
+        }
+        let _ = write!(out, "\n{pad}}}");
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An immutable snapshot of one run's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    /// The (unnamed) root; top-level paths are its children.
+    pub root: Node,
+}
+
+impl Telemetry {
+    /// Node at a `/`-separated path (`"pipeline/msv"`).
+    pub fn at_path(&self, path: &str) -> Option<&Node> {
+        self.root.at_path(path)
+    }
+
+    /// Serialize the tree as JSON (schema: DESIGN.md §8 — every node is
+    /// `{name, spans, seconds, counters?, children?}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.root.write_json(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Render the stage nodes under `pipeline/` as a funnel table — the
+    /// CLI `--profile` view. Columns: per-stage sequences in/out,
+    /// residues, real DP cells, seconds, and throughput.
+    pub fn render_funnel(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let Some(pipe) = self.at_path("pipeline") else {
+            return "telemetry: no pipeline node recorded\n".to_string();
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9} {:>9} {:>12} {:>14} {:>10} {:>12}",
+            "stage", "seqs_in", "seqs_out", "residues_in", "real_cells", "time_s", "Mcell/s"
+        );
+        for st in &pipe.children {
+            let cells = st.counter("real_cells");
+            if st.counter("seqs_in") == 0 && cells == 0 {
+                continue; // bookkeeping nodes (pack, recovery, hits)
+            }
+            let rate = if st.seconds > 0.0 {
+                cells as f64 / st.seconds / 1e6
+            } else {
+                f64::NAN
+            };
+            let _ = writeln!(
+                out,
+                "{:<18} {:>9} {:>9} {:>12} {:>14} {:>10.4} {:>12.1}",
+                st.name,
+                st.counter("seqs_in"),
+                st.counter("seqs_out"),
+                st.counter("residues_in"),
+                cells,
+                st.seconds,
+                rate
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9} spans, {:.4}s total",
+            "pipeline", pipe.span_count, pipe.seconds
+        );
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    root: Node,
+}
+
+/// A telemetry collector handle. Cheap to clone; all clones feed one
+/// tree. A disabled trace ([`Trace::off`]) carries no allocation and
+/// every method on it is a no-op that returns immediately.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    shared: Option<Arc<Mutex<Shared>>>,
+}
+
+impl Trace {
+    /// An armed collector.
+    pub fn on() -> Trace {
+        Trace {
+            shared: Some(Arc::new(Mutex::new(Shared::default()))),
+        }
+    }
+
+    /// The no-op collector (also `Trace::default()`).
+    pub fn off() -> Trace {
+        Trace { shared: None }
+    }
+
+    /// Is this handle collecting?
+    pub fn is_on(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Start a scoped span at `path`; elapsed wall time and a span count
+    /// are recorded when the guard drops. Disabled traces never read the
+    /// clock.
+    pub fn span(&self, path: &str) -> SpanGuard {
+        SpanGuard {
+            active: self
+                .shared
+                .as_ref()
+                .map(|s| (Arc::clone(s), path.to_string(), Instant::now())),
+        }
+    }
+
+    /// Add `n` to the counter `name` at `path`.
+    pub fn add(&self, path: &str, name: &str, n: u64) {
+        if let Some(s) = &self.shared {
+            let mut g = s.lock().expect("trace poisoned");
+            g.root.at_path_mut(path).bump(name, n);
+        }
+    }
+
+    /// Credit `seconds` (and one span) to `path` without a timer — for
+    /// modeled device time, which is not wall time.
+    pub fn add_secs(&self, path: &str, seconds: f64) {
+        if let Some(s) = &self.shared {
+            let mut g = s.lock().expect("trace poisoned");
+            let node = g.root.at_path_mut(path);
+            node.span_count += 1;
+            node.seconds += seconds;
+        }
+    }
+
+    /// Snapshot the tree (None when disabled).
+    pub fn snapshot(&self) -> Option<Telemetry> {
+        self.shared.as_ref().map(|s| Telemetry {
+            root: s.lock().expect("trace poisoned").root.clone(),
+        })
+    }
+}
+
+/// RAII guard returned by [`Trace::span`].
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    active: Option<(Arc<Mutex<Shared>>, String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((shared, path, start)) = self.active.take() {
+            let dt = start.elapsed().as_secs_f64();
+            let mut g = shared.lock().expect("trace poisoned");
+            let node = g.root.at_path_mut(&path);
+            node.span_count += 1;
+            node.seconds += dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let t = Trace::off();
+        assert!(!t.is_on());
+        t.add("a/b", "n", 5);
+        t.add_secs("a", 1.0);
+        drop(t.span("a/b"));
+        assert!(t.snapshot().is_none());
+        assert!(!Trace::default().is_on());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let t = Trace::on();
+        t.add("pipeline/msv", "seqs_in", 100);
+        t.add("pipeline/msv", "seqs_in", 23);
+        t.add("pipeline/msv", "batches", 7);
+        let snap = t.snapshot().unwrap();
+        let msv = snap.at_path("pipeline/msv").unwrap();
+        assert_eq!(msv.counter("seqs_in"), 123);
+        assert_eq!(msv.counter("batches"), 7);
+        assert_eq!(msv.counter("missing"), 0);
+        // Sorted by name.
+        let names: Vec<&str> = msv.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["batches", "seqs_in"]);
+    }
+
+    #[test]
+    fn spans_record_count_and_time() {
+        let t = Trace::on();
+        {
+            let _s = t.span("pipeline");
+            let _inner = t.span("pipeline/msv");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        t.add_secs("pipeline/vit", 0.25);
+        let snap = t.snapshot().unwrap();
+        let pipe = snap.at_path("pipeline").unwrap();
+        assert_eq!(pipe.span_count, 1);
+        assert!(pipe.seconds > 0.0);
+        assert!(snap.at_path("pipeline/msv").unwrap().seconds > 0.0);
+        let vit = snap.at_path("pipeline/vit").unwrap();
+        assert_eq!((vit.span_count, vit.seconds), (1, 0.25));
+        assert!(pipe.descendant_seconds() >= 0.25);
+    }
+
+    #[test]
+    fn clones_feed_one_tree() {
+        let t = Trace::on();
+        let t2 = t.clone();
+        t.add("x", "n", 1);
+        t2.add("x", "n", 2);
+        assert_eq!(t.snapshot().unwrap().at_path("x").unwrap().counter("n"), 3);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let t = Trace::on();
+        t.add("pipeline/msv", "seqs_in", 42);
+        t.add_secs("pipeline/msv", 0.5);
+        t.add("weird \"name\"", "c", 1);
+        let a = t.snapshot().unwrap().to_json();
+        let b = t.snapshot().unwrap().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"seqs_in\": 42"), "{a}");
+        assert!(a.contains("\"weird \\\"name\\\"\""), "{a}");
+        assert!(a.contains("\"seconds\": 0.500000000"), "{a}");
+    }
+
+    #[test]
+    fn funnel_table_lists_stages_in_order() {
+        let t = Trace::on();
+        for (stage, seqs_in, seqs_out) in [
+            ("MSV", 1000u64, 22u64),
+            ("P7Viterbi", 22, 1),
+            ("Forward", 1, 1),
+        ] {
+            let path = format!("pipeline/{stage}");
+            t.add(&path, "seqs_in", seqs_in);
+            t.add(&path, "seqs_out", seqs_out);
+            t.add(&path, "residues_in", seqs_in * 350);
+            t.add(&path, "real_cells", seqs_in * 350 * 400);
+            t.add_secs(&path, 0.1);
+        }
+        t.add_secs("pipeline", 0.31);
+        let table = t.snapshot().unwrap().render_funnel();
+        let msv = table.find("MSV").unwrap();
+        let vit = table.find("P7Viterbi").unwrap();
+        let fwd = table.find("Forward").unwrap();
+        assert!(msv < vit && vit < fwd, "{table}");
+        assert!(table.contains("1000"), "{table}");
+    }
+}

@@ -29,7 +29,9 @@ fn main() {
     );
 
     // Run the full pipeline with the two filter stages on the device.
-    let gpu = pipe.run_gpu(&db, &dev).expect("device run");
+    let gpu = pipe
+        .search(&db, &ExecPlan::Device { dev: dev.clone() })
+        .expect("device run");
     println!();
     print!("{}", gpu.render());
 
@@ -59,7 +61,9 @@ fn main() {
     );
 
     // The CPU pipeline must agree hit-for-hit.
-    let cpu = pipe.run_cpu(&db);
+    let cpu = pipe
+        .search(&db, &ExecPlan::Cpu)
+        .expect("the CPU plan cannot fail");
     assert_eq!(
         cpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
         gpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>()

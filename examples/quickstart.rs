@@ -38,7 +38,9 @@ fn main() {
     );
 
     // 4. Search.
-    let result = pipe.run_cpu(&db);
+    let result = pipe
+        .search(&db, &ExecPlan::Cpu)
+        .expect("the CPU plan cannot fail");
     println!();
     print!("{}", result.render());
 

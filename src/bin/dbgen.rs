@@ -6,7 +6,7 @@
 //!       [--hom FRAC --model query.hmm] [--seed S]
 //! ```
 
-use hmmer3_warp::cli::{self, Args};
+use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::read_hmm;
 use hmmer3_warp::prelude::*;
 use hmmer3_warp::seqdb::fasta;
@@ -20,7 +20,7 @@ fn main() -> ExitCode {
     cli::guarded_main("dbgen", USAGE, run)
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(
         argv,
         &[],
@@ -31,7 +31,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let mut spec = match args.value("--preset") {
         None | Some("swissprot") => DbGenSpec::swissprot_like(),
         Some("envnr") => DbGenSpec::envnr_like(),
-        Some(other) => return Err(format!("unknown preset {other:?}")),
+        Some(other) => return Err(format!("unknown preset {other:?}").into()),
     };
     let scale = match args.parse_value::<f64>("--scale")? {
         Some(s) => cli::require_positive_finite("--scale", s)?,

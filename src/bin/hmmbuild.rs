@@ -10,7 +10,7 @@
 //! The output carries `STATS LOCAL` calibration lines fitted with this
 //! crate's striped filters, so `hmmsearch` can skip recalibration.
 
-use hmmer3_warp::cli::{self, Args};
+use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::write_hmm;
 use hmmer3_warp::hmm::msa::{build_from_msa, Msa, MsaBuildParams};
 use hmmer3_warp::pipeline::{Pipeline, PipelineConfig};
@@ -24,7 +24,7 @@ fn main() -> ExitCode {
     cli::guarded_main("hmmbuild", USAGE, run)
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(argv, &["--gappy"], &["--synthetic", "--seed", "--name"])?;
     let out_path = args.positional(0, "output path")?;
     let model = if args.value("--synthetic").is_some() {

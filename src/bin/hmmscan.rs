@@ -9,7 +9,7 @@
 //! (as Pfam releases do). Each family runs the full filter pipeline;
 //! output lists, per target, the families that hit it, best E-value first.
 
-use hmmer3_warp::cli::{self, Args};
+use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::read_hmm_many;
 use hmmer3_warp::pipeline::{best_hits_per_target, scan, PipelineConfig};
 use hmmer3_warp::seqdb::fasta;
@@ -21,7 +21,7 @@ fn main() -> ExitCode {
     cli::guarded_main("hmmscan", USAGE, run)
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(argv, &[], &["-E"])?;
     let hmm_path = args.positional(0, "model library")?;
     let fa_path = args.positional(1, "target FASTA")?;
@@ -39,7 +39,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         .map(|f| f.model)
         .collect();
     if models.is_empty() {
-        return Err(format!("{hmm_path}: no models"));
+        return Err(format!("{hmm_path}: no models").into());
     }
     let fa_text = cli::read_file(fa_path)?;
     let db = fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;

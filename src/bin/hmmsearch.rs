@@ -17,20 +17,25 @@
 //!   --checkpoint <path>  with --chunk: persist sweep state after every
 //!                        chunk and resume from it if it already exists
 //!   --gpu-full           like --gpu, plus the Forward stage on-device
+//!   --profile            collect funnel telemetry; print the per-stage
+//!                        table and the telemetry JSON after the report
+//!   --profile-json <p>   collect funnel telemetry; write the JSON to p
 //! ```
 //!
 //! Runs the full HMMER3-style task pipeline (Fig. 1 of the paper):
 //! MSV filter → P7Viterbi filter → Forward, with calibrated E-values.
+//! Every deployment dispatches through `Pipeline::search` with the
+//! matching `ExecPlan`.
 
-use hmmer3_warp::cli::{self, Args};
+use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::read_hmm;
-use hmmer3_warp::pipeline::{FtSweep, Pipeline, PipelineConfig, PipelineResult};
+use hmmer3_warp::pipeline::{ExecPlan, FtSweep, Pipeline, PipelineConfig, PipelineResult, Trace};
 use hmmer3_warp::prelude::*;
 use std::process::ExitCode;
 
 const USAGE: &str = "hmmsearch <query.hmm> <targets.fasta> [--gpu k40|gtx580] [--devices n] \
 [--max] [-E evalue] [--ali] [--dom] [--null2] [--tbl path] [--chunk residues] \
-[--checkpoint path] [--gpu-full]";
+[--checkpoint path] [--gpu-full] [--profile] [--profile-json path]";
 
 fn main() -> ExitCode {
     cli::guarded_main("hmmsearch", USAGE, run)
@@ -44,10 +49,17 @@ fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(
         argv,
-        &["--max", "--ali", "--dom", "--null2", "--gpu-full"],
+        &[
+            "--max",
+            "--ali",
+            "--dom",
+            "--null2",
+            "--gpu-full",
+            "--profile",
+        ],
         &[
             "--gpu",
             "--devices",
@@ -55,46 +67,63 @@ fn run(argv: &[String]) -> Result<(), String> {
             "--tbl",
             "--chunk",
             "--checkpoint",
+            "--profile-json",
         ],
     )?;
     let hmm_path = args.positional(0, "query .hmm")?;
     let fa_path = args.positional(1, "target FASTA")?;
     args.no_extra_positionals(2)?;
 
-    let mut config = if args.has("--max") {
-        PipelineConfig::max_sensitivity()
-    } else {
-        PipelineConfig::default()
-    };
-    config.null2 = config.null2 || args.has("--null2");
-    if let Some(e) = args.parse_value::<f64>("-E")? {
-        config.report_evalue = cli::require_positive_finite("-E", e)?;
+    let mut builder = PipelineConfig::builder();
+    if args.has("--max") {
+        builder = builder.max_sensitivity();
     }
+    builder = builder.null2(args.has("--null2"));
+    if let Some(e) = args.parse_value::<f64>("-E")? {
+        builder = builder.report_evalue(cli::require_positive_finite("-E", e)?);
+    }
+    let config = builder.build()?;
     let gpu = args.value("--gpu").map(device_by_name).transpose()?;
     let devices = match args.parse_value::<usize>("--devices")? {
         None => 1,
-        Some(0) => return Err("--devices must be at least 1".into()),
-        Some(_) if gpu.is_none() => return Err("--devices requires --gpu".into()),
+        Some(0) => return Err("--devices must be at least 1".to_string().into()),
+        Some(_) if gpu.is_none() => return Err("--devices requires --gpu".to_string().into()),
         Some(n) => n,
     };
     let chunk = match args.parse_value::<u64>("--chunk")? {
-        Some(0) => return Err("--chunk must be at least 1 residue".into()),
+        Some(0) => return Err("--chunk must be at least 1 residue".to_string().into()),
         other => other,
     };
     let checkpoint = args.value("--checkpoint");
     if checkpoint.is_some() && chunk.is_none() {
-        return Err("--checkpoint requires --chunk (it checkpoints the chunk stream)".into());
+        return Err(
+            "--checkpoint requires --chunk (it checkpoints the chunk stream)"
+                .to_string()
+                .into(),
+        );
     }
     if chunk.is_some() && (gpu.is_some() || args.has("--gpu-full")) {
-        return Err("--chunk streams on the CPU pipeline; drop --gpu/--gpu-full".into());
+        return Err("--chunk streams on the CPU pipeline; drop --gpu/--gpu-full"
+            .to_string()
+            .into());
     }
+    let profiling = args.has("--profile") || args.value("--profile-json").is_some();
+    if profiling && checkpoint.is_some() {
+        return Err(
+            "--profile does not compose with --checkpoint (telemetry is not \
+             persisted across resumes); drop one"
+                .to_string()
+                .into(),
+        );
+    }
+    let trace = if profiling { Trace::on() } else { Trace::off() };
 
     let hmm_text = cli::read_file(hmm_path)?;
     let parsed = read_hmm(&hmm_text).map_err(|e| format!("{hmm_path}: {e}"))?;
     let fa_text = cli::read_file(fa_path)?;
     let db = hmmer3_warp::seqdb::fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
     if db.is_empty() {
-        return Err(format!("{fa_path}: no sequences"));
+        return Err(format!("{fa_path}: no sequences").into());
     }
 
     eprintln!(
@@ -107,47 +136,58 @@ fn run(argv: &[String]) -> Result<(), String> {
     );
     let pipe = Pipeline::prepare(&parsed.model, config, 0x5_eac4);
 
-    let result: PipelineResult = if args.has("--gpu-full") {
+    let plan: Option<ExecPlan> = if args.has("--gpu-full") {
         let dev = gpu.unwrap_or_else(DeviceSpec::tesla_k40);
         eprintln!("running all three stages on simulated {}", dev.name);
-        pipe.run_gpu_full(&db, &dev)?
+        Some(ExecPlan::DeviceFull { dev })
     } else if let Some(dev) = gpu {
         if devices > 1 {
             eprintln!(
                 "running MSV + P7Viterbi on {devices} simulated {} devices",
                 dev.name
             );
-            let report = pipe.run_gpu_ft(&db, &dev, &FtSweep::fault_free(devices))?;
-            report.result
+            Some(ExecPlan::FaultTolerant {
+                dev,
+                sweep: FtSweep::fault_free(devices),
+            })
         } else {
             eprintln!("running MSV + P7Viterbi on simulated {}", dev.name);
-            pipe.run_gpu(&db, &dev)?
+            Some(ExecPlan::Device { dev })
         }
-    } else if let Some(max) = chunk {
-        eprintln!("streaming in ≤{max}-residue chunks");
-        let chunks: Vec<_> = hmmer3_warp::pipeline::FastaChunks::new(&fa_text, max)
-            .collect::<Result<_, _>>()
-            .map_err(|e| e.to_string())?;
-        match checkpoint {
-            Some(path) => {
-                let path = std::path::Path::new(path);
-                if path.exists() {
-                    eprintln!("resuming from checkpoint {}", path.display());
-                }
-                let res = hmmer3_warp::pipeline::search_chunked_checkpointed(
-                    &pipe,
-                    chunks,
-                    db.len(),
-                    path,
-                )
-                .map_err(|e| e.to_string())?;
-                eprintln!("checkpoint saved to {}", path.display());
-                res
-            }
-            None => hmmer3_warp::pipeline::search_chunked(&pipe, chunks, db.len()),
-        }
+    } else if chunk.is_none() {
+        Some(ExecPlan::Cpu)
     } else {
-        pipe.run_cpu(&db)
+        None // streamed CPU sweep below
+    };
+
+    let result: PipelineResult = match plan {
+        Some(plan) => pipe.search_traced(&db, &plan, &trace)?.result,
+        None => {
+            let max = chunk.expect("chunk set when no plan");
+            eprintln!("streaming in ≤{max}-residue chunks");
+            let chunks: Vec<_> = hmmer3_warp::pipeline::FastaChunks::new(&fa_text, max)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+            match checkpoint {
+                Some(path) => {
+                    let path = std::path::Path::new(path);
+                    if path.exists() {
+                        eprintln!("resuming from checkpoint {}", path.display());
+                    }
+                    let res = hmmer3_warp::pipeline::search_chunked_checkpointed(
+                        &pipe,
+                        chunks,
+                        db.len(),
+                        path,
+                    )?;
+                    eprintln!("checkpoint saved to {}", path.display());
+                    res
+                }
+                None => {
+                    hmmer3_warp::pipeline::search_chunked_traced(&pipe, chunks, db.len(), &trace)
+                }
+            }
+        }
     };
 
     print!("{}", result.render());
@@ -187,6 +227,18 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+
+    if let Some(tel) = trace.snapshot() {
+        if args.has("--profile") {
+            println!();
+            print!("{}", tel.render_funnel());
+            println!("{}", tel.to_json());
+        }
+        if let Some(path) = args.value("--profile-json") {
+            std::fs::write(path, tel.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
     }
     Ok(())
 }

@@ -6,7 +6,65 @@
 //! escape a tool (a bug, by definition) is caught at the top level and
 //! reported as an internal error, still with a nonzero exit.
 
+use h3w_pipeline::{CheckpointError, ConfigError, SweepError};
 use std::process::ExitCode;
+
+/// Everything a workspace tool can fail with, so [`guarded_main`] prints
+/// each kind uniformly: usage errors echo the usage string, typed
+/// pipeline errors print their own diagnostic without it.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Bad invocation or bad input: unknown flags, malformed values,
+    /// unreadable files. Printed together with the usage string.
+    Usage(String),
+    /// A device sweep could not be planned or launched.
+    Sweep(SweepError),
+    /// Checkpoint state could not be loaded, saved, or reconciled.
+    Checkpoint(CheckpointError),
+    /// The pipeline configuration was rejected by validation.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Usage(msg) => write!(f, "{msg}"),
+            ToolError::Sweep(e) => write!(f, "device sweep failed: {e}"),
+            ToolError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ToolError::Config(e) => write!(f, "bad pipeline configuration: {e}"),
+        }
+    }
+}
+
+impl From<String> for ToolError {
+    fn from(msg: String) -> Self {
+        ToolError::Usage(msg)
+    }
+}
+
+impl From<&str> for ToolError {
+    fn from(msg: &str) -> Self {
+        ToolError::Usage(msg.to_string())
+    }
+}
+
+impl From<SweepError> for ToolError {
+    fn from(e: SweepError) -> Self {
+        ToolError::Sweep(e)
+    }
+}
+
+impl From<CheckpointError> for ToolError {
+    fn from(e: CheckpointError) -> Self {
+        ToolError::Checkpoint(e)
+    }
+}
+
+impl From<ConfigError> for ToolError {
+    fn from(e: ConfigError) -> Self {
+        ToolError::Config(e)
+    }
+}
 
 /// Parsed command line: positionals in order, plus recognized flags.
 /// Construction rejects anything not declared up front.
@@ -124,13 +182,15 @@ pub fn read_file(path: &str) -> Result<String, String> {
 }
 
 /// Run a tool body with the shared error contract: `Err` prints
-/// `tool: error` + usage and exits 1; an escaped panic prints an
-/// internal-error line (no backtrace) and also exits 1. `--help`/`-h`
-/// anywhere prints usage and exits 0.
+/// `tool: error` and exits 1 (usage errors also echo the usage string;
+/// typed pipeline errors — [`ToolError::Sweep`], [`ToolError::Checkpoint`],
+/// [`ToolError::Config`] — print their diagnostic alone); an escaped
+/// panic prints an internal-error line (no backtrace) and also exits 1.
+/// `--help`/`-h` anywhere prints usage and exits 0.
 pub fn guarded_main(
     tool: &str,
     usage: &str,
-    run: impl FnOnce(&[String]) -> Result<(), String>,
+    run: impl FnOnce(&[String]) -> Result<(), ToolError>,
 ) -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -145,7 +205,9 @@ pub fn guarded_main(
         Ok(Ok(())) => ExitCode::SUCCESS,
         Ok(Err(e)) => {
             eprintln!("{tool}: {e}");
-            eprintln!("usage: {usage}");
+            if matches!(e, ToolError::Usage(_)) {
+                eprintln!("usage: {usage}");
+            }
             ExitCode::FAILURE
         }
         Err(payload) => {
@@ -200,6 +262,19 @@ mod tests {
         let a = Args::parse(&argv(&["-E", "ten"]), &[], &["-E"]).unwrap();
         let err = a.parse_value::<f64>("-E").unwrap_err();
         assert!(err.contains("-E") && err.contains("ten"), "{err}");
+    }
+
+    #[test]
+    fn tool_errors_convert_and_render() {
+        let e: ToolError = "missing query".to_string().into();
+        assert!(matches!(e, ToolError::Usage(_)));
+        assert_eq!(e.to_string(), "missing query");
+        let e: ToolError = ConfigError::F0WithoutSsv.into();
+        assert!(matches!(e, ToolError::Config(_)));
+        assert!(e.to_string().contains("configuration"));
+        let e: ToolError = CheckpointError::Mismatch("chunking changed".into()).into();
+        assert!(e.to_string().contains("checkpoint"));
+        assert!(e.to_string().contains("chunking changed"));
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! let mut spec = DbGenSpec::swissprot_like().scaled(0.0001);
 //! spec.homolog_fraction = 0.1;
 //! let db = generate(&spec, Some(&model), 3);
-//! let result = pipe.run_cpu(&db);
+//! let result = pipe.search(&db, &ExecPlan::Cpu).expect("the CPU plan cannot fail");
 //! assert!(!result.hits.is_empty());
 //! ```
 
@@ -46,7 +46,10 @@ pub mod prelude {
     pub use h3w_core::{MemConfig, RetryPolicy, Stage, SweepError, SweepTrace};
     pub use h3w_hmm::build::{synthetic_model, BuildParams, PAPER_MODEL_SIZES};
     pub use h3w_hmm::{CoreModel, MsvProfile, NullModel, Profile, VitProfile};
-    pub use h3w_pipeline::{FtSweep, Pipeline, PipelineConfig, StreamCheckpoint};
+    pub use h3w_pipeline::{
+        ExecPlan, FtSweep, Pipeline, PipelineConfig, SearchReport, StreamCheckpoint, Telemetry,
+        Trace,
+    };
     pub use h3w_seqdb::gen::{generate, DbGenSpec};
     pub use h3w_seqdb::{DigitalSeq, PackedDb, SeqDb};
     pub use h3w_simt::DeviceSpec;

@@ -114,7 +114,7 @@ fn claim_pipeline_funnel_rates() {
     let pipe = Pipeline::prepare(&model, PipelineConfig::default(), 9);
     let spec = DbGenSpec::envnr_like().scaled(1.2e-3); // ≈ 7.9 K seqs, hom 0.05%
     let db = generate(&spec, Some(&model), 10);
-    let res = pipe.run_cpu(&db);
+    let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
     let funnel = res.funnel();
     assert!(
         funnel[1] > 0.008 && funnel[1] < 0.05,

@@ -14,9 +14,13 @@ fn setup(m: usize, hom: f64, scale: f64, seed: u64) -> (Pipeline, SeqDb) {
 #[test]
 fn cpu_and_gpu_pipelines_are_hit_identical() {
     let (pipe, db) = setup(70, 0.04, 2e-4, 41);
-    let cpu = pipe.run_cpu(&db);
+    let cpu = pipe
+        .search(&db, &ExecPlan::Cpu)
+        .expect("the CPU plan cannot fail");
     for dev in [DeviceSpec::tesla_k40(), DeviceSpec::gtx_580()] {
-        let gpu = pipe.run_gpu(&db, &dev).unwrap();
+        let gpu = pipe
+            .search(&db, &ExecPlan::Device { dev: dev.clone() })
+            .unwrap();
         assert_eq!(
             cpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
             gpu.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
@@ -33,8 +37,8 @@ fn cpu_and_gpu_pipelines_are_hit_identical() {
 #[test]
 fn pipeline_is_deterministic() {
     let (pipe, db) = setup(50, 0.03, 1e-4, 42);
-    let a = pipe.run_cpu(&db);
-    let b = pipe.run_cpu(&db);
+    let a = pipe.search(&db, &ExecPlan::Cpu).unwrap();
+    let b = pipe.search(&db, &ExecPlan::Cpu).unwrap();
     assert_eq!(a.hits.len(), b.hits.len());
     for (x, y) in a.hits.iter().zip(&b.hits) {
         assert_eq!(x.seqid, y.seqid);
@@ -52,8 +56,8 @@ fn filters_lose_nothing_vs_max_sensitivity_at_report_thresholds() {
     let mut spec = DbGenSpec::envnr_like().scaled(3e-4);
     spec.homolog_fraction = 0.02;
     let db = generate(&spec, Some(&model), 44);
-    let a = filtered.run_cpu(&db);
-    let b = maxs.run_cpu(&db);
+    let a = filtered.search(&db, &ExecPlan::Cpu).unwrap();
+    let b = maxs.search(&db, &ExecPlan::Cpu).unwrap();
     // Every *strong* hit of the unfiltered pipeline is found by the
     // filtered one (weak borderline hits near the f3 threshold may differ,
     // as in HMMER itself).
@@ -71,7 +75,7 @@ fn filters_lose_nothing_vs_max_sensitivity_at_report_thresholds() {
 #[test]
 fn evalues_scale_with_database_size() {
     let (pipe, db) = setup(60, 0.05, 1e-4, 45);
-    let res = pipe.run_cpu(&db);
+    let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
     for h in &res.hits {
         let expect = h.pvalue * db.len() as f64;
         assert!((h.evalue - expect).abs() <= 1e-12 * expect.max(1.0));
@@ -85,7 +89,7 @@ fn evalues_scale_with_database_size() {
 #[test]
 fn stage_times_and_residue_workloads_are_monotone() {
     let (pipe, db) = setup(80, 0.02, 2e-4, 46);
-    let res = pipe.run_cpu(&db);
+    let res = pipe.search(&db, &ExecPlan::Cpu).unwrap();
     // Workload funnel: each stage sees at most the previous stage's
     // residues.
     assert_eq!(res.stages[0].residues_in, db.total_residues());

@@ -9,7 +9,13 @@
 //!
 //! Usage: `cargo run --release -p h3w-bench --bin profile_overhead [tol]`
 //! (`tol` is a fraction, default 0.02; `H3W_OVERHEAD_TOL` overrides it).
+//!
+//! Alongside the human-readable verdict, one JSON row goes to stdout
+//! with the measurements and the active worker count — throughput on a
+//! 4-worker pool is not comparable to a 1-worker run, so the row is
+//! meaningless without it.
 
+use h3w_bench::json::Json;
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_pipeline::{ExecPlan, Pipeline, PipelineConfig};
 use h3w_seqdb::gen::{generate, DbGenSpec};
@@ -71,6 +77,17 @@ fn main() -> ExitCode {
         base_med / 1e6,
         instr_med / 1e6,
         ratio
+    );
+    println!(
+        "{}",
+        Json::Obj(vec![
+            ("workers", Json::Num(pipe.pool().threads() as f64)),
+            ("base_msv_residues_per_sec", Json::Num(base_med)),
+            ("instrumented_msv_residues_per_sec", Json::Num(instr_med)),
+            ("ratio", Json::Num(ratio)),
+            ("tolerance", Json::Num(tol)),
+        ])
+        .pretty()
     );
     if ratio < 1.0 - tol {
         eprintln!(

@@ -1,0 +1,91 @@
+//! Multicore scaling smoke check — the CI gate for the work-stealing
+//! pool actually buying throughput, not just passing determinism tests.
+//!
+//! Runs the batched MSV sweep on dedicated 1-worker and 4-worker pools
+//! (best of 5 each, interleaved) and exits nonzero unless the 4-worker
+//! sweep is at least 1.5× the 1-worker one. On hosts with fewer than 4
+//! cores the extra workers can only time-slice, so the check prints a
+//! SKIP verdict and exits zero — the gate is about pool scalability,
+//! not about how many cores CI happened to get.
+//!
+//! Usage: `cargo run --release -p h3w-bench --bin scaling_smoke [min]`
+//! (`min` is the required speedup, default 1.5; `H3W_SCALING_MIN`
+//! overrides it).
+
+use h3w_cpu::sweep::msv_sweep_batched;
+use h3w_cpu::ThreadPool;
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_hmm::msvprofile::MsvProfile;
+use h3w_hmm::profile::Profile;
+use h3w_hmm::NullModel;
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use std::process::ExitCode;
+
+const REPS: usize = 5;
+const WIDE: usize = 4;
+
+fn main() -> ExitCode {
+    let min_speedup: f64 = std::env::var("H3W_SCALING_MIN")
+        .ok()
+        .or_else(|| std::env::args().nth(1))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.5);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < WIDE {
+        println!(
+            "SKIP: host exposes {cores} core(s); a {WIDE}-worker pool cannot \
+             beat 1 worker here (needs >= {WIDE} cores)"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let core = synthetic_model(400, 5, &BuildParams::default());
+    let profile = Profile::config(&core, &NullModel::new());
+    let msv = MsvProfile::from_profile(&profile);
+    let mut spec = DbGenSpec::envnr_like().scaled(0.0005);
+    spec.homolog_fraction = 0.01;
+    let db = generate(&spec, Some(&core), 5);
+    eprintln!(
+        "workload: {} seqs, {} residues, model M={}; requiring {min_speedup:.2}x at {WIDE} workers",
+        db.len(),
+        db.total_residues(),
+        core.len()
+    );
+
+    let narrow = ThreadPool::new(1);
+    let wide = ThreadPool::new(WIDE);
+    let sweep = |pool: &ThreadPool| -> f64 {
+        let t = msv_sweep_batched(pool, &msv, &db, 0).1;
+        t.cells_per_sec
+    };
+
+    // Warm-up both pools (tables, page faults, worker spin-up).
+    sweep(&narrow);
+    sweep(&wide);
+    // Interleave the arms so clock drift and cache state hit both alike.
+    let mut best_1 = 0.0f64;
+    let mut best_4 = 0.0f64;
+    for _ in 0..REPS {
+        best_1 = best_1.max(sweep(&narrow));
+        best_4 = best_4.max(sweep(&wide));
+    }
+
+    let speedup = best_4 / best_1;
+    println!(
+        "MSV sweep: 1 worker {:.2} Gcells/s, {WIDE} workers {:.2} Gcells/s (speedup {speedup:.2}x)",
+        best_1 / 1e9,
+        best_4 / 1e9,
+    );
+    if speedup < min_speedup {
+        eprintln!(
+            "FAIL: {WIDE}-worker MSV sweep is only {speedup:.2}x the 1-worker sweep \
+             (required {min_speedup:.2}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("OK: pool scales ({speedup:.2}x >= {min_speedup:.2}x at {WIDE} workers)");
+    ExitCode::SUCCESS
+}

@@ -1,11 +1,17 @@
 //! Per-backend filter-path throughput — the evidence for the SIMD
 //! dispatch layer (BENCH_throughput.json).
 //!
-//! Sweeps an Env_nr-like workload three ways for every SIMD backend the
+//! Sweeps an Env_nr-like workload four ways for every SIMD backend the
 //! host supports:
 //!   * tight striped-filter loops (MSV / P7Viterbi residues per second),
 //!   * the full `Pipeline::search` funnel (per-stage residues/sec),
-//!   * one `Pipeline::search` sweep on the modeled device for reference.
+//!   * one `Pipeline::search` sweep on the modeled device for reference,
+//!   * a pool scaling curve: each stage sweep on dedicated 1..N-worker
+//!     pools (Gcells/s and speedup over one worker, `scaling_curve`).
+//!
+//! Every row records the active worker count (`workers`): 1 for the
+//! deliberately single-threaded kernel loops, the pipeline pool width
+//! for funnel rows, and the curve's own pool width for scaling rows.
 //!
 //! Every measured loop is recorded into an `h3w-trace` telemetry tree
 //! via `record_sweep` / `search_traced`, and the JSON rows are emitted
@@ -15,13 +21,15 @@
 //! Usage: `cargo run --release -p h3w-bench --bin throughput`
 
 use h3w_bench::json::Json;
+use h3w_cpu::h3w_pool::configured_threads;
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
 use h3w_cpu::sweep::{
-    measure_fwd_batched, measure_fwd_generic, measure_msv_batched, measure_ssv_batched,
-    record_sweep, SweepTiming,
+    fwd_sweep_batched, measure_fwd_batched, measure_fwd_generic, measure_msv_batched,
+    measure_ssv_batched, msv_sweep_batched, record_sweep, ssv_sweep_batched, vit_sweep,
+    SweepTiming,
 };
-use h3w_cpu::{Backend, StripedFwd, StripedSsv};
+use h3w_cpu::{Backend, StripedFwd, StripedSsv, ThreadPool};
 use h3w_hmm::build::{synthetic_model, BuildParams};
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
@@ -124,6 +132,7 @@ fn filter_rows(
         msv_rps.push((backend, residues / msv_s));
         rows.push(Json::Obj(vec![
             ("backend", Json::Str(backend.name().into())),
+            ("workers", Json::Num(1.0)),
             ("msv_time_s", Json::Num(msv_s)),
             ("msv_residues_per_sec", Json::Num(residues / msv_s)),
             ("vit_time_s", Json::Num(vit_s)),
@@ -194,6 +203,7 @@ fn batched_rows(
             rows.push(Json::Obj(vec![
                 ("backend", Json::Str(backend.name().into())),
                 ("width", Json::Num(width as f64)),
+                ("workers", Json::Num(1.0)),
                 ("msv_cells_per_sec", Json::Num(msv_cps)),
                 ("msv_residues_per_sec", Json::Num(msv_cps / m)),
                 ("ssv_cells_per_sec", Json::Num(ssv_cps)),
@@ -264,6 +274,7 @@ fn forward_rows(profile: &Profile, db: &SeqDb, trace: &Trace) -> Json {
             rows.push(Json::Obj(vec![
                 ("backend", Json::Str(backend.name().into())),
                 ("width", Json::Num(width as f64)),
+                ("workers", Json::Num(1.0)),
                 ("fwd_cells_per_sec", Json::Num(cps)),
             ]));
         }
@@ -278,6 +289,75 @@ fn forward_rows(profile: &Profile, db: &SeqDb, trace: &Trace) -> Json {
         ("generic_cells_per_sec", Json::Num(generic_cps)),
         ("rows", Json::Arr(rows)),
         ("fwd_speedup", Json::Arr(speedups)),
+    ])
+}
+
+/// The pool scaling curve: every pool-parallel stage sweep timed on
+/// dedicated 1..N-worker pools (best of 3 per point), reported as
+/// Gcells/s plus speedup over the one-worker point. N is the configured
+/// pool width but at least 4, so the curve always exercises
+/// multi-worker dispatch; on narrower hosts the extra workers
+/// time-slice and the curve is expected to stay flat (`host_workers`
+/// records how many cores were really there).
+fn scaling_rows(
+    msv: &MsvProfile,
+    vit: &VitProfile,
+    profile: &Profile,
+    db: &SeqDb,
+    trace: &Trace,
+) -> Json {
+    let max_t = configured_threads().max(4);
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() < max_t {
+        counts.push((counts.last().unwrap() * 2).min(max_t));
+    }
+    // Forward is ~3 orders denser per residue than the 8-bit filters;
+    // a prefix keeps its point near the others' measurement budget.
+    let mut fwd_db = db.clone();
+    fwd_db.seqs.truncate(200.min(db.len()));
+
+    for &t in &counts {
+        let pool = ThreadPool::new(t);
+        let best = |mut f: Box<dyn FnMut() -> SweepTiming + '_>| {
+            let mut best = f(); // warm-up counts as rep 1
+            for _ in 0..2 {
+                let timing = f();
+                if timing.seconds < best.seconds {
+                    best = timing;
+                }
+            }
+            best
+        };
+        let msv_t = best(Box::new(|| msv_sweep_batched(&pool, msv, db, 0).1));
+        let ssv_t = best(Box::new(|| ssv_sweep_batched(&pool, msv, db, 0).1));
+        let vit_t = best(Box::new(|| vit_sweep(&pool, vit, db).1));
+        let fwd_t = best(Box::new(|| fwd_sweep_batched(&pool, profile, &fwd_db, 0).1));
+        record_sweep(trace, &format!("bench/scaling/t{t}/msv"), &msv_t);
+        record_sweep(trace, &format!("bench/scaling/t{t}/ssv"), &ssv_t);
+        record_sweep(trace, &format!("bench/scaling/t{t}/vit"), &vit_t);
+        record_sweep(trace, &format!("bench/scaling/t{t}/fwd"), &fwd_t);
+    }
+
+    let tel = trace.snapshot().expect("bench trace is on");
+    let mut rows = Vec::new();
+    for stage in ["msv", "ssv", "vit", "fwd"] {
+        let (s1, c1) = sweep_at(&tel, &format!("bench/scaling/t1/{stage}"));
+        let base_cps = c1 / s1;
+        for &t in &counts {
+            let (s, cells) = sweep_at(&tel, &format!("bench/scaling/t{t}/{stage}"));
+            let cps = cells / s;
+            rows.push(Json::Obj(vec![
+                ("stage", Json::Str(stage.into())),
+                ("workers", Json::Num(t as f64)),
+                ("cells_per_sec", Json::Num(cps)),
+                ("gcells_per_sec", Json::Num(cps / 1e9)),
+                ("speedup_vs_1_worker", Json::Num(cps / base_cps)),
+            ]));
+        }
+    }
+    Json::Obj(vec![
+        ("host_workers", Json::Num(configured_threads() as f64)),
+        ("rows", Json::Arr(rows)),
     ])
 }
 
@@ -353,6 +433,9 @@ fn main() {
     // Stage-3 Forward loops: striped odds-space vs the generic reference.
     let forward = forward_rows(&profile, &db, &trace);
 
+    // Pool scaling curve: every stage sweep at 1..N workers.
+    let scaling = scaling_rows(&msv, &vit, &profile, &db, &trace);
+
     // Full CPU funnel per backend through `Pipeline::search`; best of 3
     // traced runs (by total stage time), rows from that run's telemetry.
     let mut cpu_rows = Vec::new();
@@ -380,6 +463,7 @@ fn main() {
         ));
         cpu_rows.push(Json::Obj(vec![
             ("backend", Json::Str(backend.name().into())),
+            ("workers", Json::Num(pipe.pool().threads() as f64)),
             ("hits", Json::Num(best.hits.len() as f64)),
             ("stages", stage_rows(&tel, &best.stages)),
         ]));
@@ -429,12 +513,14 @@ fn main() {
         ("filter_loops", Json::Arr(filters)),
         ("batched_filter_loops", batched),
         ("forward_loops", forward),
+        ("scaling_curve", scaling),
         ("run_cpu", Json::Arr(cpu_rows)),
         (
             "run_gpu",
             Json::Obj(vec![
                 ("device", Json::Str("tesla_k40".into())),
                 ("backend_host_side", Json::Str(pipe.backend().name().into())),
+                ("workers", Json::Num(pipe.pool().threads() as f64)),
                 ("stages", stage_rows(&gpu_tel, &gpu.stages)),
             ]),
         ),

@@ -9,8 +9,9 @@
 //!    bit-exactly.
 //! 2. **The baseline the paper speeds up against** — [`striped_msv`] and
 //!    [`striped_vit`] are Farrar-striped SSE-style filters (emulated lanes
-//!    in [`simd`]), swept multi-core via Rayon in [`sweep`], standing in
-//!    for "HMMER 3.0 utilizing multi-core and SSE capabilities" (§IV).
+//!    in [`simd`]), swept multi-core via the `h3w-pool` work-stealing
+//!    pool in [`sweep`], standing in for "HMMER 3.0 utilizing multi-core
+//!    and SSE capabilities" (§IV).
 
 pub mod backend;
 pub mod batch;
@@ -40,8 +41,14 @@ pub use striped_fwd::{FwdBatchWorkspace, FwdMatrix, FwdWorkspace, StripedFwd};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{
-    batch_schedule_stats, fwd_scores_batched, length_binned_batches, msv_outcomes_batched,
-    msv_sweep, msv_sweep_batched, record_sweep, resolve_batch_width, ssv_outcomes_batched,
-    ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats, SweepTiming,
+    batch_schedule_stats, fwd_scores_batched, fwd_sweep_batched, length_binned_batches,
+    msv_outcomes_batched, msv_sweep, msv_sweep_batched, record_sweep, resolve_batch_width,
+    ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats,
+    SweepTiming,
 };
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};
+
+// The execution substrate the sweeps fan out on, re-exported so sweep
+// callers don't need their own `h3w-pool` dependency line.
+pub use h3w_pool;
+pub use h3w_pool::{PoolHandle, PoolStats, ThreadPool};

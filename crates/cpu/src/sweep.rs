@@ -2,8 +2,9 @@
 //!
 //! The paper's speedups are measured against "HMMER 3.0 utilizing
 //! multi-core and SSE capabilities on Intel Core i5 quad core" (§IV).
-//! This module is that baseline: the striped filters fanned across a Rayon
-//! pool, with measured cell throughput for the analytic speedup model.
+//! This module is that baseline: the striped filters fanned across the
+//! [`h3w_pool`] work-stealing pool, with measured cell throughput for the
+//! analytic speedup model.
 //!
 //! Two sweep shapes exist for the byte filters:
 //!
@@ -18,6 +19,13 @@
 //! Both produce bit-identical outcomes; the batched shape is faster
 //! because the single-sequence row loop is latency-bound (see
 //! [`crate::batch`]).
+//!
+//! Every sweep takes the [`ThreadPool`] to fan out on. Each parallel item
+//! (a batch, or a sequence) writes its result into the slot indexed by
+//! its original position, so outcomes are **bit-identical at every thread
+//! count**; per-worker workspace arenas are created lazily once per
+//! worker (the `map_collect_init` scratch pattern), so the steady-state
+//! hot loop still performs no allocation.
 
 use crate::backend::Backend;
 use crate::batch::{BatchWorkspace, MAX_BATCH};
@@ -30,8 +38,8 @@ use h3w_hmm::alphabet::Residue;
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::profile::Profile;
 use h3w_hmm::vitprofile::VitProfile;
+use h3w_pool::ThreadPool;
 use h3w_seqdb::{DigitalSeq, SeqDb};
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// Measured throughput of one sweep, with **both** cell denominators kept
@@ -175,9 +183,9 @@ pub fn resolve_batch_width(backend: Backend, requested: usize) -> usize {
 ///
 /// Sorting is what makes interleaving pay: batch members enter the fused
 /// loop near-lockstep, so almost no rows run below full width. Descending
-/// order also hands Rayon the long batches first, shrinking the tail.
-/// Callers scatter outcomes back through the returned indices, so output
-/// order is unaffected.
+/// order also hands the thread pool the long batches first, shrinking the
+/// work-stealing tail. Callers scatter outcomes back through the returned
+/// indices, so output order is unaffected.
 pub fn length_binned_batches(
     lens: &[usize],
     mask: Option<&[bool]>,
@@ -201,12 +209,13 @@ const ZERO_OUTCOME: MsvOutcome = MsvOutcome {
     score: 0.0,
 };
 
-/// Shared batched-sweep driver: schedule, score batches in parallel,
-/// scatter back to original order. The per-batch sequence refs and
-/// outcomes live in fixed [`MAX_BATCH`] arrays — a worker's only heap
-/// state is its `map_init` workspace arena, so the steady-state hot
-/// loop performs no allocation at all.
+/// Shared batched-sweep driver: schedule, score batches across the pool
+/// (workers steal whole batches), scatter back to original order. The
+/// per-batch sequence refs and outcomes live in fixed [`MAX_BATCH`]
+/// arrays — a worker's only heap state is its lazily-created workspace
+/// arena, so the steady-state hot loop performs no allocation at all.
 fn sweep_batched_with<F>(
+    pool: &ThreadPool,
     run_batch: &F,
     seqs: &[DigitalSeq],
     mask: Option<&[bool]>,
@@ -217,9 +226,9 @@ where
 {
     let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
     let batches = length_binned_batches(&lens, mask, width);
-    let scored: Vec<[MsvOutcome; MAX_BATCH]> = batches
-        .par_iter()
-        .map_init(BatchWorkspace::default, |ws, batch| {
+    let scored: Vec<[MsvOutcome; MAX_BATCH]> =
+        pool.map_collect_init(batches.len(), BatchWorkspace::default, |ws, b| {
+            let batch = &batches[b];
             let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
             for (r, &i) in refs.iter_mut().zip(batch.iter()) {
                 *r = &seqs[i].residues;
@@ -227,8 +236,7 @@ where
             let mut out = [ZERO_OUTCOME; MAX_BATCH];
             run_batch(&refs[..batch.len()], ws, &mut out[..batch.len()]);
             out
-        })
-        .collect();
+        });
     let mut result = vec![None; seqs.len()];
     for (batch, outs) in batches.iter().zip(scored) {
         for (&i, o) in batch.iter().zip(outs) {
@@ -245,6 +253,7 @@ where
 /// independent, so scores are bit-identical at every width and on every
 /// backend.
 pub fn fwd_scores_batched(
+    pool: &ThreadPool,
     striped: &StripedFwd,
     p: &Profile,
     seqs: &[DigitalSeq],
@@ -254,9 +263,9 @@ pub fn fwd_scores_batched(
     let width = resolve_batch_width(striped.backend(), width);
     let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
     let batches = length_binned_batches(&lens, mask, width);
-    let scored: Vec<[f32; MAX_BATCH]> = batches
-        .par_iter()
-        .map_init(FwdBatchWorkspace::default, |ws, batch| {
+    let scored: Vec<[f32; MAX_BATCH]> =
+        pool.map_collect_init(batches.len(), FwdBatchWorkspace::default, |ws, b| {
+            let batch = &batches[b];
             let mut refs: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
             for (r, &i) in refs.iter_mut().zip(batch.iter()) {
                 *r = &seqs[i].residues;
@@ -264,8 +273,7 @@ pub fn fwd_scores_batched(
             let mut out = [0f32; MAX_BATCH];
             striped.run_batch_into(p, &refs[..batch.len()], ws, &mut out[..batch.len()]);
             out
-        })
-        .collect();
+        });
     let mut result = vec![None; seqs.len()];
     for (batch, outs) in batches.iter().zip(scored) {
         for (&i, s) in batch.iter().zip(outs) {
@@ -279,6 +287,7 @@ pub fn fwd_scores_batched(
 /// (`None` = all), in original sequence order. `width = 0` auto-selects
 /// the backend's preferred interleave.
 pub fn msv_outcomes_batched(
+    pool: &ThreadPool,
     striped: &StripedMsv,
     om: &MsvProfile,
     seqs: &[DigitalSeq],
@@ -287,6 +296,7 @@ pub fn msv_outcomes_batched(
 ) -> Vec<Option<MsvOutcome>> {
     let width = resolve_batch_width(striped.backend(), width);
     sweep_batched_with(
+        pool,
         &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
             striped.run_batch_into(om, refs, ws, out)
         },
@@ -299,6 +309,7 @@ pub fn msv_outcomes_batched(
 /// Batched SSV outcomes for the `mask`-selected subset of `seqs`
 /// (`None` = all), in original sequence order.
 pub fn ssv_outcomes_batched(
+    pool: &ThreadPool,
     striped: &StripedSsv,
     om: &MsvProfile,
     seqs: &[DigitalSeq],
@@ -307,6 +318,7 @@ pub fn ssv_outcomes_batched(
 ) -> Vec<Option<MsvOutcome>> {
     let width = resolve_batch_width(striped.backend(), width);
     sweep_batched_with(
+        pool,
         &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
             striped.run_batch_into(om, refs, ws, out)
         },
@@ -318,14 +330,12 @@ pub fn ssv_outcomes_batched(
 
 /// MSV-filter every sequence of a database in parallel (one task per
 /// sequence).
-pub fn msv_sweep(om: &MsvProfile, db: &SeqDb) -> (Vec<MsvOutcome>, SweepTiming) {
+pub fn msv_sweep(pool: &ThreadPool, om: &MsvProfile, db: &SeqDb) -> (Vec<MsvOutcome>, SweepTiming) {
     let striped = StripedMsv::new(om);
     let start = Instant::now();
-    let outcomes: Vec<MsvOutcome> = db
-        .seqs
-        .par_iter()
-        .map_init(Vec::new, |dp, seq| striped.run_into(om, &seq.residues, dp))
-        .collect();
+    let outcomes: Vec<MsvOutcome> = pool.map_collect_init(db.len(), Vec::new, |dp, i| {
+        striped.run_into(om, &db.seqs[i].residues, dp)
+    });
     let secs = start.elapsed().as_secs_f64();
     let res = db.total_residues();
     (
@@ -342,13 +352,14 @@ pub fn msv_sweep(om: &MsvProfile, db: &SeqDb) -> (Vec<MsvOutcome>, SweepTiming) 
 /// (length-binned schedule, one task per batch). Outcomes are
 /// bit-identical to [`msv_sweep`], in original order.
 pub fn msv_sweep_batched(
+    pool: &ThreadPool,
     om: &MsvProfile,
     db: &SeqDb,
     width: usize,
 ) -> (Vec<MsvOutcome>, SweepTiming) {
     let striped = StripedMsv::new(om);
     let start = Instant::now();
-    let outcomes: Vec<MsvOutcome> = msv_outcomes_batched(&striped, om, &db.seqs, None, width)
+    let outcomes: Vec<MsvOutcome> = msv_outcomes_batched(pool, &striped, om, &db.seqs, None, width)
         .into_iter()
         .map(|o| o.expect("unmasked batched sweep scores every sequence"))
         .collect();
@@ -366,13 +377,14 @@ pub fn msv_sweep_batched(
 
 /// SSV-filter every sequence with the interleaved batch kernels.
 pub fn ssv_sweep_batched(
+    pool: &ThreadPool,
     om: &MsvProfile,
     db: &SeqDb,
     width: usize,
 ) -> (Vec<MsvOutcome>, SweepTiming) {
     let striped = StripedSsv::new(om);
     let start = Instant::now();
-    let outcomes: Vec<MsvOutcome> = ssv_outcomes_batched(&striped, om, &db.seqs, None, width)
+    let outcomes: Vec<MsvOutcome> = ssv_outcomes_batched(pool, &striped, om, &db.seqs, None, width)
         .into_iter()
         .map(|o| o.expect("unmasked batched sweep scores every sequence"))
         .collect();
@@ -388,17 +400,45 @@ pub fn ssv_sweep_batched(
     )
 }
 
+/// Forward-score every sequence with the striped odds-space batch
+/// kernels (length-binned schedule, one pool task per batch). Scores are
+/// in original order; timing counts real Forward cells (`3·M·L`).
+pub fn fwd_sweep_batched(
+    pool: &ThreadPool,
+    p: &Profile,
+    db: &SeqDb,
+    width: usize,
+) -> (Vec<f32>, SweepTiming) {
+    let striped = StripedFwd::new(p);
+    let start = Instant::now();
+    let scores: Vec<f32> = fwd_scores_batched(pool, &striped, p, &db.seqs, None, width)
+        .into_iter()
+        .map(|s| s.expect("unmasked batched sweep scores every sequence"))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    let res = db.total_residues();
+    (
+        scores,
+        timing(
+            secs,
+            striped.real_cells_per_row() * res,
+            striped.padded_cells_per_row() * res,
+        ),
+    )
+}
+
 /// Viterbi-filter every sequence of a database in parallel.
-pub fn vit_sweep(om: &VitProfile, db: &SeqDb) -> (Vec<VitOutcome>, SweepTiming, LazyFStats) {
+pub fn vit_sweep(
+    pool: &ThreadPool,
+    om: &VitProfile,
+    db: &SeqDb,
+) -> (Vec<VitOutcome>, SweepTiming, LazyFStats) {
     let striped = StripedVit::new(om);
     let start = Instant::now();
-    let results: Vec<(VitOutcome, LazyFStats)> = db
-        .seqs
-        .par_iter()
-        .map_init(VitWorkspace::default, |ws, seq| {
-            striped.run_into(om, &seq.residues, ws)
-        })
-        .collect();
+    let results: Vec<(VitOutcome, LazyFStats)> =
+        pool.map_collect_init(db.len(), VitWorkspace::default, |ws, i| {
+            striped.run_into(om, &db.seqs[i].residues, ws)
+        });
     let secs = start.elapsed().as_secs_f64();
     let mut agg = LazyFStats::default();
     let mut outcomes = Vec::with_capacity(results.len());
@@ -424,6 +464,7 @@ pub fn vit_sweep(om: &VitProfile, db: &SeqDb) -> (Vec<VitOutcome>, SweepTiming, 
 /// Viterbi-filter only the subset of sequences selected by `mask`
 /// (the post-MSV survivors in the pipeline).
 pub fn vit_sweep_masked(
+    pool: &ThreadPool,
     om: &VitProfile,
     db: &SeqDb,
     mask: &[bool],
@@ -431,14 +472,10 @@ pub fn vit_sweep_masked(
     assert_eq!(mask.len(), db.len());
     let striped = StripedVit::new(om);
     let start = Instant::now();
-    let outcomes: Vec<Option<VitOutcome>> = db
-        .seqs
-        .par_iter()
-        .zip(mask.par_iter())
-        .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
-            keep.then(|| striped.run_into(om, &seq.residues, ws).0)
-        })
-        .collect();
+    let outcomes: Vec<Option<VitOutcome>> =
+        pool.map_collect_init(db.len(), VitWorkspace::default, |ws, i| {
+            mask[i].then(|| striped.run_into(om, &db.seqs[i].residues, ws).0)
+        });
     let secs = start.elapsed().as_secs_f64();
     let res: u64 = db
         .seqs
@@ -623,11 +660,15 @@ mod tests {
         )
     }
 
+    fn pool() -> &'static ThreadPool {
+        ThreadPool::global()
+    }
+
     #[test]
     fn parallel_sweep_matches_serial_scalar() {
         let (msv, vit, db) = setup();
-        let (m_out, m_t) = msv_sweep(&msv, &db);
-        let (v_out, _, _) = vit_sweep(&vit, &db);
+        let (m_out, m_t) = msv_sweep(pool(), &msv, &db);
+        let (v_out, _, _) = vit_sweep(pool(), &vit, &db);
         assert_eq!(m_out.len(), db.len());
         assert_eq!(v_out.len(), db.len());
         for (i, seq) in db.seqs.iter().enumerate() {
@@ -643,18 +684,34 @@ mod tests {
     #[test]
     fn batched_sweep_matches_per_sequence_sweep() {
         let (msv, _, db) = setup();
-        let (want, _) = msv_sweep(&msv, &db);
+        let (want, _) = msv_sweep(pool(), &msv, &db);
         for width in [0usize, 1, 2, 3, 4] {
-            let (got, t) = msv_sweep_batched(&msv, &db, width);
+            let (got, t) = msv_sweep_batched(pool(), &msv, &db, width);
             assert_eq!(want, got, "width={width}");
             assert_eq!(t.real_cells, 40 * db.total_residues());
         }
     }
 
     #[test]
+    fn sweeps_are_bit_identical_at_every_thread_count() {
+        let (msv, vit, db) = setup();
+        let one = ThreadPool::new(1);
+        let (m_want, _) = msv_sweep_batched(&one, &msv, &db, 0);
+        let (v_want, _, lf_want) = vit_sweep(&one, &vit, &db);
+        for threads in [2usize, 4, 8] {
+            let p = ThreadPool::new(threads);
+            let (m_got, _) = msv_sweep_batched(&p, &msv, &db, 0);
+            let (v_got, _, lf_got) = vit_sweep(&p, &vit, &db);
+            assert_eq!(m_want, m_got, "MSV, threads={threads}");
+            assert_eq!(v_want, v_got, "Viterbi, threads={threads}");
+            assert_eq!(lf_want, lf_got, "Lazy-F stats, threads={threads}");
+        }
+    }
+
+    #[test]
     fn batched_ssv_sweep_matches_scalar_spec() {
         let (msv, _, db) = setup();
-        let (got, t) = ssv_sweep_batched(&msv, &db, 0);
+        let (got, t) = ssv_sweep_batched(pool(), &msv, &db, 0);
         for (i, seq) in db.seqs.iter().enumerate() {
             assert_eq!(got[i], ssv_filter_scalar(&msv, &seq.residues), "seq {i}");
         }
@@ -666,7 +723,7 @@ mod tests {
         let (msv, _, db) = setup();
         let striped = StripedMsv::new(&msv);
         let mask: Vec<bool> = (0..db.len()).map(|i| i % 3 != 1).collect();
-        let got = msv_outcomes_batched(&striped, &msv, &db.seqs, Some(&mask), 0);
+        let got = msv_outcomes_batched(pool(), &striped, &msv, &db.seqs, Some(&mask), 0);
         for (i, seq) in db.seqs.iter().enumerate() {
             match got[i] {
                 Some(o) => {
@@ -747,7 +804,7 @@ mod tests {
         let mut mask = vec![false; db.len()];
         mask[0] = true;
         mask[db.len() - 1] = true;
-        let (out, t) = vit_sweep_masked(&vit, &db, &mask);
+        let (out, t) = vit_sweep_masked(pool(), &vit, &db, &mask);
         assert!(out[0].is_some());
         assert!(out[1].is_none());
         assert!(out[db.len() - 1].is_some());
@@ -766,7 +823,7 @@ mod tests {
         let striped = StripedFwd::new(&p);
         let mask: Vec<bool> = (0..db.len()).map(|i| i % 4 != 2).collect();
         for width in [0usize, 1, 3, 4] {
-            let got = fwd_scores_batched(&striped, &p, &db.seqs, Some(&mask), width);
+            let got = fwd_scores_batched(pool(), &striped, &p, &db.seqs, Some(&mask), width);
             for (i, seq) in db.seqs.iter().enumerate() {
                 match got[i] {
                     Some(s) => {

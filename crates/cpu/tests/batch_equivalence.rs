@@ -157,8 +157,9 @@ proptest! {
         let mask: Vec<bool> = (0..10).map(|i| mask_bits & (1 << i) != 0).collect();
         let striped_msv = StripedMsv::new(&om);
         let striped_ssv = StripedSsv::new(&om);
-        let got_msv = msv_outcomes_batched(&striped_msv, &om, &seqs, Some(&mask), 0);
-        let got_ssv = ssv_outcomes_batched(&striped_ssv, &om, &seqs, Some(&mask), 0);
+        let pool = h3w_cpu::ThreadPool::global();
+        let got_msv = msv_outcomes_batched(pool, &striped_msv, &om, &seqs, Some(&mask), 0);
+        let got_ssv = ssv_outcomes_batched(pool, &striped_ssv, &om, &seqs, Some(&mask), 0);
         for i in 0..10 {
             prop_assert_eq!(got_msv[i].is_some(), mask[i]);
             prop_assert_eq!(got_ssv[i].is_some(), mask[i]);

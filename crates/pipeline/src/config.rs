@@ -45,6 +45,12 @@ pub struct PipelineConfig {
     /// code (see DESIGN.md) — but the oracle remains one flag away for
     /// A/B validation and drift triage.
     pub fwd_generic: bool,
+    /// CPU worker threads for the sweep fan-out: `0` (the default) shares
+    /// the process-global pool sized by `H3W_THREADS` / available
+    /// parallelism; `n ≥ 1` gives this pipeline a dedicated `n`-thread
+    /// pool. Hits, funnels, and reports are bit-identical at every
+    /// setting — threads only change wall time.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +65,7 @@ impl Default for PipelineConfig {
             f0: 0.08,
             batch: 0,
             fwd_generic: false,
+            threads: 0,
         }
     }
 }
@@ -76,6 +83,7 @@ impl PipelineConfig {
             f0: 1.0,
             batch: 0,
             fwd_generic: false,
+            threads: 0,
         }
     }
 
@@ -116,6 +124,12 @@ impl PipelineConfig {
                 max: MAX_BATCH,
             });
         }
+        if self.threads > h3w_cpu::h3w_pool::MAX_THREADS {
+            return Err(ConfigError::Threads {
+                requested: self.threads,
+                max: h3w_cpu::h3w_pool::MAX_THREADS,
+            });
+        }
         Ok(())
     }
 }
@@ -146,6 +160,14 @@ pub enum ConfigError {
         /// The kernels' maximum interleave.
         max: usize,
     },
+    /// Thread count beyond the pool's hard ceiling
+    /// (`0` = share the global pool, always accepted).
+    Threads {
+        /// The rejected thread count.
+        requested: usize,
+        /// The pool's `MAX_THREADS` ceiling.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -167,6 +189,12 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "batch width {requested} exceeds the kernel maximum {max} (0 = auto)"
+                )
+            }
+            ConfigError::Threads { requested, max } => {
+                write!(
+                    f,
+                    "thread count {requested} exceeds the pool maximum {max} (0 = auto)"
                 )
             }
         }
@@ -237,6 +265,13 @@ impl PipelineConfigBuilder {
     /// Score stage 3 with the generic log-space Forward oracle.
     pub fn fwd_generic(mut self, on: bool) -> Self {
         self.config.fwd_generic = on;
+        self
+    }
+
+    /// CPU worker threads for the sweep fan-out (`0` = share the global
+    /// pool sized by `H3W_THREADS` / available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
         self
     }
 
@@ -362,6 +397,44 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_threads_beyond_pool_ceiling() {
+        use h3w_cpu::h3w_pool::MAX_THREADS;
+        let err = PipelineConfig::builder()
+            .threads(MAX_THREADS + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Threads {
+                requested: MAX_THREADS + 1,
+                max: MAX_THREADS
+            }
+        );
+        // 0 = shared global pool, explicit small counts, and the ceiling
+        // itself are all valid.
+        assert_eq!(
+            PipelineConfig::builder()
+                .threads(0)
+                .build()
+                .unwrap()
+                .threads,
+            0
+        );
+        assert_eq!(
+            PipelineConfig::builder()
+                .threads(4)
+                .build()
+                .unwrap()
+                .threads,
+            4
+        );
+        assert!(PipelineConfig::builder()
+            .threads(MAX_THREADS)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn config_errors_render_for_cli_use() {
         // guarded_main prints these verbatim; each must name the field.
         assert!(ConfigError::F0WithoutSsv.to_string().contains("ssv"));
@@ -377,5 +450,10 @@ mod tests {
         assert!(e.to_string().contains("99") && e.to_string().contains('8'));
         let e = ConfigError::ReportEvalue { value: -3.0 };
         assert!(e.to_string().contains("-3"));
+        let e = ConfigError::Threads {
+            requested: 1000,
+            max: 512,
+        };
+        assert!(e.to_string().contains("1000") && e.to_string().contains("512"));
     }
 }

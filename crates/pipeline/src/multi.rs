@@ -11,9 +11,9 @@
 use crate::config::PipelineConfig;
 use crate::report::Hit;
 use crate::run::{ExecPlan, Pipeline};
+use h3w_cpu::ThreadPool;
 use h3w_hmm::plan7::CoreModel;
 use h3w_seqdb::SeqDb;
-use rayon::prelude::*;
 
 /// Hits of one query model against the database.
 #[derive(Debug, Clone)]
@@ -39,32 +39,31 @@ pub struct TargetMatch {
     pub evalue: f64,
 }
 
-/// Search every model against the database. Queries run across the Rayon
-/// pool; the per-query sweeps are themselves Rayon-parallel, which nests
-/// safely under work-stealing. Calibration is seeded per model for
-/// determinism.
+/// Search every model against the database. Queries fan out across the
+/// global work-stealing pool; the per-query sweeps detect they are
+/// already on a pool worker and run inline, so model-level parallelism
+/// owns the cores without oversubscription (and without deadlock).
+/// Calibration is seeded per model for determinism, and results come back
+/// in model order regardless of thread count.
 pub fn scan(
     models: &[CoreModel],
     db: &SeqDb,
     config: PipelineConfig,
     seed: u64,
 ) -> Vec<FamilyResult> {
-    models
-        .par_iter()
-        .enumerate()
-        .map(|(qi, model)| {
-            let pipe = Pipeline::prepare(model, config, seed ^ (qi as u64) << 17);
-            let res = pipe
-                .search(db, &ExecPlan::Cpu)
-                .expect("the CPU plan cannot fail");
-            FamilyResult {
-                family: model.name.clone(),
-                m: model.len(),
-                hits: res.hits,
-                passed: (res.stages[0].seqs_out, res.stages[1].seqs_out),
-            }
-        })
-        .collect()
+    ThreadPool::global().map_collect(models.len(), |qi| {
+        let model = &models[qi];
+        let pipe = Pipeline::prepare(model, config, seed ^ (qi as u64) << 17);
+        let res = pipe
+            .search(db, &ExecPlan::Cpu)
+            .expect("the CPU plan cannot fail");
+        FamilyResult {
+            family: model.name.clone(),
+            m: model.len(),
+            hits: res.hits,
+            passed: (res.stages[0].seqs_out, res.stages[1].seqs_out),
+        }
+    })
 }
 
 /// Invert family results into the per-target view: for each target that

@@ -24,7 +24,8 @@ use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
 use h3w_cpu::{
     batch_schedule_stats, fwd_scores_batched, msv_outcomes_batched, posterior_decode_with,
-    resolve_batch_width, ssv_outcomes_batched, Backend, BatchWorkspace, StripedSsv,
+    resolve_batch_width, ssv_outcomes_batched, Backend, BatchWorkspace, PoolHandle, StripedSsv,
+    ThreadPool,
 };
 use h3w_hmm::calibrate::{self, Calibration};
 use h3w_hmm::msvprofile::MsvProfile;
@@ -35,7 +36,6 @@ use h3w_hmm::NullModel;
 use h3w_seqdb::{PackedDb, SeqDb};
 use h3w_simt::DeviceSpec;
 use h3w_trace::{Telemetry, Trace};
-use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -130,6 +130,9 @@ pub struct Pipeline {
     /// `null1(L)` for `L ∈ 0..NULL1_TABLE_LEN`, hoisting the per-call
     /// `NullModel` clone out of [`Pipeline::corrected`].
     null1: Vec<f32>,
+    /// The thread pool every host sweep fans out on: the shared global
+    /// pool when `config.threads == 0`, a dedicated pool otherwise.
+    pool: PoolHandle,
 }
 
 impl Pipeline {
@@ -217,6 +220,7 @@ impl Pipeline {
             backend,
             ssv,
             null1,
+            pool: PoolHandle::with_threads(config.threads),
         }
     }
 
@@ -224,6 +228,12 @@ impl Pipeline {
     /// MSV and Viterbi filters; see `h3w_cpu::Backend::detect`).
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The thread pool this pipeline's host sweeps fan out on (the shared
+    /// global pool unless `config.threads` asked for a dedicated one).
+    pub fn pool(&self) -> &ThreadPool {
+        self.pool.pool()
     }
 
     /// Null-corrected score: `raw − null1(len)` (nats). Table lookup for
@@ -340,6 +350,10 @@ impl Pipeline {
         let n = db.len();
         let mut journal = SweepTrace::default();
         let mut degraded = false;
+        // Pool occupancy/steal accounting is a snapshot delta taken
+        // outside every timed region; with a disabled trace it costs
+        // nothing at all.
+        let pool_before = trace.is_on().then(|| self.pool().stats());
 
         // Device plans pack the database exactly once; both survivor
         // hand-offs below are zero-copy index subsets into this packing.
@@ -553,6 +567,14 @@ impl Pipeline {
         }
         let result = self.assemble(db, msv_scores, vit_scores, fwd_scores, stages);
         trace.add("pipeline/hits", "reported", result.hits.len() as u64);
+        if let Some(before) = pool_before {
+            // Per-worker spans and occupancy/steal counters for this
+            // search's fan-outs (the `--profile` pool table).
+            self.pool()
+                .stats()
+                .delta(&before)
+                .record_into(trace, "pipeline/pool");
+        }
         drop(whole);
         Ok(SearchReport {
             result,
@@ -577,16 +599,24 @@ impl Pipeline {
         let t0 = Instant::now();
         let pre = if with_ssv { self.ssv.as_ref() } else { None };
         let pass0: Option<Vec<bool>> = pre.map(|pre| {
-            ssv_outcomes_batched(&pre.striped, &self.msv, &db.seqs, None, self.config.batch)
-                .iter()
-                .zip(&db.seqs)
-                .map(|(o, q)| {
-                    let sc = o.expect("unmasked sweep scores everything").score;
-                    self.ssv_pvalue(sc, q.len()) < self.config.f0
-                })
-                .collect()
+            ssv_outcomes_batched(
+                self.pool(),
+                &pre.striped,
+                &self.msv,
+                &db.seqs,
+                None,
+                self.config.batch,
+            )
+            .iter()
+            .zip(&db.seqs)
+            .map(|(o, q)| {
+                let sc = o.expect("unmasked sweep scores everything").score;
+                self.ssv_pvalue(sc, q.len()) < self.config.f0
+            })
+            .collect()
         });
         let msv_out = msv_outcomes_batched(
+            self.pool(),
             &self.striped_msv,
             &self.msv,
             &db.seqs,
@@ -623,23 +653,20 @@ impl Pipeline {
         (scores, eligible, secs)
     }
 
-    /// Host stage 2: the Rayon-parallel striped Viterbi filter over a
+    /// Host stage 2: the pool-parallel striped Viterbi filter over a
     /// survivor mask (also the fault-tolerant plan's CPU fallback).
     fn vit_stage_host(&self, db: &SeqDb, pass1: &[bool]) -> (Vec<Option<f32>>, f64) {
         let t1 = Instant::now();
-        let scores: Vec<Option<f32>> = db
-            .seqs
-            .par_iter()
-            .zip(pass1.par_iter())
-            .map_init(VitWorkspace::default, |ws, (seq, &keep)| {
-                keep.then(|| {
-                    self.striped_vit
-                        .run_into(&self.vit, &seq.residues, ws)
-                        .0
-                        .score
-                })
-            })
-            .collect();
+        let scores: Vec<Option<f32>> =
+            self.pool()
+                .map_collect_init(db.len(), VitWorkspace::default, |ws, i| {
+                    pass1[i].then(|| {
+                        self.striped_vit
+                            .run_into(&self.vit, &db.seqs[i].residues, ws)
+                            .0
+                            .score
+                    })
+                });
         (scores, t1.elapsed().as_secs_f64())
     }
 
@@ -661,13 +688,12 @@ impl Pipeline {
     pub(crate) fn forward_stage(&self, db: &SeqDb, pass2: &[bool]) -> (Vec<Option<f32>>, f64) {
         let t = Instant::now();
         let scores = if self.config.fwd_generic {
-            db.seqs
-                .par_iter()
-                .zip(pass2.par_iter())
-                .map(|(seq, &keep)| keep.then(|| forward_generic(&self.profile, &seq.residues)))
-                .collect()
+            self.pool().map_collect(db.len(), |i| {
+                pass2[i].then(|| forward_generic(&self.profile, &db.seqs[i].residues))
+            })
         } else {
             fwd_scores_batched(
+                self.pool(),
                 &self.striped_fwd,
                 &self.profile,
                 &db.seqs,
@@ -909,6 +935,44 @@ mod tests {
     }
 
     #[test]
+    fn thread_counts_are_bit_identical_in_cpu_search() {
+        // The acceptance bar for the work-stealing pool: the worker count
+        // changes wall time only — hits, scores, and funnel counters are
+        // bit-identical because every sweep writes results by original
+        // sequence position.
+        let core = synthetic_model(80, 42, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.02;
+        let db = generate(&spec, Some(&core), 3);
+        let cfg = PipelineConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let base = Pipeline::prepare(&core, cfg, 7)
+            .search(&db, &ExecPlan::Cpu)
+            .unwrap();
+        assert!(!base.hits.is_empty());
+        for threads in [2usize, 4, 8] {
+            let cfg = PipelineConfig {
+                threads,
+                ..Default::default()
+            };
+            let res = Pipeline::prepare(&core, cfg, 7)
+                .search(&db, &ExecPlan::Cpu)
+                .unwrap();
+            assert_eq!(base.hits, res.hits, "threads {threads}: hit list diverged");
+            for (a, b) in base.stages.iter().zip(&res.stages) {
+                assert_eq!(
+                    (a.seqs_in, a.seqs_out, a.residues_in),
+                    (b.seqs_in, b.seqs_out, b.residues_in),
+                    "threads {threads}: funnel diverged at {}",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn ssv_prefilter_cuts_background_but_keeps_hits() {
         let core = synthetic_model(80, 42, &BuildParams::default());
         let mut spec = DbGenSpec::envnr_like().scaled(0.0004);
@@ -1017,6 +1081,13 @@ mod tests {
             tel.at_path("pipeline/hits").unwrap().counter("reported"),
             traced.result.hits.len() as u64
         );
+        // The pool occupancy node mirrors this search's fan-outs: one
+        // child per worker, and the task total covers at least the three
+        // stage sweeps' items.
+        let pool_node = tel.at_path("pipeline/pool").expect("pool telemetry");
+        assert_eq!(pool_node.counter("workers"), pipe.pool().threads() as u64);
+        assert!(pool_node.counter("tasks") > 0);
+        assert!(tel.at_path("pipeline/pool/worker0").is_some());
         // A disabled trace yields no telemetry and the same results.
         let off = pipe
             .search_traced(&db, &ExecPlan::Cpu, &Trace::off())

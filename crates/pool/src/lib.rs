@@ -1,0 +1,745 @@
+//! # h3w-pool — the workspace's multicore execution substrate
+//!
+//! A dependency-free work-stealing thread pool over `std::thread` +
+//! `std::sync`, built for the one shape every CPU sweep in this workspace
+//! has: a **parallel indexed map** — `n` independent items (sequences,
+//! length-binned batches, simulated device blocks) whose results land in
+//! slot `i` of a pre-sized output. Because results are keyed by item
+//! index, the outcome is **bit-identical at every thread count**: which
+//! worker computes an item never changes where (or what) it writes.
+//!
+//! ## Scheduling model
+//!
+//! Each job partitions `0..len` into one contiguous shard per worker
+//! (a *sharded injector queue*). A worker drains its own shard front to
+//! back — cache-friendly, and descending-length batch schedules keep the
+//! long work early — then **steals** from the other shards in round-robin
+//! order until every queue is empty. Claims are single `fetch_add`s on
+//! the shard cursor, so there is no lock on the hot path and the
+//! length-skew tail of a sweep is absorbed by whichever workers finish
+//! first. The caller participates as worker 0, so a pool of `t` threads
+//! spawns `t − 1` workers and an idle pool parks them on a condvar
+//! (no spinning).
+//!
+//! ## Sizing
+//!
+//! [`ThreadPool::global`] is sized once from `H3W_THREADS` (a positive
+//! integer) or, when unset, from [`std::thread::available_parallelism`].
+//! Code that wants an explicit width builds its own [`ThreadPool::new`]
+//! or a [`PoolHandle`] (`0` = share the global pool).
+//!
+//! ## Guarantees
+//!
+//! * **Determinism** — outputs are indexed; thread count, steal order and
+//!   shard geometry are invisible in the results.
+//! * **Panic isolation** — a panicking task never poisons the pool or
+//!   deadlocks a job. Remaining items still run; the first panic payload
+//!   is re-raised on the *caller* after the job completes, and the pool
+//!   stays usable.
+//! * **No nested fan-out** — a task that itself runs a parallel map
+//!   executes it inline on its worker (the model-level fan-out in
+//!   `h3w-pipeline::multi::scan` already owns the cores). This also makes
+//!   re-entrant use impossible to deadlock.
+//! * **Observability** — per-worker task/steal/busy counters accumulate
+//!   across the pool's lifetime; [`PoolStats::record_into`] mirrors them
+//!   into an `h3w-trace` tree (the `hmmsearch --profile` pool table).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard ceiling on pool width — far above any host this targets; exists
+/// so a typo'd `H3W_THREADS=1e9` or config value cannot spawn unbounded
+/// threads.
+pub const MAX_THREADS: usize = 512;
+
+/// Pool width the environment asks for: `H3W_THREADS` when set to a
+/// positive integer (clamped to [`MAX_THREADS`]), otherwise the host's
+/// available parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("H3W_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => available_threads(),
+        },
+        Err(_) => available_threads(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Poison-tolerant lock: a panic payload crossing a pool lock (re-raised
+/// panics from tasks) must not brick the pool for later jobs.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// True while this thread is executing pool tasks (worker threads and
+    /// participating callers alike). A `run` issued from such a thread
+    /// executes inline — nested parallelism never deadlocks and never
+    /// oversubscribes.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One shard of a job's index space: claims advance `next` towards `end`.
+struct Shard {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// A dispatched parallel map. The erased task borrow is only dereferenced
+/// for claimed items, and `ThreadPool::run_indexed` blocks until every
+/// claimed item has finished — so the `'static` lie below never outlives
+/// the real borrow.
+struct Job {
+    task: &'static (dyn Fn(usize, usize) + Sync),
+    shards: Box<[Shard]>,
+    /// Items not yet finished; the worker that takes this to 0 signals.
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload from any task, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Job {
+    fn new(task: &'static (dyn Fn(usize, usize) + Sync), len: usize, workers: usize) -> Job {
+        let shards = (0..workers)
+            .map(|w| {
+                let start = len * w / workers;
+                let end = len * (w + 1) / workers;
+                Shard {
+                    next: AtomicUsize::new(start),
+                    end,
+                }
+            })
+            .collect();
+        Job {
+            task,
+            shards,
+            remaining: AtomicUsize::new(len),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// What the parked workers watch: a job sequence number plus the current
+/// job (if any) and the shutdown flag.
+struct Inbox {
+    seq: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct WorkerCounters {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+struct Shared {
+    inbox: Mutex<Inbox>,
+    wake: Condvar,
+    jobs: AtomicU64,
+    inline_jobs: AtomicU64,
+    workers: Vec<WorkerCounters>,
+    shutting_down: AtomicBool,
+}
+
+/// Cumulative counters of one worker slot (slot 0 is the participating
+/// caller thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Items this worker executed.
+    pub tasks: u64,
+    /// Items claimed from another worker's shard.
+    pub steals: u64,
+    /// Nanoseconds spent inside job execution loops.
+    pub busy_ns: u64,
+}
+
+/// A snapshot of a pool's cumulative counters; subtract two snapshots
+/// with [`PoolStats::delta`] to meter one region (e.g. one
+/// `Pipeline::search`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel jobs dispatched to the workers.
+    pub jobs: u64,
+    /// Jobs executed inline (single-thread pool, nested call, or a
+    /// too-small item count).
+    pub inline_jobs: u64,
+    /// Per-worker counters, index = worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total items executed.
+    pub fn tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total cross-shard steals.
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total busy time across workers, in seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64 * 1e-9
+    }
+
+    /// Counters accumulated since `earlier` (a previous snapshot of the
+    /// same pool). Saturating, so a mismatched snapshot cannot panic.
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let e = earlier.workers.get(i).copied().unwrap_or_default();
+                WorkerStats {
+                    tasks: w.tasks.saturating_sub(e.tasks),
+                    steals: w.steals.saturating_sub(e.steals),
+                    busy_ns: w.busy_ns.saturating_sub(e.busy_ns),
+                }
+            })
+            .collect();
+        PoolStats {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            inline_jobs: self.inline_jobs.saturating_sub(earlier.inline_jobs),
+            workers,
+        }
+    }
+
+    /// Mirror these counters into a telemetry tree at `path`: pool-level
+    /// `workers`/`jobs`/`inline_jobs`/`tasks`/`steals` counters plus one
+    /// child node per worker carrying its task/steal counters and a span
+    /// with its busy seconds (the occupancy numerator).
+    pub fn record_into(&self, trace: &h3w_trace::Trace, path: &str) {
+        if !trace.is_on() {
+            return;
+        }
+        trace.add(path, "workers", self.workers.len() as u64);
+        trace.add(path, "jobs", self.jobs);
+        trace.add(path, "inline_jobs", self.inline_jobs);
+        trace.add(path, "tasks", self.tasks());
+        trace.add(path, "steals", self.steals());
+        for (i, w) in self.workers.iter().enumerate() {
+            let wpath = format!("{path}/worker{i}");
+            trace.add(&wpath, "tasks", w.tasks);
+            trace.add(&wpath, "steals", w.steals);
+            trace.add(&wpath, "busy_us", w.busy_ns / 1_000);
+            trace.add_secs(&wpath, w.busy_ns as f64 * 1e-9);
+        }
+    }
+}
+
+/// A work-stealing thread pool; see the crate docs for the model.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes job dispatch from concurrent callers (the inbox holds
+    /// one job at a time).
+    dispatch: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// A pool executing on `threads` threads total (the calling thread
+    /// participates, so `threads − 1` workers are spawned). Clamped to
+    /// `1..=`[`MAX_THREADS`].
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(Shared {
+            inbox: Mutex::new(Inbox {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            jobs: AtomicU64::new(0),
+            inline_jobs: AtomicU64::new(0),
+            workers: (0..threads)
+                .map(|_| WorkerCounters {
+                    tasks: AtomicU64::new(0),
+                    steals: AtomicU64::new(0),
+                    busy_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("h3w-pool-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            threads,
+            handles,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide shared pool, created on first use and sized by
+    /// [`configured_threads`] (`H3W_THREADS` or available parallelism).
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
+    }
+
+    /// Total execution width (spawned workers + the participating caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot the cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            inline_jobs: self.shared.inline_jobs.load(Ordering::Relaxed),
+            workers: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    tasks: w.tasks.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                    busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Run `f(worker, item)` for every `item in 0..len`, fanned across
+    /// the pool. Blocks until every item has finished; re-raises the
+    /// first task panic on the caller. `worker` is a stable scratch index
+    /// in `0..threads()` — items executed by the same worker see the same
+    /// index, which is what the per-worker workspace pattern keys on.
+    pub fn run_indexed<F: Fn(usize, usize) + Sync>(&self, len: usize, f: F) {
+        if len == 0 {
+            return;
+        }
+        let was_nested = IN_POOL.with(|c| c.replace(true));
+        if was_nested || self.threads == 1 || len == 1 {
+            // Inline: single-thread pools, nested fan-out, and degenerate
+            // lengths all run right here, bit-identically.
+            let t0 = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..len {
+                    f(0, i);
+                }
+            }));
+            let w0 = &self.shared.workers[0];
+            w0.tasks.fetch_add(len as u64, Ordering::Relaxed);
+            w0.busy_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.shared.inline_jobs.fetch_add(1, Ordering::Relaxed);
+            IN_POOL.with(|c| c.set(was_nested));
+            if let Err(payload) = out {
+                resume_unwind(payload);
+            }
+            return;
+        }
+
+        // SAFETY: `run_indexed` does not return until `remaining` reaches
+        // zero, every claimed item has finished, and no further claim can
+        // succeed — so the 'static-erased borrow is never dereferenced
+        // after `f` (and its captures) go out of scope.
+        let task: &(dyn Fn(usize, usize) + Sync) = &f;
+        let task: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job::new(task, len, self.threads));
+
+        let _dispatch = lock(&self.dispatch);
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inbox = lock(&self.shared.inbox);
+            inbox.seq += 1;
+            inbox.job = Some(Arc::clone(&job));
+        }
+        self.shared.wake.notify_all();
+
+        // Participate as worker 0, then wait for the stragglers.
+        execute_job(&self.shared, &job, 0);
+        IN_POOL.with(|c| c.set(was_nested));
+        {
+            let mut done = lock(&job.done);
+            while !*done {
+                done = job
+                    .done_cv
+                    .wait(done)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        // Drop the inbox reference so the job (and the erased borrow it
+        // carries) cannot linger past this call.
+        {
+            let mut inbox = lock(&self.shared.inbox);
+            if inbox.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+                inbox.job = None;
+            }
+        }
+        let payload = lock(&job.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Parallel indexed map: `out[i] = f(i)` for `i in 0..len`.
+    pub fn map_collect<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map_collect_init(len, || (), |(), i| f(i))
+    }
+
+    /// Parallel indexed map with per-worker scratch state: each worker
+    /// builds one `T` with `init` the first time it executes an item and
+    /// reuses it for every later item it claims (the `map_init` pattern —
+    /// workspace arenas allocate once per worker, not once per item).
+    /// `out[i] = f(&mut state, i)`, bit-identical at every thread count
+    /// as long as `f`'s result does not depend on the scratch history,
+    /// which every workspace in this workspace guarantees (scratch is
+    /// overwritten per item).
+    pub fn map_collect_init<T, R, I, F>(&self, len: usize, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, usize) -> R + Sync,
+    {
+        let mut out: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(len);
+        // Worker-indexed scratch slots. The Mutex is uncontended (one
+        // worker per slot); it exists to make the slot Sync without
+        // unsafe aliasing claims.
+        let states: Vec<Mutex<Option<T>>> = (0..self.threads).map(|_| Mutex::new(None)).collect();
+        struct Slots<R>(*mut std::mem::MaybeUninit<R>);
+        unsafe impl<R: Send> Sync for Slots<R> {}
+        impl<R> Slots<R> {
+            /// SAFETY: caller must write each slot index at most once,
+            /// from at most one thread, with `i` inside the reserved
+            /// capacity.
+            unsafe fn write(&self, i: usize, value: R) {
+                (*self.0.add(i)).write(value);
+            }
+        }
+        let slots = Slots(out.as_mut_ptr());
+        self.run_indexed(len, |worker, i| {
+            let mut guard = lock(&states[worker]);
+            let state = guard.get_or_insert_with(&init);
+            let r = f(state, i);
+            // SAFETY: each i in 0..len is claimed exactly once, and slot i
+            // is within the capacity reserved above.
+            unsafe { slots.write(i, r) };
+        });
+        // SAFETY: run_indexed returned without panicking, so every slot
+        // 0..len was initialized exactly once. (On panic the Vec drops as
+        // MaybeUninit with len 0 — written elements leak, no UB.)
+        let ptr = out.as_mut_ptr() as *mut R;
+        let cap = out.capacity();
+        std::mem::forget(out);
+        unsafe { Vec::from_raw_parts(ptr, len, cap) }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        {
+            let mut inbox = lock(&self.shared.inbox);
+            inbox.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut last_seen = 0u64;
+    loop {
+        let job = {
+            let mut inbox = lock(&shared.inbox);
+            loop {
+                if inbox.shutdown {
+                    return;
+                }
+                if inbox.seq != last_seen {
+                    last_seen = inbox.seq;
+                    break inbox.job.clone();
+                }
+                inbox = shared
+                    .wake
+                    .wait(inbox)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if let Some(job) = job {
+            IN_POOL.with(|c| c.set(true));
+            execute_job(shared, &job, worker);
+            IN_POOL.with(|c| c.set(false));
+        }
+    }
+}
+
+/// Drain the worker's own shard, then steal round-robin from the others.
+fn execute_job(shared: &Shared, job: &Job, worker: usize) {
+    let t0 = Instant::now();
+    let n = job.shards.len();
+    let me = &shared.workers[worker];
+    for k in 0..n {
+        let shard_id = (worker + k) % n;
+        let shard = &job.shards[shard_id];
+        loop {
+            let i = shard.next.fetch_add(1, Ordering::Relaxed);
+            if i >= shard.end {
+                break;
+            }
+            me.tasks.fetch_add(1, Ordering::Relaxed);
+            if shard_id != worker {
+                me.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| (job.task)(worker, i)));
+            if let Err(payload) = outcome {
+                let mut slot = lock(&job.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = lock(&job.done);
+                *done = true;
+                job.done_cv.notify_all();
+            }
+        }
+    }
+    me.busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// How a component gets its pool: an explicit width owns a dedicated
+/// [`ThreadPool`]; width `0` shares the process-global one. This is what
+/// `PipelineConfig::threads` resolves through.
+#[derive(Debug)]
+pub enum PoolHandle {
+    /// Share [`ThreadPool::global`].
+    Global,
+    /// A dedicated pool of the requested width.
+    Owned(ThreadPool),
+}
+
+impl PoolHandle {
+    /// `0` → the shared global pool; `n ≥ 1` → a dedicated `n`-thread
+    /// pool (clamped to [`MAX_THREADS`]).
+    pub fn with_threads(threads: usize) -> PoolHandle {
+        if threads == 0 {
+            PoolHandle::Global
+        } else {
+            PoolHandle::Owned(ThreadPool::new(threads))
+        }
+    }
+
+    /// The pool behind this handle.
+    pub fn pool(&self) -> &ThreadPool {
+        match self {
+            PoolHandle::Global => ThreadPool::global(),
+            PoolHandle::Owned(p) => p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_matches_sequential_at_every_width() {
+        let want: Vec<u64> = (0..257u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let got = pool.map_collect(257, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(pool.stats().tasks(), 257, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_init_reuses_one_scratch_per_worker() {
+        let pool = ThreadPool::new(4);
+        let inits = AtomicU64::new(0);
+        let out: Vec<usize> = pool.map_collect_init(
+            100,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::new()
+            },
+            |scratch, i| {
+                scratch.clear();
+                scratch.resize(i + 1, 0);
+                scratch.len()
+            },
+        );
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&n),
+            "one scratch per participating worker, got {n}"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_item_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.map_collect(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_collect(1, |i| i + 7), vec![7]);
+        assert!(pool.stats().inline_jobs >= 1, "len=1 runs inline");
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        // An fp reduction whose result would differ under any
+        // order-dependent merge; indexed slots keep it exact.
+        let gold: Vec<u32> = (0..500)
+            .map(|i| (0..50).fold(1.000_1f32, |a, k| a * (1.0 + (i * 50 + k) as f32 * 1e-7)))
+            .map(f32::to_bits)
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let got: Vec<u32> = pool
+                .map_collect(500, |i| {
+                    (0..50)
+                        .fold(1.000_1f32, |a, k| a * (1.0 + (i * 50 + k) as f32 * 1e-7))
+                        .to_bits()
+                })
+                .into_iter()
+                .collect();
+            assert_eq!(got, gold, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_and_reraised_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let executed = AtomicU64::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(64, |_, i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+            });
+        }));
+        let payload = outcome.expect_err("the task panic must re-raise");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task 13 exploded");
+        // Every other item still ran, and the pool is healthy.
+        assert_eq!(executed.load(Ordering::Relaxed), 64);
+        assert_eq!(
+            pool.map_collect(10, |i| i * 2),
+            (0..10).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        let out: Vec<usize> = pool.map_collect(8, |i| {
+            // Nested parallel map on the same pool: must run inline.
+            pool.map_collect(16, move |j| i * 16 + j).into_iter().sum()
+        });
+        let want: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 16 + j).sum()).collect();
+        assert_eq!(out, want);
+        let delta = pool.stats().delta(&before);
+        assert!(delta.inline_jobs >= 8, "inner jobs inline: {delta:?}");
+    }
+
+    #[test]
+    fn steals_happen_under_skew() {
+        let pool = ThreadPool::new(4);
+        // Shard 0 holds almost all the work: item 0 busy-works while the
+        // other workers' shards are trivially empty of long items, so at
+        // least one steal is overwhelmingly likely. Retry a few times to
+        // keep the test robust on a loaded single-core host.
+        let mut saw_steal = false;
+        for _ in 0..20 {
+            let before = pool.stats();
+            pool.run_indexed(64, |_, i| {
+                if i < 16 {
+                    std::hint::black_box((0..200_000u64).sum::<u64>());
+                }
+            });
+            if pool.stats().delta(&before).steals() > 0 {
+                saw_steal = true;
+                break;
+            }
+        }
+        assert!(saw_steal, "no steal observed across 20 skewed jobs");
+    }
+
+    #[test]
+    fn stats_delta_and_trace_recording() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        pool.map_collect(32, |i| i);
+        let delta = pool.stats().delta(&before);
+        assert_eq!(delta.tasks(), 32);
+        assert_eq!(delta.workers.len(), 2);
+        let trace = h3w_trace::Trace::on();
+        delta.record_into(&trace, "pool");
+        let snap = trace.snapshot().unwrap();
+        let node = snap.at_path("pool").unwrap();
+        assert_eq!(node.counter("tasks"), 32);
+        assert_eq!(node.counter("workers"), 2);
+        assert!(snap.at_path("pool/worker0").is_some());
+        assert!(snap.at_path("pool/worker1").is_some());
+        // Disabled trace: no-op.
+        PoolStats::default().record_into(&h3w_trace::Trace::off(), "pool");
+    }
+
+    #[test]
+    fn configured_threads_parses_env_shapes() {
+        // Can't mutate the process env safely here (tests run threaded);
+        // assert the fallback path and the clamp arithmetic instead.
+        assert!(configured_threads() >= 1);
+        assert!(configured_threads() <= MAX_THREADS);
+        assert_eq!(ThreadPool::new(0).threads(), 1, "width clamps up to 1");
+        assert_eq!(ThreadPool::new(MAX_THREADS + 9).threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn pool_handle_resolves_global_and_owned() {
+        let h = PoolHandle::with_threads(0);
+        assert!(matches!(h, PoolHandle::Global));
+        assert_eq!(
+            h.pool().threads(),
+            ThreadPool::global().threads(),
+            "0 shares the global pool"
+        );
+        let h = PoolHandle::with_threads(3);
+        assert_eq!(h.pool().threads(), 3);
+    }
+}

@@ -11,7 +11,7 @@ use crate::counters::KernelStats;
 use crate::device::{DeviceSpec, GMEM_SEGMENT, WARP_SIZE};
 use crate::lanes::{butterfly_max, Lanes};
 use crate::smem::SharedMem;
-use rayon::prelude::*;
+use h3w_pool::ThreadPool;
 
 /// Launch geometry and declared resource usage of a kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -330,9 +330,8 @@ pub fn run_grid<K: WarpKernel>(
 ) -> Result<GridResult<K::Out>, String> {
     cfg.validate(dev)?;
     let total_warps = cfg.total_warps();
-    let per_block: Vec<(KernelStats, Vec<(K::Out, u64)>)> = (0..cfg.blocks)
-        .into_par_iter()
-        .map(|block| {
+    let per_block: Vec<(KernelStats, Vec<(K::Out, u64)>)> =
+        ThreadPool::global().map_collect(cfg.blocks, |block| {
             let mut ctx = SimtCtx::new(cfg.smem_per_block, cfg.track_hazards);
             let mut outs = Vec::with_capacity(cfg.warps_per_block);
             for w in 0..cfg.warps_per_block {
@@ -343,8 +342,7 @@ pub fn run_grid<K: WarpKernel>(
             }
             ctx.finish_block();
             (ctx.stats, outs)
-        })
-        .collect();
+        });
 
     let mut stats = KernelStats::default();
     let mut outputs = Vec::with_capacity(total_warps);
@@ -370,16 +368,14 @@ pub fn run_grid_blocks<K: BlockKernel>(
     kernel: &K,
 ) -> Result<GridResult<K::Out>, String> {
     cfg.validate(dev)?;
-    let per_block: Vec<(KernelStats, K::Out, u64)> = (0..cfg.blocks)
-        .into_par_iter()
-        .map(|block| {
+    let per_block: Vec<(KernelStats, K::Out, u64)> =
+        ThreadPool::global().map_collect(cfg.blocks, |block| {
             let mut ctx = SimtCtx::new(cfg.smem_per_block, cfg.track_hazards);
             let out = kernel.run_block(&mut ctx, block, cfg.blocks);
             ctx.finish_block();
             let work = ctx.stats.issue_slots();
             (ctx.stats, out, work)
-        })
-        .collect();
+        });
     let mut stats = KernelStats::default();
     let mut outputs = Vec::with_capacity(cfg.blocks);
     let mut work = Vec::with_capacity(cfg.blocks);

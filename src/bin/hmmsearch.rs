@@ -20,6 +20,9 @@
 //!   --profile            collect funnel telemetry; print the per-stage
 //!                        table and the telemetry JSON after the report
 //!   --profile-json <p>   collect funnel telemetry; write the JSON to p
+//!   --threads <n>        size the CPU worker pool (0 or absent = the
+//!                        shared global pool, sized by H3W_THREADS or
+//!                        the machine; hits are bit-identical either way)
 //! ```
 //!
 //! Runs the full HMMER3-style task pipeline (Fig. 1 of the paper):
@@ -35,7 +38,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "hmmsearch <query.hmm> <targets.fasta> [--gpu k40|gtx580] [--devices n] \
 [--max] [-E evalue] [--ali] [--dom] [--null2] [--tbl path] [--chunk residues] \
-[--checkpoint path] [--gpu-full] [--profile] [--profile-json path]";
+[--checkpoint path] [--gpu-full] [--profile] [--profile-json path] [--threads n]";
 
 fn main() -> ExitCode {
     cli::guarded_main("hmmsearch", USAGE, run)
@@ -68,6 +71,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
             "--chunk",
             "--checkpoint",
             "--profile-json",
+            "--threads",
         ],
     )?;
     let hmm_path = args.positional(0, "query .hmm")?;
@@ -81,6 +85,9 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
     builder = builder.null2(args.has("--null2"));
     if let Some(e) = args.parse_value::<f64>("-E")? {
         builder = builder.report_evalue(cli::require_positive_finite("-E", e)?);
+    }
+    if let Some(n) = args.parse_value::<usize>("--threads")? {
+        builder = builder.threads(n);
     }
     let config = builder.build()?;
     let gpu = args.value("--gpu").map(device_by_name).transpose()?;

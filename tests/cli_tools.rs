@@ -81,6 +81,27 @@ fn build_generate_search_round_trip() {
         "expected planted homolog hits, table:\n{table}"
     );
 
+    // The same search over an explicit 4-thread pool reports the same
+    // table, byte for byte (thread count is a pure throughput knob).
+    let tbl4 = dir.join("hits4.tsv");
+    let out4 = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([
+            hmm.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+            "--threads",
+            "4",
+            "--tbl",
+            tbl4.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out4.status.success(),
+        "hmmsearch --threads 4: {}",
+        String::from_utf8_lossy(&out4.stderr)
+    );
+    assert_eq!(std::fs::read_to_string(&tbl4).unwrap(), table);
+
     // GPU path reports the same hit names.
     let out_gpu = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
         .args([
@@ -239,6 +260,16 @@ fn bad_flags_and_values_are_rejected_without_panicking() {
         "hmmsearch",
         &["q.hmm", "db.fa", "--gpu", "voodoo2"],
         "unknown device",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--threads", "many"],
+        "bad --threads value",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--threads", "100000"],
+        "exceeds the pool maximum",
     );
     expect_failure("hmmsearch", &["only.hmm"], "missing target FASTA");
     expect_failure("hmmscan", &["lib.hmm"], "missing target FASTA");

@@ -1,11 +1,14 @@
-//! Offline stand-in for the `rayon` crate (API-compatible subset).
+//! **Retired** offline stand-in for the `rayon` crate (API-compatible
+//! subset, executed sequentially).
 //!
-//! The build environment has no crates.io access, so this shim provides
-//! rayon's parallel-iterator surface (`par_iter`, `into_par_iter`, `map`,
-//! `map_init`, `zip`, `enumerate`, `collect`) executed *sequentially*.
-//! The host this workspace targets exposes a single CPU core, so a
-//! work-stealing pool would buy nothing; sequential execution is exactly
-//! equivalent for the deterministic collect-into-`Vec` patterns used here.
+//! No workspace crate depends on this shim anymore: real multicore
+//! execution lives in `h3w-pool` (`crates/pool`), a dependency-free
+//! work-stealing pool whose indexed `map_collect`/`map_collect_init`
+//! calls replaced every `par_iter` site. The shim is kept as a workspace
+//! member only so its self-tests keep documenting the sequential
+//! semantics it provided, and as a threads=1 reference: running the
+//! pool with `H3W_THREADS=1` executes jobs inline on the caller, which
+//! is exactly the behavior this shim hard-coded.
 
 pub mod prelude {
     //! The rayon prelude: iterator-conversion traits.

@@ -17,8 +17,10 @@ use crate::report::{Hit, StageStats};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Current checkpoint format version. Version 2 added `db_hash`, the
+/// content hash of the swept database — resume against a different
+/// database is rejected instead of silently merging wrong hits.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Why a checkpoint could not be saved or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +42,14 @@ pub enum CheckpointError {
     /// The checkpoint belongs to a different sweep (database size or
     /// chunking changed under it).
     Mismatch(String),
+    /// The checkpoint was written against a different database: its
+    /// recorded content hash does not match the database being swept.
+    DatabaseDrift {
+        /// Content hash recorded in the checkpoint.
+        expected: u64,
+        /// Content hash of the database offered for resume.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -54,6 +64,11 @@ impl std::fmt::Display for CheckpointError {
                 )
             }
             CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            CheckpointError::DatabaseDrift { expected, found } => write!(
+                f,
+                "checkpoint was written against a different database \
+                 (content hash {expected:016x}, this database hashes to {found:016x})"
+            ),
         }
     }
 }
@@ -75,6 +90,10 @@ pub struct StreamCheckpoint {
     /// E-value scale of the sweep (whole-database size); a resume with a
     /// different value is a different sweep and is rejected.
     pub total_seqs: usize,
+    /// Content hash of the swept database ([`h3w_seqdb::content_hash`]);
+    /// a resume against a database with a different hash is rejected
+    /// with [`CheckpointError::DatabaseDrift`].
+    pub db_hash: u64,
     /// Accumulated funnel counters (MSV, P7Viterbi, Forward).
     pub stages: [StageStats; 3],
     /// Survivor hits so far (global seqids, E-values already on the
@@ -83,12 +102,14 @@ pub struct StreamCheckpoint {
 }
 
 impl StreamCheckpoint {
-    /// A fresh sweep over `total_seqs` sequences: nothing done yet.
-    pub fn fresh(total_seqs: usize) -> StreamCheckpoint {
+    /// A fresh sweep over `total_seqs` sequences of the database hashing
+    /// to `db_hash`: nothing done yet.
+    pub fn fresh(total_seqs: usize, db_hash: u64) -> StreamCheckpoint {
         StreamCheckpoint {
             chunks_done: 0,
             seq_base: 0,
             total_seqs,
+            db_hash,
             stages: [
                 StageStats::new("MSV", 0, 0, 0.0),
                 StageStats::new("P7Viterbi", 0, 0, 0.0),
@@ -106,6 +127,7 @@ impl StreamCheckpoint {
         let _ = write!(s, ",\"chunks_done\":{}", self.chunks_done);
         let _ = write!(s, ",\"seq_base\":{}", self.seq_base);
         let _ = write!(s, ",\"total_seqs\":{}", self.total_seqs);
+        let _ = write!(s, ",\"db_hash\":\"{:016x}\"", self.db_hash);
         s.push_str(",\"stages\":[");
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -187,6 +209,7 @@ impl StreamCheckpoint {
             chunks_done: get(obj, "chunks_done")?.as_u64("chunks_done")? as usize,
             seq_base: get(obj, "seq_base")?.as_u64("seq_base")? as u32,
             total_seqs: get(obj, "total_seqs")?.as_u64("total_seqs")? as usize,
+            db_hash: get(obj, "db_hash")?.as_hex_u64("db_hash")?,
             stages,
             hits,
         })
@@ -284,10 +307,13 @@ impl Json {
     }
 
     fn as_hex_f64(&self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.as_hex_u64(what)?))
+    }
+
+    fn as_hex_u64(&self, what: &str) -> Result<u64, CheckpointError> {
         let s = self.as_str(what)?;
-        let bits = u64::from_str_radix(s, 16)
-            .map_err(|_| CheckpointError::Parse(format!("{what}: bad f64 bits {s:?}")))?;
-        Ok(f64::from_bits(bits))
+        u64::from_str_radix(s, 16)
+            .map_err(|_| CheckpointError::Parse(format!("{what}: bad hex u64 {s:?}")))
     }
 }
 
@@ -470,7 +496,7 @@ mod tests {
     use super::*;
 
     fn sample() -> StreamCheckpoint {
-        let mut ck = StreamCheckpoint::fresh(5000);
+        let mut ck = StreamCheckpoint::fresh(5000, 0xdead_beef_cafe_f00d);
         ck.chunks_done = 3;
         ck.seq_base = 1234;
         ck.stages[0].seqs_in = 1234;
@@ -520,18 +546,27 @@ mod tests {
             "",
             "{",
             "not json",
-            "{\"version\":1}",
-            "{\"version\":99,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"stages\":[],\"hits\":[]}",
+            "{\"version\":2}",
+            "{\"version\":99,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"db_hash\":\"0\",\"stages\":[],\"hits\":[]}",
+            "{\"version\":2,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"db_hash\":\"0\",\"stages\":[],\"hits\":[]}",
+            // Version-1 files (no db_hash) are rejected, typed.
             "{\"version\":1,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"stages\":[],\"hits\":[]}",
-            "{\"version\":1,\"chunks_done\":0} trailing",
+            "{\"version\":2,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"db_hash\":\"zz\",\"stages\":[],\"hits\":[]}",
+            "{\"version\":2,\"chunks_done\":0} trailing",
         ] {
             assert!(StreamCheckpoint::from_json(bad).is_err(), "accepted {bad:?}");
         }
         assert!(matches!(
             StreamCheckpoint::from_json(
-                "{\"version\":99,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"stages\":[],\"hits\":[]}"
+                "{\"version\":99,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"db_hash\":\"0\",\"stages\":[],\"hits\":[]}"
             ),
             Err(CheckpointError::Version { found: 99 })
+        ));
+        assert!(matches!(
+            StreamCheckpoint::from_json(
+                "{\"version\":1,\"chunks_done\":0,\"seq_base\":0,\"total_seqs\":1,\"stages\":[],\"hits\":[]}"
+            ),
+            Err(CheckpointError::Version { found: 1 })
         ));
     }
 

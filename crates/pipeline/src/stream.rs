@@ -190,16 +190,22 @@ where
 /// written atomically to `ckpt_path`; if that file already exists, the
 /// sweep resumes after its last completed chunk, skipping finished work.
 ///
-/// Resume requires the **same chunking** (same input, same chunk bound) —
-/// the skip path re-counts the skipped sequences and rejects a checkpoint
-/// whose cursor does not line up. A killed-then-resumed sweep reports
-/// bit-identical hits and funnel counts to an uninterrupted one (floats
-/// persist as raw IEEE-754 bits; see [`crate::checkpoint`]).
+/// Resume requires the **same database and chunking**: `db_hash` is the
+/// content hash of the full database ([`h3w_seqdb::content_hash`]) and is
+/// recorded in the checkpoint — a resume against a database with a
+/// different hash is rejected with [`CheckpointError::DatabaseDrift`]
+/// instead of silently merging hits from two different sweeps. The skip
+/// path additionally re-counts the skipped sequences and rejects a
+/// checkpoint whose cursor does not line up (chunk bound changed). A
+/// killed-then-resumed sweep reports bit-identical hits and funnel counts
+/// to an uninterrupted one (floats persist as raw IEEE-754 bits; see
+/// [`crate::checkpoint`]).
 pub fn search_chunked_checkpointed<I>(
     pipe: &Pipeline,
     chunks: I,
     total_seqs: usize,
     ckpt_path: &Path,
+    db_hash: u64,
 ) -> Result<PipelineResult, CheckpointError>
 where
     I: IntoIterator<Item = SeqDb>,
@@ -212,9 +218,15 @@ where
                 ck.total_seqs
             )));
         }
+        if ck.db_hash != db_hash {
+            return Err(CheckpointError::DatabaseDrift {
+                expected: ck.db_hash,
+                found: db_hash,
+            });
+        }
         ck
     } else {
-        StreamCheckpoint::fresh(total_seqs)
+        StreamCheckpoint::fresh(total_seqs, db_hash)
     };
     // The checkpoint's stage labels follow the pipeline configuration
     // (the counters, not the labels, carry the resume state).
@@ -363,17 +375,20 @@ mod tests {
 
         // "Kill" the sweep after two chunks: run it on a truncated chunk
         // stream, leaving the checkpoint behind.
+        let hash = h3w_seqdb::content_hash(&db);
         let path = tmp_ckpt("resume");
         let _ = std::fs::remove_file(&path);
         let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
-        search_chunked_checkpointed(&pipe, partial, db.len(), &path).unwrap();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
         let ck = StreamCheckpoint::load(&path).unwrap();
         assert_eq!(ck.chunks_done, 2);
         assert_eq!(ck.seq_base as usize, all[0].len() + all[1].len());
+        assert_eq!(ck.db_hash, hash);
 
         // Resume with the full stream: chunks 0–1 are skipped, the rest
         // run, and the merged result is bit-identical to the baseline.
-        let resumed = search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path).unwrap();
+        let resumed =
+            search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path, hash).unwrap();
         assert_eq!(resumed.hits, baseline.hits);
         for (a, b) in resumed.stages.iter().zip(&baseline.stages) {
             assert_eq!(
@@ -393,19 +408,54 @@ mod tests {
         let all: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
             .collect::<Result<_, _>>()
             .unwrap();
+        let hash = h3w_seqdb::content_hash(&db);
         let path = tmp_ckpt("mismatch");
         let _ = std::fs::remove_file(&path);
         let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
-        search_chunked_checkpointed(&pipe, partial, db.len(), &path).unwrap();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
         // Different database size: a different sweep.
-        let err = search_chunked_checkpointed(&pipe, all.clone(), db.len() + 1, &path).unwrap_err();
+        let err =
+            search_chunked_checkpointed(&pipe, all.clone(), db.len() + 1, &path, hash).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)));
         // Different chunk bound: the skip cursor no longer lines up.
         let rechunked: Vec<SeqDb> = FastaChunks::new(&text, 4_000)
             .collect::<Result<_, _>>()
             .unwrap();
-        let err = search_chunked_checkpointed(&pipe, rechunked, db.len(), &path).unwrap_err();
+        let err = search_chunked_checkpointed(&pipe, rechunked, db.len(), &path, hash).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_rejects_database_drift() {
+        let (pipe, db) = setup();
+        let text = fasta::render(&db);
+        let all: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let hash = h3w_seqdb::content_hash(&db);
+        let path = tmp_ckpt("drift");
+        let _ = std::fs::remove_file(&path);
+        let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
+        // Same size and chunking, different database content: one residue
+        // changed somewhere. The hash guard catches what the cursor
+        // arithmetic cannot.
+        let mut mutated = db.clone();
+        mutated.seqs[0].residues[0] = (mutated.seqs[0].residues[0] + 1) % 20;
+        let drifted = h3w_seqdb::content_hash(&mutated);
+        assert_ne!(hash, drifted);
+        let err =
+            search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path, drifted).unwrap_err();
+        match err {
+            CheckpointError::DatabaseDrift { expected, found } => {
+                assert_eq!(expected, hash);
+                assert_eq!(found, drifted);
+            }
+            other => panic!("expected DatabaseDrift, got {other:?}"),
+        }
+        // The original database still resumes cleanly.
+        search_chunked_checkpointed(&pipe, all, db.len(), &path, hash).unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

@@ -664,6 +664,76 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_queries_one_panics_others_bit_identical_pool_intact() {
+        // The resident-service scenario: N caller threads share one pool,
+        // each running its own "query" (an fp workload whose result is
+        // order-sensitive under any non-indexed merge). One query is
+        // poisoned and panics mid-job. The panic must re-raise on that
+        // caller alone; the other N−1 queries complete with results
+        // bit-identical to a sequential run, and the pool's worker set
+        // survives to serve the next round.
+        const QUERIES: usize = 6;
+        const POISONED: usize = 3;
+        const ITEMS: usize = 200;
+        fn work(q: usize, i: usize) -> u32 {
+            (0..40)
+                .fold(1.000_1f32, |a, k| {
+                    a * (1.0 + ((q * ITEMS + i) * 40 + k) as f32 * 1e-7)
+                })
+                .to_bits()
+        }
+        let gold: Vec<Vec<u32>> = (0..QUERIES)
+            .map(|q| (0..ITEMS).map(|i| work(q, i)).collect())
+            .collect();
+
+        let pool = ThreadPool::new(4);
+        let workers_before = pool.threads();
+        let outcomes: Vec<Result<Vec<u32>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..QUERIES)
+                .map(|q| {
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            pool.map_collect(ITEMS, move |i| {
+                                if q == POISONED && i == 117 {
+                                    panic!("query {q} poisoned at item {i}");
+                                }
+                                work(q, i)
+                            })
+                        }))
+                        .map_err(|p| {
+                            p.downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_default()
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("caller threads themselves must not die"))
+                .collect()
+        });
+
+        for (q, outcome) in outcomes.iter().enumerate() {
+            if q == POISONED {
+                let msg = outcome.as_ref().expect_err("poisoned query must fail");
+                assert!(msg.contains("poisoned at item 117"), "got {msg:?}");
+            } else {
+                let got = outcome.as_ref().expect("healthy query must complete");
+                assert_eq!(got, &gold[q], "query {q} diverged from sequential");
+            }
+        }
+        // Worker set intact: same width, and the pool still executes.
+        assert_eq!(pool.threads(), workers_before);
+        assert_eq!(
+            pool.map_collect(10, |i| i * 3),
+            (0..10).map(|i| i * 3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn nested_fan_out_runs_inline_without_deadlock() {
         let pool = ThreadPool::new(4);
         let before = pool.stats();

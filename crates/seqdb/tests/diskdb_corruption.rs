@@ -1,0 +1,121 @@
+//! Property tests for the packed on-disk database format: round-trip
+//! exactness on arbitrary databases, and total corruption rejection —
+//! every fuzzed single-bit flip and truncation must surface as a typed
+//! [`DbFormatError`], never a panic and never silently wrong data.
+
+use h3w_seqdb::diskdb::{content_hash, DbFormatError, DiskDb};
+use h3w_seqdb::{DigitalSeq, SeqDb};
+use proptest::prelude::*;
+
+/// Build a database from generated shape data: `seqs` is a list of
+/// (length, residue-seed) pairs; residue codes stay in the standard+
+/// degenerate alphabet (0..26), as a real database's would.
+fn db_from(seqs: &[(usize, u8)]) -> SeqDb {
+    let mut db = SeqDb::new("prop");
+    for (i, &(len, seed)) in seqs.iter().enumerate() {
+        let residues: Vec<u8> = (0..len)
+            .map(|j| ((seed as usize + j * 7 + i) % 26) as u8)
+            .collect();
+        db.seqs.push(DigitalSeq {
+            name: format!("s{i}"),
+            desc: if i % 3 == 0 {
+                format!("desc {i}")
+            } else {
+                String::new()
+            },
+            residues,
+        });
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_is_exact(seqs in prop::collection::vec((1usize..120, 0u8..=255), 1..20)) {
+        let db = db_from(&seqs);
+        let bytes = DiskDb::to_bytes(&db);
+        let loaded = match DiskDb::from_bytes(&bytes) {
+            Ok(d) => d,
+            Err(e) => return Err(TestCaseError::fail(format!("round trip rejected: {e}"))),
+        };
+        prop_assert_eq!(loaded.content_hash, content_hash(&db));
+        prop_assert_eq!(loaded.total_residues, db.total_residues());
+        prop_assert_eq!(loaded.to_seqdb().seqs, db.seqs);
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_typed_errors(
+        seqs in prop::collection::vec((1usize..60, 0u8..=255), 1..8),
+        flip_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let db = db_from(&seqs);
+        let mut bytes = DiskDb::to_bytes(&db);
+        let byte = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[byte] ^= 1 << bit;
+        // Must be an Err (typed), and must not panic. A flipped file can
+        // never decode successfully: the whole-file FNV-1a trailer covers
+        // every byte, and its per-byte step is a bijection of the running
+        // state, so one flipped bit always changes the final hash.
+        let outcome = std::panic::catch_unwind(|| DiskDb::from_bytes(&bytes));
+        let res = match outcome {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::fail(format!(
+                "loader panicked on flip at byte {byte} bit {bit}"
+            ))),
+        };
+        prop_assert!(
+            res.is_err(),
+            "flip at byte {} bit {} was accepted as a valid database",
+            byte,
+            bit
+        );
+    }
+
+    #[test]
+    fn truncations_are_always_typed_errors(
+        seqs in prop::collection::vec((1usize..60, 0u8..=255), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let db = db_from(&seqs);
+        let bytes = DiskDb::to_bytes(&db);
+        let cut = (bytes.len() as f64 * cut_frac) as usize; // strictly < len
+        let outcome = std::panic::catch_unwind(|| DiskDb::from_bytes(&bytes[..cut]));
+        let res = match outcome {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::fail(format!(
+                "loader panicked on truncation to {cut} bytes"
+            ))),
+        };
+        prop_assert!(res.is_err(), "truncation to {} bytes was accepted", cut);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..600)) {
+        let outcome = std::panic::catch_unwind(|| DiskDb::from_bytes(&bytes));
+        let res = match outcome {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::fail("loader panicked on garbage".into())),
+        };
+        // Random bytes essentially never form a valid file; if they did,
+        // the decode would still have passed every internal consistency
+        // check, so only assert no panic and typed errors otherwise.
+        if let Err(e) = res {
+            let msg = format!("{e}");
+            prop_assert!(!msg.is_empty(), "error rendered empty: {:?}", e);
+        }
+    }
+
+    #[test]
+    fn version_skew_is_reported_as_version(found in 2u32..=u32::MAX) {
+        let db = db_from(&[(5, 1)]);
+        let mut bytes = DiskDb::to_bytes(&db);
+        bytes[8..12].copy_from_slice(&found.to_le_bytes());
+        prop_assert_eq!(
+            DiskDb::from_bytes(&bytes).unwrap_err(),
+            DbFormatError::Version { found }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! A minimal blocking client for the `h3w-serve` protocol — used by the
+//! chaos tests and handy for ops scripting. One request in flight per
+//! connection; the server pipelines across connections, not within one.
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ProtocolError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ProtocolError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(ProtocolError::Truncated),
+        }
+    }
+
+    /// Search with an HMM (ASCII text). `deadline_ms == 0` uses the
+    /// server's default deadline.
+    pub fn search(&mut self, hmm_text: &str, deadline_ms: u32) -> Result<Response, ProtocolError> {
+        self.request(&Request::Search {
+            deadline_ms,
+            hmm_text: hmm_text.to_string(),
+        })
+    }
+
+    /// Fetch the metrics JSON document.
+    pub fn metrics(&mut self) -> Result<String, ProtocolError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(json) => Ok(json),
+            other => Err(ProtocolError::Io(format!(
+                "unexpected reply to METRICS: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe. `Ok(true)` on a PONG.
+    pub fn ping(&mut self) -> Result<bool, ProtocolError> {
+        Ok(matches!(self.request(&Request::Ping)?, Response::Pong))
+    }
+}

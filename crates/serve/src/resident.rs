@@ -1,0 +1,112 @@
+//! The resident database: a packed `.h3wdb` file loaded once at startup,
+//! validated, unpacked into shards, and shared read-only across every
+//! query thread for the life of the daemon.
+//!
+//! Shard boundaries are where per-query deadlines are enforced (a sweep
+//! checks the clock between shards, never mid-kernel), so the shard size
+//! bounds deadline overshoot. Shards hold whole sequences and E-values
+//! are scaled by the *full* database size, so the sharded sweep reports
+//! bit-identical hits to a single-pass one.
+
+use h3w_seqdb::diskdb::DiskDb;
+use h3w_seqdb::{DbFormatError, LengthBin, SeqDb};
+use std::path::Path;
+
+/// Default shard granularity (residues). Small enough that a deadline
+/// check fires every few milliseconds of sweep on commodity hosts.
+pub const DEFAULT_SHARD_RESIDUES: u64 = 1 << 20;
+
+/// The validated, unpacked, shard-split database a server holds.
+#[derive(Debug)]
+pub struct ResidentDb {
+    /// Database name (from the packed file).
+    pub name: String,
+    /// Content hash of the logical database ([`h3w_seqdb::content_hash`]).
+    pub content_hash: u64,
+    /// Total sequence count — the E-value scale for every query.
+    pub total_seqs: usize,
+    /// Total residue count.
+    pub total_residues: u64,
+    /// Length-bin histogram carried from the packed index.
+    pub bins: Vec<LengthBin>,
+    /// The database split into bounded-residue shards (whole sequences;
+    /// concatenation in order reproduces the full database exactly).
+    pub shards: Vec<SeqDb>,
+}
+
+impl ResidentDb {
+    /// Load and validate a packed `.h3wdb` file, splitting into shards of
+    /// at most `shard_residues` residues (0 picks the default). All
+    /// corruption surfaces as a typed [`DbFormatError`]; this never
+    /// panics on hostile bytes.
+    pub fn load(path: &Path, shard_residues: u64) -> Result<ResidentDb, DbFormatError> {
+        let disk = DiskDb::load(path)?;
+        Ok(Self::from_disk(&disk, shard_residues))
+    }
+
+    /// Build from an already-loaded [`DiskDb`].
+    pub fn from_disk(disk: &DiskDb, shard_residues: u64) -> ResidentDb {
+        let max = if shard_residues == 0 {
+            DEFAULT_SHARD_RESIDUES
+        } else {
+            shard_residues
+        };
+        let shards = disk.shards(max);
+        ResidentDb {
+            name: disk.name.clone(),
+            content_hash: disk.content_hash,
+            total_seqs: disk.n_seqs(),
+            total_residues: disk.total_residues,
+            bins: disk.bins.clone(),
+            shards,
+        }
+    }
+
+    /// Build directly from an in-memory [`SeqDb`] (tests, ad-hoc serving
+    /// of a FASTA without a packed file).
+    pub fn from_seqdb(db: &SeqDb, shard_residues: u64) -> ResidentDb {
+        let bytes = DiskDb::to_bytes(db);
+        let disk = DiskDb::from_bytes(&bytes).expect("freshly packed database validates");
+        Self::from_disk(&disk, shard_residues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3w_seqdb::DigitalSeq;
+
+    fn db(n: usize, len: usize) -> SeqDb {
+        let mut db = SeqDb::new("resident-test");
+        for i in 0..n {
+            db.seqs.push(DigitalSeq {
+                name: format!("s{i}"),
+                desc: String::new(),
+                residues: (0..len).map(|j| ((i + j) % 20) as u8).collect(),
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_full_database() {
+        let src = db(23, 37);
+        let res = ResidentDb::from_seqdb(&src, 100);
+        assert!(res.shards.len() > 1, "shard size forces a split");
+        assert_eq!(res.total_seqs, 23);
+        let rejoined: Vec<_> = res
+            .shards
+            .iter()
+            .flat_map(|s| s.seqs.iter().cloned())
+            .collect();
+        assert_eq!(rejoined, src.seqs);
+        assert_eq!(res.content_hash, h3w_seqdb::content_hash(&src));
+    }
+
+    #[test]
+    fn zero_shard_size_picks_the_default() {
+        let res = ResidentDb::from_seqdb(&db(3, 10), 0);
+        assert_eq!(res.shards.len(), 1);
+        assert_eq!(res.total_residues, 30);
+    }
+}

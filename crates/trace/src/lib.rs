@@ -82,6 +82,22 @@ impl Node {
         self.children.iter().find(|c| c.name == name)
     }
 
+    /// Fold `other` into this node: spans and seconds add, counters add
+    /// by name, children merge recursively by name (unmatched children
+    /// of `other` are appended in their order). Merging is associative,
+    /// so per-query telemetry trees can accumulate into a long-lived
+    /// service-wide funnel in any arrival order.
+    pub fn merge(&mut self, other: &Node) {
+        self.span_count += other.span_count;
+        self.seconds += other.seconds;
+        for (name, v) in &other.counters {
+            self.bump(name, *v);
+        }
+        for child in &other.children {
+            self.child_mut(&child.name).merge(child);
+        }
+    }
+
     /// Node at a `/`-separated path below this one.
     pub fn at_path(&self, path: &str) -> Option<&Node> {
         let mut node = self;
@@ -171,6 +187,11 @@ impl Telemetry {
     /// Node at a `/`-separated path (`"pipeline/msv"`).
     pub fn at_path(&self, path: &str) -> Option<&Node> {
         self.root.at_path(path)
+    }
+
+    /// Fold another run's telemetry into this one (see [`Node::merge`]).
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.root.merge(&other.root);
     }
 
     /// Serialize the tree as JSON (schema: DESIGN.md §8 — every node is
@@ -295,6 +316,17 @@ impl Trace {
             root: s.lock().expect("trace poisoned").root.clone(),
         })
     }
+
+    /// Fold a finished run's telemetry into this (armed) collector — how
+    /// a long-lived service accumulates per-query traces into one
+    /// process-wide funnel without sharing a lock across queries. A
+    /// no-op on a disabled trace.
+    pub fn absorb(&self, tel: &Telemetry) {
+        if let Some(s) = &self.shared {
+            let mut g = s.lock().expect("trace poisoned");
+            g.root.merge(&tel.root);
+        }
+    }
 }
 
 /// RAII guard returned by [`Trace::span`].
@@ -372,6 +404,63 @@ mod tests {
         t.add("x", "n", 1);
         t2.add("x", "n", 2);
         assert_eq!(t.snapshot().unwrap().at_path("x").unwrap().counter("n"), 3);
+    }
+
+    #[test]
+    fn merge_adds_counters_spans_and_children_by_name() {
+        let a = Trace::on();
+        a.add("pipeline/MSV", "seqs_in", 100);
+        a.add_secs("pipeline/MSV", 0.5);
+        a.add("pipeline/MSV", "seqs_out", 3);
+        let b = Trace::on();
+        b.add("pipeline/MSV", "seqs_in", 23);
+        b.add_secs("pipeline/MSV", 0.25);
+        b.add("pipeline/Forward", "seqs_in", 3);
+        let mut merged = a.snapshot().unwrap();
+        merged.merge(&b.snapshot().unwrap());
+        let msv = merged.at_path("pipeline/MSV").unwrap();
+        assert_eq!(msv.counter("seqs_in"), 123);
+        assert_eq!(msv.counter("seqs_out"), 3);
+        assert_eq!(msv.span_count, 2);
+        assert!((msv.seconds - 0.75).abs() < 1e-12);
+        assert_eq!(
+            merged
+                .at_path("pipeline/Forward")
+                .unwrap()
+                .counter("seqs_in"),
+            3
+        );
+        // Associativity: (a+b)+b == a+(b+b) on every counter.
+        let mut twice_l = merged.clone();
+        twice_l.merge(&b.snapshot().unwrap());
+        let mut bb = b.snapshot().unwrap();
+        bb.merge(&b.snapshot().unwrap());
+        let mut twice_r = a.snapshot().unwrap();
+        twice_r.merge(&bb);
+        assert_eq!(twice_l, twice_r);
+    }
+
+    #[test]
+    fn absorb_accumulates_into_an_armed_trace() {
+        let service = Trace::on();
+        for _ in 0..3 {
+            let query = Trace::on();
+            query.add("pipeline/MSV", "seqs_in", 10);
+            service.absorb(&query.snapshot().unwrap());
+        }
+        assert_eq!(
+            service
+                .snapshot()
+                .unwrap()
+                .at_path("pipeline/MSV")
+                .unwrap()
+                .counter("seqs_in"),
+            30
+        );
+        // Absorbing into a disabled trace is a no-op, not a panic.
+        let off = Trace::off();
+        off.absorb(&service.snapshot().unwrap());
+        assert!(off.snapshot().is_none());
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //!
 //! ```sh
 //! dbgen <out.fasta> [--preset swissprot|envnr] [--scale F]
-//!       [--hom FRAC --model query.hmm] [--seed S]
+//!       [--hom FRAC --model query.hmm] [--seed S] [--packed out.h3wdb]
 //! ```
+//!
+//! `--packed` additionally writes the crash-safe binary database format
+//! (5-bit packed residues, length-bin index, per-section CRCs, a
+//! whole-file content hash; written atomically via tmp + rename) that
+//! `h3w-serve` loads at startup.
 
 use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::read_hmm;
@@ -14,7 +19,7 @@ use std::process::ExitCode;
 
 const USAGE: &str =
     "dbgen <out.fasta> [--preset swissprot|envnr] [--scale F] [--hom FRAC --model query.hmm] \
-[--seed S]";
+[--seed S] [--packed out.h3wdb]";
 
 fn main() -> ExitCode {
     cli::guarded_main("dbgen", USAGE, run)
@@ -24,7 +29,9 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(
         argv,
         &[],
-        &["--preset", "--scale", "--hom", "--model", "--seed"],
+        &[
+            "--preset", "--scale", "--hom", "--model", "--seed", "--packed",
+        ],
     )?;
     let out_path = args.positional(0, "output path")?;
     args.no_extra_positionals(1)?;
@@ -62,5 +69,13 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
         db.total_residues(),
         spec.name
     );
+    if let Some(packed_path) = args.value("--packed") {
+        DiskDb::write(&db, std::path::Path::new(packed_path))?;
+        eprintln!(
+            "wrote {packed_path}: packed format v{}, content hash {:016x}",
+            hmmer3_warp::seqdb::diskdb::DISKDB_VERSION,
+            hmmer3_warp::seqdb::content_hash(&db),
+        );
+    }
     Ok(())
 }

@@ -186,6 +186,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
                         chunks,
                         db.len(),
                         path,
+                        hmmer3_warp::seqdb::content_hash(&db),
                     )?;
                     eprintln!("checkpoint saved to {}", path.display());
                     res

@@ -7,6 +7,8 @@
 //! reported as an internal error, still with a nonzero exit.
 
 use h3w_pipeline::{CheckpointError, ConfigError, SweepError};
+use h3w_seqdb::DbFormatError;
+use h3w_serve::ServeError;
 use std::process::ExitCode;
 
 /// Everything a workspace tool can fail with, so [`guarded_main`] prints
@@ -23,6 +25,10 @@ pub enum ToolError {
     Checkpoint(CheckpointError),
     /// The pipeline configuration was rejected by validation.
     Config(ConfigError),
+    /// A packed database file failed to write, load, or validate.
+    Db(DbFormatError),
+    /// The search daemon failed to start or keep its listener.
+    Serve(ServeError),
 }
 
 impl std::fmt::Display for ToolError {
@@ -32,6 +38,8 @@ impl std::fmt::Display for ToolError {
             ToolError::Sweep(e) => write!(f, "device sweep failed: {e}"),
             ToolError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             ToolError::Config(e) => write!(f, "bad pipeline configuration: {e}"),
+            ToolError::Db(e) => write!(f, "packed database: {e}"),
+            ToolError::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -63,6 +71,18 @@ impl From<CheckpointError> for ToolError {
 impl From<ConfigError> for ToolError {
     fn from(e: ConfigError) -> Self {
         ToolError::Config(e)
+    }
+}
+
+impl From<DbFormatError> for ToolError {
+    fn from(e: DbFormatError) -> Self {
+        ToolError::Db(e)
+    }
+}
+
+impl From<ServeError> for ToolError {
+    fn from(e: ServeError) -> Self {
+        ToolError::Serve(e)
     }
 }
 
@@ -275,6 +295,13 @@ mod tests {
         let e: ToolError = CheckpointError::Mismatch("chunking changed".into()).into();
         assert!(e.to_string().contains("checkpoint"));
         assert!(e.to_string().contains("chunking changed"));
+        let e: ToolError = DbFormatError::BadMagic.into();
+        assert!(matches!(e, ToolError::Db(_)));
+        assert!(e.to_string().contains("packed database"));
+        let e: ToolError = ServeError::Config("workers must be >= 1".into()).into();
+        assert!(matches!(e, ToolError::Serve(_)));
+        assert!(e.to_string().contains("serve"));
+        assert!(e.to_string().contains("workers"));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! * [`simt`] — the simulated GPU (warps, shared memory, occupancy, timing);
 //! * [`cpu`] — the HMMER3 CPU baseline (striped SSE-style filters, Forward);
 //! * [`core`] — the paper's contribution: the warp kernels and schedulers;
-//! * [`pipeline`] — the hmmsearch MSV → Viterbi → Forward task pipeline.
+//! * [`pipeline`] — the hmmsearch MSV → Viterbi → Forward task pipeline;
+//! * [`serve`] — the resident-database search daemon and packed DB format.
 //!
 //! Quick start: see `examples/quickstart.rs`, or:
 //!
@@ -36,6 +37,7 @@ pub use h3w_cpu as cpu;
 pub use h3w_hmm as hmm;
 pub use h3w_pipeline as pipeline;
 pub use h3w_seqdb as seqdb;
+pub use h3w_serve as serve;
 pub use h3w_simt as simt;
 
 pub mod cli;
@@ -51,7 +53,8 @@ pub mod prelude {
         Trace,
     };
     pub use h3w_seqdb::gen::{generate, DbGenSpec};
-    pub use h3w_seqdb::{DigitalSeq, PackedDb, SeqDb};
+    pub use h3w_seqdb::{content_hash, DbFormatError, DigitalSeq, DiskDb, PackedDb, SeqDb};
+    pub use h3w_serve::{Client, ResidentDb, ServeConfig, Server};
     pub use h3w_simt::DeviceSpec;
     pub use h3w_simt::{FaultInjector, FaultKind, FaultPlan};
 }

@@ -15,7 +15,7 @@
 
 use hmmer3_warp::pipeline::{search_chunked_checkpointed, FastaChunks, PipelineResult};
 use hmmer3_warp::prelude::*;
-use hmmer3_warp::seqdb::fasta;
+use hmmer3_warp::seqdb::{content_hash, fasta};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -146,8 +146,14 @@ fn checkpoint_resume_mid_sweep_is_bit_identical_across_thread_counts() {
     std::fs::create_dir_all(&dir).unwrap();
     let ref_ckpt = dir.join("ref.ckpt");
     let _ = std::fs::remove_file(&ref_ckpt);
-    let baseline =
-        search_chunked_checkpointed(&base_pipe, chunks.clone(), db.len(), &ref_ckpt).unwrap();
+    let baseline = search_chunked_checkpointed(
+        &base_pipe,
+        chunks.clone(),
+        db.len(),
+        &ref_ckpt,
+        content_hash(&db),
+    )
+    .unwrap();
 
     for t in &THREAD_COUNTS[1..] {
         // Kill after one chunk, then resume with a *different* pool size
@@ -156,12 +162,18 @@ fn checkpoint_resume_mid_sweep_is_bit_identical_across_thread_counts() {
         let _ = std::fs::remove_file(&ckpt);
         let pre_kill = Pipeline::prepare(&model, config(1), 0x5_eac4);
         let prefix: Vec<SeqDb> = chunks.iter().take(1).cloned().collect();
-        search_chunked_checkpointed(&pre_kill, prefix, db.len(), &ckpt).unwrap();
+        search_chunked_checkpointed(&pre_kill, prefix, db.len(), &ckpt, content_hash(&db)).unwrap();
         assert_eq!(StreamCheckpoint::load(&ckpt).unwrap().chunks_done, 1);
 
         let resumed_pipe = Pipeline::prepare(&model, config(*t), 0x5_eac4);
-        let resumed =
-            search_chunked_checkpointed(&resumed_pipe, chunks.clone(), db.len(), &ckpt).unwrap();
+        let resumed = search_chunked_checkpointed(
+            &resumed_pipe,
+            chunks.clone(),
+            db.len(),
+            &ckpt,
+            content_hash(&db),
+        )
+        .unwrap();
         assert_eq!(resumed.hits, baseline.hits, "hits differ at {t} threads");
         assert_eq!(
             funnel(&resumed),

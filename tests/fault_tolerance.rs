@@ -10,7 +10,7 @@
 
 use hmmer3_warp::pipeline::{search_chunked, search_chunked_checkpointed, FastaChunks};
 use hmmer3_warp::prelude::*;
-use hmmer3_warp::seqdb::fasta;
+use hmmer3_warp::seqdb::{content_hash, fasta};
 
 fn fixture() -> (Pipeline, SeqDb) {
     let model = synthetic_model(70, 11, &BuildParams::default());
@@ -139,13 +139,14 @@ fn killed_and_resumed_checkpointed_sweep_reports_identical_hits() {
     // Simulate a kill after the first chunk: feed only a prefix of the
     // chunk stream, leaving the checkpoint behind.
     let prefix: Vec<SeqDb> = chunks.iter().take(1).cloned().collect();
-    search_chunked_checkpointed(&pipe, prefix, db.len(), &ckpt).unwrap();
+    search_chunked_checkpointed(&pipe, prefix, db.len(), &ckpt, content_hash(&db)).unwrap();
     let saved = StreamCheckpoint::load(&ckpt).unwrap();
     assert_eq!(saved.chunks_done, 1);
 
     // Restart with the full stream; the resumed sweep must be
     // bit-identical to an uninterrupted one.
-    let resumed = search_chunked_checkpointed(&pipe, chunks, db.len(), &ckpt).unwrap();
+    let resumed =
+        search_chunked_checkpointed(&pipe, chunks, db.len(), &ckpt, content_hash(&db)).unwrap();
     assert_eq!(resumed.hits, baseline.hits);
     assert_eq!(funnel(&resumed), funnel(&baseline));
 

@@ -1,0 +1,116 @@
+//! Fused multi-profile scan smoke check — the CI gate for the fused
+//! `hmmscan` path actually amortizing the database traversal, not just
+//! matching the per-model sweeps bit for bit.
+//!
+//! Scans 100 small models (M ≈ 100–400, the pfam_scan regime) against an
+//! Env_nr-like slice twice: once as 100 independent `Pipeline::search`
+//! sweeps run serially and once through the fused `scan_prepared` sweep.
+//! Both arms score with the same `prepare_scan` pipelines, so Gumbel
+//! calibration (the expensive once-per-model setup a resident server
+//! amortizes away) is excluded from both timed regions. Exits nonzero
+//! unless the fused scan is at least 2× the independent sweeps, after
+//! asserting both report identical hits. On hosts with fewer than 4
+//! cores the fused path's intra-scan parallelism cannot express itself,
+//! so the check prints a SKIP verdict and exits zero.
+//!
+//! Usage: `cargo run --release -p h3w-bench --bin multiscan_smoke [min]`
+//! (`min` is the required speedup, default 2.0; `H3W_MULTISCAN_MIN`
+//! overrides it).
+
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_pipeline::{prepare_scan, scan_prepared, ExecPlan, Pipeline, PipelineConfig, Trace};
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const N_MODELS: usize = 100;
+const SEED: u64 = 0xbeef;
+const REPS: usize = 3;
+
+fn main() -> ExitCode {
+    let min_speedup: f64 = std::env::var("H3W_MULTISCAN_MIN")
+        .ok()
+        .or_else(|| std::env::args().nth(1))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        println!(
+            "SKIP: host exposes {cores} core(s); the fused scan's pooled \
+             stages cannot beat serial sweeps here (needs >= 4 cores)"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let models: Vec<_> = (0..N_MODELS)
+        .map(|i| {
+            synthetic_model(
+                100 + (i % 16) * 20,
+                9_000 + i as u64,
+                &BuildParams::default(),
+            )
+        })
+        .collect();
+    let mut spec = DbGenSpec::envnr_like().scaled(5e-5);
+    spec.homolog_fraction = 0.02;
+    let db = generate(&spec, Some(&models[0]), 77);
+    let config = PipelineConfig::default();
+    eprintln!(
+        "workload: {N_MODELS} models (M 100..400) x {} seqs / {} residues; \
+         requiring {min_speedup:.2}x",
+        db.len(),
+        db.total_residues()
+    );
+
+    // Calibrate every model once; both timed arms reuse these pipelines.
+    let pipes: Vec<Pipeline> = prepare_scan(&models, config, SEED);
+    let off = Trace::off();
+
+    // Equivalence first: the speedup is worthless if the answers drift.
+    let fused = scan_prepared(&pipes, &db, config, true, &off).unwrap();
+    for (fr, pipe) in fused.iter().zip(&pipes) {
+        let ind = pipe.search(&db, &ExecPlan::Cpu).expect("cpu sweep");
+        assert_eq!(
+            fr.hits, ind.hits,
+            "fused vs independent hits diverge for {}",
+            fr.family
+        );
+    }
+
+    let time = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let ind_s = time(&|| {
+        for pipe in &pipes {
+            std::hint::black_box(pipe.search(&db, &ExecPlan::Cpu).expect("cpu sweep"));
+        }
+    });
+    let fused_s = time(&|| {
+        std::hint::black_box(scan_prepared(&pipes, &db, config, true, &off).unwrap());
+    });
+
+    let speedup = ind_s / fused_s;
+    println!(
+        "multi-model scan: {N_MODELS} independent sweeps {ind_s:.3}s, \
+         fused sweep {fused_s:.3}s (speedup {speedup:.2}x)"
+    );
+    if speedup < min_speedup {
+        eprintln!(
+            "FAIL: fused scan is only {speedup:.2}x the independent sweeps \
+             (required {min_speedup:.2}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("OK: fused scan amortizes the traversal ({speedup:.2}x >= {min_speedup:.2}x)");
+    ExitCode::SUCCESS
+}

@@ -322,18 +322,24 @@ impl BytePipe for Avx2Pipe {
 /// returning how many rows completed. Stops early (after finishing the
 /// row for every slot) as soon as any slot overflows, flagging it in
 /// `ovf`. State arrays are `MAX_BATCH`-sized; only `0..S` is live.
+///
+/// Every slot carries its own striped table pointer and model constants
+/// (`rbv`, `biasv`, `basev`, `overv`, …), so a batch may mix sequences
+/// *and models* — the multi-profile fused scan packs several small HMMs
+/// against one sequence block through this same loop. All slots must
+/// share the stripe count `q`; the model-pack scheduler guarantees it.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 unsafe fn msv_chunk<P: BytePipe, const S: usize>(
     q: usize,
-    rbv: *const u8,
+    rbv: &[*const u8; MAX_BATCH],
     rows: usize,
     r0: usize,
     seqs: &[&[Residue]; MAX_BATCH],
     dp: &[*mut u8; MAX_BATCH],
-    biasv: P::V,
-    basev: P::V,
-    overv: P::V,
+    biasv: &[P::V; MAX_BATCH],
+    basev: &[P::V; MAX_BATCH],
+    overv: &[P::V; MAX_BATCH],
     tecv: &[P::V; MAX_BATCH],
     tjbmv: &[P::V; MAX_BATCH],
     xjv: &mut [P::V; MAX_BATCH],
@@ -344,11 +350,11 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
     let stride = q * P::LANES;
     for i in 0..rows {
         let row = r0 + i;
-        let mut rowp = [rbv; S];
+        let mut rowp = [rbv[0]; S];
         let mut xev = [P::zero(); S];
         let mut mpv = [P::zero(); S];
         for s in 0..S {
-            rowp[s] = rbv.add(*seqs[s].get_unchecked(row) as usize * stride);
+            rowp[s] = rbv[s].add(*seqs[s].get_unchecked(row) as usize * stride);
             mpv[s] = P::shl1(P::load(dp[s].add(stride - P::LANES)));
         }
         for qi in 0..q {
@@ -356,7 +362,7 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
             for s in 0..S {
                 let rv = P::load(rowp[s].add(off));
                 let cur = P::load(dp[s].add(off));
-                let sv = P::subs(P::adds(P::max(mpv[s], xbv[s]), biasv), rv);
+                let sv = P::subs(P::adds(P::max(mpv[s], xbv[s]), biasv[s]), rv);
                 xev[s] = P::max(xev[s], sv);
                 mpv[s] = cur;
                 P::store(dp[s].add(off), sv);
@@ -393,14 +399,14 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
                 if P::any_set(P::subs(xev[s], limm1[s])) {
                     // `any_ge(xev, overv)` ≡ `hmax(xev) ≥ overflow_at`
                     // for unsigned bytes.
-                    if P::any_ge(xev[s], overv) {
+                    if P::any_ge(xev[s], overv[s]) {
                         ovf[s] = true;
                         any_ovf = true;
                     } else {
                         let e = P::bcast_hmax(xev[s]);
                         xjv[s] = P::max(xjv[s], P::subs(e, tecv[s]));
-                        xbv[s] = P::subs(P::max(basev, xjv[s]), tjbmv[s]);
-                        let lim = P::min(overv, P::adds(xjv[s], tecv[s]));
+                        xbv[s] = P::subs(P::max(basev[s], xjv[s]), tjbmv[s]);
+                        let lim = P::min(overv[s], P::adds(xjv[s], tecv[s]));
                         let onev = P::splat(1);
                         limm1[s] = P::subs(P::max(lim, onev), onev);
                     }
@@ -421,13 +427,13 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
 #[inline(always)]
 unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
     q: usize,
-    rbv: *const u8,
+    rbv: &[*const u8; MAX_BATCH],
     rows: usize,
     r0: usize,
     seqs: &[&[Residue]; MAX_BATCH],
     dp: &[*mut u8; MAX_BATCH],
-    biasv: P::V,
-    overv: P::V,
+    biasv: &[P::V; MAX_BATCH],
+    overv: &[P::V; MAX_BATCH],
     xbv: &[P::V; MAX_BATCH],
     xmaxv: &mut [P::V; MAX_BATCH],
     ovf: &mut [bool; MAX_BATCH],
@@ -435,10 +441,10 @@ unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
     let stride = q * P::LANES;
     for i in 0..rows {
         let row = r0 + i;
-        let mut rowp = [rbv; S];
+        let mut rowp = [rbv[0]; S];
         let mut mpv = [P::zero(); S];
         for s in 0..S {
-            rowp[s] = rbv.add(*seqs[s].get_unchecked(row) as usize * stride);
+            rowp[s] = rbv[s].add(*seqs[s].get_unchecked(row) as usize * stride);
             mpv[s] = P::shl1(P::load(dp[s].add(stride - P::LANES)));
         }
         for qi in 0..q {
@@ -446,7 +452,7 @@ unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
             for s in 0..S {
                 let rv = P::load(rowp[s].add(off));
                 let cur = P::load(dp[s].add(off));
-                let sv = P::subs(P::adds(P::max(mpv[s], xbv[s]), biasv), rv);
+                let sv = P::subs(P::adds(P::max(mpv[s], xbv[s]), biasv[s]), rv);
                 xmaxv[s] = P::max(xmaxv[s], sv);
                 mpv[s] = cur;
                 P::store(dp[s].add(off), sv);
@@ -454,7 +460,7 @@ unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
         }
         let mut any_ovf = false;
         for s in 0..S {
-            if P::any_ge(xmaxv[s], overv) {
+            if P::any_ge(xmaxv[s], overv[s]) {
                 ovf[s] = true;
                 any_ovf = true;
             }
@@ -473,34 +479,63 @@ macro_rules! swap_slots {
     };
 }
 
-/// Generic batched MSV driver: dense struct-of-arrays slot state, a common
-/// row cursor (the scheduler keeps batch members near-equal length, so
-/// slots stay fused for most of the sweep), and dropout on early finish or
-/// overflow.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-unsafe fn msv_batch<P: BytePipe>(
-    q: usize,
+/// One (model, sequence) pairing in backend-agnostic raw form: the striped
+/// table pointer the slot walks plus the model constants its state vectors
+/// are built from. The fused drivers are written against this, so the
+/// single-model sequence batch and the multi-profile model pack share one
+/// kernel. The `rbv` pointer must match the dispatched pipeline's lane
+/// width and stay valid for the whole batch call.
+#[derive(Clone, Copy)]
+struct SlotSpec<'a> {
     rbv: *const u8,
     base: u8,
     bias: u8,
     overflow_at: u8,
-    om: &MsvProfile,
-    seqs: &[&[Residue]],
+    om: &'a MsvProfile,
+    seq: &'a [Residue],
+}
+
+/// Generic batched MSV driver: dense struct-of-arrays slot state, a common
+/// row cursor (the scheduler keeps batch members near-equal length, so
+/// slots stay fused for most of the sweep), and dropout on early finish or
+/// overflow. Each slot is an independent (model, sequence) pair; all slots
+/// share the stripe count `q`.
+#[inline(always)]
+unsafe fn msv_batch<P: BytePipe>(
+    q: usize,
+    specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    let n = seqs.len();
-    if overflow_at == 0 {
-        // Degenerate threshold: the striped kernel overflows on the
-        // first row of any non-empty sequence. Handling it here lets the
-        // fused loop's lazy-J test assume `overflow_at ≥ 1`.
-        for d in 0..n {
-            out[d] = if seqs[d].is_empty() {
+    let row_bytes = q * P::LANES;
+    let dp0 = ws.zeroed(specs.len() * row_bytes);
+
+    let mut slot = [0usize; MAX_BATCH];
+    let mut seqd: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+    let mut rbv = [core::ptr::null::<u8>(); MAX_BATCH];
+    let mut dp = [core::ptr::null_mut::<u8>(); MAX_BATCH];
+    let mut xjv = [P::zero(); MAX_BATCH];
+    let mut xbv = [P::zero(); MAX_BATCH];
+    let mut biasv = [P::zero(); MAX_BATCH];
+    let mut basev = [P::zero(); MAX_BATCH];
+    let mut overv = [P::zero(); MAX_BATCH];
+    let mut tecv = [P::zero(); MAX_BATCH];
+    let mut tjbmv = [P::zero(); MAX_BATCH];
+    let mut limm1 = [P::zero(); MAX_BATCH];
+    let mut ovf = [false; MAX_BATCH];
+    let onev = P::splat(1);
+    let mut live = 0usize;
+    for (d, sp) in specs.iter().enumerate() {
+        if sp.overflow_at == 0 {
+            // Degenerate threshold: the striped kernel overflows on the
+            // first row of any non-empty sequence. Retiring the slot
+            // before it enters the rotation lets the fused loop's lazy-J
+            // test assume `overflow_at ≥ 1` for every live batchmate.
+            out[d] = if sp.seq.is_empty() {
                 MsvOutcome {
                     xj: 0,
                     overflow: false,
-                    score: om.score_to_nats(0, 0),
+                    score: sp.om.score_to_nats(0, 0),
                 }
             } else {
                 MsvOutcome {
@@ -509,39 +544,25 @@ unsafe fn msv_batch<P: BytePipe>(
                     score: MsvProfile::overflow_score(),
                 }
             };
+            continue;
         }
-        return;
-    }
-    let row_bytes = q * P::LANES;
-    let dp0 = ws.zeroed(n * row_bytes);
-
-    let mut slot = [0usize; MAX_BATCH];
-    let mut seqd: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
-    let mut dp = [core::ptr::null_mut::<u8>(); MAX_BATCH];
-    let mut xjv = [P::zero(); MAX_BATCH];
-    let mut xbv = [P::zero(); MAX_BATCH];
-    let mut tecv = [P::zero(); MAX_BATCH];
-    let mut tjbmv = [P::zero(); MAX_BATCH];
-    let mut limm1 = [P::zero(); MAX_BATCH];
-    let mut ovf = [false; MAX_BATCH];
-    let overv = P::splat(overflow_at);
-    let onev = P::splat(1);
-    for d in 0..n {
-        let lc = om.len_costs(seqs[d].len());
-        slot[d] = d;
-        seqd[d] = seqs[d];
-        dp[d] = dp0.add(d * row_bytes);
-        xbv[d] = P::splat(base.saturating_sub(lc.tjbm));
-        tecv[d] = P::splat(lc.tec);
-        tjbmv[d] = P::splat(lc.tjbm);
+        let lc = sp.om.len_costs(sp.seq.len());
+        slot[live] = d;
+        seqd[live] = sp.seq;
+        rbv[live] = sp.rbv;
+        dp[live] = dp0.add(live * row_bytes);
+        xbv[live] = P::splat(sp.base.saturating_sub(lc.tjbm));
+        biasv[live] = P::splat(sp.bias);
+        basev[live] = P::splat(sp.base);
+        overv[live] = P::splat(sp.overflow_at);
+        tecv[live] = P::splat(lc.tec);
+        tjbmv[live] = P::splat(lc.tjbm);
         // Cached lazy-J test threshold; `xJ` starts at 0.
-        limm1[d] = P::subs(P::max(P::min(overv, tecv[d]), onev), onev);
+        limm1[live] = P::subs(P::max(P::min(overv[live], tecv[live]), onev), onev);
+        live += 1;
     }
-    let biasv = P::splat(bias);
-    let basev = P::splat(base);
 
     let mut r = 0usize; // common row cursor of all live slots
-    let mut live = n;
     while live > 0 {
         // Retire slots whose sequence is exhausted.
         let mut d = 0;
@@ -551,10 +572,11 @@ unsafe fn msv_batch<P: BytePipe>(
                 out[slot[d]] = MsvOutcome {
                     xj,
                     overflow: false,
-                    score: om.score_to_nats(xj, seqd[d].len()),
+                    score: specs[slot[d]].om.score_to_nats(xj, seqd[d].len()),
                 };
                 live -= 1;
-                swap_slots!(d, live; slot, seqd, dp, xjv, xbv, tecv, tjbmv, limm1, ovf);
+                swap_slots!(d, live; slot, seqd, rbv, dp, xjv, xbv, biasv, basev, overv,
+                    tecv, tjbmv, limm1, ovf);
                 continue;
             }
             d += 1;
@@ -565,19 +587,19 @@ unsafe fn msv_batch<P: BytePipe>(
         let rows = (0..live).map(|d| seqd[d].len() - r).min().unwrap();
         let done = match live {
             1 => msv_chunk::<P, 1>(
-                q, rbv, rows, r, &seqd, &dp, biasv, basev, overv, &tecv, &tjbmv, &mut xjv,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             2 => msv_chunk::<P, 2>(
-                q, rbv, rows, r, &seqd, &dp, biasv, basev, overv, &tecv, &tjbmv, &mut xjv,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             3 => msv_chunk::<P, 3>(
-                q, rbv, rows, r, &seqd, &dp, biasv, basev, overv, &tecv, &tjbmv, &mut xjv,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             _ => msv_chunk::<P, 4>(
-                q, rbv, rows, r, &seqd, &dp, biasv, basev, overv, &tecv, &tjbmv, &mut xjv,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
         };
@@ -592,7 +614,8 @@ unsafe fn msv_batch<P: BytePipe>(
                     score: MsvProfile::overflow_score(),
                 };
                 live -= 1;
-                swap_slots!(d, live; slot, seqd, dp, xjv, xbv, tecv, tjbmv, limm1, ovf);
+                swap_slots!(d, live; slot, seqd, rbv, dp, xjv, xbv, biasv, basev, overv,
+                    tecv, tjbmv, limm1, ovf);
                 ovf[live] = false;
                 continue;
             }
@@ -602,39 +625,38 @@ unsafe fn msv_batch<P: BytePipe>(
 }
 
 /// Generic batched SSV driver — same dropout scheme as [`msv_batch`] with
-/// the per-row feedback stripped (constant `xB`, global `xmax`).
-#[allow(clippy::too_many_arguments)]
+/// the per-row feedback stripped (constant `xB`, global `xmax`). Slots are
+/// independent (model, sequence) pairs sharing the stripe count `q`.
 #[inline(always)]
 unsafe fn ssv_batch<P: BytePipe>(
     q: usize,
-    rbv: *const u8,
-    base: u8,
-    bias: u8,
-    overflow_at: u8,
-    om: &MsvProfile,
-    seqs: &[&[Residue]],
+    specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    let n = seqs.len();
+    let n = specs.len();
     let row_bytes = q * P::LANES;
     let dp0 = ws.zeroed(n * row_bytes);
 
     let mut slot = [0usize; MAX_BATCH];
     let mut seqd: [&[Residue]; MAX_BATCH] = [&[]; MAX_BATCH];
+    let mut rbv = [core::ptr::null::<u8>(); MAX_BATCH];
     let mut dp = [core::ptr::null_mut::<u8>(); MAX_BATCH];
     let mut xbv = [P::zero(); MAX_BATCH];
+    let mut biasv = [P::zero(); MAX_BATCH];
+    let mut overv = [P::zero(); MAX_BATCH];
     let mut xmaxv = [P::zero(); MAX_BATCH];
     let mut ovf = [false; MAX_BATCH];
-    for d in 0..n {
-        let lc = om.len_costs(seqs[d].len());
+    for (d, sp) in specs.iter().enumerate() {
+        let lc = sp.om.len_costs(sp.seq.len());
         slot[d] = d;
-        seqd[d] = seqs[d];
+        seqd[d] = sp.seq;
+        rbv[d] = sp.rbv;
         dp[d] = dp0.add(d * row_bytes);
-        xbv[d] = P::splat(base.saturating_sub(lc.tjbm));
+        xbv[d] = P::splat(sp.base.saturating_sub(lc.tjbm));
+        biasv[d] = P::splat(sp.bias);
+        overv[d] = P::splat(sp.overflow_at);
     }
-    let biasv = P::splat(bias);
-    let overv = P::splat(overflow_at);
 
     let mut r = 0usize;
     let mut live = n;
@@ -646,10 +668,10 @@ unsafe fn ssv_batch<P: BytePipe>(
                 out[slot[d]] = MsvOutcome {
                     xj: xmax,
                     overflow: false,
-                    score: om.ssv_score_to_nats(xmax, seqd[d].len()),
+                    score: specs[slot[d]].om.ssv_score_to_nats(xmax, seqd[d].len()),
                 };
                 live -= 1;
-                swap_slots!(d, live; slot, seqd, dp, xbv, xmaxv, ovf);
+                swap_slots!(d, live; slot, seqd, rbv, dp, xbv, biasv, overv, xmaxv, ovf);
                 continue;
             }
             d += 1;
@@ -660,16 +682,16 @@ unsafe fn ssv_batch<P: BytePipe>(
         let rows = (0..live).map(|d| seqd[d].len() - r).min().unwrap();
         let done = match live {
             1 => ssv_chunk::<P, 1>(
-                q, rbv, rows, r, &seqd, &dp, biasv, overv, &xbv, &mut xmaxv, &mut ovf,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             2 => ssv_chunk::<P, 2>(
-                q, rbv, rows, r, &seqd, &dp, biasv, overv, &xbv, &mut xmaxv, &mut ovf,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             3 => ssv_chunk::<P, 3>(
-                q, rbv, rows, r, &seqd, &dp, biasv, overv, &xbv, &mut xmaxv, &mut ovf,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             _ => ssv_chunk::<P, 4>(
-                q, rbv, rows, r, &seqd, &dp, biasv, overv, &xbv, &mut xmaxv, &mut ovf,
+                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
         };
         r += done;
@@ -682,7 +704,7 @@ unsafe fn ssv_batch<P: BytePipe>(
                     score: MsvProfile::overflow_score(),
                 };
                 live -= 1;
-                swap_slots!(d, live; slot, seqd, dp, xbv, xmaxv, ovf);
+                swap_slots!(d, live; slot, seqd, rbv, dp, xbv, biasv, overv, xmaxv, ovf);
                 ovf[live] = false;
                 continue;
             }
@@ -691,62 +713,117 @@ unsafe fn ssv_batch<P: BytePipe>(
     }
 }
 
+/// One (model, sequence) pairing for the fused multi-profile MSV entry
+/// point [`msv_multi_batch_into`].
+#[derive(Clone, Copy)]
+pub struct MsvPair<'a> {
+    /// Striped tables of the model scoring this slot.
+    pub striped: &'a StripedMsv,
+    /// That model's scoring profile (length costs, nat conversion).
+    pub om: &'a MsvProfile,
+    /// The digitized target sequence.
+    pub seq: &'a [Residue],
+}
+
+/// One (model, sequence) pairing for the fused multi-profile SSV entry
+/// point [`ssv_multi_batch_into`].
+#[derive(Clone, Copy)]
+pub struct SsvPair<'a> {
+    /// Striped tables of the model scoring this slot.
+    pub striped: &'a StripedSsv,
+    /// That model's scoring profile.
+    pub om: &'a MsvProfile,
+    /// The digitized target sequence.
+    pub seq: &'a [Residue],
+}
+
 /// AVX2 monomorphizations behind `#[target_feature]` so the fused loops
 /// compile to 256-bit code (the `#[inline(always)]` generics fold into
 /// this feature context).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn msv_batch_avx2(
-    striped: &StripedMsv,
-    om: &MsvProfile,
-    seqs: &[&[Residue]],
+    q: usize,
+    specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    let t = striped
-        .avx
-        .as_ref()
-        .expect("AVX2 tables built at construction");
-    msv_batch::<Avx2Pipe>(
-        t.q,
-        t.rbv.as_ptr() as *const u8,
-        striped.base,
-        striped.bias,
-        striped.overflow_at,
-        om,
-        seqs,
-        ws,
-        out,
-    )
+    msv_batch::<Avx2Pipe>(q, specs, ws, out)
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn ssv_batch_avx2(
-    striped: &StripedSsv,
-    om: &MsvProfile,
-    seqs: &[&[Residue]],
+    q: usize,
+    specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    let t = striped
-        .avx
-        .as_ref()
-        .expect("AVX2 tables built at construction");
-    ssv_batch::<Avx2Pipe>(
-        t.q,
-        t.rbv.as_ptr() as *const u8,
-        striped.base,
-        striped.bias,
-        striped.overflow_at,
-        om,
-        seqs,
-        ws,
-        out,
-    )
+    ssv_batch::<Avx2Pipe>(q, specs, ws, out)
+}
+
+/// Dispatch a spec array to the pipeline matching `backend`. `q` must be
+/// the stripe count of the layout every `specs[i].rbv` points into
+/// (16-lane for scalar/SSE2, 32-lane for AVX2).
+unsafe fn dispatch_msv(
+    backend: Backend,
+    q: usize,
+    specs: &[SlotSpec],
+    ws: &mut BatchWorkspace,
+    out: &mut [MsvOutcome],
+) {
+    match backend {
+        Backend::Scalar => msv_batch::<ScalarPipe>(q, specs, ws, out),
+        // SAFETY: with_backend only selects Sse2/Avx2 when the CPU
+        // reports the feature.
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => msv_batch::<Sse2Pipe>(q, specs, ws, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => msv_batch_avx2(q, specs, ws, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar backend on a non-x86_64 host"),
+    }
+}
+
+unsafe fn dispatch_ssv(
+    backend: Backend,
+    q: usize,
+    specs: &[SlotSpec],
+    ws: &mut BatchWorkspace,
+    out: &mut [MsvOutcome],
+) {
+    match backend {
+        Backend::Scalar => ssv_batch::<ScalarPipe>(q, specs, ws, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => ssv_batch::<Sse2Pipe>(q, specs, ws, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => ssv_batch_avx2(q, specs, ws, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar backend on a non-x86_64 host"),
+    }
 }
 
 impl StripedMsv {
+    /// The striped table pointer the dispatched backend actually walks.
+    fn table_ptr(&self) -> *const u8 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(t) = self.avx.as_ref() {
+            return t.rbv.as_ptr() as *const u8;
+        }
+        self.rbv.as_ptr() as *const u8
+    }
+
+    fn slot_spec<'a>(&'a self, om: &'a MsvProfile, seq: &'a [Residue]) -> SlotSpec<'a> {
+        SlotSpec {
+            rbv: self.table_ptr(),
+            base: self.base,
+            bias: self.bias,
+            overflow_at: self.overflow_at,
+            om,
+            seq,
+        }
+    }
+
     /// Score up to [`MAX_BATCH`] sequences in one interleaved pass.
     /// `out[i]` receives `seqs[i]`'s outcome, bit-identical to
     /// [`StripedMsv::run_into`] on the same backend (and therefore to the
@@ -763,46 +840,42 @@ impl StripedMsv {
         if seqs.is_empty() {
             return;
         }
-        let rbv = self.rbv.as_ptr() as *const u8;
-        match self.backend() {
-            Backend::Scalar => unsafe {
-                msv_batch::<ScalarPipe>(
-                    self.q,
-                    rbv,
-                    self.base,
-                    self.bias,
-                    self.overflow_at,
-                    om,
-                    seqs,
-                    ws,
-                    out,
-                )
-            },
-            // SAFETY: with_backend only selects Sse2/Avx2 when the CPU
-            // reports the feature.
-            #[cfg(target_arch = "x86_64")]
-            Backend::Sse2 => unsafe {
-                msv_batch::<Sse2Pipe>(
-                    self.q,
-                    rbv,
-                    self.base,
-                    self.bias,
-                    self.overflow_at,
-                    om,
-                    seqs,
-                    ws,
-                    out,
-                )
-            },
-            #[cfg(target_arch = "x86_64")]
-            Backend::Avx2 => unsafe { msv_batch_avx2(self, om, seqs, ws, out) },
-            #[cfg(not(target_arch = "x86_64"))]
-            _ => unreachable!("non-scalar backend on a non-x86_64 host"),
+        let mut specs = [self.slot_spec(om, &[]); MAX_BATCH];
+        for (sp, &seq) in specs.iter_mut().zip(seqs) {
+            sp.seq = seq;
+        }
+        unsafe {
+            dispatch_msv(
+                self.backend(),
+                self.active_q(),
+                &specs[..seqs.len()],
+                ws,
+                out,
+            )
         }
     }
 }
 
 impl StripedSsv {
+    fn table_ptr(&self) -> *const u8 {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(t) = self.avx.as_ref() {
+            return t.rbv.as_ptr() as *const u8;
+        }
+        self.rbv.as_ptr() as *const u8
+    }
+
+    fn slot_spec<'a>(&'a self, om: &'a MsvProfile, seq: &'a [Residue]) -> SlotSpec<'a> {
+        SlotSpec {
+            rbv: self.table_ptr(),
+            base: self.base,
+            bias: self.bias,
+            overflow_at: self.overflow_at,
+            om,
+            seq,
+        }
+    }
+
     /// Score up to [`MAX_BATCH`] sequences in one interleaved pass,
     /// bit-identical to [`ssv_filter_scalar`](crate::ssv::ssv_filter_scalar)
     /// per sequence.
@@ -818,41 +891,79 @@ impl StripedSsv {
         if seqs.is_empty() {
             return;
         }
-        let rbv = self.rbv.as_ptr() as *const u8;
-        match self.backend() {
-            Backend::Scalar => unsafe {
-                ssv_batch::<ScalarPipe>(
-                    self.q,
-                    rbv,
-                    self.base,
-                    self.bias,
-                    self.overflow_at,
-                    om,
-                    seqs,
-                    ws,
-                    out,
-                )
-            },
-            #[cfg(target_arch = "x86_64")]
-            Backend::Sse2 => unsafe {
-                ssv_batch::<Sse2Pipe>(
-                    self.q,
-                    rbv,
-                    self.base,
-                    self.bias,
-                    self.overflow_at,
-                    om,
-                    seqs,
-                    ws,
-                    out,
-                )
-            },
-            #[cfg(target_arch = "x86_64")]
-            Backend::Avx2 => unsafe { ssv_batch_avx2(self, om, seqs, ws, out) },
-            #[cfg(not(target_arch = "x86_64"))]
-            _ => unreachable!("non-scalar backend on a non-x86_64 host"),
+        let mut specs = [self.slot_spec(om, &[]); MAX_BATCH];
+        for (sp, &seq) in specs.iter_mut().zip(seqs) {
+            sp.seq = seq;
+        }
+        unsafe {
+            dispatch_ssv(
+                self.backend(),
+                self.active_q(),
+                &specs[..seqs.len()],
+                ws,
+                out,
+            )
         }
     }
+}
+
+/// Score up to [`MAX_BATCH`] (model, sequence) pairs in one fused
+/// interleaved MSV pass — the *model* dimension of the batch. Pairs may
+/// mix models and sequences arbitrarily as long as every model shares the
+/// same backend and the same active stripe count
+/// ([`StripedMsv::active_q`]): the fused row loop walks a single `q`, so
+/// shape-unequal models cannot interleave (the pack scheduler
+/// [`crate::sweep::model_packs`] bins models to guarantee this). `out[i]`
+/// receives `pairs[i]`'s outcome, bit-identical to scoring that pair alone
+/// with [`StripedMsv::run_into`].
+pub fn msv_multi_batch_into(pairs: &[MsvPair], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]) {
+    assert!(pairs.len() <= MAX_BATCH, "pack wider than MAX_BATCH");
+    assert_eq!(pairs.len(), out.len());
+    let Some(first) = pairs.first() else { return };
+    let backend = first.striped.backend();
+    let q = first.striped.active_q();
+    let mut specs = [first.striped.slot_spec(first.om, &[]); MAX_BATCH];
+    for (sp, pair) in specs.iter_mut().zip(pairs) {
+        assert_eq!(
+            pair.striped.backend(),
+            backend,
+            "fused pack members must share a backend"
+        );
+        assert_eq!(
+            pair.striped.active_q(),
+            q,
+            "fused pack members must share the active stripe count"
+        );
+        *sp = pair.striped.slot_spec(pair.om, pair.seq);
+    }
+    unsafe { dispatch_msv(backend, q, &specs[..pairs.len()], ws, out) }
+}
+
+/// Score up to [`MAX_BATCH`] (model, sequence) pairs in one fused
+/// interleaved SSV pass — see [`msv_multi_batch_into`] for the pack
+/// shape rules. Bit-identical per pair to
+/// [`ssv_filter_scalar`](crate::ssv::ssv_filter_scalar).
+pub fn ssv_multi_batch_into(pairs: &[SsvPair], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]) {
+    assert!(pairs.len() <= MAX_BATCH, "pack wider than MAX_BATCH");
+    assert_eq!(pairs.len(), out.len());
+    let Some(first) = pairs.first() else { return };
+    let backend = first.striped.backend();
+    let q = first.striped.active_q();
+    let mut specs = [first.striped.slot_spec(first.om, &[]); MAX_BATCH];
+    for (sp, pair) in specs.iter_mut().zip(pairs) {
+        assert_eq!(
+            pair.striped.backend(),
+            backend,
+            "fused pack members must share a backend"
+        );
+        assert_eq!(
+            pair.striped.active_q(),
+            q,
+            "fused pack members must share the active stripe count"
+        );
+        *sp = pair.striped.slot_spec(pair.om, pair.seq);
+    }
+    unsafe { dispatch_ssv(backend, q, &specs[..pairs.len()], ws, out) }
 }
 
 #[cfg(test)]
@@ -949,6 +1060,179 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fused_multi_profile_msv_matches_single_models() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // m = 33/40/48 share ⌈m/16⌉ = 3 and ⌈m/32⌉ = 2, so the three
+        // models pack together on every backend's active stripe count.
+        let oms: Vec<MsvProfile> = [33usize, 40, 48].iter().map(|&m| om(m, m as u64)).collect();
+        let seqs: Vec<Vec<u8>> = [0usize, 9, 44, 130, 301]
+            .iter()
+            .map(|&l| random_seq(&mut rng, l))
+            .collect();
+        for backend in Backend::all_available() {
+            let striped: Vec<StripedMsv> = oms
+                .iter()
+                .map(|om| StripedMsv::with_backend(om, backend))
+                .collect();
+            assert!(striped
+                .windows(2)
+                .all(|w| w[0].active_q() == w[1].active_q()));
+            let mut ws = BatchWorkspace::default();
+            // Model-major pack shapes: (3 models × 1 seq), (2 × 2), and a
+            // full-width mixed pack.
+            let shapes: [&[(usize, usize)]; 3] = [
+                &[(0, 0), (1, 0), (2, 0)],
+                &[(0, 1), (0, 2), (1, 1), (1, 2)],
+                &[(2, 4), (1, 3), (0, 0), (2, 2)],
+            ];
+            for shape in shapes {
+                let pairs: Vec<MsvPair> = shape
+                    .iter()
+                    .map(|&(mi, si)| MsvPair {
+                        striped: &striped[mi],
+                        om: &oms[mi],
+                        seq: &seqs[si],
+                    })
+                    .collect();
+                let mut out = vec![
+                    MsvOutcome {
+                        xj: 0,
+                        overflow: false,
+                        score: 0.0
+                    };
+                    pairs.len()
+                ];
+                msv_multi_batch_into(&pairs, &mut ws, &mut out);
+                for (&(mi, si), o) in shape.iter().zip(&out) {
+                    let want = msv_filter_scalar(&oms[mi], &seqs[si]);
+                    assert_eq!(
+                        (want.xj, want.overflow, want.score.to_bits()),
+                        (o.xj, o.overflow, o.score.to_bits()),
+                        "backend={backend} model={mi} seq={si}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_multi_profile_ssv_matches_single_models() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let oms: Vec<MsvProfile> = [33usize, 40, 48]
+            .iter()
+            .map(|&m| om(m, 100 + m as u64))
+            .collect();
+        let seqs: Vec<Vec<u8>> = [2usize, 0, 77, 210]
+            .iter()
+            .map(|&l| random_seq(&mut rng, l))
+            .collect();
+        for backend in Backend::all_available() {
+            let striped: Vec<StripedSsv> = oms
+                .iter()
+                .map(|om| StripedSsv::with_backend(om, backend))
+                .collect();
+            let mut ws = BatchWorkspace::default();
+            let shapes: [&[(usize, usize)]; 2] =
+                [&[(0, 0), (1, 0), (2, 0), (1, 2)], &[(2, 3), (0, 1), (1, 2)]];
+            for shape in shapes {
+                let pairs: Vec<SsvPair> = shape
+                    .iter()
+                    .map(|&(mi, si)| SsvPair {
+                        striped: &striped[mi],
+                        om: &oms[mi],
+                        seq: &seqs[si],
+                    })
+                    .collect();
+                let mut out = vec![
+                    MsvOutcome {
+                        xj: 0,
+                        overflow: false,
+                        score: 0.0
+                    };
+                    pairs.len()
+                ];
+                ssv_multi_batch_into(&pairs, &mut ws, &mut out);
+                for (&(mi, si), o) in shape.iter().zip(&out) {
+                    let want = ssv_filter_scalar(&oms[mi], &seqs[si]);
+                    assert_eq!(
+                        (want.xj, want.overflow, want.score.to_bits()),
+                        (o.xj, o.overflow, o.score.to_bits()),
+                        "backend={backend} model={mi} seq={si}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_multi_profile_overflow_drops_one_model_only() {
+        // A homolog that overflows its own model's byte pipeline packed
+        // next to a different model scoring background sequences: the
+        // overflow dropout must not perturb the other model's slots.
+        let bg = NullModel::new();
+        let hot_core = synthetic_model(112, 3, &BuildParams::default());
+        let hot_p = Profile::config(&hot_core, &bg);
+        let hot_om = MsvProfile::from_profile(&hot_p);
+        let cold_om = om(100, 41); // ⌈112/16⌉ = ⌈100/16⌉ = 7, ⌈·/32⌉ = 4
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut hom = Vec::new();
+        for _ in 0..4 {
+            hom.extend(h3w_seqdb::gen::sample_homolog(&mut rng, &hot_core, 3));
+        }
+        assert!(
+            msv_filter_scalar(&hot_om, &hom).overflow,
+            "setup: must overflow"
+        );
+        let b1 = random_seq(&mut rng, hom.len() + 40);
+        let b2 = random_seq(&mut rng, hom.len() / 2);
+        for backend in Backend::all_available() {
+            let hot = StripedMsv::with_backend(&hot_om, backend);
+            let cold = StripedMsv::with_backend(&cold_om, backend);
+            assert_eq!(hot.active_q(), cold.active_q());
+            let mut ws = BatchWorkspace::default();
+            let pairs = [
+                MsvPair {
+                    striped: &cold,
+                    om: &cold_om,
+                    seq: &b1,
+                },
+                MsvPair {
+                    striped: &hot,
+                    om: &hot_om,
+                    seq: &hom,
+                },
+                MsvPair {
+                    striped: &cold,
+                    om: &cold_om,
+                    seq: &b2,
+                },
+            ];
+            let mut out = [MsvOutcome {
+                xj: 0,
+                overflow: false,
+                score: 0.0,
+            }; 3];
+            msv_multi_batch_into(&pairs, &mut ws, &mut out);
+            assert_eq!(
+                msv_filter_scalar(&cold_om, &b1),
+                out[0],
+                "backend={backend}"
+            );
+            assert_eq!(
+                msv_filter_scalar(&hot_om, &hom),
+                out[1],
+                "backend={backend}"
+            );
+            assert_eq!(
+                msv_filter_scalar(&cold_om, &b2),
+                out[2],
+                "backend={backend}"
+            );
+            assert!(out[1].overflow);
         }
     }
 

@@ -29,7 +29,9 @@ pub mod traceback;
 pub mod x86;
 
 pub use backend::Backend;
-pub use batch::{BatchWorkspace, MAX_BATCH};
+pub use batch::{
+    msv_multi_batch_into, ssv_multi_batch_into, BatchWorkspace, MsvPair, SsvPair, MAX_BATCH,
+};
 pub use null2::null2_correction;
 pub use posterior::{find_domains, posterior_decode, posterior_decode_with, Domain, Posterior};
 pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
@@ -42,8 +44,9 @@ pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{
     batch_schedule_stats, fwd_scores_batched, fwd_sweep_batched, length_binned_batches,
-    msv_outcomes_batched, msv_sweep, msv_sweep_batched, record_sweep, resolve_batch_width,
-    ssv_outcomes_batched, ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats,
+    model_pack_stats, model_packs, msv_multi_outcomes, msv_outcomes_batched, msv_sweep,
+    msv_sweep_batched, record_sweep, resolve_batch_width, ssv_multi_outcomes, ssv_outcomes_batched,
+    ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats, ModelPackStats,
     SweepTiming,
 };
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};

@@ -150,6 +150,17 @@ impl StripedSsv {
         self.backend
     }
 
+    /// Stripe count of the table the dispatched backend actually walks
+    /// (`⌈M/32⌉` under AVX2, `⌈M/16⌉` otherwise) — see
+    /// [`StripedMsv::active_q`](crate::striped_msv::StripedMsv::active_q).
+    pub fn active_q(&self) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(t) = self.avx.as_ref() {
+            return t.q;
+        }
+        self.q
+    }
+
     /// Score one sequence as a width-1 batch, reusing `ws` as the row
     /// buffer. Bit-exact with the scalar spec on every backend.
     pub fn run_into(

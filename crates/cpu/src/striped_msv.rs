@@ -132,6 +132,18 @@ impl StripedMsv {
         self.backend
     }
 
+    /// Stripe count of the table the dispatched backend actually walks:
+    /// `⌈M/32⌉` under AVX2's re-striped 32-lane layout, `⌈M/16⌉`
+    /// otherwise. Models may share a fused multi-profile pack only when
+    /// this matches — the fused row loop walks one common `q`.
+    pub fn active_q(&self) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(t) = self.avx.as_ref() {
+            return t.q;
+        }
+        self.q
+    }
+
     /// Score one sequence, reusing `dp` as the row buffer (resized as
     /// needed). Bit-identical to the scalar reference on every backend.
     pub fn run_into(

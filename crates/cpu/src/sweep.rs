@@ -28,7 +28,9 @@
 //! hot loop still performs no allocation.
 
 use crate::backend::Backend;
-use crate::batch::{BatchWorkspace, MAX_BATCH};
+use crate::batch::{
+    msv_multi_batch_into, ssv_multi_batch_into, BatchWorkspace, MsvPair, SsvPair, MAX_BATCH,
+};
 use crate::quantized::{MsvOutcome, VitOutcome};
 use crate::ssv::StripedSsv;
 use crate::striped_fwd::{FwdBatchWorkspace, StripedFwd};
@@ -324,6 +326,228 @@ pub fn ssv_outcomes_batched(
         },
         seqs,
         mask,
+        width,
+    )
+}
+
+/// The model-pack schedule for the fused multi-profile sweeps: indices
+/// of the models, grouped into packs of up to `width` members. This is
+/// the model-dimension twin of [`length_binned_batches`] — models are
+/// binned by their stripe count `q` ([`StripedMsv::active_q`]) and only
+/// models with **equal** `q` ever share a pack: the fused row loop walks
+/// one common `qi` range, so a mixed-q pack would either truncate the
+/// longer model or run the shorter one past its table. Within a bin,
+/// packs are emitted widest-q first so the thread pool sees the most
+/// expensive packs early (the same tail-shrinking argument as the
+/// sequence scheduler).
+pub fn model_packs(qs: &[usize], width: usize) -> Vec<Vec<usize>> {
+    let width = width.clamp(1, MAX_BATCH);
+    let mut idx: Vec<usize> = (0..qs.len()).collect();
+    // Stable sort: equal-q models keep their input order inside a pack.
+    idx.sort_by_key(|&i| std::cmp::Reverse(qs[i]));
+    let mut packs = Vec::new();
+    let mut i = 0;
+    while i < idx.len() {
+        let q = qs[idx[i]];
+        let mut pack = Vec::with_capacity(width);
+        while i < idx.len() && qs[idx[i]] == q && pack.len() < width {
+            pack.push(idx[i]);
+            i += 1;
+        }
+        packs.push(pack);
+    }
+    packs
+}
+
+/// Fused-scan schedule accounting: how well the model-packing scheduler
+/// filled the interleave width, derived after the fact from the same
+/// `(qs, width)` inputs (an O(n) pass, nothing counted in the hot loop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelPackStats {
+    /// Interleave width the schedule was built for.
+    pub width: usize,
+    /// Models scheduled.
+    pub models: u64,
+    /// Packs emitted (= fused DB traversal tasks per sequence batch).
+    pub packs: u64,
+    /// Slots actually occupied across all packs × their sequence share
+    /// (`pack_len × (width / pack_len)` per pack).
+    pub slots: u64,
+}
+
+/// Compute [`ModelPackStats`] for the schedule [`model_packs`] builds
+/// over the same `(qs, width)`.
+pub fn model_pack_stats(qs: &[usize], width: usize) -> ModelPackStats {
+    let width = width.clamp(1, MAX_BATCH);
+    let packs = model_packs(qs, width);
+    let mut stats = ModelPackStats {
+        width,
+        models: qs.len() as u64,
+        packs: packs.len() as u64,
+        ..ModelPackStats::default()
+    };
+    for pack in &packs {
+        let per_model_seqs = (width / pack.len()).max(1);
+        stats.slots += (pack.len() * per_model_seqs) as u64;
+    }
+    stats
+}
+
+/// Shared driver for the fused multi-model sweeps: pack the models by
+/// stripe count, split the interleave width between pack members and
+/// sequences (`width / pack_len` sequences per task, length-binned), and
+/// score every (pack, sequence-batch) task across the pool with the
+/// model-major fused kernels. Outcomes scatter back `[model][seq]`, so
+/// results are bit-identical at every thread count and pack width.
+fn multi_sweep_with<F>(
+    pool: &ThreadPool,
+    n_models: usize,
+    qs: &[usize],
+    run_pack: &F,
+    seqs: &[DigitalSeq],
+    width: usize,
+) -> Vec<Vec<MsvOutcome>>
+where
+    F: Fn(&[usize], &[usize], &mut BatchWorkspace, &mut [MsvOutcome]) + Sync,
+{
+    let packs = model_packs(qs, width);
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    // Sequence schedules keyed by the per-task sequence share; packs of
+    // equal size reuse the same schedule.
+    let mut schedules: Vec<Option<Vec<Vec<usize>>>> = vec![None; MAX_BATCH + 1];
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    for (pi, pack) in packs.iter().enumerate() {
+        let share = (width.clamp(1, MAX_BATCH) / pack.len()).max(1);
+        let sched =
+            schedules[share].get_or_insert_with(|| length_binned_batches(&lens, None, share));
+        for bi in 0..sched.len() {
+            tasks.push((pi, bi));
+        }
+    }
+    let scored: Vec<[MsvOutcome; MAX_BATCH]> =
+        pool.map_collect_init(tasks.len(), BatchWorkspace::default, |ws, t| {
+            let (pi, bi) = tasks[t];
+            let pack = &packs[pi];
+            let share = (width.clamp(1, MAX_BATCH) / pack.len()).max(1);
+            let batch = &schedules[share].as_ref().expect("schedule built above")[bi];
+            let mut out = [ZERO_OUTCOME; MAX_BATCH];
+            run_pack(pack, batch, ws, &mut out[..pack.len() * batch.len()]);
+            out
+        });
+    let mut result = vec![vec![ZERO_OUTCOME; seqs.len()]; n_models];
+    for (&(pi, bi), outs) in tasks.iter().zip(&scored) {
+        let pack = &packs[pi];
+        let share = (width.clamp(1, MAX_BATCH) / pack.len()).max(1);
+        let batch = &schedules[share].as_ref().expect("schedule built above")[bi];
+        for (mp, &mi) in pack.iter().enumerate() {
+            for (sp, &si) in batch.iter().enumerate() {
+                result[mi][si] = outs[mp * batch.len() + sp];
+            }
+        }
+    }
+    result
+}
+
+/// Fused multi-profile MSV sweep: score **every** model against
+/// **every** sequence in one pass over the database. Models are packed
+/// by stripe count ([`model_packs`]) and each pool task runs one model
+/// pack against one length-binned sequence batch through the
+/// model-major fused kernel ([`msv_multi_batch_into`]), so a scan over
+/// N small models costs far less than N independent sweeps.
+///
+/// All models must share a backend. Returns `out[model][seq]`,
+/// bit-identical to per-model [`msv_outcomes_batched`] at every width
+/// and thread count. `width = 0` auto-selects the backend's preferred
+/// interleave.
+pub fn msv_multi_outcomes(
+    pool: &ThreadPool,
+    models: &[(&StripedMsv, &MsvProfile)],
+    seqs: &[DigitalSeq],
+    width: usize,
+) -> Vec<Vec<MsvOutcome>> {
+    let Some(first) = models.first() else {
+        return Vec::new();
+    };
+    let backend = first.0.backend();
+    assert!(
+        models.iter().all(|(s, _)| s.backend() == backend),
+        "fused scan members must share a backend"
+    );
+    let width = resolve_batch_width(backend, width);
+    let qs: Vec<usize> = models.iter().map(|(s, _)| s.active_q()).collect();
+    multi_sweep_with(
+        pool,
+        models.len(),
+        &qs,
+        &|pack: &[usize], batch: &[usize], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
+            let dummy = MsvPair {
+                striped: models[pack[0]].0,
+                om: models[pack[0]].1,
+                seq: &[],
+            };
+            let mut pairs = [dummy; MAX_BATCH];
+            let mut n = 0;
+            for &mi in pack {
+                for &si in batch {
+                    pairs[n] = MsvPair {
+                        striped: models[mi].0,
+                        om: models[mi].1,
+                        seq: &seqs[si].residues,
+                    };
+                    n += 1;
+                }
+            }
+            msv_multi_batch_into(&pairs[..n], ws, out);
+        },
+        seqs,
+        width,
+    )
+}
+
+/// Fused multi-profile SSV sweep — the stage-0 twin of
+/// [`msv_multi_outcomes`], bit-identical to per-model
+/// [`ssv_outcomes_batched`].
+pub fn ssv_multi_outcomes(
+    pool: &ThreadPool,
+    models: &[(&StripedSsv, &MsvProfile)],
+    seqs: &[DigitalSeq],
+    width: usize,
+) -> Vec<Vec<MsvOutcome>> {
+    let Some(first) = models.first() else {
+        return Vec::new();
+    };
+    let backend = first.0.backend();
+    assert!(
+        models.iter().all(|(s, _)| s.backend() == backend),
+        "fused scan members must share a backend"
+    );
+    let width = resolve_batch_width(backend, width);
+    let qs: Vec<usize> = models.iter().map(|(s, _)| s.active_q()).collect();
+    multi_sweep_with(
+        pool,
+        models.len(),
+        &qs,
+        &|pack: &[usize], batch: &[usize], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
+            let dummy = SsvPair {
+                striped: models[pack[0]].0,
+                om: models[pack[0]].1,
+                seq: &[],
+            };
+            let mut pairs = [dummy; MAX_BATCH];
+            let mut n = 0;
+            for &mi in pack {
+                for &si in batch {
+                    pairs[n] = SsvPair {
+                        striped: models[mi].0,
+                        om: models[mi].1,
+                        seq: &seqs[si].residues,
+                    };
+                    n += 1;
+                }
+            }
+            ssv_multi_batch_into(&pairs[..n], ws, out);
+        },
+        seqs,
         width,
     )
 }
@@ -716,6 +940,112 @@ mod tests {
             assert_eq!(got[i], ssv_filter_scalar(&msv, &seq.residues), "seq {i}");
         }
         assert_eq!(t.real_cells, 40 * db.total_residues());
+    }
+
+    #[test]
+    fn model_packs_never_mix_stripe_counts() {
+        // q values with runs: three 3s, one 5, two 7s.
+        let qs = [3usize, 7, 3, 5, 7, 3];
+        for width in [1usize, 2, 3, 4] {
+            let packs = model_packs(&qs, width);
+            let mut seen: Vec<usize> = packs.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "width={width}");
+            for pack in &packs {
+                assert!(!pack.is_empty() && pack.len() <= width, "width={width}");
+                assert!(
+                    pack.iter().all(|&i| qs[i] == qs[pack[0]]),
+                    "mixed q in pack {pack:?}"
+                );
+            }
+            // Widest models first.
+            let flat: Vec<usize> = packs.iter().flatten().map(|&i| qs[i]).collect();
+            assert!(flat.windows(2).all(|w| w[0] >= w[1]), "{flat:?}");
+        }
+        assert!(model_packs(&[], 4).is_empty());
+        // Width 4 over the runs above: [7,7], [5], [3,3,3].
+        let p4 = model_packs(&qs, 4);
+        assert_eq!(p4.len(), 3);
+        assert_eq!(p4[0], vec![1, 4]); // stable within equal q
+        assert_eq!(p4[1], vec![3]);
+        assert_eq!(p4[2], vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn model_pack_stats_account_for_the_schedule() {
+        let qs = [3usize, 7, 3, 5, 7, 3];
+        let s = model_pack_stats(&qs, 4);
+        assert_eq!(s.width, 4);
+        assert_eq!(s.models, 6);
+        assert_eq!(s.packs, 3);
+        // [7,7] → 2 models × 2 seqs; [5] → 1 × 4; [3,3,3] → 3 × 1.
+        assert_eq!(s.slots, 4 + 4 + 3);
+        assert_eq!(model_pack_stats(&[], 4).packs, 0);
+    }
+
+    /// Build a mixed-q model set spanning several stripe-count bins.
+    fn multi_setup() -> (Vec<(MsvProfile, StripedMsv, StripedSsv)>, SeqDb) {
+        let bg = NullModel::new();
+        let mut models = Vec::new();
+        for (i, m) in [33usize, 40, 48, 70, 100].into_iter().enumerate() {
+            let core = synthetic_model(m, 400 + i as u64, &BuildParams::default());
+            let p = Profile::config(&core, &bg);
+            let om = MsvProfile::from_profile(&p);
+            let msv = StripedMsv::new(&om);
+            let ssv = StripedSsv::new(&om);
+            models.push((om, msv, ssv));
+        }
+        let mut spec = DbGenSpec::swissprot_like().scaled(0.00015);
+        spec.homolog_fraction = 0.1;
+        let core = synthetic_model(40, 401, &BuildParams::default());
+        let db = generate(&spec, Some(&core), 19);
+        (models, db)
+    }
+
+    #[test]
+    fn fused_multi_sweep_matches_per_model_scalar() {
+        let (models, db) = multi_setup();
+        let msv_refs: Vec<(&StripedMsv, &MsvProfile)> =
+            models.iter().map(|(om, s, _)| (s, om)).collect();
+        let ssv_refs: Vec<(&StripedSsv, &MsvProfile)> =
+            models.iter().map(|(om, _, s)| (s, om)).collect();
+        for width in [0usize, 1, 2, 3, 4] {
+            let m_out = msv_multi_outcomes(pool(), &msv_refs, &db.seqs, width);
+            let s_out = ssv_multi_outcomes(pool(), &ssv_refs, &db.seqs, width);
+            assert_eq!(m_out.len(), models.len());
+            for (mi, (om, _, _)) in models.iter().enumerate() {
+                for (si, seq) in db.seqs.iter().enumerate() {
+                    assert_eq!(
+                        m_out[mi][si],
+                        msv_filter_scalar(om, &seq.residues),
+                        "msv model {mi} seq {si} width {width}"
+                    );
+                    assert_eq!(
+                        s_out[mi][si],
+                        ssv_filter_scalar(om, &seq.residues),
+                        "ssv model {mi} seq {si} width {width}"
+                    );
+                }
+            }
+        }
+        assert!(msv_multi_outcomes(pool(), &[], &db.seqs, 0).is_empty());
+    }
+
+    #[test]
+    fn fused_multi_sweep_is_thread_invariant() {
+        let (models, db) = multi_setup();
+        let refs: Vec<(&StripedMsv, &MsvProfile)> =
+            models.iter().map(|(om, s, _)| (s, om)).collect();
+        let one = ThreadPool::new(1);
+        let want = msv_multi_outcomes(&one, &refs, &db.seqs, 0);
+        for threads in [2usize, 4, 8] {
+            let p = ThreadPool::new(threads);
+            assert_eq!(
+                want,
+                msv_multi_outcomes(&p, &refs, &db.seqs, 0),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

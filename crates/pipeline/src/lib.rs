@@ -23,7 +23,10 @@ pub use checkpoint::{CheckpointError, StreamCheckpoint};
 pub use config::{ConfigError, PipelineConfig, PipelineConfigBuilder};
 pub use h3w_core::fault::SweepError;
 pub use h3w_trace::{Telemetry, Trace};
-pub use multi::{best_hits_per_target, scan, FamilyResult, TargetMatch};
+pub use multi::{
+    best_hits_per_target, prepare_scan, scan, scan_prepared, scan_traced, scan_with_plan,
+    FamilyResult, ScanError, ScanReport, TargetMatch,
+};
 pub use orchestrator::{FtSweep, SweepReport};
 pub use report::{Hit, PipelineResult, StageStats};
 pub use run::{ExecPlan, Pipeline, SearchReport};

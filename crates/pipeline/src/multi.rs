@@ -1,19 +1,80 @@
-//! Multi-query search — scan a database with many models (hmmscan-style,
-//! one `hmmsearch` per family), parallelized across queries.
+//! Multi-query search — scan a database with many models (hmmscan-style),
+//! either as independent per-family sweeps or as one **fused** sweep that
+//! amortizes the database traversal over every model.
 //!
 //! This is the workload §IV's Pfam statistics are about: "about 98.9% of
 //! Pfam database have size less than 1002", so a family sweep spends
-//! nearly all of its time in configurations where the shared-memory
-//! kernels excel. [`scan`] runs the pipeline per model and aggregates the
-//! per-family hits; [`best_hits_per_target`] inverts the result to the
+//! nearly all of its time in configurations where small-model packing
+//! pays (the CUDAMPF++ shape: pack several profiles into one pass to
+//! exhaust execution resources). [`scan`] drives the fused path on the
+//! CPU tier: models are binned by stripe count
+//! ([`h3w_cpu::model_packs`]), the byte filters score every (model,
+//! sequence) pair in one pass over the database
+//! ([`h3w_cpu::msv_multi_outcomes`]), and each model's survivors route
+//! into the shared Viterbi/Forward stages as flattened (model, sequence)
+//! work items on one scan-level pool. Per-model Gumbel thresholds are
+//! applied at survivor-packing time, so hits, E-values, and funnel
+//! counts are **bit-identical** to running [`Pipeline::search`] once per
+//! model — the fused path is a pure throughput optimization.
+//!
+//! [`scan_with_plan`] exposes the unfused per-model path for the device
+//! execution tiers; [`best_hits_per_target`] inverts results to the
 //! hmmscan view (for each target, which families match?).
 
-use crate::config::PipelineConfig;
-use crate::report::Hit;
+use crate::config::{ConfigError, PipelineConfig};
+use crate::report::{Hit, StageStats};
 use crate::run::{ExecPlan, Pipeline};
-use h3w_cpu::ThreadPool;
+use h3w_core::fault::SweepError;
+use h3w_cpu::reference::forward_generic;
+use h3w_cpu::{
+    model_pack_stats, msv_multi_outcomes, msv_outcomes_batched, resolve_batch_width,
+    ssv_multi_outcomes, FwdWorkspace, PoolHandle, StripedMsv, StripedSsv, ThreadPool, VitWorkspace,
+};
+use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::plan7::CoreModel;
 use h3w_seqdb::SeqDb;
+use h3w_trace::{Telemetry, Trace};
+use std::time::Instant;
+
+/// Why a multi-model [`scan`] failed.
+#[derive(Debug)]
+pub enum ScanError {
+    /// A per-model sweep failed (device plans can lose devices).
+    Sweep(SweepError),
+    /// The configuration was rejected — bad thresholds, or a fused scan
+    /// requested on an execution tier the fused kernels do not cover.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Sweep(e) => write!(f, "family sweep failed: {e}"),
+            ScanError::Config(e) => write!(f, "scan configuration rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanError::Sweep(e) => Some(e),
+            ScanError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<SweepError> for ScanError {
+    fn from(e: SweepError) -> Self {
+        ScanError::Sweep(e)
+    }
+}
+
+impl From<ConfigError> for ScanError {
+    fn from(e: ConfigError) -> Self {
+        ScanError::Config(e)
+    }
+}
 
 /// Hits of one query model against the database.
 #[derive(Debug, Clone)]
@@ -26,6 +87,11 @@ pub struct FamilyResult {
     pub hits: Vec<Hit>,
     /// Funnel: sequences passing (MSV, Viterbi).
     pub passed: (usize, usize),
+    /// The full three-stage funnel record. Counts are per family; on the
+    /// fused path the stage times are the fused sweep's aggregate wall
+    /// time (one traversal serves every family, so per-family time has no
+    /// meaningful attribution).
+    pub stages: Vec<StageStats>,
 }
 
 /// A family match from the per-target view.
@@ -39,31 +105,380 @@ pub struct TargetMatch {
     pub evalue: f64,
 }
 
-/// Search every model against the database. Queries fan out across the
-/// global work-stealing pool; the per-query sweeps detect they are
-/// already on a pool worker and run inline, so model-level parallelism
-/// owns the cores without oversubscription (and without deadlock).
-/// Calibration is seeded per model for determinism, and results come back
-/// in model order regardless of thread count.
+/// A completed [`scan_traced`]: per-family results plus the telemetry
+/// snapshot when the trace was armed.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// Per-family results, in model order.
+    pub results: Vec<FamilyResult>,
+    /// The scan telemetry tree (`None` when the trace was disabled).
+    pub telemetry: Option<Telemetry>,
+}
+
+/// Search every model against the database on the fused CPU path: one
+/// pass over the database feeds every model (see the module docs).
+/// Results come back in model order regardless of thread count, and are
+/// bit-identical to per-model [`Pipeline::search`] runs at every pack
+/// width, backend, and pool size.
 pub fn scan(
     models: &[CoreModel],
     db: &SeqDb,
     config: PipelineConfig,
     seed: u64,
-) -> Vec<FamilyResult> {
-    ThreadPool::global().map_collect(models.len(), |qi| {
-        let model = &models[qi];
-        let pipe = Pipeline::prepare(model, config, seed ^ (qi as u64) << 17);
-        let res = pipe
-            .search(db, &ExecPlan::Cpu)
-            .expect("the CPU plan cannot fail");
-        FamilyResult {
-            family: model.name.clone(),
-            m: model.len(),
-            hits: res.hits,
-            passed: (res.stages[0].seqs_out, res.stages[1].seqs_out),
+) -> Result<Vec<FamilyResult>, ScanError> {
+    scan_with_plan(models, db, config, &ExecPlan::Cpu, true, seed)
+}
+
+/// [`scan`] with an explicit execution plan and fused-path switch. The
+/// fused sweep only exists on the CPU tier; `fused = true` with a device
+/// plan is rejected with a typed [`ConfigError`]. `fused = false` runs
+/// one independent [`Pipeline::search`] per model (fanned across the
+/// global pool) under any plan.
+pub fn scan_with_plan(
+    models: &[CoreModel],
+    db: &SeqDb,
+    config: PipelineConfig,
+    plan: &ExecPlan,
+    fused: bool,
+    seed: u64,
+) -> Result<Vec<FamilyResult>, ScanError> {
+    let trace = if Pipeline::profile_env() {
+        Trace::on()
+    } else {
+        Trace::off()
+    };
+    scan_traced(models, db, config, plan, fused, seed, &trace).map(|r| r.results)
+}
+
+/// [`scan_with_plan`] with a caller-supplied telemetry trace (`hmmscan
+/// --profile`). Per-family funnel counters land under
+/// `scan/families/<name>`, and the fused path records its model-packing
+/// schedule under `scan/packs`. Tracing never changes scores or hits.
+pub fn scan_traced(
+    models: &[CoreModel],
+    db: &SeqDb,
+    config: PipelineConfig,
+    plan: &ExecPlan,
+    fused: bool,
+    seed: u64,
+    trace: &Trace,
+) -> Result<ScanReport, ScanError> {
+    config.validate()?;
+    if fused && !matches!(plan, ExecPlan::Cpu) {
+        return Err(ConfigError::FusedPlanUnsupported { plan: plan.label() }.into());
+    }
+    let whole = trace.span("scan");
+    let results = if fused {
+        let pipes = prepare_scan(models, config, seed);
+        scan_fused(&pipes, db, config, trace)
+    } else {
+        scan_independent(models, db, config, plan, seed)?
+    };
+    if trace.is_on() {
+        for fr in &results {
+            let base = format!("scan/families/{}", fr.family);
+            trace.add(&base, "m", fr.m as u64);
+            trace.add(&base, "hits", fr.hits.len() as u64);
+            for st in &fr.stages {
+                let path = format!("{base}/{}", st.name);
+                trace.add(&path, "seqs_in", st.seqs_in as u64);
+                trace.add(&path, "seqs_out", st.seqs_out as u64);
+                trace.add(&path, "residues_in", st.residues_in);
+                trace.add_secs(&path, st.time_s);
+            }
         }
+    }
+    drop(whole);
+    Ok(ScanReport {
+        results,
+        telemetry: trace.snapshot(),
     })
+}
+
+/// Prepare one pipeline per model under the scan conventions: the
+/// per-model seed split (`seed ^ (qi << 17)`, identical to the unfused
+/// path, so calibrations and E-values match it bit for bit) and
+/// `threads: 0` so the pipes defer to whichever pool the scan fans out
+/// on instead of spawning their own. Preparation — Gumbel calibration —
+/// is the expensive once-per-model half of a scan; resident services
+/// prepare a model library once and [`scan_prepared`] with it many
+/// times.
+pub fn prepare_scan(models: &[CoreModel], config: PipelineConfig, seed: u64) -> Vec<Pipeline> {
+    let pipe_cfg = PipelineConfig {
+        threads: 0,
+        ..config
+    };
+    ThreadPool::global().map_collect(models.len(), |qi| {
+        Pipeline::prepare(&models[qi], pipe_cfg, seed ^ ((qi as u64) << 17))
+    })
+}
+
+/// Scan the database with pipelines built by [`prepare_scan`], skipping
+/// the per-call calibration cost. `fused = true` drives the one-traversal
+/// fused sweep; `fused = false` fans independent per-pipe searches across
+/// the global pool. `config` must be the config the pipes were prepared
+/// with (thresholds, batch width, and the SSV pre-filter flag are read
+/// from it). Results are bit-identical to [`scan_with_plan`] on the CPU
+/// plan with the same seed.
+pub fn scan_prepared(
+    pipes: &[Pipeline],
+    db: &SeqDb,
+    config: PipelineConfig,
+    fused: bool,
+    trace: &Trace,
+) -> Result<Vec<FamilyResult>, ScanError> {
+    config.validate()?;
+    if fused {
+        Ok(scan_fused(pipes, db, config, trace))
+    } else {
+        let results: Vec<Result<FamilyResult, SweepError>> =
+            ThreadPool::global().map_collect(pipes.len(), |qi| {
+                let res = pipes[qi].search(db, &ExecPlan::Cpu)?;
+                Ok(FamilyResult {
+                    family: pipes[qi].profile.name.clone(),
+                    m: pipes[qi].profile.m,
+                    passed: (res.stages[0].seqs_out, res.stages[1].seqs_out),
+                    stages: res.stages.to_vec(),
+                    hits: res.hits,
+                })
+            });
+        let collected: Result<Vec<FamilyResult>, SweepError> = results.into_iter().collect();
+        Ok(collected?)
+    }
+}
+
+/// The unfused path: one full [`Pipeline::search`] per model, fanned
+/// across the global pool (per-query sweeps detect they are on a pool
+/// worker and run inline, so model-level parallelism owns the cores).
+/// The first failing model (in model order — deterministic at every
+/// thread count) reports its error.
+fn scan_independent(
+    models: &[CoreModel],
+    db: &SeqDb,
+    config: PipelineConfig,
+    plan: &ExecPlan,
+    seed: u64,
+) -> Result<Vec<FamilyResult>, ScanError> {
+    let results: Vec<Result<FamilyResult, SweepError>> =
+        ThreadPool::global().map_collect(models.len(), |qi| {
+            let model = &models[qi];
+            let pipe = Pipeline::prepare(model, config, seed ^ ((qi as u64) << 17));
+            let res = pipe.search(db, plan)?;
+            Ok(FamilyResult {
+                family: model.name.clone(),
+                m: model.len(),
+                passed: (res.stages[0].seqs_out, res.stages[1].seqs_out),
+                stages: res.stages.to_vec(),
+                hits: res.hits,
+            })
+        });
+    let collected: Result<Vec<FamilyResult>, SweepError> = results.into_iter().collect();
+    Ok(collected?)
+}
+
+/// The fused CPU path over prepared pipelines: drive the three funnel
+/// stages over flattened (model, sequence) work items so each stage is
+/// one pool fan-out for the whole scan instead of one per model.
+///
+/// Equivalence to per-model `search` holds stage by stage: stage 1 is
+/// the fused multi-profile byte sweep (bit-identical to the per-model
+/// batched sweep — slots are independent), stages 2 and 3 run the same
+/// per-sequence kernels the host stages run, and per-model thresholds
+/// are applied with each model's own calibration at survivor-packing
+/// time. [`prepare_scan`] seeds each pipe the way the unfused path
+/// does (`seed ^ (qi << 17)`), so calibrations — and therefore
+/// E-values — are identical too.
+fn scan_fused(
+    pipes: &[Pipeline],
+    db: &SeqDb,
+    config: PipelineConfig,
+    trace: &Trace,
+) -> Vec<FamilyResult> {
+    let n = db.len();
+    let scan_pool = PoolHandle::with_threads(config.threads);
+    let pool = scan_pool.pool();
+
+    // Stage 1: every model against every sequence in one DB traversal.
+    // With the SSV pre-filter on, SSV is the fused full-database sweep
+    // and MSV runs per model over its own survivor mask (the same masked
+    // batched sweep `search` uses, so funnels stay bit-identical).
+    let t0 = Instant::now();
+    let (msv_scores, eligible): (Vec<Vec<f32>>, Vec<Vec<bool>>) = if config.ssv {
+        let ssv_refs: Vec<(&StripedSsv, &MsvProfile)> = pipes
+            .iter()
+            .map(|p| {
+                let (striped, _) = p.ssv_prefilter().expect("config.ssv built the pre-filter");
+                (striped, &p.msv)
+            })
+            .collect();
+        let ssv_out = ssv_multi_outcomes(pool, &ssv_refs, &db.seqs, config.batch);
+        let mut scores = Vec::with_capacity(pipes.len());
+        let mut elig = Vec::with_capacity(pipes.len());
+        for (m, pipe) in pipes.iter().enumerate() {
+            let pass0: Vec<bool> = ssv_out[m]
+                .iter()
+                .zip(&db.seqs)
+                .map(|(o, q)| pipe.ssv_pvalue(o.score, q.len()) < config.f0)
+                .collect();
+            let out = msv_outcomes_batched(
+                pool,
+                &pipe.striped_msv,
+                &pipe.msv,
+                &db.seqs,
+                Some(&pass0),
+                config.batch,
+            );
+            scores.push(
+                out.iter()
+                    .map(|o| o.map_or(f32::NEG_INFINITY, |o| o.score))
+                    .collect(),
+            );
+            elig.push(out.iter().map(|o| o.is_some()).collect());
+        }
+        (scores, elig)
+    } else {
+        let refs: Vec<(&StripedMsv, &MsvProfile)> =
+            pipes.iter().map(|p| (&p.striped_msv, &p.msv)).collect();
+        let out = msv_multi_outcomes(pool, &refs, &db.seqs, config.batch);
+        let scores = out
+            .iter()
+            .map(|per_seq| per_seq.iter().map(|o| o.score).collect())
+            .collect();
+        (scores, vec![vec![true; n]; pipes.len()])
+    };
+    // Per-model Gumbel thresholds at survivor-packing time.
+    let pass1: Vec<Vec<bool>> = pipes
+        .iter()
+        .enumerate()
+        .map(|(m, pipe)| {
+            msv_scores[m]
+                .iter()
+                .zip(&db.seqs)
+                .zip(&eligible[m])
+                .map(|((&s, q), &e)| e && pipe.msv_pvalue(s, q.len()) < config.f1)
+                .collect()
+        })
+        .collect();
+    let msv_time = t0.elapsed().as_secs_f64();
+
+    // Stage 2: Viterbi over the flattened (model, survivor) pairs — one
+    // fan-out for the whole scan.
+    let t1 = Instant::now();
+    let vit_pairs = flatten_survivors(&pass1);
+    let vit_flat: Vec<f32> = pool.map_collect_init(vit_pairs.len(), VitWorkspace::default, {
+        let pipes = &pipes;
+        let vit_pairs = &vit_pairs;
+        move |ws, k| {
+            let (m, i) = vit_pairs[k];
+            pipes[m]
+                .striped_vit
+                .run_into(&pipes[m].vit, &db.seqs[i].residues, ws)
+                .0
+                .score
+        }
+    });
+    let mut vit_scores: Vec<Vec<Option<f32>>> = vec![vec![None; n]; pipes.len()];
+    for (&(m, i), &s) in vit_pairs.iter().zip(&vit_flat) {
+        vit_scores[m][i] = Some(s);
+    }
+    let pass2: Vec<Vec<bool>> = pipes
+        .iter()
+        .enumerate()
+        .map(|(m, pipe)| {
+            vit_scores[m]
+                .iter()
+                .zip(&db.seqs)
+                .map(|(s, q)| s.is_some_and(|s| pipe.vit_pvalue(s, q.len()) < config.f2))
+                .collect()
+        })
+        .collect();
+    let vit_time = t1.elapsed().as_secs_f64();
+
+    // Stage 3: Forward over the remainder, same flattened shape. The
+    // striped odds-space kernel scores a slot identically at any batch
+    // width, so single-pair scoring here matches `search`'s batched
+    // sweep bit for bit.
+    let t2 = Instant::now();
+    let fwd_pairs = flatten_survivors(&pass2);
+    let fwd_flat: Vec<f32> = if config.fwd_generic {
+        pool.map_collect(fwd_pairs.len(), |k| {
+            let (m, i) = fwd_pairs[k];
+            forward_generic(&pipes[m].profile, &db.seqs[i].residues)
+        })
+    } else {
+        pool.map_collect_init(fwd_pairs.len(), FwdWorkspace::default, {
+            let pipes = &pipes;
+            let fwd_pairs = &fwd_pairs;
+            move |ws, k| {
+                let (m, i) = fwd_pairs[k];
+                pipes[m]
+                    .striped_fwd
+                    .run_into(&pipes[m].profile, &db.seqs[i].residues, ws)
+            }
+        })
+    };
+    let mut fwd_scores: Vec<Vec<Option<f32>>> = vec![vec![None; n]; pipes.len()];
+    for (&(m, i), &s) in fwd_pairs.iter().zip(&fwd_flat) {
+        fwd_scores[m][i] = Some(s);
+    }
+    let fwd_time = t2.elapsed().as_secs_f64();
+
+    if trace.is_on() {
+        if let Some(first) = pipes.first() {
+            let qs: Vec<usize> = pipes.iter().map(|p| p.striped_msv.active_q()).collect();
+            let width = resolve_batch_width(first.backend(), config.batch);
+            let stats = model_pack_stats(&qs, width);
+            trace.add("scan/packs", "models", stats.models);
+            trace.add("scan/packs", "packs", stats.packs);
+            trace.add("scan/packs", "width", stats.width as u64);
+            trace.add("scan/packs", "slots", stats.slots);
+        }
+        trace.add("scan/stages", "vit_pairs", vit_pairs.len() as u64);
+        trace.add("scan/stages", "fwd_pairs", fwd_pairs.len() as u64);
+    }
+
+    // Assemble per family through the same hit assembly `search` uses.
+    let mut results = Vec::with_capacity(pipes.len());
+    for (mi, pipe) in pipes.iter().enumerate() {
+        let n1 = pass1[mi].iter().filter(|&&b| b).count();
+        let n2 = pass2[mi].iter().filter(|&&b| b).count();
+        let stages = [
+            StageStats::new(pipe.stage0_name(), n, n1, msv_time).with_residues(db.total_residues()),
+            StageStats::new("P7Viterbi", n1, n2, vit_time)
+                .with_residues(Pipeline::masked_residues(db, &pass1[mi])),
+            StageStats::new("Forward", n2, n2, fwd_time)
+                .with_residues(Pipeline::masked_residues(db, &pass2[mi])),
+        ];
+        let res = pipe.assemble(
+            db,
+            msv_scores[mi].clone(),
+            vit_scores[mi].clone(),
+            fwd_scores[mi].clone(),
+            stages,
+        );
+        results.push(FamilyResult {
+            family: pipe.profile.name.clone(),
+            m: pipe.profile.m,
+            passed: (n1, n2),
+            stages: res.stages.to_vec(),
+            hits: res.hits,
+        });
+    }
+    results
+}
+
+/// Flatten per-model survivor masks into (model, sequence) work items,
+/// model-major — the deterministic task list both late stages fan out on.
+fn flatten_survivors(masks: &[Vec<bool>]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (m, mask) in masks.iter().enumerate() {
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                pairs.push((m, i));
+            }
+        }
+    }
+    pairs
 }
 
 /// Invert family results into the per-target view: for each target that
@@ -114,7 +529,7 @@ mod tests {
                 });
             }
         }
-        let results = scan(&families, &db, PipelineConfig::default(), 9);
+        let results = scan(&families, &db, PipelineConfig::default(), 9).unwrap();
         assert_eq!(results.len(), 3);
         let hits_of =
             |i: usize| -> Vec<&str> { results[i].hits.iter().map(|h| h.name.as_str()).collect() };
@@ -138,6 +553,245 @@ mod tests {
         assert!(results[1].hits.len() <= 1, "{:?}", hits_of(1));
     }
 
+    /// Fused scans must be indistinguishable from one `Pipeline::search`
+    /// per model: same hits, same E-values, same funnels.
+    fn assert_matches_independent_searches(
+        families: &[CoreModel],
+        db: &SeqDb,
+        config: PipelineConfig,
+        seed: u64,
+    ) {
+        let fused = scan(families, db, config, seed).unwrap();
+        for (qi, (fr, model)) in fused.iter().zip(families).enumerate() {
+            let pipe = Pipeline::prepare(model, config, seed ^ ((qi as u64) << 17));
+            let want = pipe.search(db, &ExecPlan::Cpu).unwrap();
+            assert_eq!(fr.hits, want.hits, "family {} hits diverged", fr.family);
+            assert_eq!(
+                fr.passed,
+                (want.stages[0].seqs_out, want.stages[1].seqs_out),
+                "family {} funnel diverged",
+                fr.family
+            );
+            for (a, b) in fr.stages.iter().zip(&want.stages) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    (a.seqs_in, a.seqs_out, a.residues_in),
+                    (b.seqs_in, b.seqs_out, b.residues_in),
+                    "family {} stage {} diverged",
+                    fr.family,
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_matches_per_model_search() {
+        // Mixed model sizes across several stripe-count bins.
+        let families: Vec<CoreModel> = [33usize, 40, 48, 70, 100]
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| synthetic_model(m, 2000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(1.5e-4);
+        spec.homolog_fraction = 0.04;
+        let db = generate(&spec, Some(&families[1]), 23);
+        assert_matches_independent_searches(&families, &db, PipelineConfig::default(), 11);
+    }
+
+    #[test]
+    fn fused_scan_matches_per_model_search_with_ssv_prefilter() {
+        let families: Vec<CoreModel> = (0..4)
+            .map(|i| synthetic_model(36 + 12 * i, 3000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(1e-4);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&families[0]), 29);
+        let config = PipelineConfig::builder().ssv(true).build().unwrap();
+        assert_matches_independent_searches(&families, &db, config, 13);
+    }
+
+    #[test]
+    fn fused_scan_matches_unfused_scan_at_every_batch_width() {
+        let families: Vec<CoreModel> = (0..4)
+            .map(|i| synthetic_model(40 + 8 * i, 4000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(1e-4);
+        spec.homolog_fraction = 0.04;
+        let db = generate(&spec, Some(&families[2]), 31);
+        let base = scan_with_plan(
+            &families,
+            &db,
+            PipelineConfig::default(),
+            &ExecPlan::Cpu,
+            false,
+            17,
+        )
+        .unwrap();
+        for batch in [0usize, 1, 2, 4] {
+            let config = PipelineConfig {
+                batch,
+                ..Default::default()
+            };
+            let fused = scan(&families, &db, config, 17).unwrap();
+            for (f, b) in fused.iter().zip(&base) {
+                assert_eq!(f.hits, b.hits, "family {} at batch {batch}", f.family);
+                assert_eq!(f.passed, b.passed, "family {} at batch {batch}", f.family);
+            }
+        }
+    }
+
+    /// `prepare_scan` + `scan_prepared` is the resident-server shape:
+    /// calibrate once, scan many times. Both the fused and unfused
+    /// prepared paths must match the one-shot `scan` (which prepares
+    /// internally with the same seed split) hit for hit — and re-scanning
+    /// the same pipes must be deterministic.
+    #[test]
+    fn scan_prepared_matches_one_shot_scan() {
+        let families: Vec<CoreModel> = (0..5)
+            .map(|i| synthetic_model(36 + 10 * i, 7000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(1e-4);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&families[1]), 47);
+        let config = PipelineConfig::default();
+        let one_shot = scan(&families, &db, config, 19).unwrap();
+
+        let pipes = prepare_scan(&families, config, 19);
+        let fused = scan_prepared(&pipes, &db, config, true, &Trace::off()).unwrap();
+        let unfused = scan_prepared(&pipes, &db, config, false, &Trace::off()).unwrap();
+        let again = scan_prepared(&pipes, &db, config, true, &Trace::off()).unwrap();
+        for (((o, f), u), a) in one_shot.iter().zip(&fused).zip(&unfused).zip(&again) {
+            assert_eq!(o.family, f.family);
+            assert_eq!((o.family.as_str(), o.m), (u.family.as_str(), u.m));
+            assert_eq!(o.hits, f.hits, "prepared fused diverged: {}", o.family);
+            assert_eq!(o.hits, u.hits, "prepared unfused diverged: {}", o.family);
+            assert_eq!(o.passed, f.passed, "prepared fused funnel: {}", o.family);
+            assert_eq!(o.passed, u.passed, "prepared unfused funnel: {}", o.family);
+            assert_eq!(f.hits, a.hits, "re-scan not deterministic: {}", o.family);
+        }
+        // A bad config is still rejected up front.
+        let bad = PipelineConfig {
+            f2: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            scan_prepared(&pipes, &db, bad, true, &Trace::off()),
+            Err(ScanError::Config(ConfigError::Threshold {
+                field: "f2",
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn fused_scan_rejects_device_plans_with_typed_error() {
+        let families = vec![synthetic_model(40, 1, &BuildParams::default())];
+        let db = generate(&DbGenSpec::envnr_like().scaled(2e-5), None, 3);
+        let plan = ExecPlan::Device {
+            dev: h3w_simt::DeviceSpec::tesla_k40(),
+        };
+        let err =
+            scan_with_plan(&families, &db, PipelineConfig::default(), &plan, true, 7).unwrap_err();
+        match err {
+            ScanError::Config(ConfigError::FusedPlanUnsupported { plan }) => {
+                assert_eq!(plan, "device")
+            }
+            other => panic!("want FusedPlanUnsupported, got {other:?}"),
+        }
+        // The same plan works unfused…
+        let ok = scan_with_plan(&families, &db, PipelineConfig::default(), &plan, false, 7);
+        assert_eq!(ok.unwrap().len(), 1);
+        // …and an invalid config is rejected before any sweep runs.
+        let bad = PipelineConfig {
+            f1: 2.0,
+            ..Default::default()
+        };
+        let err = scan(&families, &db, bad, 7).unwrap_err();
+        assert!(matches!(
+            err,
+            ScanError::Config(ConfigError::Threshold { field: "f1", .. })
+        ));
+    }
+
+    #[test]
+    fn unfused_device_scan_matches_fused_cpu_hits() {
+        // Filters are bit-exact across tiers, so the same families report
+        // the same hit lists whichever path scores them.
+        let families: Vec<CoreModel> = (0..3)
+            .map(|i| synthetic_model(40 + 10 * i, 5000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(1e-4);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&families[0]), 37);
+        let cpu = scan(&families, &db, PipelineConfig::default(), 7).unwrap();
+        let plan = ExecPlan::Device {
+            dev: h3w_simt::DeviceSpec::tesla_k40(),
+        };
+        let dev =
+            scan_with_plan(&families, &db, PipelineConfig::default(), &plan, false, 7).unwrap();
+        for (c, d) in cpu.iter().zip(&dev) {
+            let c_ids: Vec<u32> = c.hits.iter().map(|h| h.seqid).collect();
+            let d_ids: Vec<u32> = d.hits.iter().map(|h| h.seqid).collect();
+            assert_eq!(c_ids, d_ids, "family {}", c.family);
+            assert_eq!(c.passed, d.passed, "family {}", c.family);
+        }
+    }
+
+    #[test]
+    fn traced_scan_records_per_family_funnels_and_pack_schedule() {
+        let families: Vec<CoreModel> = (0..3)
+            .map(|i| synthetic_model(40 + 8 * i, 6000 + i as u64, &BuildParams::default()))
+            .collect();
+        let mut spec = DbGenSpec::envnr_like().scaled(8e-5);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&families[0]), 41);
+        let trace = Trace::on();
+        let report = scan_traced(
+            &families,
+            &db,
+            PipelineConfig::default(),
+            &ExecPlan::Cpu,
+            true,
+            7,
+            &trace,
+        )
+        .unwrap();
+        let tel = report.telemetry.expect("armed trace yields telemetry");
+        let packs = tel.at_path("scan/packs").expect("pack schedule node");
+        assert_eq!(packs.counter("models"), families.len() as u64);
+        assert!(packs.counter("packs") >= 1);
+        for fr in &report.results {
+            let node = tel
+                .at_path(&format!("scan/families/{}", fr.family))
+                .unwrap_or_else(|| panic!("missing node for {}", fr.family));
+            assert_eq!(node.counter("m"), fr.m as u64);
+            assert_eq!(node.counter("hits"), fr.hits.len() as u64);
+            for st in &fr.stages {
+                let sn = tel
+                    .at_path(&format!("scan/families/{}/{}", fr.family, st.name))
+                    .unwrap_or_else(|| panic!("missing stage node {}", st.name));
+                assert_eq!(sn.counter("seqs_in"), st.seqs_in as u64);
+                assert_eq!(sn.counter("seqs_out"), st.seqs_out as u64);
+            }
+        }
+        // Disabled trace: same results, no telemetry.
+        let off = scan_traced(
+            &families,
+            &db,
+            PipelineConfig::default(),
+            &ExecPlan::Cpu,
+            true,
+            7,
+            &Trace::off(),
+        )
+        .unwrap();
+        assert!(off.telemetry.is_none());
+        for (a, b) in off.results.iter().zip(&report.results) {
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
     #[test]
     fn per_target_inversion_sorts_by_evalue() {
         let results = vec![
@@ -155,6 +809,7 @@ mod tests {
                     posterior: None,
                 }],
                 passed: (1, 1),
+                stages: Vec::new(),
             },
             FamilyResult {
                 family: "B".into(),
@@ -170,6 +825,7 @@ mod tests {
                     posterior: None,
                 }],
                 passed: (1, 1),
+                stages: Vec::new(),
             },
         ];
         let per_target = best_hits_per_target(&results);

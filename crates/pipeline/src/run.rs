@@ -75,6 +75,18 @@ pub enum ExecPlan<'a> {
     },
 }
 
+impl ExecPlan<'_> {
+    /// Short plan label for error messages, logs, and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecPlan::Cpu => "cpu",
+            ExecPlan::Device { .. } => "device",
+            ExecPlan::DeviceFull { .. } => "device-full",
+            ExecPlan::FaultTolerant { .. } => "fault-tolerant",
+        }
+    }
+}
+
 /// A completed [`Pipeline::search_traced`]: results, recovery journal,
 /// and (when the trace was armed) the telemetry snapshot.
 #[derive(Debug)]
@@ -308,6 +320,13 @@ impl Pipeline {
             }
         };
         h3w_cpu::find_domains(post, 0.5, 3)
+    }
+
+    /// The SSV stage-0 pre-filter's striped tables and calibrated Gumbel
+    /// location, when the pipeline was prepared with `config.ssv` — the
+    /// fused multi-model scan drives the pre-filter itself.
+    pub(crate) fn ssv_prefilter(&self) -> Option<(&StripedSsv, f32)> {
+        self.ssv.as_ref().map(|pre| (&pre.striped, pre.mu))
     }
 
     /// True when `H3W_PROFILE` asks [`Pipeline::search`] to arm a trace

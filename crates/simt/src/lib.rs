@@ -38,6 +38,8 @@ pub use exec::{
 };
 pub use fault::{DeviceFault, FaultInjector, FaultKind, FaultPlan, PlannedFault};
 pub use lanes::{butterfly_max, lane_ids, Lanes};
-pub use occupancy::{occupancy, saturating_grid, OccLimit, Occupancy};
+pub use occupancy::{
+    model_packing, occupancy, saturating_grid, ModelFootprint, ModelPacking, OccLimit, Occupancy,
+};
 pub use smem::SharedMem;
 pub use timing::{imbalance_factor, kernel_time, CostParams, TimeBreakdown};

@@ -207,10 +207,17 @@ impl Telemetry {
     /// CLI `--profile` view. Columns: per-stage sequences in/out,
     /// residues, real DP cells, seconds, and throughput.
     pub fn render_funnel(&self) -> String {
+        self.render_funnel_at("pipeline")
+    }
+
+    /// [`render_funnel`](Self::render_funnel) for a funnel recorded at an
+    /// arbitrary path — the same table, reading the stage children of
+    /// `path` instead of `pipeline/`.
+    pub fn render_funnel_at(&self, path: &str) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let Some(pipe) = self.at_path("pipeline") else {
-            return "telemetry: no pipeline node recorded\n".to_string();
+        let Some(pipe) = self.at_path(path) else {
+            return format!("telemetry: no {path} node recorded\n");
         };
         let _ = writeln!(
             out,
@@ -239,10 +246,71 @@ impl Telemetry {
                 rate
             );
         }
+        let label = path.rsplit('/').find(|s| !s.is_empty()).unwrap_or(path);
         let _ = writeln!(
             out,
             "{:<18} {:>9} spans, {:.4}s total",
-            "pipeline", pipe.span_count, pipe.seconds
+            label, pipe.span_count, pipe.seconds
+        );
+        out
+    }
+
+    /// Render the per-family funnels of a fused multi-model scan (the
+    /// `scan/` tree `h3w-pipeline::multi::scan_traced` records) — the
+    /// `hmmscan --profile` view. One row per (family, stage) plus the
+    /// model-pack schedule footer.
+    pub fn render_scan(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let Some(scan) = self.at_path("scan") else {
+            return "telemetry: no scan node recorded\n".to_string();
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:<12} {:>9} {:>9} {:>12} {:>6}",
+            "family", "M", "stage", "seqs_in", "seqs_out", "residues_in", "hits"
+        );
+        if let Some(fams) = scan.child("families") {
+            for fam in &fams.children {
+                let mut first = true;
+                for st in &fam.children {
+                    let _ = writeln!(
+                        out,
+                        "{:<20} {:>6} {:<12} {:>9} {:>9} {:>12} {:>6}",
+                        if first { fam.name.as_str() } else { "" },
+                        if first {
+                            fam.counter("m").to_string()
+                        } else {
+                            String::new()
+                        },
+                        st.name,
+                        st.counter("seqs_in"),
+                        st.counter("seqs_out"),
+                        st.counter("residues_in"),
+                        if first {
+                            fam.counter("hits").to_string()
+                        } else {
+                            String::new()
+                        },
+                    );
+                    first = false;
+                }
+            }
+        }
+        if let Some(packs) = scan.child("packs") {
+            let _ = writeln!(
+                out,
+                "packs: {} models in {} packs of width {} ({} slot sweeps)",
+                packs.counter("models"),
+                packs.counter("packs"),
+                packs.counter("width"),
+                packs.counter("slots"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} spans, {:.4}s total",
+            "scan", scan.span_count, scan.seconds
         );
         out
     }
@@ -499,5 +567,44 @@ mod tests {
         let fwd = table.find("Forward").unwrap();
         assert!(msv < vit && vit < fwd, "{table}");
         assert!(table.contains("1000"), "{table}");
+        // The generalized renderer reads the same stages from any path.
+        let elsewhere = t.snapshot().unwrap().render_funnel_at("nope");
+        assert!(elsewhere.contains("no nope node"), "{elsewhere}");
+    }
+
+    #[test]
+    fn scan_table_renders_per_family_funnels_and_pack_schedule() {
+        let t = Trace::on();
+        for fam in ["globin", "kinase"] {
+            let base = format!("scan/families/{fam}");
+            t.add(&base, "m", 120);
+            t.add(&base, "hits", 2);
+            for (stage, seqs_in, seqs_out) in [
+                ("MSV", 500u64, 11u64),
+                ("P7Viterbi", 11, 3),
+                ("Forward", 3, 2),
+            ] {
+                let path = format!("{base}/{stage}");
+                t.add(&path, "seqs_in", seqs_in);
+                t.add(&path, "seqs_out", seqs_out);
+                t.add(&path, "residues_in", seqs_in * 300);
+            }
+        }
+        t.add("scan/packs", "models", 2);
+        t.add("scan/packs", "packs", 1);
+        t.add("scan/packs", "width", 4);
+        t.add("scan/packs", "slots", 4);
+        t.add_secs("scan", 0.5);
+        let table = t.snapshot().unwrap().render_scan();
+        let g = table.find("globin").unwrap();
+        let k = table.find("kinase").unwrap();
+        assert!(g < k, "{table}");
+        assert!(table.contains("P7Viterbi"), "{table}");
+        assert!(table.contains("2 models in 1 packs of width 4"), "{table}");
+        assert!(Trace::on()
+            .snapshot()
+            .unwrap()
+            .render_scan()
+            .contains("no scan node"));
     }
 }

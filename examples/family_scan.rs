@@ -75,7 +75,7 @@ fn main() {
     );
 
     // 3. Scan.
-    let results = scan(&families, &db, PipelineConfig::default(), 99);
+    let results = scan(&families, &db, PipelineConfig::default(), 99).expect("cpu scan succeeds");
     println!();
     for fr in &results {
         println!(

@@ -1,7 +1,7 @@
 //! `hmmsearch` — search a profile HMM against a FASTA database.
 //!
 //! ```sh
-//! hmmsearch <query.hmm> <targets.fasta> [options]
+//! hmmsearch <query.hmm> <targets.fasta|targets.h3wdb> [options]
 //!
 //! options:
 //!   --gpu <k40|gtx580>   run MSV+Viterbi on the simulated device
@@ -36,7 +36,8 @@ use hmmer3_warp::pipeline::{ExecPlan, FtSweep, Pipeline, PipelineConfig, Pipelin
 use hmmer3_warp::prelude::*;
 use std::process::ExitCode;
 
-const USAGE: &str = "hmmsearch <query.hmm> <targets.fasta> [--gpu k40|gtx580] [--devices n] \
+const USAGE: &str =
+    "hmmsearch <query.hmm> <targets.fasta|targets.h3wdb> [--gpu k40|gtx580] [--devices n] \
 [--max] [-E evalue] [--ali] [--dom] [--null2] [--tbl path] [--chunk residues] \
 [--checkpoint path] [--gpu-full] [--profile] [--profile-json path] [--threads n]";
 
@@ -114,6 +115,13 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
             .to_string()
             .into());
     }
+    if chunk.is_some() && fa_path.ends_with(".h3wdb") {
+        return Err(
+            "--chunk streams FASTA text; pass a FASTA database or drop --chunk"
+                .to_string()
+                .into(),
+        );
+    }
     let profiling = args.has("--profile") || args.value("--profile-json").is_some();
     if profiling && checkpoint.is_some() {
         return Err(
@@ -127,8 +135,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
 
     let hmm_text = cli::read_file(hmm_path)?;
     let parsed = read_hmm(&hmm_text).map_err(|e| format!("{hmm_path}: {e}"))?;
-    let fa_text = cli::read_file(fa_path)?;
-    let db = hmmer3_warp::seqdb::fasta::parse(fa_path, &fa_text).map_err(|e| e.to_string())?;
+    let db = cli::load_seqdb(fa_path)?;
     if db.is_empty() {
         return Err(format!("{fa_path}: no sequences").into());
     }
@@ -172,6 +179,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
         None => {
             let max = chunk.expect("chunk set when no plan");
             eprintln!("streaming in ≤{max}-residue chunks");
+            let fa_text = cli::read_file(fa_path)?;
             let chunks: Vec<_> = hmmer3_warp::pipeline::FastaChunks::new(&fa_text, max)
                 .collect::<Result<_, _>>()
                 .map_err(|e| e.to_string())?;

@@ -6,8 +6,8 @@
 //! escape a tool (a bug, by definition) is caught at the top level and
 //! reported as an internal error, still with a nonzero exit.
 
-use h3w_pipeline::{CheckpointError, ConfigError, SweepError};
-use h3w_seqdb::DbFormatError;
+use h3w_pipeline::{CheckpointError, ConfigError, ScanError, SweepError};
+use h3w_seqdb::{fasta, DbFormatError, DiskDb, SeqDb};
 use h3w_serve::ServeError;
 use std::process::ExitCode;
 
@@ -77,6 +77,15 @@ impl From<ConfigError> for ToolError {
 impl From<DbFormatError> for ToolError {
     fn from(e: DbFormatError) -> Self {
         ToolError::Db(e)
+    }
+}
+
+impl From<ScanError> for ToolError {
+    fn from(e: ScanError) -> Self {
+        match e {
+            ScanError::Sweep(e) => ToolError::Sweep(e),
+            ScanError::Config(e) => ToolError::Config(e),
+        }
     }
 }
 
@@ -199,6 +208,20 @@ pub fn require_unit_fraction(flag: &str, value: f64) -> Result<f64, String> {
 /// Read a whole file with a diagnostic that names it.
 pub fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Load a target database, sniffing the format from the extension:
+/// `.h3wdb` paths load the packed crash-safe format (the one
+/// `h3w-pack`/`h3w-serve` use), anything else parses as FASTA. Every
+/// search tool accepts both, so a database packed once for the daemon
+/// also serves ad-hoc CLI runs.
+pub fn load_seqdb(path: &str) -> Result<SeqDb, ToolError> {
+    if path.ends_with(".h3wdb") {
+        Ok(DiskDb::load(std::path::Path::new(path))?.to_seqdb())
+    } else {
+        let text = read_file(path)?;
+        fasta::parse(path, &text).map_err(|e| ToolError::Usage(e.to_string()))
+    }
 }
 
 /// Run a tool body with the shared error contract: `Err` prints

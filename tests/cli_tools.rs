@@ -272,7 +272,17 @@ fn bad_flags_and_values_are_rejected_without_panicking() {
         "exceeds the pool maximum",
     );
     expect_failure("hmmsearch", &["only.hmm"], "missing target FASTA");
-    expect_failure("hmmscan", &["lib.hmm"], "missing target FASTA");
+    expect_failure("hmmscan", &["lib.hmm"], "missing target database");
+    expect_failure(
+        "hmmscan",
+        &["lib.hmm", "db.fa", "--fused", "--no-fused"],
+        "mutually exclusive",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.h3wdb", "--chunk", "5000"],
+        "--chunk streams FASTA",
+    );
     expect_failure("hmmbuild", &["out.hmm", "--synthetic", "0"], "--synthetic");
     expect_failure(
         "hmmbuild",
@@ -541,5 +551,68 @@ fn hmmscan_multi_model_library() {
         .parse()
         .unwrap();
     assert!(hits >= 3, "family A hits: {fam_a_line}");
+
+    // The fused sweep is the default; --no-fused (one independent sweep
+    // per family) must report byte-identical results.
+    let out_unfused = Command::new(env!("CARGO_BIN_EXE_hmmscan"))
+        .args([lib.to_str().unwrap(), fasta.to_str().unwrap(), "--no-fused"])
+        .output()
+        .unwrap();
+    assert!(
+        out_unfused.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out_unfused.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out_unfused.stdout),
+        stdout,
+        "--no-fused changed the report"
+    );
+
+    // A packed .h3wdb of the same database scans identically.
+    let packed = dir.join("t.h3wdb");
+    let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
+        .args([
+            dir.join("t2.fasta").to_str().unwrap(),
+            "--preset",
+            "envnr",
+            "--scale",
+            "0.00005",
+            "--hom",
+            "0.05",
+            "--model",
+            h1.to_str().unwrap(),
+            "--seed",
+            "4",
+            "--packed",
+            packed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out_packed = Command::new(env!("CARGO_BIN_EXE_hmmscan"))
+        .args([lib.to_str().unwrap(), packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out_packed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out_packed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out_packed.stdout),
+        stdout,
+        "packed database changed the report"
+    );
+
+    // --profile appends the per-family funnel table and pack schedule.
+    let out_prof = Command::new(env!("CARGO_BIN_EXE_hmmscan"))
+        .args([lib.to_str().unwrap(), fasta.to_str().unwrap(), "--profile"])
+        .output()
+        .unwrap();
+    assert!(out_prof.status.success());
+    let prof = String::from_utf8_lossy(&out_prof.stdout);
+    assert!(prof.contains("P7Viterbi"), "{prof}");
+    assert!(prof.contains("models in"), "{prof}");
     let _ = std::fs::remove_dir_all(&dir);
 }

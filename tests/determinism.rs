@@ -197,14 +197,56 @@ fn multi_model_scan_is_bit_identical_across_thread_counts() {
         41,
     );
 
-    let baseline = scan(&families, &db, config(1), 7);
+    let baseline = scan(&families, &db, config(1), 7).unwrap();
     for t in &THREAD_COUNTS[1..] {
-        let got = scan(&families, &db, config(*t), 7);
+        let got = scan(&families, &db, config(*t), 7).unwrap();
         assert_eq!(got.len(), baseline.len());
         for (g, b) in got.iter().zip(&baseline) {
             assert_eq!(g.family, b.family);
             assert_eq!(g.hits, b.hits, "family {} differs at {t} threads", g.family);
             assert_eq!(g.passed, b.passed);
+        }
+    }
+}
+
+#[test]
+fn fused_scan_matches_independent_sweeps_at_every_thread_count() {
+    // The fused multi-profile sweep shares one database traversal across
+    // all resident models; fusing, the pack width schedule, and the pool
+    // size must all be invisible in the output. Mixed model sizes force
+    // several stripe-count packs; equal sizes exercise full-width packs.
+    use hmmer3_warp::pipeline::multi::scan_with_plan;
+    let families: Vec<CoreModel> = [33usize, 40, 40, 48, 70, 70, 100]
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| synthetic_model(m, 800 + i as u64, &BuildParams::default()))
+        .collect();
+    let db = generate(
+        &DbGenSpec::envnr_like().scaled(1e-4),
+        Some(&families[1]),
+        43,
+    );
+
+    let baseline = scan_with_plan(&families, &db, config(1), &ExecPlan::Cpu, false, 7).unwrap();
+    for t in &THREAD_COUNTS {
+        let fused = scan_with_plan(&families, &db, config(*t), &ExecPlan::Cpu, true, 7).unwrap();
+        assert_eq!(fused.len(), baseline.len());
+        for (g, b) in fused.iter().zip(&baseline) {
+            assert_eq!(g.family, b.family);
+            assert_eq!(
+                g.hits, b.hits,
+                "family {}: fused hits differ at {t} threads",
+                g.family
+            );
+            assert_eq!(g.passed, b.passed, "family {} funnel differs", g.family);
+            for (gs, bs) in g.stages.iter().zip(&b.stages) {
+                assert_eq!(
+                    (&gs.name, gs.seqs_in, gs.seqs_out, gs.residues_in),
+                    (&bs.name, bs.seqs_in, bs.seqs_out, bs.residues_in),
+                    "family {} stage funnel differs at {t} threads",
+                    g.family
+                );
+            }
         }
     }
 }

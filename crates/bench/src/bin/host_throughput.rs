@@ -38,10 +38,10 @@ fn main() {
         let ss = StripedSsv::with_backend(&msv, backend);
         for width in [1usize, 2, 3, 4] {
             // Warm up once, then measure.
-            measure_msv_batched(&sm, &msv, &db, 200, width);
-            let t_msv = measure_msv_batched(&sm, &msv, &db, 1000, width);
-            measure_ssv_batched(&ss, &msv, &db, 200, width);
-            let t_ssv = measure_ssv_batched(&ss, &msv, &db, 1000, width);
+            measure_msv_batched(&sm, &msv, &db, 200, width, 0);
+            let t_msv = measure_msv_batched(&sm, &msv, &db, 1000, width, 0);
+            measure_ssv_batched(&ss, &msv, &db, 200, width, 0);
+            let t_ssv = measure_ssv_batched(&ss, &msv, &db, 1000, width, 0);
             println!(
                 "  {:6} S={width}: MSV {:7.2} Mcell/s   SSV {:7.2} Mcell/s",
                 backend.name(),

@@ -127,7 +127,11 @@ pub struct SmemLayout {
     pub trans_base: usize,
     /// Start of the Fermi reduction scratch (`usize::MAX` on Kepler).
     pub scratch_base: usize,
-    /// Total bytes (= [`smem_per_block`]).
+    /// Start of the residue-ring region of the warp-specialized kernels
+    /// (pair `p`'s ring at `ring_base + p × stages × 128`; `usize::MAX`
+    /// in unpipelined launches).
+    pub ring_base: usize,
+    /// Total bytes (= [`smem_per_block`], plus the ring when pipelined).
     pub total: usize,
 }
 
@@ -163,8 +167,69 @@ pub fn smem_layout(
         emis_base,
         trans_base,
         scratch_base,
+        ring_base: usize::MAX,
         total: smem_per_block(stage, m, warps_per_block, mem, dev),
     }
+}
+
+/// Layout for a *warp-specialized* launch: `pairs_per_block` loader/compute
+/// pairs, DP rows and scratch indexed by pair (compute warps take ids
+/// `0..pairs`, loaders `pairs..2·pairs`), plus one `stages × 128` B
+/// residue ring per pair appended after the unpipelined regions.
+pub fn pipelined_layout(
+    stage: Stage,
+    m: usize,
+    pairs_per_block: usize,
+    mem: MemConfig,
+    dev: &DeviceSpec,
+    ring: h3w_simt::RingSpec,
+) -> SmemLayout {
+    let mut l = smem_layout(stage, m, pairs_per_block, mem, dev);
+    l.ring_base = l.total;
+    l.total = round_up(l.ring_base + pairs_per_block * ring.bytes_per_pair(), 256);
+    l
+}
+
+/// Launch configuration for the warp-specialized kernels: search pair
+/// counts and keep the residency-maximizing one. `warps_per_block` in the
+/// returned config counts *both* roles (2 × pairs) — loader warps occupy
+/// real warp slots, which is the honest occupancy cost of specialization.
+pub fn best_pipelined_config(
+    stage: Stage,
+    m: usize,
+    mem: MemConfig,
+    dev: &DeviceSpec,
+    ring: h3w_simt::RingSpec,
+) -> Option<(KernelConfig, h3w_simt::Occupancy)> {
+    let mut best: Option<(KernelConfig, h3w_simt::Occupancy)> = None;
+    for pairs in [16usize, 8, 4, 2, 1] {
+        if 2 * pairs * h3w_simt::WARP_SIZE > dev.max_threads_per_block {
+            continue;
+        }
+        let l = pipelined_layout(stage, m, pairs, mem, dev, ring);
+        if l.total > dev.smem_per_sm {
+            continue;
+        }
+        let cfg = KernelConfig {
+            warps_per_block: 2 * pairs,
+            blocks: 1,
+            regs_per_thread: regs_per_thread(stage),
+            smem_per_block: l.total,
+            track_hazards: false,
+        };
+        let occ = h3w_simt::occupancy(dev, &cfg);
+        if occ.resident_blocks == 0 {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((_, b)) => occ.occupancy > b.occupancy + 1e-12,
+        };
+        if better {
+            best = Some((cfg, occ));
+        }
+    }
+    best
 }
 
 /// Block sizes the tiered scheduler searches (warps per block, i.e.

@@ -19,11 +19,12 @@
 //! to a 32-bit word (Fig. 6). Byte arithmetic is identical to the scalar
 //! and striped CPU filters, so scores are **bit-exact** across all three.
 
-use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
+use crate::feed::{DirectFeed, ResidueSource, RingFeed};
+use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE};
 use h3w_hmm::alphabet::PAD_CODE;
 use h3w_hmm::msvprofile::MsvProfile;
-use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
-use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
+use h3w_seqdb::PackedView;
+use h3w_simt::{lane_ids, Lanes, PairKernel, RingSpec, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (max, saturating
 /// add/sub, running row max, address increment, loop bookkeeping).
@@ -89,13 +90,21 @@ impl<'a> MsvWarpKernel<'a> {
     }
 
     /// Score one sequence (the body of Algorithm 1's outer while loop).
-    fn score_one(&self, ctx: &mut SimtCtx, row_base: usize, seqid: usize) -> MsvHit {
+    /// Residue words arrive through `feed` — the compute warp's own
+    /// uniform fetches, or the paired loader warp's shared-memory ring.
+    fn score_one<F: ResidueSource>(
+        &self,
+        ctx: &mut SimtCtx,
+        row_base: usize,
+        seqid: usize,
+        feed: &mut F,
+    ) -> MsvHit {
         let om = self.om;
         let m = om.m;
         let iters = m.div_ceil(WARP_SIZE);
         let len = self.db.lengths[seqid] as usize;
-        let word_off = self.db.offsets[seqid] as usize;
         let lc = om.len_costs(len);
+        feed.begin_seq(ctx, seqid);
         ctx.alu(MSV_ALU_PER_SEQ);
         let ids = lane_ids();
 
@@ -112,12 +121,9 @@ impl<'a> MsvWarpKernel<'a> {
         let mut xb = om.base.saturating_sub(lc.tjbm);
         let mut i = 0usize;
         while i < len {
-            // Packed residue fetch: one uniform 32-bit word per 6 residues
+            // Packed residue fetch: one 32-bit word per 6 residues
             // (Fig. 6); decode is a shift+mask.
-            if i.is_multiple_of(RESIDUES_PER_WORD) {
-                ctx.gmem_access_uniform(GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4, 4);
-            }
-            let x = self.db.residue(seqid, i);
+            let x = feed.residue(ctx, i);
             debug_assert_ne!(x, PAD_CODE, "pad inside sequence body");
             ctx.alu(MSV_ALU_PER_ROW);
 
@@ -169,6 +175,7 @@ impl<'a> MsvWarpKernel<'a> {
             };
             ctx.stats.rows += 1;
             if xe >= om.overflow_limit() {
+                feed.skip_rest(ctx);
                 ctx.gmem_access_uniform(GM_OUT_BASE + seqid * 4, 4);
                 return MsvHit {
                     seqid: seqid as u32,
@@ -259,14 +266,72 @@ impl<'a> WarpKernel for MsvWarpKernel<'a> {
         }
         let row_base = self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
         let mut out = Vec::new();
+        let mut feed = DirectFeed::new(self.db);
         // Algorithm 1 lines 1–6: static striding over the database.
         let mut seqid = global_warp;
         while seqid < self.db.n_seqs() {
-            out.push(self.score_one(ctx, row_base, seqid));
+            out.push(self.score_one(ctx, row_base, seqid, &mut feed));
             ctx.stats.sequences += 1;
             ctx.alu(2); // striding bookkeeping
             seqid += total_warps;
         }
+        out
+    }
+}
+
+/// The warp-specialized MSV kernel: the same DP schedule on the compute
+/// warp, with residue streaming split out to a paired loader warp that
+/// runs ahead through an N-stage shared-memory ring (launch with
+/// [`h3w_simt::run_grid_pairs`] over a [`crate::layout::pipelined_layout`]).
+pub struct PipelinedMsvKernel<'a> {
+    /// The underlying kernel (layout must carry a ring region).
+    pub inner: MsvWarpKernel<'a>,
+    /// Ring depth.
+    pub ring: RingSpec,
+    /// Pairs per block of the launch (loader warp ids start here).
+    pub pairs_per_block: usize,
+    /// Emit full/empty barrier arrivals. `false` reproduces the
+    /// unsynchronized-ring race for failure-injection tests.
+    pub sync: bool,
+}
+
+impl<'a> PipelinedMsvKernel<'a> {
+    fn pair_feed(&self, global_pair: usize, total_pairs: usize, pair: usize) -> RingFeed<'a> {
+        let mut feed = RingFeed::new(
+            self.inner.db,
+            global_pair,
+            total_pairs,
+            self.ring,
+            self.inner.layout.ring_base + pair * self.ring.bytes_per_pair(),
+            (self.pairs_per_block + pair) as u16,
+            pair as u16,
+        );
+        feed.sync = self.sync;
+        feed
+    }
+}
+
+impl<'a> PairKernel for PipelinedMsvKernel<'a> {
+    type Out = Vec<MsvHit>;
+
+    fn run_pair(&self, ctx: &mut SimtCtx, global_pair: usize, total_pairs: usize) -> Vec<MsvHit> {
+        let pair = ctx.warp_id as usize / 2;
+        ctx.warp_id = pair as u16; // compute role
+        if self.inner.mem == MemConfig::Shared && pair == 0 {
+            self.inner.stage_tables(ctx);
+            ctx.barrier();
+        }
+        let row_base = self.inner.layout.rows_base + pair * self.inner.layout.row_stride;
+        let mut feed = self.pair_feed(global_pair, total_pairs, pair);
+        let mut out = Vec::new();
+        let mut seqid = global_pair;
+        while seqid < self.inner.db.n_seqs() {
+            out.push(self.inner.score_one(ctx, row_base, seqid, &mut feed));
+            ctx.stats.sequences += 1;
+            ctx.alu(2);
+            seqid += total_pairs;
+        }
+        feed.finish(ctx);
         out
     }
 }
@@ -412,5 +477,100 @@ mod tests {
         let (om, _, packed) = setup(20, 0.00001);
         let (_, stats) = launch(&om, &packed, MemConfig::Shared, &dev, true);
         assert_eq!(stats.shuffles, 5 * stats.rows);
+    }
+
+    fn launch_pipelined(
+        om: &MsvProfile,
+        packed: &PackedDb,
+        mem: MemConfig,
+        dev: &DeviceSpec,
+        stages: usize,
+        sync: bool,
+    ) -> (Vec<MsvHit>, h3w_simt::KernelStats) {
+        let ring = h3w_simt::RingSpec::new(stages).unwrap();
+        // Fixed geometry so depth sweeps compare identical work streams.
+        let pairs = 4usize;
+        let layout = crate::layout::pipelined_layout(Stage::Msv, om.m, pairs, mem, dev, ring);
+        let cfg = h3w_simt::KernelConfig {
+            warps_per_block: 2 * pairs,
+            blocks: 2,
+            regs_per_thread: crate::layout::regs_per_thread(Stage::Msv),
+            smem_per_block: layout.total,
+            track_hazards: true,
+        };
+        let kernel = PipelinedMsvKernel {
+            inner: MsvWarpKernel {
+                om,
+                db: packed.view(),
+                mem,
+                layout,
+                use_shfl: dev.has_shfl,
+                double_buffer: true,
+            },
+            ring,
+            pairs_per_block: pairs,
+            sync,
+        };
+        let r = h3w_simt::run_grid_pairs(dev, &cfg, &kernel).unwrap();
+        let mut hits: Vec<MsvHit> = r.outputs.into_iter().flatten().collect();
+        hits.sort_by_key(|h| h.seqid);
+        (hits, r.stats)
+    }
+
+    #[test]
+    fn pipelined_msv_bit_exact_at_every_ring_depth() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(70, 0.00002);
+        let (base, _) = launch(&om, &packed, MemConfig::Shared, &dev, true);
+        for stages in [2usize, 4, 8] {
+            let (hits, stats) =
+                launch_pipelined(&om, &packed, MemConfig::Shared, &dev, stages, true);
+            assert_eq!(hits, base, "stages={stages}");
+            assert_eq!(hits.len(), db.len());
+            assert_eq!(stats.hazards, 0, "stages={stages}");
+            assert_eq!(stats.smem_conflict_extra, 0);
+            assert!(stats.ring_syncs > 0);
+            let overlap = stats.simulated_overlap().expect("pipe ran");
+            assert!(overlap > 0.0, "stages={stages}: overlap {overlap}");
+        }
+    }
+
+    #[test]
+    fn pipelined_msv_bit_exact_on_fermi() {
+        let dev = DeviceSpec::gtx_580();
+        let (om, db, packed) = setup(40, 0.00001);
+        let (hits, stats) = launch_pipelined(&om, &packed, MemConfig::Shared, &dev, 4, true);
+        for h in &hits {
+            let e = msv_filter_scalar(&om, &db.seqs[h.seqid as usize].residues);
+            assert_eq!((h.xj, h.overflow), (e.xj, e.overflow));
+        }
+        assert_eq!(stats.hazards, 0);
+    }
+
+    #[test]
+    fn unsynchronized_ring_trips_the_race_detector() {
+        // Failure injection: the loader/compute split is only safe because
+        // of the full/empty barrier pairs. Eliding them must race.
+        let dev = DeviceSpec::tesla_k40();
+        let (om, _, packed) = setup(40, 0.00002);
+        let (_, stats) = launch_pipelined(&om, &packed, MemConfig::Shared, &dev, 4, false);
+        assert!(stats.hazards > 0, "unsynchronized ring must race");
+    }
+
+    #[test]
+    fn deeper_ring_never_lengthens_the_simulated_makespan() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, _, packed) = setup(33, 0.00002);
+        let mut prev = u64::MAX;
+        for stages in [2usize, 4, 8] {
+            let (_, stats) = launch_pipelined(&om, &packed, MemConfig::Shared, &dev, stages, true);
+            assert!(
+                stats.pipe_makespan_slots <= prev,
+                "stages={stages}: {} after {prev}",
+                stats.pipe_makespan_slots
+            );
+            assert!(stats.pipe_makespan_slots <= stats.pipe_serial_slots);
+            prev = stats.pipe_makespan_slots;
+        }
     }
 }

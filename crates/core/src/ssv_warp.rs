@@ -10,10 +10,11 @@
 //! accordingly (measured by `ext_ssv`), which is exactly why HMMER 3.1
 //! put SSV in front of MSV.
 
-use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE};
+use crate::feed::{DirectFeed, ResidueSource, RingFeed};
+use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE};
 use h3w_hmm::msvprofile::MsvProfile;
-use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
-use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
+use h3w_seqdb::PackedView;
+use h3w_simt::{lane_ids, Lanes, PairKernel, RingSpec, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (max, add, sub, running
 /// max, addressing — one fewer than MSV: no `xE` tree).
@@ -114,13 +115,19 @@ impl<'a> SsvWarpKernel<'a> {
         ctx.ld_smem_u8(addrs, active)
     }
 
-    fn score_one(&self, ctx: &mut SimtCtx, row_base: usize, seqid: usize) -> SsvHit {
+    fn score_one<F: ResidueSource>(
+        &self,
+        ctx: &mut SimtCtx,
+        row_base: usize,
+        seqid: usize,
+        feed: &mut F,
+    ) -> SsvHit {
         let om = self.om;
         let m = om.m;
         let iters = m.div_ceil(WARP_SIZE);
         let len = self.db.lengths[seqid] as usize;
-        let word_off = self.db.offsets[seqid] as usize;
         let lc = om.len_costs(len);
+        feed.begin_seq(ctx, seqid);
         ctx.alu(SSV_ALU_PER_SEQ);
         let ids = lane_ids();
 
@@ -137,10 +144,7 @@ impl<'a> SsvWarpKernel<'a> {
         let mut xmaxv = Lanes::splat(0u8);
         let mut i = 0usize;
         while i < len {
-            if i.is_multiple_of(RESIDUES_PER_WORD) {
-                ctx.gmem_access_uniform(GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4, 4);
-            }
-            let x = self.db.residue(seqid, i);
+            let x = feed.residue(ctx, i);
             ctx.alu(SSV_ALU_PER_ROW);
             let mut mpv = self.preload(ctx, row_base, 0, iters, m);
             for j in 0..iters {
@@ -169,6 +173,7 @@ impl<'a> SsvWarpKernel<'a> {
                 i += 1;
                 continue;
             }
+            feed.skip_rest(ctx);
             ctx.gmem_access_uniform(GM_OUT_BASE + seqid * 4, 4);
             return SsvHit {
                 seqid: seqid as u32,
@@ -205,13 +210,60 @@ impl<'a> WarpKernel for SsvWarpKernel<'a> {
         }
         let row_base = self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
         let mut out = Vec::new();
+        let mut feed = DirectFeed::new(self.db);
         let mut seqid = global_warp;
         while seqid < self.db.n_seqs() {
-            out.push(self.score_one(ctx, row_base, seqid));
+            out.push(self.score_one(ctx, row_base, seqid, &mut feed));
             ctx.stats.sequences += 1;
             ctx.alu(2);
             seqid += total_warps;
         }
+        out
+    }
+}
+
+/// The warp-specialized SSV kernel (see [`crate::msv_warp::PipelinedMsvKernel`]).
+pub struct PipelinedSsvKernel<'a> {
+    /// The underlying kernel (layout must carry a ring region).
+    pub inner: SsvWarpKernel<'a>,
+    /// Ring depth.
+    pub ring: RingSpec,
+    /// Pairs per block of the launch.
+    pub pairs_per_block: usize,
+    /// Emit full/empty barrier arrivals (failure-injection switch).
+    pub sync: bool,
+}
+
+impl<'a> PairKernel for PipelinedSsvKernel<'a> {
+    type Out = Vec<SsvHit>;
+
+    fn run_pair(&self, ctx: &mut SimtCtx, global_pair: usize, total_pairs: usize) -> Vec<SsvHit> {
+        let pair = ctx.warp_id as usize / 2;
+        ctx.warp_id = pair as u16;
+        if self.inner.mem == MemConfig::Shared && pair == 0 {
+            self.inner.stage_tables(ctx);
+            ctx.barrier();
+        }
+        let row_base = self.inner.layout.rows_base + pair * self.inner.layout.row_stride;
+        let mut feed = RingFeed::new(
+            self.inner.db,
+            global_pair,
+            total_pairs,
+            self.ring,
+            self.inner.layout.ring_base + pair * self.ring.bytes_per_pair(),
+            (self.pairs_per_block + pair) as u16,
+            pair as u16,
+        );
+        feed.sync = self.sync;
+        let mut out = Vec::new();
+        let mut seqid = global_pair;
+        while seqid < self.inner.db.n_seqs() {
+            out.push(self.inner.score_one(ctx, row_base, seqid, &mut feed));
+            ctx.stats.sequences += 1;
+            ctx.alu(2);
+            seqid += total_pairs;
+        }
+        feed.finish(ctx);
         out
     }
 }
@@ -309,5 +361,66 @@ mod tests {
             "ssv {ssv_per_row:.2} vs msv {msv_per_row:.2} slots/row"
         );
         assert!(rs.stats.shuffles < rm.stats.shuffles / 10);
+    }
+
+    #[test]
+    fn pipelined_ssv_bit_exact_at_every_ring_depth() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(70);
+        // Unpipelined baseline.
+        let (mut cfg, _) = best_config(Stage::Msv, 70, MemConfig::Shared, &dev).unwrap();
+        cfg.blocks = 2;
+        cfg.track_hazards = true;
+        let layout = smem_layout(Stage::Msv, 70, cfg.warps_per_block, MemConfig::Shared, &dev);
+        let kernel = SsvWarpKernel {
+            om: &om,
+            db: packed.view(),
+            mem: MemConfig::Shared,
+            layout,
+            use_shfl: true,
+        };
+        let r = run_grid(&dev, &cfg, &kernel).unwrap();
+        let mut base: Vec<SsvHit> = r.outputs.into_iter().flatten().collect();
+        base.sort_by_key(|h| h.seqid);
+        assert_eq!(base.len(), db.len());
+
+        for stages in [2usize, 4, 8] {
+            let ring = h3w_simt::RingSpec::new(stages).unwrap();
+            let pairs = 4usize;
+            let playout = crate::layout::pipelined_layout(
+                Stage::Msv,
+                om.m,
+                pairs,
+                MemConfig::Shared,
+                &dev,
+                ring,
+            );
+            let pcfg = h3w_simt::KernelConfig {
+                warps_per_block: 2 * pairs,
+                blocks: 2,
+                regs_per_thread: crate::layout::regs_per_thread(Stage::Msv),
+                smem_per_block: playout.total,
+                track_hazards: true,
+            };
+            let pk = PipelinedSsvKernel {
+                inner: SsvWarpKernel {
+                    om: &om,
+                    db: packed.view(),
+                    mem: MemConfig::Shared,
+                    layout: playout,
+                    use_shfl: dev.has_shfl,
+                },
+                ring,
+                pairs_per_block: pairs,
+                sync: true,
+            };
+            let pr = h3w_simt::run_grid_pairs(&dev, &pcfg, &pk).unwrap();
+            let mut hits: Vec<SsvHit> = pr.outputs.into_iter().flatten().collect();
+            hits.sort_by_key(|h| h.seqid);
+            assert_eq!(hits, base, "stages={stages}");
+            assert_eq!(pr.stats.hazards, 0, "stages={stages}");
+            assert!(pr.stats.ring_syncs > 0);
+            assert!(pr.stats.simulated_overlap().expect("pipe ran") > 0.0);
+        }
     }
 }

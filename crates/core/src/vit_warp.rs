@@ -15,10 +15,11 @@
 //! scalar propagation. Rows whose `Dmax` reduction is −∞ skip the
 //! procedure entirely (most rows, which is the point of the heuristic).
 
-use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_RES_BASE, GM_TRANS_BASE};
+use crate::feed::{DirectFeed, ResidueSource, RingFeed};
+use crate::layout::{MemConfig, SmemLayout, GM_EMIS_BASE, GM_OUT_BASE, GM_TRANS_BASE};
 use h3w_hmm::vitprofile::{wadd, VitProfile, W_NEG_INF};
-use h3w_seqdb::{PackedView, RESIDUES_PER_WORD};
-use h3w_simt::{lane_ids, Lanes, SimtCtx, WarpKernel, WARP_SIZE};
+use h3w_seqdb::PackedView;
+use h3w_simt::{lane_ids, Lanes, PairKernel, RingSpec, SimtCtx, WarpKernel, WARP_SIZE};
 
 /// ALU instructions per stride-32 inner iteration (4 saturating adds + 3
 /// max for M, 2 adds + 1 max for I, 1 add for the D seed, addressing,
@@ -265,19 +266,20 @@ impl<'a> VitWarpKernel<'a> {
     }
 
     /// Score one sequence.
-    fn score_one(
+    fn score_one<F: ResidueSource>(
         &self,
         ctx: &mut SimtCtx,
         row_base: usize,
         seqid: usize,
         lazy: &mut WarpLazyStats,
+        feed: &mut F,
     ) -> VitHit {
         let om = self.om;
         let m = om.m;
         let iters = m.div_ceil(WARP_SIZE);
         let len = self.db.lengths[seqid] as usize;
-        let word_off = self.db.offsets[seqid] as usize;
         let ls = om.len_scores(len);
+        feed.begin_seq(ctx, seqid);
         ctx.alu(VIT_ALU_PER_SEQ);
         let ids = lane_ids();
         let ninf = Lanes::splat(W_NEG_INF);
@@ -295,10 +297,7 @@ impl<'a> VitWarpKernel<'a> {
         let mut xb = wadd(xn, ls.move_w);
 
         for i in 0..len {
-            if i % RESIDUES_PER_WORD == 0 {
-                ctx.gmem_access_uniform(GM_RES_BASE + (word_off + i / RESIDUES_PER_WORD) * 4, 4);
-            }
-            let x = self.db.residue(seqid, i);
+            let x = feed.residue(ctx, i);
             ctx.alu(VIT_ALU_PER_ROW);
 
             let mut xev = ninf;
@@ -412,6 +411,7 @@ impl<'a> VitWarpKernel<'a> {
             // Off-scale-high early exit (HMMER's eslERANGE): identical
             // check in the scalar and striped filters keeps bit-exactness.
             if xe == i16::MAX {
+                feed.skip_rest(ctx);
                 ctx.gmem_access_uniform(GM_OUT_BASE + seqid * 4, 4);
                 return VitHit {
                     seqid: seqid as u32,
@@ -572,13 +572,70 @@ impl<'a> WarpKernel for VitWarpKernel<'a> {
         let row_base = self.layout.rows_base + ctx.warp_id as usize * self.layout.row_stride;
         let mut out = Vec::new();
         let mut lazy = WarpLazyStats::default();
+        let mut feed = DirectFeed::new(self.db);
         let mut seqid = global_warp;
         while seqid < self.db.n_seqs() {
-            out.push(self.score_one(ctx, row_base, seqid, &mut lazy));
+            out.push(self.score_one(ctx, row_base, seqid, &mut lazy, &mut feed));
             ctx.stats.sequences += 1;
             ctx.alu(2);
             seqid += total_warps;
         }
+        (out, lazy)
+    }
+}
+
+/// The warp-specialized Viterbi kernel (see
+/// [`crate::msv_warp::PipelinedMsvKernel`] for the loader/compute split).
+pub struct PipelinedVitKernel<'a> {
+    /// The underlying kernel (layout must carry a ring region).
+    pub inner: VitWarpKernel<'a>,
+    /// Ring depth.
+    pub ring: RingSpec,
+    /// Pairs per block of the launch.
+    pub pairs_per_block: usize,
+    /// Emit full/empty barrier arrivals (failure-injection switch).
+    pub sync: bool,
+}
+
+impl<'a> PairKernel for PipelinedVitKernel<'a> {
+    type Out = (Vec<VitHit>, WarpLazyStats);
+
+    fn run_pair(
+        &self,
+        ctx: &mut SimtCtx,
+        global_pair: usize,
+        total_pairs: usize,
+    ) -> (Vec<VitHit>, WarpLazyStats) {
+        let pair = ctx.warp_id as usize / 2;
+        ctx.warp_id = pair as u16;
+        if self.inner.mem == MemConfig::Shared && pair == 0 {
+            self.inner.stage_tables(ctx);
+            ctx.barrier();
+        }
+        let row_base = self.inner.layout.rows_base + pair * self.inner.layout.row_stride;
+        let mut feed = RingFeed::new(
+            self.inner.db,
+            global_pair,
+            total_pairs,
+            self.ring,
+            self.inner.layout.ring_base + pair * self.ring.bytes_per_pair(),
+            (self.pairs_per_block + pair) as u16,
+            pair as u16,
+        );
+        feed.sync = self.sync;
+        let mut out = Vec::new();
+        let mut lazy = WarpLazyStats::default();
+        let mut seqid = global_pair;
+        while seqid < self.inner.db.n_seqs() {
+            out.push(
+                self.inner
+                    .score_one(ctx, row_base, seqid, &mut lazy, &mut feed),
+            );
+            ctx.stats.sequences += 1;
+            ctx.alu(2);
+            seqid += total_pairs;
+        }
+        feed.finish(ctx);
         (out, lazy)
     }
 }
@@ -760,5 +817,52 @@ mod tests {
             rate_g > rate_c,
             "gappy {rate_g} should exceed conserved {rate_c}"
         );
+    }
+
+    #[test]
+    fn pipelined_vit_bit_exact_at_every_ring_depth() {
+        let dev = DeviceSpec::tesla_k40();
+        let (om, db, packed) = setup(70, 0.00001, &BuildParams::default());
+        let (base, _, _) = launch(&om, &packed, MemConfig::Shared, &dev);
+        assert_eq!(base.len(), db.len());
+        for stages in [2usize, 4, 8] {
+            let ring = h3w_simt::RingSpec::new(stages).unwrap();
+            let pairs = 2usize;
+            let playout = crate::layout::pipelined_layout(
+                Stage::Viterbi,
+                om.m,
+                pairs,
+                MemConfig::Shared,
+                &dev,
+                ring,
+            );
+            let cfg = h3w_simt::KernelConfig {
+                warps_per_block: 2 * pairs,
+                blocks: 2,
+                regs_per_thread: crate::layout::regs_per_thread(Stage::Viterbi),
+                smem_per_block: playout.total,
+                track_hazards: true,
+            };
+            let kernel = PipelinedVitKernel {
+                inner: VitWarpKernel {
+                    om: &om,
+                    db: packed.view(),
+                    mem: MemConfig::Shared,
+                    layout: playout,
+                    use_shfl: dev.has_shfl,
+                    dd_mode: DdMode::default(),
+                },
+                ring,
+                pairs_per_block: pairs,
+                sync: true,
+            };
+            let r = h3w_simt::run_grid_pairs(&dev, &cfg, &kernel).unwrap();
+            let mut hits: Vec<VitHit> = r.outputs.into_iter().flat_map(|(h, _)| h).collect();
+            hits.sort_by_key(|h| h.seqid);
+            assert_eq!(hits, base, "stages={stages}");
+            assert_eq!(r.stats.hazards, 0, "stages={stages}");
+            assert!(r.stats.ring_syncs > 0);
+            assert!(r.stats.simulated_overlap().expect("pipe ran") > 0.0);
+        }
     }
 }

@@ -23,6 +23,7 @@
 //! batch members stay in lockstep for as long as possible.
 
 use crate::backend::Backend;
+use crate::pipe::{prefetch_read, resolve_pipeline_depth};
 use crate::quantized::MsvOutcome;
 use crate::simd::{
     adds_u8, hmax_u8, max_u8, min_u8, shift_u8, splat_u8, subs_u8, ByteRow16, V16u8,
@@ -32,9 +33,13 @@ use crate::striped_msv::StripedMsv;
 use h3w_hmm::alphabet::Residue;
 use h3w_hmm::msvprofile::MsvProfile;
 
-/// Largest supported batch width (slots per fused loop). Four u8 pipelines
-/// already saturate the two SIMD execution ports on every x86 core we
-/// target; wider batches only add register pressure.
+/// Largest supported batch width (slots per fused loop). Four u8 chains
+/// cover the per-row feedback latency on every core we have measured;
+/// eight was tried and loses 10–25% across the board — the interleaved
+/// row loop keeps ~6 vectors per chain hot, and past four chains that
+/// working set spills out of a 16-register vector file and the spill
+/// traffic serializes exactly the work the interleave meant to overlap.
+/// Pipeline depths past 4 therefore buy prefetch lookahead only.
 pub const MAX_BATCH: usize = 4;
 
 /// Reusable scratch for one batch: a single zeroed allocation holding all
@@ -323,6 +328,13 @@ impl BytePipe for Avx2Pipe {
 /// row for every slot) as soon as any slot overflows, flagging it in
 /// `ovf`. State arrays are `MAX_BATCH`-sized; only `0..S` is live.
 ///
+/// `pf` is the software-pipelining prefetch distance in rows: before
+/// computing row `r` the loop touches the striped emission row that row
+/// `r + pf` will gather (`rbv[seq[r + pf] · stride]`), the
+/// data-dependent load the hardware prefetcher cannot predict. `pf = 0`
+/// disables the prefetch front entirely; no value of `pf` can change
+/// any result.
+///
 /// Every slot carries its own striped table pointer and model constants
 /// (`rbv`, `biasv`, `basev`, `overv`, …), so a batch may mix sequences
 /// *and models* — the multi-profile fused scan packs several small HMMs
@@ -332,6 +344,7 @@ impl BytePipe for Avx2Pipe {
 #[inline(always)]
 unsafe fn msv_chunk<P: BytePipe, const S: usize>(
     q: usize,
+    pf: usize,
     rbv: &[*const u8; MAX_BATCH],
     rows: usize,
     r0: usize,
@@ -357,6 +370,18 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
             rowp[s] = rbv[s].add(*seqs[s].get_unchecked(row) as usize * stride);
             mpv[s] = P::shl1(P::load(dp[s].add(stride - P::LANES)));
         }
+        if pf > 0 {
+            for s in 0..S {
+                if let Some(&x) = seqs[s].get(row + pf) {
+                    prefetch_read(rbv[s].add(x as usize * stride));
+                }
+            }
+        }
+        // Stripe-outer, slot-inner: the interleave is in the source so
+        // every stripe step issues S independent copies of the
+        // max→adds→subs chain back to back — one chain's latency is
+        // hidden behind the others' arithmetic even when the OoO window
+        // is full of the (serial) row-to-row `shl1(dp[last])` feedback.
         for qi in 0..q {
             let off = qi * P::LANES;
             for s in 0..S {
@@ -427,6 +452,7 @@ unsafe fn msv_chunk<P: BytePipe, const S: usize>(
 #[inline(always)]
 unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
     q: usize,
+    pf: usize,
     rbv: &[*const u8; MAX_BATCH],
     rows: usize,
     r0: usize,
@@ -446,6 +472,13 @@ unsafe fn ssv_chunk<P: BytePipe, const S: usize>(
         for s in 0..S {
             rowp[s] = rbv[s].add(*seqs[s].get_unchecked(row) as usize * stride);
             mpv[s] = P::shl1(P::load(dp[s].add(stride - P::LANES)));
+        }
+        if pf > 0 {
+            for s in 0..S {
+                if let Some(&x) = seqs[s].get(row + pf) {
+                    prefetch_read(rbv[s].add(x as usize * stride));
+                }
+            }
         }
         for qi in 0..q {
             let off = qi * P::LANES;
@@ -503,6 +536,7 @@ struct SlotSpec<'a> {
 #[inline(always)]
 unsafe fn msv_batch<P: BytePipe>(
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
@@ -587,19 +621,19 @@ unsafe fn msv_batch<P: BytePipe>(
         let rows = (0..live).map(|d| seqd[d].len() - r).min().unwrap();
         let done = match live {
             1 => msv_chunk::<P, 1>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             2 => msv_chunk::<P, 2>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             3 => msv_chunk::<P, 3>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
             _ => msv_chunk::<P, 4>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &basev, &overv, &tecv, &tjbmv, &mut xjv,
                 &mut xbv, &mut limm1, &mut ovf,
             ),
         };
@@ -630,6 +664,7 @@ unsafe fn msv_batch<P: BytePipe>(
 #[inline(always)]
 unsafe fn ssv_batch<P: BytePipe>(
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
@@ -682,16 +717,16 @@ unsafe fn ssv_batch<P: BytePipe>(
         let rows = (0..live).map(|d| seqd[d].len() - r).min().unwrap();
         let done = match live {
             1 => ssv_chunk::<P, 1>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             2 => ssv_chunk::<P, 2>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             3 => ssv_chunk::<P, 3>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
             _ => ssv_chunk::<P, 4>(
-                q, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
+                q, pf, &rbv, rows, r, &seqd, &dp, &biasv, &overv, &xbv, &mut xmaxv, &mut ovf,
             ),
         };
         r += done;
@@ -744,22 +779,24 @@ pub struct SsvPair<'a> {
 #[target_feature(enable = "avx2")]
 unsafe fn msv_batch_avx2(
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    msv_batch::<Avx2Pipe>(q, specs, ws, out)
+    msv_batch::<Avx2Pipe>(q, pf, specs, ws, out)
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn ssv_batch_avx2(
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
-    ssv_batch::<Avx2Pipe>(q, specs, ws, out)
+    ssv_batch::<Avx2Pipe>(q, pf, specs, ws, out)
 }
 
 /// Dispatch a spec array to the pipeline matching `backend`. `q` must be
@@ -768,18 +805,19 @@ unsafe fn ssv_batch_avx2(
 unsafe fn dispatch_msv(
     backend: Backend,
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
     match backend {
-        Backend::Scalar => msv_batch::<ScalarPipe>(q, specs, ws, out),
+        Backend::Scalar => msv_batch::<ScalarPipe>(q, pf, specs, ws, out),
         // SAFETY: with_backend only selects Sse2/Avx2 when the CPU
         // reports the feature.
         #[cfg(target_arch = "x86_64")]
-        Backend::Sse2 => msv_batch::<Sse2Pipe>(q, specs, ws, out),
+        Backend::Sse2 => msv_batch::<Sse2Pipe>(q, pf, specs, ws, out),
         #[cfg(target_arch = "x86_64")]
-        Backend::Avx2 => msv_batch_avx2(q, specs, ws, out),
+        Backend::Avx2 => msv_batch_avx2(q, pf, specs, ws, out),
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar backend on a non-x86_64 host"),
     }
@@ -788,16 +826,17 @@ unsafe fn dispatch_msv(
 unsafe fn dispatch_ssv(
     backend: Backend,
     q: usize,
+    pf: usize,
     specs: &[SlotSpec],
     ws: &mut BatchWorkspace,
     out: &mut [MsvOutcome],
 ) {
     match backend {
-        Backend::Scalar => ssv_batch::<ScalarPipe>(q, specs, ws, out),
+        Backend::Scalar => ssv_batch::<ScalarPipe>(q, pf, specs, ws, out),
         #[cfg(target_arch = "x86_64")]
-        Backend::Sse2 => ssv_batch::<Sse2Pipe>(q, specs, ws, out),
+        Backend::Sse2 => ssv_batch::<Sse2Pipe>(q, pf, specs, ws, out),
         #[cfg(target_arch = "x86_64")]
-        Backend::Avx2 => ssv_batch_avx2(q, specs, ws, out),
+        Backend::Avx2 => ssv_batch_avx2(q, pf, specs, ws, out),
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar backend on a non-x86_64 host"),
     }
@@ -827,7 +866,8 @@ impl StripedMsv {
     /// Score up to [`MAX_BATCH`] sequences in one interleaved pass.
     /// `out[i]` receives `seqs[i]`'s outcome, bit-identical to
     /// [`StripedMsv::run_into`] on the same backend (and therefore to the
-    /// scalar reference).
+    /// scalar reference). Runs at the auto pipeline depth; see
+    /// [`StripedMsv::run_batch_pipelined_into`] for the explicit knob.
     pub fn run_batch_into(
         &self,
         om: &MsvProfile,
@@ -835,11 +875,28 @@ impl StripedMsv {
         ws: &mut BatchWorkspace,
         out: &mut [MsvOutcome],
     ) {
+        self.run_batch_pipelined_into(om, seqs, ws, out, 0)
+    }
+
+    /// [`StripedMsv::run_batch_into`] with an explicit software-pipeline
+    /// depth (`0` = auto): the resolved schedule's lookahead becomes the
+    /// fused loop's prefetch distance. The *chain* half of the depth is a
+    /// scheduling decision — callers cap the batch width they pass in
+    /// (see [`crate::sweep`]). Outcomes are bit-identical at every depth.
+    pub fn run_batch_pipelined_into(
+        &self,
+        om: &MsvProfile,
+        seqs: &[&[Residue]],
+        ws: &mut BatchWorkspace,
+        out: &mut [MsvOutcome],
+        depth: usize,
+    ) {
         assert!(seqs.len() <= MAX_BATCH, "batch wider than MAX_BATCH");
         assert_eq!(seqs.len(), out.len());
         if seqs.is_empty() {
             return;
         }
+        let pf = resolve_pipeline_depth(depth).lookahead;
         let mut specs = [self.slot_spec(om, &[]); MAX_BATCH];
         for (sp, &seq) in specs.iter_mut().zip(seqs) {
             sp.seq = seq;
@@ -848,6 +905,7 @@ impl StripedMsv {
             dispatch_msv(
                 self.backend(),
                 self.active_q(),
+                pf,
                 &specs[..seqs.len()],
                 ws,
                 out,
@@ -878,7 +936,7 @@ impl StripedSsv {
 
     /// Score up to [`MAX_BATCH`] sequences in one interleaved pass,
     /// bit-identical to [`ssv_filter_scalar`](crate::ssv::ssv_filter_scalar)
-    /// per sequence.
+    /// per sequence. Runs at the auto pipeline depth.
     pub fn run_batch_into(
         &self,
         om: &MsvProfile,
@@ -886,11 +944,25 @@ impl StripedSsv {
         ws: &mut BatchWorkspace,
         out: &mut [MsvOutcome],
     ) {
+        self.run_batch_pipelined_into(om, seqs, ws, out, 0)
+    }
+
+    /// [`StripedSsv::run_batch_into`] with an explicit software-pipeline
+    /// depth (`0` = auto); outcomes are bit-identical at every depth.
+    pub fn run_batch_pipelined_into(
+        &self,
+        om: &MsvProfile,
+        seqs: &[&[Residue]],
+        ws: &mut BatchWorkspace,
+        out: &mut [MsvOutcome],
+        depth: usize,
+    ) {
         assert!(seqs.len() <= MAX_BATCH, "batch wider than MAX_BATCH");
         assert_eq!(seqs.len(), out.len());
         if seqs.is_empty() {
             return;
         }
+        let pf = resolve_pipeline_depth(depth).lookahead;
         let mut specs = [self.slot_spec(om, &[]); MAX_BATCH];
         for (sp, &seq) in specs.iter_mut().zip(seqs) {
             sp.seq = seq;
@@ -899,6 +971,7 @@ impl StripedSsv {
             dispatch_ssv(
                 self.backend(),
                 self.active_q(),
+                pf,
                 &specs[..seqs.len()],
                 ws,
                 out,
@@ -917,11 +990,23 @@ impl StripedSsv {
 /// receives `pairs[i]`'s outcome, bit-identical to scoring that pair alone
 /// with [`StripedMsv::run_into`].
 pub fn msv_multi_batch_into(pairs: &[MsvPair], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]) {
+    msv_multi_batch_pipelined_into(pairs, ws, out, 0)
+}
+
+/// [`msv_multi_batch_into`] with an explicit software-pipeline depth
+/// (`0` = auto); outcomes are bit-identical at every depth.
+pub fn msv_multi_batch_pipelined_into(
+    pairs: &[MsvPair],
+    ws: &mut BatchWorkspace,
+    out: &mut [MsvOutcome],
+    depth: usize,
+) {
     assert!(pairs.len() <= MAX_BATCH, "pack wider than MAX_BATCH");
     assert_eq!(pairs.len(), out.len());
     let Some(first) = pairs.first() else { return };
     let backend = first.striped.backend();
     let q = first.striped.active_q();
+    let pf = resolve_pipeline_depth(depth).lookahead;
     let mut specs = [first.striped.slot_spec(first.om, &[]); MAX_BATCH];
     for (sp, pair) in specs.iter_mut().zip(pairs) {
         assert_eq!(
@@ -936,7 +1021,7 @@ pub fn msv_multi_batch_into(pairs: &[MsvPair], ws: &mut BatchWorkspace, out: &mu
         );
         *sp = pair.striped.slot_spec(pair.om, pair.seq);
     }
-    unsafe { dispatch_msv(backend, q, &specs[..pairs.len()], ws, out) }
+    unsafe { dispatch_msv(backend, q, pf, &specs[..pairs.len()], ws, out) }
 }
 
 /// Score up to [`MAX_BATCH`] (model, sequence) pairs in one fused
@@ -944,11 +1029,23 @@ pub fn msv_multi_batch_into(pairs: &[MsvPair], ws: &mut BatchWorkspace, out: &mu
 /// shape rules. Bit-identical per pair to
 /// [`ssv_filter_scalar`](crate::ssv::ssv_filter_scalar).
 pub fn ssv_multi_batch_into(pairs: &[SsvPair], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]) {
+    ssv_multi_batch_pipelined_into(pairs, ws, out, 0)
+}
+
+/// [`ssv_multi_batch_into`] with an explicit software-pipeline depth
+/// (`0` = auto); outcomes are bit-identical at every depth.
+pub fn ssv_multi_batch_pipelined_into(
+    pairs: &[SsvPair],
+    ws: &mut BatchWorkspace,
+    out: &mut [MsvOutcome],
+    depth: usize,
+) {
     assert!(pairs.len() <= MAX_BATCH, "pack wider than MAX_BATCH");
     assert_eq!(pairs.len(), out.len());
     let Some(first) = pairs.first() else { return };
     let backend = first.striped.backend();
     let q = first.striped.active_q();
+    let pf = resolve_pipeline_depth(depth).lookahead;
     let mut specs = [first.striped.slot_spec(first.om, &[]); MAX_BATCH];
     for (sp, pair) in specs.iter_mut().zip(pairs) {
         assert_eq!(
@@ -963,7 +1060,7 @@ pub fn ssv_multi_batch_into(pairs: &[SsvPair], ws: &mut BatchWorkspace, out: &mu
         );
         *sp = pair.striped.slot_spec(pair.om, pair.seq);
     }
-    unsafe { dispatch_ssv(backend, q, &specs[..pairs.len()], ws, out) }
+    unsafe { dispatch_ssv(backend, q, pf, &specs[..pairs.len()], ws, out) }
 }
 
 #[cfg(test)]

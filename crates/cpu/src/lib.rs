@@ -16,6 +16,7 @@
 pub mod backend;
 pub mod batch;
 pub mod null2;
+pub mod pipe;
 pub mod posterior;
 pub mod quantized;
 pub mod reference;
@@ -30,9 +31,13 @@ pub mod x86;
 
 pub use backend::Backend;
 pub use batch::{
-    msv_multi_batch_into, ssv_multi_batch_into, BatchWorkspace, MsvPair, SsvPair, MAX_BATCH,
+    msv_multi_batch_into, msv_multi_batch_pipelined_into, ssv_multi_batch_into,
+    ssv_multi_batch_pipelined_into, BatchWorkspace, MsvPair, SsvPair, MAX_BATCH,
 };
 pub use null2::null2_correction;
+pub use pipe::{
+    prefetch_read, resolve_pipeline_depth, PipeSchedule, AUTO_PIPELINE_DEPTH, MAX_PIPELINE_DEPTH,
+};
 pub use posterior::{find_domains, posterior_decode, posterior_decode_with, Domain, Posterior};
 pub use quantized::{msv_filter_scalar, vit_filter_scalar, MsvOutcome, VitOutcome};
 pub use reference::{
@@ -43,11 +48,13 @@ pub use striped_fwd::{FwdBatchWorkspace, FwdMatrix, FwdWorkspace, StripedFwd};
 pub use striped_msv::StripedMsv;
 pub use striped_vit::{LazyFStats, StripedVit, VitWorkspace};
 pub use sweep::{
-    batch_schedule_stats, fwd_scores_batched, fwd_sweep_batched, length_binned_batches,
-    model_pack_stats, model_packs, msv_multi_outcomes, msv_outcomes_batched, msv_sweep,
-    msv_sweep_batched, record_sweep, resolve_batch_width, ssv_multi_outcomes, ssv_outcomes_batched,
-    ssv_sweep_batched, vit_sweep, vit_sweep_masked, BatchScheduleStats, ModelPackStats,
-    SweepTiming,
+    batch_schedule_stats, fused_pack_width, fwd_scores_batched, fwd_scores_batched_pipelined,
+    fwd_sweep_batched, length_binned_batches, model_pack_stats, model_packs, msv_multi_outcomes,
+    msv_multi_outcomes_pipelined, msv_outcomes_batched, msv_outcomes_batched_pipelined, msv_sweep,
+    msv_sweep_batched, record_sweep, resolve_batch_width, resolve_pipelined_width,
+    ssv_multi_outcomes, ssv_multi_outcomes_pipelined, ssv_outcomes_batched,
+    ssv_outcomes_batched_pipelined, ssv_sweep_batched, vit_sweep, vit_sweep_masked,
+    BatchScheduleStats, ModelPackStats, SweepTiming, FUSED_PACK_MIN_WORKERS,
 };
 pub use traceback::{viterbi_trace, AlignedSegment, Alignment, TraceState};
 

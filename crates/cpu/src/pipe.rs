@@ -1,0 +1,125 @@
+//! Software-pipelining schedule for the batched CPU filter loops.
+//!
+//! The GPU tier hides memory latency by splitting each warp pair into a
+//! loader and a compute role around a shared-memory ring
+//! (`h3w_core::feed`). The CPU analog in this module is necessarily
+//! different machinery — an out-of-order core *is* the ring — but the
+//! same two levers exist and [`PipeSchedule`] names them:
+//!
+//! * **chains** — how many independent (model, sequence) dependency
+//!   chains the fused row loop keeps in flight. Each chain is one batch
+//!   slot; the interleaved kernels in [`crate::batch`] round-robin them
+//!   so one chain's `xE → xJ/xB` feedback latency is hidden behind the
+//!   others' arithmetic (capped at [`MAX_BATCH`](crate::batch::MAX_BATCH):
+//!   past four chains the interleaved loop's working set spills out of a
+//!   16-register vector file and measured throughput drops, so depths
+//!   5–8 buy prefetch lookahead only).
+//! * **lookahead** — how many rows ahead of the compute front the loop
+//!   issues software prefetches for the residue-indexed striped table
+//!   row. The table row chosen by row `r` depends on `seq[r]`, a
+//!   data-dependent gather the hardware stride prefetcher cannot
+//!   predict; touching `rbv[seq[r + lookahead] · stride]` a few rows
+//!   early is exactly the loader warp's job done with `prefetcht0`.
+//!
+//! A requested depth `d` maps to `min(d, MAX_BATCH)` chains and `d − 1`
+//! rows of lookahead, so `depth = 1` is the honest un-pipelined baseline
+//! (single chain, no prefetch) and every deeper setting only reorders
+//! *when* independent work executes — never *what* is computed. Results
+//! are therefore bit-identical at every depth on every backend; the
+//! depth-equivalence proptests in `tests/pipeline_depth.rs` hold that
+//! line.
+
+use crate::batch::MAX_BATCH;
+
+/// Deepest supported software pipeline: chains saturate at
+/// [`MAX_BATCH`], and beyond 8 rows of lookahead the prefetched lines
+/// start getting evicted before use on the L1 sizes we target.
+pub const MAX_PIPELINE_DEPTH: usize = 8;
+
+/// Depth `0` (auto) resolves here: `MAX_BATCH` chains plus three rows of
+/// prefetch lookahead — enough to cover an L2 hit without outrunning L1.
+pub const AUTO_PIPELINE_DEPTH: usize = 4;
+
+/// A resolved software-pipelining schedule: the requested depth split
+/// into its two mechanical levers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeSchedule {
+    /// The resolved depth (`1..=MAX_PIPELINE_DEPTH`).
+    pub depth: usize,
+    /// Independent sequence chains kept in flight per fused loop
+    /// (`min(depth, MAX_BATCH)`).
+    pub chains: usize,
+    /// Rows of prefetch lookahead ahead of the compute front
+    /// (`depth − 1`).
+    pub lookahead: usize,
+}
+
+/// Resolve a requested pipeline depth: `0` means auto
+/// ([`AUTO_PIPELINE_DEPTH`]), anything else is clamped to
+/// `1..=`[`MAX_PIPELINE_DEPTH`].
+pub fn resolve_pipeline_depth(requested: usize) -> PipeSchedule {
+    let depth = if requested == 0 {
+        AUTO_PIPELINE_DEPTH
+    } else {
+        requested.clamp(1, MAX_PIPELINE_DEPTH)
+    };
+    PipeSchedule {
+        depth,
+        chains: depth.min(MAX_BATCH),
+        lookahead: depth - 1,
+    }
+}
+
+/// Hint the cache hierarchy to pull the line holding `p` toward L1
+/// (`prefetcht0`). A pure scheduling hint: no fault, no side effect on
+/// architectural state, a no-op off x86_64 — which is what keeps every
+/// pipeline depth bit-identical.
+#[inline(always)]
+pub fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never faults, even on invalid addresses; SSE is
+    // part of the x86_64 baseline.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_resolution_covers_the_knob_range() {
+        let auto = resolve_pipeline_depth(0);
+        assert_eq!(auto.depth, AUTO_PIPELINE_DEPTH);
+        assert_eq!(auto.chains, MAX_BATCH.min(AUTO_PIPELINE_DEPTH));
+        assert_eq!(auto.lookahead, AUTO_PIPELINE_DEPTH - 1);
+        let one = resolve_pipeline_depth(1);
+        assert_eq!(
+            (one.depth, one.chains, one.lookahead),
+            (1, 1, 0),
+            "depth 1 must be the un-pipelined baseline"
+        );
+        let deep = resolve_pipeline_depth(100);
+        assert_eq!(deep.depth, MAX_PIPELINE_DEPTH);
+        assert_eq!(deep.chains, MAX_BATCH);
+        assert_eq!(deep.lookahead, MAX_PIPELINE_DEPTH - 1);
+        for d in 1..=MAX_PIPELINE_DEPTH {
+            let s = resolve_pipeline_depth(d);
+            assert_eq!(s.depth, d);
+            assert_eq!(s.chains, d.min(MAX_BATCH));
+            assert_eq!(s.lookahead, d - 1);
+        }
+    }
+
+    #[test]
+    fn prefetch_is_inert() {
+        // Any address is legal to prefetch, including one we'd never
+        // dereference.
+        prefetch_read(core::ptr::null());
+        let x = [0u8; 64];
+        prefetch_read(x.as_ptr());
+    }
+}

@@ -29,8 +29,10 @@
 
 use crate::backend::Backend;
 use crate::batch::{
-    msv_multi_batch_into, ssv_multi_batch_into, BatchWorkspace, MsvPair, SsvPair, MAX_BATCH,
+    msv_multi_batch_pipelined_into, ssv_multi_batch_pipelined_into, BatchWorkspace, MsvPair,
+    SsvPair, MAX_BATCH,
 };
+use crate::pipe::{resolve_pipeline_depth, PipeSchedule};
 use crate::quantized::{MsvOutcome, VitOutcome};
 use crate::ssv::StripedSsv;
 use crate::striped_fwd::{FwdBatchWorkspace, StripedFwd};
@@ -179,6 +181,23 @@ pub fn resolve_batch_width(backend: Backend, requested: usize) -> usize {
     }
 }
 
+/// Resolve the batch width **and** pipeline schedule a sweep will run
+/// with: the schedule's chain count caps the interleave width, so
+/// `depth = 1` really is the single-chain un-pipelined baseline no
+/// matter what width the caller (or the backend auto-pick) asked for.
+/// The cap is applied here, at the scheduling level — the fused drivers
+/// never see a wider batch than the schedule allows, so their dropout
+/// logic stays depth-oblivious.
+pub fn resolve_pipelined_width(
+    backend: Backend,
+    width: usize,
+    depth: usize,
+) -> (usize, PipeSchedule) {
+    let sched = resolve_pipeline_depth(depth);
+    let width = resolve_batch_width(backend, width).min(sched.chains).max(1);
+    (width, sched)
+}
+
 /// The length-binned batch schedule: indices of the selected sequences
 /// (all of them, or `mask`-selected survivors), sorted by descending
 /// length and chunked into batches of `width`.
@@ -262,7 +281,24 @@ pub fn fwd_scores_batched(
     mask: Option<&[bool]>,
     width: usize,
 ) -> Vec<Option<f32>> {
-    let width = resolve_batch_width(striped.backend(), width);
+    fwd_scores_batched_pipelined(pool, striped, p, seqs, mask, width, 0)
+}
+
+/// [`fwd_scores_batched`] with an explicit software-pipeline depth
+/// (`0` = auto): the schedule's chain count caps the interleave width
+/// and its lookahead drives the emission-row prefetch. Scores are
+/// bit-identical at every depth.
+#[allow(clippy::too_many_arguments)]
+pub fn fwd_scores_batched_pipelined(
+    pool: &ThreadPool,
+    striped: &StripedFwd,
+    p: &Profile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+    depth: usize,
+) -> Vec<Option<f32>> {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
     let batches = length_binned_batches(&lens, mask, width);
     let scored: Vec<[f32; MAX_BATCH]> =
@@ -273,7 +309,13 @@ pub fn fwd_scores_batched(
                 *r = &seqs[i].residues;
             }
             let mut out = [0f32; MAX_BATCH];
-            striped.run_batch_into(p, &refs[..batch.len()], ws, &mut out[..batch.len()]);
+            striped.run_batch_pipelined_into(
+                p,
+                &refs[..batch.len()],
+                ws,
+                &mut out[..batch.len()],
+                depth,
+            );
             out
         });
     let mut result = vec![None; seqs.len()];
@@ -296,11 +338,29 @@ pub fn msv_outcomes_batched(
     mask: Option<&[bool]>,
     width: usize,
 ) -> Vec<Option<MsvOutcome>> {
-    let width = resolve_batch_width(striped.backend(), width);
+    msv_outcomes_batched_pipelined(pool, striped, om, seqs, mask, width, 0)
+}
+
+/// [`msv_outcomes_batched`] with an explicit software-pipeline depth
+/// (`0` = auto): the schedule's chain count caps the interleave width
+/// (`depth = 1` forces single-chain batches) and its lookahead drives
+/// the table-row prefetch inside the fused loop. Outcomes are
+/// bit-identical at every depth.
+#[allow(clippy::too_many_arguments)]
+pub fn msv_outcomes_batched_pipelined(
+    pool: &ThreadPool,
+    striped: &StripedMsv,
+    om: &MsvProfile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+    depth: usize,
+) -> Vec<Option<MsvOutcome>> {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     sweep_batched_with(
         pool,
         &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
-            striped.run_batch_into(om, refs, ws, out)
+            striped.run_batch_pipelined_into(om, refs, ws, out, depth)
         },
         seqs,
         mask,
@@ -318,16 +378,57 @@ pub fn ssv_outcomes_batched(
     mask: Option<&[bool]>,
     width: usize,
 ) -> Vec<Option<MsvOutcome>> {
-    let width = resolve_batch_width(striped.backend(), width);
+    ssv_outcomes_batched_pipelined(pool, striped, om, seqs, mask, width, 0)
+}
+
+/// [`ssv_outcomes_batched`] with an explicit software-pipeline depth
+/// (`0` = auto); outcomes are bit-identical at every depth.
+#[allow(clippy::too_many_arguments)]
+pub fn ssv_outcomes_batched_pipelined(
+    pool: &ThreadPool,
+    striped: &StripedSsv,
+    om: &MsvProfile,
+    seqs: &[DigitalSeq],
+    mask: Option<&[bool]>,
+    width: usize,
+    depth: usize,
+) -> Vec<Option<MsvOutcome>> {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     sweep_batched_with(
         pool,
         &|refs: &[&[Residue]], ws: &mut BatchWorkspace, out: &mut [MsvOutcome]| {
-            striped.run_batch_into(om, refs, ws, out)
+            striped.run_batch_pipelined_into(om, refs, ws, out, depth)
         },
         seqs,
         mask,
         width,
     )
+}
+
+/// Worker count below which the fused scan stops packing models
+/// together (see [`fused_pack_width`]).
+pub const FUSED_PACK_MIN_WORKERS: usize = 4;
+
+/// Auto-select the **model**-pack width for a fused scan from the pool's
+/// worker count. On wide hosts, packing several equal-stripe models into
+/// one interleaved task is the fused win: the pack shares one database
+/// traversal and exhausts the byte lanes. On hosts with fewer than
+/// [`FUSED_PACK_MIN_WORKERS`] workers the packing's share rounding
+/// (`width / pack_len` sequences per task) pads the interleave with
+/// model slots instead of same-length sequences, and with no parallel
+/// traversals to amortize it the fused scan can *lose* to the unfused
+/// one (the `multi_model.fused_speedup_vs_unfused_scan = 0.96` 1-core
+/// regression). Degenerating to single-model packs keeps the fused
+/// single-traversal structure but gives every task the full sequence
+/// interleave — exactly the per-model batched sweep's shape — so fusion
+/// never loses on low-core hosts. Results are bit-identical at every
+/// pack width; this only moves wall time.
+pub fn fused_pack_width(workers: usize, width: usize) -> usize {
+    if workers < FUSED_PACK_MIN_WORKERS {
+        1
+    } else {
+        width
+    }
 }
 
 /// The model-pack schedule for the fused multi-profile sweeps: indices
@@ -394,8 +495,10 @@ pub fn model_pack_stats(qs: &[usize], width: usize) -> ModelPackStats {
 }
 
 /// Shared driver for the fused multi-model sweeps: pack the models by
-/// stripe count, split the interleave width between pack members and
-/// sequences (`width / pack_len` sequences per task, length-binned), and
+/// stripe count (up to `pack_width` members per pack — see
+/// [`fused_pack_width`] for the worker-aware auto policy), split the
+/// interleave width between pack members and sequences
+/// (`width / pack_len` sequences per task, length-binned), and
 /// score every (pack, sequence-batch) task across the pool with the
 /// model-major fused kernels. Outcomes scatter back `[model][seq]`, so
 /// results are bit-identical at every thread count and pack width.
@@ -406,11 +509,12 @@ fn multi_sweep_with<F>(
     run_pack: &F,
     seqs: &[DigitalSeq],
     width: usize,
+    pack_width: usize,
 ) -> Vec<Vec<MsvOutcome>>
 where
     F: Fn(&[usize], &[usize], &mut BatchWorkspace, &mut [MsvOutcome]) + Sync,
 {
-    let packs = model_packs(qs, width);
+    let packs = model_packs(qs, pack_width);
     let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
     // Sequence schedules keyed by the per-task sequence share; packs of
     // equal size reuse the same schedule.
@@ -465,6 +569,20 @@ pub fn msv_multi_outcomes(
     seqs: &[DigitalSeq],
     width: usize,
 ) -> Vec<Vec<MsvOutcome>> {
+    msv_multi_outcomes_pipelined(pool, models, seqs, width, 0)
+}
+
+/// [`msv_multi_outcomes`] with an explicit software-pipeline depth
+/// (`0` = auto): the schedule's chain count caps the interleave width
+/// and its lookahead drives the table-row prefetch in the fused kernel.
+/// Outcomes are bit-identical at every depth and pack width.
+pub fn msv_multi_outcomes_pipelined(
+    pool: &ThreadPool,
+    models: &[(&StripedMsv, &MsvProfile)],
+    seqs: &[DigitalSeq],
+    width: usize,
+    depth: usize,
+) -> Vec<Vec<MsvOutcome>> {
     let Some(first) = models.first() else {
         return Vec::new();
     };
@@ -473,7 +591,8 @@ pub fn msv_multi_outcomes(
         models.iter().all(|(s, _)| s.backend() == backend),
         "fused scan members must share a backend"
     );
-    let width = resolve_batch_width(backend, width);
+    let (width, _) = resolve_pipelined_width(backend, width, depth);
+    let pack_width = fused_pack_width(pool.threads(), width);
     let qs: Vec<usize> = models.iter().map(|(s, _)| s.active_q()).collect();
     multi_sweep_with(
         pool,
@@ -497,10 +616,11 @@ pub fn msv_multi_outcomes(
                     n += 1;
                 }
             }
-            msv_multi_batch_into(&pairs[..n], ws, out);
+            msv_multi_batch_pipelined_into(&pairs[..n], ws, out, depth);
         },
         seqs,
         width,
+        pack_width,
     )
 }
 
@@ -513,6 +633,19 @@ pub fn ssv_multi_outcomes(
     seqs: &[DigitalSeq],
     width: usize,
 ) -> Vec<Vec<MsvOutcome>> {
+    ssv_multi_outcomes_pipelined(pool, models, seqs, width, 0)
+}
+
+/// [`ssv_multi_outcomes`] with an explicit software-pipeline depth
+/// (`0` = auto); outcomes are bit-identical at every depth and pack
+/// width.
+pub fn ssv_multi_outcomes_pipelined(
+    pool: &ThreadPool,
+    models: &[(&StripedSsv, &MsvProfile)],
+    seqs: &[DigitalSeq],
+    width: usize,
+    depth: usize,
+) -> Vec<Vec<MsvOutcome>> {
     let Some(first) = models.first() else {
         return Vec::new();
     };
@@ -521,7 +654,8 @@ pub fn ssv_multi_outcomes(
         models.iter().all(|(s, _)| s.backend() == backend),
         "fused scan members must share a backend"
     );
-    let width = resolve_batch_width(backend, width);
+    let (width, _) = resolve_pipelined_width(backend, width, depth);
+    let pack_width = fused_pack_width(pool.threads(), width);
     let qs: Vec<usize> = models.iter().map(|(s, _)| s.active_q()).collect();
     multi_sweep_with(
         pool,
@@ -545,10 +679,11 @@ pub fn ssv_multi_outcomes(
                     n += 1;
                 }
             }
-            ssv_multi_batch_into(&pairs[..n], ws, out);
+            ssv_multi_batch_pipelined_into(&pairs[..n], ws, out, depth);
         },
         seqs,
         width,
+        pack_width,
     )
 }
 
@@ -738,17 +873,21 @@ pub fn measure_msv_throughput(om: &MsvProfile, db: &SeqDb, max_seqs: usize) -> S
 }
 
 /// Measure single-thread **batched** striped-MSV throughput at a given
-/// interleave width (the `batched_filter_loops` bench rows).
+/// interleave width and pipeline depth (the `batched_filter_loops` and
+/// `pipelined_filter_loops` bench rows). The depth's chain count caps
+/// the width, so `depth = 1` measures the honest single-chain baseline.
 pub fn measure_msv_batched(
     striped: &StripedMsv,
     om: &MsvProfile,
     db: &SeqDb,
     max_seqs: usize,
     width: usize,
+    depth: usize,
 ) -> SweepTiming {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     let n = max_seqs.min(db.len());
     let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
-    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let batches = length_binned_batches(&lens, None, width);
     let mut ws = BatchWorkspace::default();
     let mut out = [ZERO_OUTCOME; MAX_BATCH];
     let res: u64 = lens.iter().map(|&l| l as u64).sum();
@@ -758,7 +897,13 @@ pub fn measure_msv_batched(
         for (r, &i) in refs.iter_mut().zip(batch.iter()) {
             *r = &db.seqs[i].residues;
         }
-        striped.run_batch_into(om, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        striped.run_batch_pipelined_into(
+            om,
+            &refs[..batch.len()],
+            &mut ws,
+            &mut out[..batch.len()],
+            depth,
+        );
         std::hint::black_box(&out);
     }
     timing(
@@ -768,17 +913,20 @@ pub fn measure_msv_batched(
     )
 }
 
-/// Measure single-thread **batched** striped-SSV throughput.
+/// Measure single-thread **batched** striped-SSV throughput at a given
+/// interleave width and pipeline depth.
 pub fn measure_ssv_batched(
     striped: &StripedSsv,
     om: &MsvProfile,
     db: &SeqDb,
     max_seqs: usize,
     width: usize,
+    depth: usize,
 ) -> SweepTiming {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     let n = max_seqs.min(db.len());
     let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
-    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let batches = length_binned_batches(&lens, None, width);
     let mut ws = BatchWorkspace::default();
     let mut out = [ZERO_OUTCOME; MAX_BATCH];
     let res: u64 = lens.iter().map(|&l| l as u64).sum();
@@ -788,7 +936,13 @@ pub fn measure_ssv_batched(
         for (r, &i) in refs.iter_mut().zip(batch.iter()) {
             *r = &db.seqs[i].residues;
         }
-        striped.run_batch_into(om, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        striped.run_batch_pipelined_into(
+            om,
+            &refs[..batch.len()],
+            &mut ws,
+            &mut out[..batch.len()],
+            depth,
+        );
         std::hint::black_box(&out);
     }
     timing(
@@ -799,17 +953,20 @@ pub fn measure_ssv_batched(
 }
 
 /// Measure single-thread **batched** striped-Forward throughput at a
-/// given interleave width (the `forward_loops` bench rows).
+/// given interleave width and pipeline depth (the `forward_loops` and
+/// `pipelined_filter_loops` bench rows).
 pub fn measure_fwd_batched(
     striped: &StripedFwd,
     p: &Profile,
     db: &SeqDb,
     max_seqs: usize,
     width: usize,
+    depth: usize,
 ) -> SweepTiming {
+    let (width, _) = resolve_pipelined_width(striped.backend(), width, depth);
     let n = max_seqs.min(db.len());
     let lens: Vec<usize> = db.seqs.iter().take(n).map(|s| s.len()).collect();
-    let batches = length_binned_batches(&lens, None, width.clamp(1, MAX_BATCH));
+    let batches = length_binned_batches(&lens, None, width);
     let mut ws = FwdBatchWorkspace::default();
     let mut out = [0f32; MAX_BATCH];
     let res: u64 = lens.iter().map(|&l| l as u64).sum();
@@ -819,7 +976,13 @@ pub fn measure_fwd_batched(
         for (r, &i) in refs.iter_mut().zip(batch.iter()) {
             *r = &db.seqs[i].residues;
         }
-        striped.run_batch_into(p, &refs[..batch.len()], &mut ws, &mut out[..batch.len()]);
+        striped.run_batch_pipelined_into(
+            p,
+            &refs[..batch.len()],
+            &mut ws,
+            &mut out[..batch.len()],
+            depth,
+        );
         std::hint::black_box(&out);
     }
     timing(
@@ -1165,7 +1328,7 @@ mod tests {
                 }
             }
         }
-        let t = measure_fwd_batched(&striped, &p, &db, 30, 4);
+        let t = measure_fwd_batched(&striped, &p, &db, 30, 4, 0);
         let tg = measure_fwd_generic(&p, &db, 30);
         assert!(t.cells_per_sec > 1e6, "striped fwd {}", t.cells_per_sec);
         assert!(tg.cells_per_sec > 1e4, "generic fwd {}", tg.cells_per_sec);

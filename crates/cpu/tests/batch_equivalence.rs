@@ -138,6 +138,52 @@ proptest! {
     }
 
     #[test]
+    fn pipelined_batches_bit_identical_at_every_depth(
+        m in 1usize..300,
+        model_seed in 0u64..10_000,
+        seq_seed in 0u64..10_000,
+    ) {
+        // The software-pipeline depth only changes the prefetch distance
+        // of the fused loop — outcomes must stay bit-identical to the
+        // scalar references at every depth, including depths deeper than
+        // the batch is wide.
+        let (_, om) = model_and_profile(m, model_seed);
+        let mut rng = StdRng::seed_from_u64(seq_seed);
+        let seqs: Vec<Vec<u8>> = (0..MAX_BATCH)
+            .map(|i| random_seq(&mut rng, 3 + 97 * i * i))
+            .collect();
+        let refs: Vec<&[u8]> = seqs.iter().map(|s| s.as_slice()).collect();
+        for backend in Backend::all_available() {
+            let smsv = StripedMsv::with_backend(&om, backend);
+            let sssv = StripedSsv::with_backend(&om, backend);
+            let mut ws = BatchWorkspace::default();
+            for depth in [0usize, 1, 2, 4, 8] {
+                let mut got_msv = vec![
+                    MsvOutcome { xj: 0, overflow: false, score: 0.0 };
+                    refs.len()
+                ];
+                let mut got_ssv = got_msv.clone();
+                smsv.run_batch_pipelined_into(&om, &refs, &mut ws, &mut got_msv, depth);
+                sssv.run_batch_pipelined_into(&om, &refs, &mut ws, &mut got_ssv, depth);
+                for (i, seq) in seqs.iter().enumerate() {
+                    prop_assert_eq!(
+                        bits(&msv_filter_scalar(&om, seq)),
+                        bits(&got_msv[i]),
+                        "MSV {} depth {} slot {} diverged",
+                        backend, depth, i
+                    );
+                    prop_assert_eq!(
+                        bits(&ssv_filter_scalar(&om, seq)),
+                        bits(&got_ssv[i]),
+                        "SSV {} depth {} slot {} diverged",
+                        backend, depth, i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn masked_batched_sweep_matches_filters(
         m in 1usize..200,
         seq_seed in 0u64..10_000,

@@ -7,7 +7,7 @@
 //! ≈ 2% → ≈ 0.1% of sequences down the pipeline — which is precisely the
 //! 100% → 2.2% → 0.1% funnel of the paper's Fig. 1.
 
-use h3w_cpu::MAX_BATCH;
+use h3w_cpu::{MAX_BATCH, MAX_PIPELINE_DEPTH};
 
 /// Stage thresholds and reporting cutoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +38,13 @@ pub struct PipelineConfig {
     /// backend's preferred width, `1` scores sequences one at a time
     /// (bit-identical either way; see `h3w_cpu::batch`).
     pub batch: usize,
+    /// Software-pipeline depth for the batched filter loops: `0` = auto,
+    /// `1` = un-pipelined (single chain, no prefetch), up to
+    /// `h3w_cpu::MAX_PIPELINE_DEPTH`. The depth resolves to an in-flight
+    /// chain count (capping the batch width) plus a table-row prefetch
+    /// lookahead (see `h3w_cpu::pipe`). Hits and funnels are
+    /// bit-identical at every depth — the knob only moves wall time.
+    pub pipeline_depth: usize,
     /// Escape hatch: score stage 3 with the generic log-space Forward
     /// (`forward_generic`) instead of the striped odds-space filter.
     /// Off by default — the striped filter is the production path and is
@@ -64,6 +71,7 @@ impl Default for PipelineConfig {
             ssv: false,
             f0: 0.08,
             batch: 0,
+            pipeline_depth: 0,
             fwd_generic: false,
             threads: 0,
         }
@@ -82,6 +90,7 @@ impl PipelineConfig {
             ssv: false,
             f0: 1.0,
             batch: 0,
+            pipeline_depth: 0,
             fwd_generic: false,
             threads: 0,
         }
@@ -124,6 +133,12 @@ impl PipelineConfig {
                 max: MAX_BATCH,
             });
         }
+        if self.pipeline_depth > MAX_PIPELINE_DEPTH {
+            return Err(ConfigError::PipelineDepthTooDeep {
+                requested: self.pipeline_depth,
+                max: MAX_PIPELINE_DEPTH,
+            });
+        }
         if self.threads > h3w_cpu::h3w_pool::MAX_THREADS {
             return Err(ConfigError::Threads {
                 requested: self.threads,
@@ -158,6 +173,14 @@ pub enum ConfigError {
         /// The rejected width.
         requested: usize,
         /// The kernels' maximum interleave.
+        max: usize,
+    },
+    /// Software-pipeline depth beyond what the fused loops support
+    /// (`0` = auto is always accepted).
+    PipelineDepthTooDeep {
+        /// The rejected depth.
+        requested: usize,
+        /// The kernels' maximum depth.
         max: usize,
     },
     /// Thread count beyond the pool's hard ceiling
@@ -195,6 +218,12 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "batch width {requested} exceeds the kernel maximum {max} (0 = auto)"
+                )
+            }
+            ConfigError::PipelineDepthTooDeep { requested, max } => {
+                write!(
+                    f,
+                    "pipeline depth {requested} exceeds the kernel maximum {max} (0 = auto)"
                 )
             }
             ConfigError::Threads { requested, max } => {
@@ -272,6 +301,13 @@ impl PipelineConfigBuilder {
     /// Batch width for the interleaved filter sweeps (`0` = auto).
     pub fn batch(mut self, width: usize) -> Self {
         self.config.batch = width;
+        self
+    }
+
+    /// Software-pipeline depth for the batched filter loops (`0` = auto,
+    /// `1` = un-pipelined baseline).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.config.pipeline_depth = depth;
         self
     }
 
@@ -384,6 +420,28 @@ mod tests {
         // 0 = auto and the maximum itself are both valid.
         assert!(PipelineConfig::builder().batch(0).build().is_ok());
         assert!(PipelineConfig::builder().batch(MAX_BATCH).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_pipeline_depth_beyond_kernel_maximum() {
+        let err = PipelineConfig::builder()
+            .pipeline_depth(MAX_PIPELINE_DEPTH + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::PipelineDepthTooDeep {
+                requested: MAX_PIPELINE_DEPTH + 1,
+                max: MAX_PIPELINE_DEPTH
+            }
+        );
+        // 0 = auto, the un-pipelined baseline, and the maximum are valid.
+        assert!(PipelineConfig::builder().pipeline_depth(0).build().is_ok());
+        assert!(PipelineConfig::builder().pipeline_depth(1).build().is_ok());
+        assert!(PipelineConfig::builder()
+            .pipeline_depth(MAX_PIPELINE_DEPTH)
+            .build()
+            .is_ok());
     }
 
     #[test]

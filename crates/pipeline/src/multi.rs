@@ -27,8 +27,9 @@ use crate::run::{ExecPlan, Pipeline};
 use h3w_core::fault::SweepError;
 use h3w_cpu::reference::forward_generic;
 use h3w_cpu::{
-    model_pack_stats, msv_multi_outcomes, msv_outcomes_batched, resolve_batch_width,
-    ssv_multi_outcomes, FwdWorkspace, PoolHandle, StripedMsv, StripedSsv, ThreadPool, VitWorkspace,
+    fused_pack_width, model_pack_stats, msv_multi_outcomes_pipelined,
+    msv_outcomes_batched_pipelined, resolve_pipelined_width, ssv_multi_outcomes_pipelined,
+    FwdWorkspace, PoolHandle, StripedMsv, StripedSsv, ThreadPool, VitWorkspace,
 };
 use h3w_hmm::msvprofile::MsvProfile;
 use h3w_hmm::plan7::CoreModel;
@@ -311,7 +312,13 @@ fn scan_fused(
                 (striped, &p.msv)
             })
             .collect();
-        let ssv_out = ssv_multi_outcomes(pool, &ssv_refs, &db.seqs, config.batch);
+        let ssv_out = ssv_multi_outcomes_pipelined(
+            pool,
+            &ssv_refs,
+            &db.seqs,
+            config.batch,
+            config.pipeline_depth,
+        );
         let mut scores = Vec::with_capacity(pipes.len());
         let mut elig = Vec::with_capacity(pipes.len());
         for (m, pipe) in pipes.iter().enumerate() {
@@ -320,13 +327,14 @@ fn scan_fused(
                 .zip(&db.seqs)
                 .map(|(o, q)| pipe.ssv_pvalue(o.score, q.len()) < config.f0)
                 .collect();
-            let out = msv_outcomes_batched(
+            let out = msv_outcomes_batched_pipelined(
                 pool,
                 &pipe.striped_msv,
                 &pipe.msv,
                 &db.seqs,
                 Some(&pass0),
                 config.batch,
+                config.pipeline_depth,
             );
             scores.push(
                 out.iter()
@@ -339,7 +347,13 @@ fn scan_fused(
     } else {
         let refs: Vec<(&StripedMsv, &MsvProfile)> =
             pipes.iter().map(|p| (&p.striped_msv, &p.msv)).collect();
-        let out = msv_multi_outcomes(pool, &refs, &db.seqs, config.batch);
+        let out = msv_multi_outcomes_pipelined(
+            pool,
+            &refs,
+            &db.seqs,
+            config.batch,
+            config.pipeline_depth,
+        );
         let scores = out
             .iter()
             .map(|per_seq| per_seq.iter().map(|o| o.score).collect())
@@ -426,12 +440,21 @@ fn scan_fused(
     if trace.is_on() {
         if let Some(first) = pipes.first() {
             let qs: Vec<usize> = pipes.iter().map(|p| p.striped_msv.active_q()).collect();
-            let width = resolve_batch_width(first.backend(), config.batch);
-            let stats = model_pack_stats(&qs, width);
+            let (width, sched) =
+                resolve_pipelined_width(first.backend(), config.batch, config.pipeline_depth);
+            let pack_width = fused_pack_width(pool.threads(), width);
+            let stats = model_pack_stats(&qs, pack_width);
             trace.add("scan/packs", "models", stats.models);
             trace.add("scan/packs", "packs", stats.packs);
             trace.add("scan/packs", "width", stats.width as u64);
             trace.add("scan/packs", "slots", stats.slots);
+            trace.add("scan/packs", "workers", pool.threads() as u64);
+            trace.add("scan/packs", "pipeline_depth", sched.depth as u64);
+            trace.add(
+                "scan/packs",
+                "prefetch_lookahead_rows",
+                sched.lookahead as u64,
+            );
         }
         trace.add("scan/stages", "vit_pairs", vit_pairs.len() as u64);
         trace.add("scan/stages", "fwd_pairs", fwd_pairs.len() as u64);

@@ -23,9 +23,9 @@ use h3w_cpu::striped_fwd::{FwdWorkspace, StripedFwd};
 use h3w_cpu::striped_msv::StripedMsv;
 use h3w_cpu::striped_vit::{StripedVit, VitWorkspace};
 use h3w_cpu::{
-    batch_schedule_stats, fwd_scores_batched, msv_outcomes_batched, posterior_decode_with,
-    resolve_batch_width, ssv_outcomes_batched, Backend, BatchWorkspace, PoolHandle, StripedSsv,
-    ThreadPool,
+    batch_schedule_stats, fwd_scores_batched_pipelined, msv_outcomes_batched_pipelined,
+    posterior_decode_with, resolve_pipelined_width, ssv_outcomes_batched_pipelined, Backend,
+    BatchWorkspace, PoolHandle, StripedSsv, ThreadPool,
 };
 use h3w_hmm::calibrate::{self, Calibration};
 use h3w_hmm::msvprofile::MsvProfile;
@@ -618,13 +618,14 @@ impl Pipeline {
         let t0 = Instant::now();
         let pre = if with_ssv { self.ssv.as_ref() } else { None };
         let pass0: Option<Vec<bool>> = pre.map(|pre| {
-            ssv_outcomes_batched(
+            ssv_outcomes_batched_pipelined(
                 self.pool(),
                 &pre.striped,
                 &self.msv,
                 &db.seqs,
                 None,
                 self.config.batch,
+                self.config.pipeline_depth,
             )
             .iter()
             .zip(&db.seqs)
@@ -634,19 +635,40 @@ impl Pipeline {
             })
             .collect()
         });
-        let msv_out = msv_outcomes_batched(
+        let msv_out = msv_outcomes_batched_pipelined(
             self.pool(),
             &self.striped_msv,
             &self.msv,
             &db.seqs,
             pass0.as_deref(),
             self.config.batch,
+            self.config.pipeline_depth,
         );
         let secs = t0.elapsed().as_secs_f64();
         if trace.is_on() {
-            let width = resolve_batch_width(self.backend, self.config.batch);
+            let (width, sched) = resolve_pipelined_width(
+                self.backend,
+                self.config.batch,
+                self.config.pipeline_depth,
+            );
             let lens: Vec<usize> = db.seqs.iter().map(|s| s.len()).collect();
             let stats = batch_schedule_stats(&lens, pass0.as_deref(), width);
+            trace.add("pipeline/batch", "pipeline_depth", sched.depth as u64);
+            trace.add("pipeline/batch", "pipeline_chains", sched.chains as u64);
+            trace.add(
+                "pipeline/batch",
+                "prefetch_lookahead_rows",
+                sched.lookahead as u64,
+            );
+            trace.add(
+                "pipeline/batch",
+                "prefetched_rows",
+                if sched.lookahead > 0 {
+                    stats.slot_rows
+                } else {
+                    0
+                },
+            );
             trace.add("pipeline/batch", "batches", stats.batches);
             trace.add("pipeline/batch", "slots_filled", stats.seqs);
             trace.add("pipeline/batch", "slot_rows", stats.slot_rows);
@@ -711,13 +733,14 @@ impl Pipeline {
                 pass2[i].then(|| forward_generic(&self.profile, &db.seqs[i].residues))
             })
         } else {
-            fwd_scores_batched(
+            fwd_scores_batched_pipelined(
                 self.pool(),
                 &self.striped_fwd,
                 &self.profile,
                 &db.seqs,
                 Some(pass2),
                 self.config.batch,
+                self.config.pipeline_depth,
             )
         };
         (scores, t.elapsed().as_secs_f64())

@@ -279,6 +279,58 @@ impl SharedMem {
         cost
     }
 
+    /// Warp-wide 32-bit unsigned load (byte addresses, 4-aligned) — the
+    /// ring consumer reading packed residue words.
+    pub fn ld_u32(
+        &mut self,
+        addrs: Lanes<usize>,
+        active: Lanes<bool>,
+        warp: u16,
+    ) -> (Lanes<u32>, AccessCost) {
+        let cost = Self::bank_cost(&addrs, &active, 4);
+        let mut out = Lanes::splat(0u32);
+        for i in 0..WARP_SIZE {
+            if active.lane(i) {
+                let a = addrs.lane(i);
+                debug_assert_eq!(a % 4, 0, "unaligned u32 shared load");
+                let v = u32::from_le_bytes([
+                    self.data[a],
+                    self.data[a + 1],
+                    self.data[a + 2],
+                    self.data[a + 3],
+                ]);
+                out.set_lane(i, v);
+                for off in 0..4 {
+                    self.note_read(a + off, warp);
+                }
+            }
+        }
+        (out, cost)
+    }
+
+    /// Warp-wide 32-bit unsigned store — the ring loader filling a stage.
+    pub fn st_u32(
+        &mut self,
+        addrs: Lanes<usize>,
+        vals: Lanes<u32>,
+        active: Lanes<bool>,
+        warp: u16,
+    ) -> AccessCost {
+        let cost = Self::bank_cost(&addrs, &active, 4);
+        for i in 0..WARP_SIZE {
+            if active.lane(i) {
+                let a = addrs.lane(i);
+                debug_assert_eq!(a % 4, 0, "unaligned u32 shared store");
+                let b = vals.lane(i).to_le_bytes();
+                self.data[a..a + 4].copy_from_slice(&b);
+                for off in 0..4 {
+                    self.note_write(a + off, warp);
+                }
+            }
+        }
+        cost
+    }
+
     /// Direct byte view for assertions in tests.
     pub fn bytes(&self) -> &[u8] {
         &self.data

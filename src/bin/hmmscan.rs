@@ -11,6 +11,9 @@
 //!   --threads <n>        size the CPU worker pool (0 or absent = the
 //!                        shared global pool; hits are bit-identical
 //!                        either way)
+//!   --pipeline-depth <d> software-pipeline depth for the batched filter
+//!                        loops (0 or absent = auto, 1 = un-pipelined
+//!                        baseline; hits are bit-identical at any depth)
 //!   --profile            collect scan telemetry; print the per-family
 //!                        funnel table and the telemetry JSON
 //!   --profile-json <p>   collect scan telemetry; write the JSON to p
@@ -32,7 +35,7 @@ use hmmer3_warp::pipeline::{best_hits_per_target, scan_traced, ExecPlan, Pipelin
 use std::process::ExitCode;
 
 const USAGE: &str = "hmmscan <models.hmm> <targets.fasta|targets.h3wdb> [-E evalue] \
-[--no-fused] [--threads n] [--profile] [--profile-json path]";
+[--no-fused] [--threads n] [--pipeline-depth d] [--profile] [--profile-json path]";
 
 fn main() -> ExitCode {
     cli::guarded_main("hmmscan", USAGE, run)
@@ -42,7 +45,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
     let args = Args::parse(
         argv,
         &["--fused", "--no-fused", "--profile"],
-        &["-E", "--threads", "--profile-json"],
+        &["-E", "--threads", "--pipeline-depth", "--profile-json"],
     )?;
     let hmm_path = args.positional(0, "model library")?;
     let db_path = args.positional(1, "target database")?;
@@ -61,10 +64,17 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
     if let Some(n) = args.parse_value::<usize>("--threads")? {
         builder = builder.threads(n);
     }
+    if let Some(d) = args.parse_value::<usize>("--pipeline-depth")? {
+        builder = builder.pipeline_depth(d);
+    }
     let config = builder.build()?;
 
     let profiling = args.has("--profile") || args.value("--profile-json").is_some();
-    let trace = if profiling { Trace::on() } else { Trace::off() };
+    let trace = if profiling {
+        Trace::named("hmmscan")
+    } else {
+        Trace::off()
+    };
 
     let hmm_text = cli::read_file(hmm_path)?;
     let models: Vec<_> = read_hmm_many(&hmm_text)

@@ -1,0 +1,164 @@
+//! Software-pipeline depth equivalence acceptance suite.
+//!
+//! The contract: `PipelineConfig::pipeline_depth` is a pure throughput
+//! knob, exactly like the worker-pool size. Depth 1 is the un-pipelined
+//! single-chain baseline (no table-row prefetch); deeper settings add
+//! in-flight chains and prefetch lookahead (`h3w_cpu::pipe`) — and
+//! nothing else. Hits, funnel counters, and the rendered report must be
+//! bit-identical across depths {1, 2, 4, 8}, on every SIMD backend
+//! (scalar / SSE2 / AVX2, wherever runnable) and at 1 and 4 worker
+//! threads, for both the single-model pipeline and the fused
+//! multi-model scan.
+//!
+//! Determinism comes from the same design as thread invariance: the
+//! prefetch is a pure scheduling hint (it never faults, never writes),
+//! and the chain count only caps the interleave width at the scheduling
+//! level — slots are scored independently either way.
+
+use hmmer3_warp::cpu::Backend;
+use hmmer3_warp::pipeline::{Pipeline, PipelineResult};
+use hmmer3_warp::prelude::*;
+use proptest::prelude::*;
+
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 2] = [1, 4];
+
+fn config(depth: usize, threads: usize) -> PipelineConfig {
+    PipelineConfig::builder()
+        .pipeline_depth(depth)
+        .threads(threads)
+        .build()
+        .expect("depths 1..=8 and small pools validate")
+}
+
+/// Funnel counters, excluding wall time (which legitimately varies).
+fn funnel(r: &PipelineResult) -> Vec<(String, usize, usize, u64)> {
+    r.stages
+        .iter()
+        .map(|s| (s.name.clone(), s.seqs_in, s.seqs_out, s.residues_in))
+        .collect()
+}
+
+fn fixture(m: usize, model_seed: u64, db_seed: u64) -> (CoreModel, SeqDb) {
+    let model = synthetic_model(m, model_seed, &BuildParams::default());
+    let mut spec = DbGenSpec::envnr_like().scaled(1e-4);
+    spec.homolog_fraction = 0.03;
+    let db = generate(&spec, Some(&model), db_seed);
+    (model, db)
+}
+
+proptest! {
+    // Each case runs |backends| × 4 depths × 2 thread counts full
+    // pipeline searches, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `Pipeline::search` yields identical hits and funnels at every
+    /// pipeline depth, on every runnable backend and at 1 and 4
+    /// threads, over arbitrary models and databases.
+    #[test]
+    fn search_is_bit_identical_across_pipeline_depths(
+        m in 24usize..80,
+        model_seed in 1u64..500,
+        db_seed in 1u64..500,
+        ssv_bit in 0u8..2,
+    ) {
+        let ssv = ssv_bit == 1;
+        let (model, db) = fixture(m, model_seed, db_seed);
+        for backend in Backend::all_available() {
+            // Depth-1 single-thread is the reference for this backend.
+            let base_cfg = PipelineConfig {
+                ssv,
+                ..config(1, 1)
+            };
+            let baseline = Pipeline::prepare_with_backend(&model, base_cfg, 0x5_eac4, backend)
+                .search(&db, &ExecPlan::Cpu)
+                .expect("cpu plan cannot fail");
+            for depth in DEPTHS {
+                for threads in THREADS {
+                    let cfg = PipelineConfig {
+                        ssv,
+                        ..config(depth, threads)
+                    };
+                    let got = Pipeline::prepare_with_backend(&model, cfg, 0x5_eac4, backend)
+                        .search(&db, &ExecPlan::Cpu)
+                        .expect("cpu plan cannot fail");
+                    prop_assert_eq!(
+                        &got.hits, &baseline.hits,
+                        "{} depth {} threads {}: hits diverged",
+                        backend, depth, threads
+                    );
+                    prop_assert_eq!(
+                        funnel(&got), funnel(&baseline),
+                        "{} depth {} threads {}: funnel diverged",
+                        backend, depth, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_depth_matches_every_explicit_depth() {
+    // `pipeline_depth: 0` (the default) resolves to the auto schedule;
+    // it must land on the same hits as every explicit setting.
+    let (model, db) = fixture(48, 11, 29);
+    let baseline = Pipeline::prepare(&model, config(0, 1), 0x5_eac4)
+        .search(&db, &ExecPlan::Cpu)
+        .unwrap();
+    assert!(!baseline.hits.is_empty(), "fixture should produce hits");
+    for depth in DEPTHS {
+        let got = Pipeline::prepare(&model, config(depth, 1), 0x5_eac4)
+            .search(&db, &ExecPlan::Cpu)
+            .unwrap();
+        assert_eq!(got.hits, baseline.hits, "depth {depth} diverged from auto");
+        assert_eq!(funnel(&got), funnel(&baseline));
+    }
+}
+
+#[test]
+fn fused_scan_is_bit_identical_across_pipeline_depths() {
+    // The fused multi-model sweep threads the depth through the
+    // model-pack kernels (`msv_multi_outcomes_pipelined`); its hits and
+    // per-family funnels must not move either. Mixed model sizes force
+    // several stripe-count packs.
+    use hmmer3_warp::pipeline::multi::scan;
+    let families: Vec<CoreModel> = [33usize, 40, 40, 48, 70, 70, 100]
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| synthetic_model(m, 800 + i as u64, &BuildParams::default()))
+        .collect();
+    let db = generate(
+        &DbGenSpec::envnr_like().scaled(1e-4),
+        Some(&families[1]),
+        43,
+    );
+    let baseline = scan(&families, &db, config(1, 1), 7).unwrap();
+    for depth in DEPTHS {
+        for threads in THREADS {
+            let got = scan(&families, &db, config(depth, threads), 7).unwrap();
+            assert_eq!(got.len(), baseline.len());
+            for (g, b) in got.iter().zip(&baseline) {
+                assert_eq!(
+                    g.hits, b.hits,
+                    "family {}: hits diverged at depth {depth}, {threads} threads",
+                    g.family
+                );
+                assert_eq!(
+                    g.passed, b.passed,
+                    "family {}: funnel diverged at depth {depth}, {threads} threads",
+                    g.family
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_beyond_kernel_maximum_is_rejected() {
+    let err = PipelineConfig::builder()
+        .pipeline_depth(hmmer3_warp::cpu::MAX_PIPELINE_DEPTH + 1)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("pipeline depth"));
+}

@@ -1,0 +1,286 @@
+//! Full-scale Env_nr streamed sweep — the paper's headline workload at
+//! its real size (6,549,721 sequences / 1.29 G residues), swept in
+//! constant memory through the `SeqSource` streaming driver.
+//!
+//! The database is a generation recipe (`GenSource`), never
+//! materialized: chunks are generated, swept, and dropped, so peak RSS
+//! is bounded by the chunk size no matter the database size. The run
+//! records per-stage wall-clock, residues/sec, analytic bytes-moved and
+//! bandwidth (from the striped kernels' row geometry), chunk counts, and
+//! the process peak RSS into the `envnr_scale` section of
+//! `BENCH_throughput.json`.
+//!
+//! Before measuring, the bin proves the streamed sweep honest: at 0.001
+//! scale it materializes the same recipe in memory and asserts the
+//! streamed hits are bit-identical to a single-pass `Pipeline::search`.
+//!
+//! Usage:
+//!   cargo run --release -p h3w-bench --bin envnr_scale [--] \
+//!     [--scale F] [--chunk-mres N] [--rss-limit-mb N] [--smoke]
+//!
+//! `--scale` scales the sequence count (default 1.0 = full Env_nr);
+//! `--chunk-mres` sets the chunk bound in megaresidues (default 32);
+//! `--rss-limit-mb` exits nonzero if peak RSS exceeds the ceiling;
+//! `--smoke` runs the CI shape: 0.01 scale unless overridden, and skips
+//! rewriting BENCH_throughput.json.
+
+use h3w_bench::json::Json;
+use h3w_hmm::build::{synthetic_model, BuildParams};
+use h3w_pipeline::{search_source, ExecPlan, Pipeline, PipelineConfig, Trace};
+use h3w_seqdb::gen::{generate, DbGenSpec};
+use h3w_seqdb::source::{GenSource, SeqSource};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const MODEL_M: usize = 400;
+const MODEL_SEED: u64 = 5;
+const DB_SEED: u64 = 0xe9b_2026;
+
+fn arg_value(name: &str) -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale: f64 = arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 0.01 } else { 1.0 });
+    let chunk_mres: u64 = arg_value("--chunk-mres")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let rss_limit_mb: Option<u64> = arg_value("--rss-limit-mb").and_then(|v| v.parse().ok());
+    let chunk_residues = chunk_mres * 1_000_000;
+
+    let core = synthetic_model(MODEL_M, MODEL_SEED, &BuildParams::default());
+    let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 3);
+    eprintln!(
+        "model M={MODEL_M}, backend {}, {} worker(s)",
+        pipe.backend().name(),
+        pipe.pool().threads()
+    );
+
+    // Honesty gate: at 0.001 scale, the streamed sweep over the recipe
+    // must report bit-identical hits to a single-pass in-memory sweep of
+    // the materialized database.
+    {
+        let mut small = DbGenSpec::envnr_like().scaled(0.001);
+        small.homolog_fraction = 0.01; // enough homologs to have hits
+        let db = generate(&small, Some(&core), DB_SEED);
+        let single = pipe.search(&db, &ExecPlan::Cpu).expect("in-memory sweep");
+        let src = GenSource::new(small, Some(&core), DB_SEED);
+        let streamed = search_source(
+            &pipe,
+            &src,
+            &ExecPlan::Cpu,
+            chunk_residues.min(200_000),
+            &Trace::off(),
+        )
+        .expect("streamed sweep");
+        assert!(
+            !single.hits.is_empty(),
+            "identity gate needs a workload with hits"
+        );
+        assert_eq!(
+            single.hits, streamed.hits,
+            "streamed hits diverged from the in-memory sweep at 0.001 scale"
+        );
+        eprintln!(
+            "identity gate: {} hits bit-identical streamed vs in-memory at 0.001 scale",
+            single.hits.len()
+        );
+    }
+
+    // The measured sweep: background-only sequences (throughput is the
+    // object here; the funnel still runs its real survivor rates).
+    let spec = DbGenSpec::envnr_like().scaled(scale);
+    let src = GenSource::new(spec.clone(), None, DB_SEED);
+    eprintln!(
+        "sweeping {} ({} seqs, ~{} residues expected) in ≤{chunk_mres} Mres chunks",
+        spec.name,
+        src.n_seqs(),
+        src.total_residues()
+    );
+    let trace = Trace::named("envnr_scale");
+    let t0 = Instant::now();
+    let result = search_source(&pipe, &src, &ExecPlan::Cpu, chunk_residues, &trace)
+        .expect("full-scale streamed sweep");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let tel = trace.snapshot().expect("trace armed");
+
+    let stream = tel.at_path("stream").expect("stream counters");
+    let chunks = stream.counter("chunks");
+    let residues = stream.counter("residues_in");
+    let peak_rss = stream.counter("peak_rss_bytes");
+    eprintln!(
+        "swept {} seqs / {residues} residues in {wall_s:.1}s ({:.1} Mres/s) \
+         over {chunks} chunks; peak RSS {:.0} MiB",
+        result.db_size,
+        residues as f64 / wall_s / 1e6,
+        peak_rss as f64 / (1 << 20) as f64
+    );
+
+    let mut stage_rows = Vec::new();
+    for st in &result.stages {
+        let node = tel
+            .at_path(&format!("pipeline/{}", st.name))
+            .expect("stage node");
+        let bytes = node.counter("bytes_moved");
+        eprintln!(
+            "  {:<10} {:>12} res in  {:>9.3}s  {:>7.1} Mres/s  {:>7.2} GB moved  {:>6.2} GB/s",
+            st.name,
+            st.residues_in,
+            st.time_s,
+            st.residues_in as f64 / st.time_s.max(1e-9) / 1e6,
+            bytes as f64 / 1e9,
+            bytes as f64 / st.time_s.max(1e-9) / 1e9
+        );
+        stage_rows.push(Json::Obj(vec![
+            ("name", Json::Str(st.name.clone())),
+            ("seqs_in", Json::Num(st.seqs_in as f64)),
+            ("seqs_out", Json::Num(st.seqs_out as f64)),
+            ("residues_in", Json::Num(st.residues_in as f64)),
+            ("time_s", Json::Num(st.time_s)),
+            (
+                "residues_per_sec",
+                Json::Num(st.residues_in as f64 / st.time_s.max(1e-9)),
+            ),
+            ("bytes_moved", Json::Num(bytes as f64)),
+            (
+                "bandwidth_bytes_per_sec",
+                Json::Num(bytes as f64 / st.time_s.max(1e-9)),
+            ),
+        ]));
+    }
+
+    let section = Json::Obj(vec![
+        ("scale", Json::Num(scale)),
+        ("n_seqs", Json::Num(result.db_size as f64)),
+        ("residues", Json::Num(residues as f64)),
+        ("chunk_residues", Json::Num(chunk_residues as f64)),
+        ("chunks", Json::Num(chunks as f64)),
+        ("model_m", Json::Num(MODEL_M as f64)),
+        ("backend", Json::Str(pipe.backend().name().into())),
+        ("workers", Json::Num(pipe.pool().threads() as f64)),
+        ("wall_s", Json::Num(wall_s)),
+        (
+            "residues_per_sec",
+            Json::Num(residues as f64 / wall_s.max(1e-9)),
+        ),
+        ("peak_rss_bytes", Json::Num(peak_rss as f64)),
+        ("bit_identical_at_0_001", Json::Bool(true)),
+        ("stages", Json::Arr(stage_rows)),
+    ]);
+
+    if smoke {
+        println!("{}", section.pretty());
+    } else {
+        let text = splice_section("BENCH_throughput.json", "envnr_scale", &section.pretty());
+        std::fs::write("BENCH_throughput.json", text).expect("write BENCH_throughput.json");
+        eprintln!("wrote envnr_scale section to BENCH_throughput.json");
+    }
+
+    if let Some(limit_mb) = rss_limit_mb {
+        let limit = limit_mb * (1 << 20);
+        if peak_rss > limit {
+            eprintln!(
+                "FAIL: peak RSS {peak_rss} bytes exceeds the --rss-limit-mb ceiling \
+                 of {limit} bytes — streaming is not constant-memory"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("peak RSS within the {limit_mb} MiB ceiling");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replace (or insert) one top-level `"key": {...}` section in a JSON
+/// object document, preserving everything else byte-for-byte. A full
+/// parser is not needed: the document is our own emitter's output, so a
+/// string-aware brace matcher suffices.
+fn splice_section(path: &str, key: &str, rendered: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let indented = rendered.replace('\n', "\n  ");
+    let entry = format!("\"{key}\": {indented}");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return format!("{{\n  {entry}\n}}"),
+    };
+    if let Some(start) = find_top_level_key(&text, &needle) {
+        // Replace the existing section: value spans from the first brace
+        // after the key to its matching close.
+        let vstart = start + needle.len();
+        let open = text[vstart..]
+            .find('{')
+            .map(|i| vstart + i)
+            .expect("section value is an object");
+        let close = matching_brace(&text, open).expect("balanced section");
+        format!("{}{entry}{}", &text[..start], &text[close + 1..])
+    } else {
+        // Insert before the document's final closing brace.
+        let end = text.rfind('}').expect("document is a JSON object");
+        let body = text[..end].trim_end();
+        format!("{body},\n  {entry}\n}}\n")
+    }
+}
+
+/// Find `needle` at a position that is outside any string literal.
+fn find_top_level_key(text: &str, needle: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else if c == b'"' {
+            if text[i..].starts_with(needle) {
+                return Some(i);
+            }
+            in_str = true;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`, skipping string bodies.
+fn matching_brace(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (off, &c) in bytes[open..].iter().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            b'"' => in_str = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -318,6 +318,16 @@ impl StripedFwd {
         (3 * FWD_LANES * self.q) as u64
     }
 
+    /// Estimated bytes the kernel moves per residue row: nine striped
+    /// odds-table rows (emissions + eight transitions) plus the 3-state
+    /// DP row read and written, at four bytes per f32 cell. Feeds the
+    /// `bytes_moved` bandwidth counters in pipeline telemetry (an
+    /// analytic lower bound).
+    pub fn bytes_per_row(&self) -> u64 {
+        let state_row = (FWD_LANES * self.q) as u64; // cells per striped state row
+        4 * state_row * (9 + 3 + 3)
+    }
+
     /// Score one sequence in nats, reusing `ws` buffers. Bit-identical
     /// on every backend.
     pub fn run_into(&self, p: &Profile, seq: &[Residue], ws: &mut FwdWorkspace) -> f32 {

@@ -358,6 +358,15 @@ impl StripedMsv {
     pub fn real_cells_per_row(&self) -> usize {
         self.m
     }
+
+    /// Estimated bytes the kernel moves per residue row: one striped
+    /// emission-table row read plus one DP-row read and write, at one
+    /// byte per cell. Feeds the `bytes_moved` bandwidth counters in
+    /// pipeline telemetry (an analytic lower bound — register traffic
+    /// and cache refills are not modeled).
+    pub fn bytes_per_row(&self) -> u64 {
+        3 * self.padded_cells_per_row() as u64
+    }
 }
 
 #[cfg(test)]

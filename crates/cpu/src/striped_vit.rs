@@ -567,6 +567,16 @@ impl StripedVit {
     pub fn real_cells_per_row(&self) -> usize {
         3 * self.m
     }
+
+    /// Estimated bytes the kernel moves per residue row: nine striped
+    /// table rows (emissions + eight transitions) plus the 3-state DP
+    /// row read and written, at two bytes per i16 cell. Feeds the
+    /// `bytes_moved` bandwidth counters in pipeline telemetry (an
+    /// analytic lower bound).
+    pub fn bytes_per_row(&self) -> u64 {
+        let state_row = (VIT_LANES * self.q) as u64; // cells per striped state row
+        2 * state_row * (9 + 3 + 3)
+    }
 }
 
 #[cfg(test)]

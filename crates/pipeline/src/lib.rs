@@ -30,4 +30,8 @@ pub use multi::{
 pub use orchestrator::{FtSweep, SweepReport};
 pub use report::{Hit, PipelineResult, StageStats};
 pub use run::{ExecPlan, Pipeline, SearchReport};
-pub use stream::{search_chunked, search_chunked_checkpointed, search_chunked_traced, FastaChunks};
+pub use stream::{
+    search_chunked, search_chunked_checkpointed, search_chunked_traced, search_shards_observed,
+    search_source, search_source_checkpointed, ChunkObserver, ChunkProgress, FastaChunks,
+    StreamError, StreamReport,
+};

@@ -561,12 +561,21 @@ impl Pipeline {
                 self.striped_vit.real_cells_per_row() as u64,
                 self.striped_fwd.real_cells_per_row(),
             ];
-            for (st, cells) in stages.iter().zip(cells_per_row) {
+            // Analytic memory traffic per residue row from the striped
+            // table/DP geometry — the ApHMM-style bandwidth accounting:
+            // bytes_moved / seconds estimates each stage's demand.
+            let bytes_per_row = [
+                self.striped_msv.bytes_per_row(),
+                self.striped_vit.bytes_per_row(),
+                self.striped_fwd.bytes_per_row(),
+            ];
+            for ((st, cells), bytes) in stages.iter().zip(cells_per_row).zip(bytes_per_row) {
                 let path = format!("pipeline/{}", st.name);
                 trace.add(&path, "seqs_in", st.seqs_in as u64);
                 trace.add(&path, "seqs_out", st.seqs_out as u64);
                 trace.add(&path, "residues_in", st.residues_in);
                 trace.add(&path, "real_cells", st.residues_in * cells);
+                trace.add(&path, "bytes_moved", st.residues_in * bytes);
                 trace.add_secs(&path, st.time_s);
             }
             if matches!(plan, ExecPlan::FaultTolerant { .. }) {
@@ -757,13 +766,6 @@ impl Pipeline {
             .sum()
     }
 
-    /// Sweep a database entirely on the multi-core striped CPU baseline.
-    #[deprecated(note = "use Pipeline::search")]
-    pub fn run_cpu(&self, db: &SeqDb) -> PipelineResult {
-        self.search(db, &ExecPlan::Cpu)
-            .expect("the CPU plan cannot fail")
-    }
-
     /// Label of the first funnel stage: `"SSV+MSV"` when the pre-filter is
     /// on, plain `"MSV"` otherwise. `stream.rs` uses the same label so
     /// chunked and single-pass reports agree.
@@ -773,19 +775,6 @@ impl Pipeline {
         } else {
             "MSV"
         }
-    }
-
-    /// Sweep with MSV + Viterbi on a simulated GPU (modeled stage times)
-    /// and Forward on the host.
-    #[deprecated(note = "use Pipeline::search")]
-    pub fn run_gpu(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
-        self.search(db, &ExecPlan::Device { dev: dev.clone() })
-    }
-
-    /// Sweep with **all three** stages on the simulated device.
-    #[deprecated(note = "use Pipeline::search")]
-    pub fn run_gpu_full(&self, db: &SeqDb, dev: &DeviceSpec) -> Result<PipelineResult, SweepError> {
-        self.search(db, &ExecPlan::DeviceFull { dev: dev.clone() })
     }
 
     pub(crate) fn assemble(
@@ -1077,25 +1066,6 @@ mod tests {
             );
         }
         assert!(bf.len() >= af.len());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_search() {
-        // The old entry points must stay exact synonyms of the plans that
-        // replaced them until they are removed.
-        let (pipe, db) = setup(0.02, 0.0002);
-        let dev = DeviceSpec::tesla_k40();
-        let cpu = pipe.search(&db, &ExecPlan::Cpu).unwrap();
-        assert_eq!(pipe.run_cpu(&db).hits, cpu.hits);
-        let gpu = pipe
-            .search(&db, &ExecPlan::Device { dev: dev.clone() })
-            .unwrap();
-        assert_eq!(pipe.run_gpu(&db, &dev).unwrap().hits, gpu.hits);
-        let full = pipe
-            .search(&db, &ExecPlan::DeviceFull { dev: dev.clone() })
-            .unwrap();
-        assert_eq!(pipe.run_gpu_full(&db, &dev).unwrap().hits, full.hits);
     }
 
     #[test]

@@ -1,133 +1,342 @@
-//! Memory-bounded streaming search.
+//! Memory-bounded streaming search — one driver for every entry point.
 //!
 //! The paper's Env_nr workload is 1.29 G residues — comfortably more than
-//! one wants resident while also holding DP buffers. [`search_chunked`]
-//! sweeps a database in bounded-size chunks (each chunk swept with the
-//! normal parallel pipeline — batched filters and the striped odds-space
-//! Forward for stage 3), merging per-chunk survivors and keeping
-//! E-values global (P-values scale by the *total* database size, exactly
-//! as a single-pass run would).
+//! one wants resident while also holding DP buffers. This module sweeps
+//! any [`SeqSource`] (in-memory [`SeqDb`], packed `DiskDb`, FASTA text or
+//! file, or a generation recipe that never materializes) in bounded-size
+//! chunks, each swept with the normal parallel pipeline under **any**
+//! [`ExecPlan`] — threads, batching, pipeline depth, fused device stages,
+//! and fault injection all apply per chunk; multi-device plans partition
+//! each chunk across the pool, so device recovery operates at
+//! source-chunk granularity. Per-chunk survivors merge with E-values kept
+//! global (P-values scale by the *total* database size, exactly as a
+//! single-pass run would), so streamed hits are bit-identical to
+//! single-pass hits.
 //!
-//! [`FastaChunks`] drives the same flow straight from FASTA text without
-//! materializing the whole database. [`search_chunked_checkpointed`]
-//! persists the sweep state after every chunk so a killed process resumes
-//! where it left off with bit-identical results.
+//! All public entry points are thin shells over one internal driver:
+//! [`search_source`] / [`search_source_checkpointed`] stream a source,
+//! [`search_chunked`] and friends accept pre-built chunks, and
+//! [`search_shards_observed`] lets a resident service sweep borrowed
+//! shards with a deadline/chaos observer between chunks. Checkpointed
+//! runs persist the sweep state after every chunk so a killed process
+//! resumes where it left off with bit-identical results.
 
 use crate::checkpoint::{CheckpointError, StreamCheckpoint};
-use crate::report::{Hit, PipelineResult, StageStats};
+use crate::report::PipelineResult;
 use crate::run::{ExecPlan, Pipeline};
-use h3w_seqdb::fasta::FastaError;
-use h3w_seqdb::{DigitalSeq, SeqDb};
+use h3w_core::fault::SweepError;
+use h3w_seqdb::fasta::{FastaError, ReadSeqError, SeqReader};
+use h3w_seqdb::source::{Chunker, SeqSource, SourceError};
+use h3w_seqdb::{length_bins, DigitalSeq, SeqDb};
 use h3w_trace::Trace;
+use std::borrow::Cow;
 use std::path::Path;
 
-/// Iterator over bounded-residue chunks of a FASTA text.
-pub struct FastaChunks<'a> {
-    lines: std::str::Lines<'a>,
-    pending: Option<DigitalSeq>,
+/// Why a streamed sweep stopped early. Every failure mode of the layered
+/// machinery — ingest, the sweep itself, checkpoint persistence, or a
+/// caller-imposed cancellation — maps to a typed variant, so streaming is
+/// no longer a second-class entry point that panics where
+/// [`Pipeline::search`] would return.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The source failed to deliver a chunk (I/O or FASTA grammar).
+    Source(SourceError),
+    /// A chunk sweep failed (device planning/launch errors).
+    Sweep(SweepError),
+    /// Checkpoint persistence or validation failed.
+    Checkpoint(CheckpointError),
+    /// The observer cancelled the sweep (e.g. a service deadline).
+    Cancelled(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Source(e) => write!(f, "stream source: {e}"),
+            StreamError::Sweep(e) => write!(f, "stream sweep: {e}"),
+            StreamError::Checkpoint(e) => write!(f, "stream checkpoint: {e}"),
+            StreamError::Cancelled(why) => write!(f, "stream cancelled: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<SourceError> for StreamError {
+    fn from(e: SourceError) -> StreamError {
+        StreamError::Source(e)
+    }
+}
+
+impl From<SweepError> for StreamError {
+    fn from(e: SweepError) -> StreamError {
+        StreamError::Sweep(e)
+    }
+}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> StreamError {
+        StreamError::Checkpoint(e)
+    }
+}
+
+/// Where a streamed sweep stands when the observer is consulted (before
+/// each chunk is swept).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkProgress {
+    /// Zero-based index of the chunk about to run.
+    pub index: usize,
+    /// Sequences already swept (or skipped by checkpoint resume).
+    pub seqs_done: usize,
+    /// Residues already swept (or skipped by checkpoint resume).
+    pub residues_done: u64,
+    /// Sequences in the chunk about to run.
+    pub chunk_seqs: usize,
+    /// Residues in the chunk about to run.
+    pub chunk_residues: u64,
+}
+
+/// Hook consulted before each chunk; returning `Err(reason)` aborts the
+/// sweep with [`StreamError::Cancelled`]. Services use it for deadline
+/// checks and chaos injection at chunk boundaries.
+pub type ChunkObserver<'o> = &'o mut dyn FnMut(&ChunkProgress) -> Result<(), String>;
+
+/// A completed streamed sweep: the (plan- and fault-invariant) results
+/// plus whether any fault-tolerant chunk fell back to the CPU.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Merged hits and funnel counters.
+    pub result: PipelineResult,
+    /// True if any chunk's fault-tolerant sweep degraded to the striped
+    /// CPU backend.
+    pub degraded_to_cpu: bool,
+}
+
+/// The one streamed-sweep driver. Every public entry point builds a
+/// chunk iterator (owned or borrowed) and lands here; chunked,
+/// checkpointed, observed, and source-driven execution differ only in
+/// which optional features they enable.
+fn drive<'c, I>(
+    pipe: &Pipeline,
+    chunks: I,
+    total_seqs: usize,
+    plan: &ExecPlan,
+    ckpt: Option<(&Path, u64)>,
+    trace: &Trace,
+    mut observer: Option<ChunkObserver<'_>>,
+) -> Result<StreamReport, StreamError>
+where
+    I: IntoIterator<Item = Result<Cow<'c, SeqDb>, StreamError>>,
+{
+    let mut state = match ckpt {
+        Some((path, db_hash)) if path.exists() => {
+            let ck = StreamCheckpoint::load(path)?;
+            if ck.total_seqs != total_seqs {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint is for a {}-sequence sweep, this one has {total_seqs}",
+                    ck.total_seqs
+                ))
+                .into());
+            }
+            if ck.db_hash != db_hash {
+                return Err(CheckpointError::DatabaseDrift {
+                    expected: ck.db_hash,
+                    found: db_hash,
+                }
+                .into());
+            }
+            ck
+        }
+        Some((_, db_hash)) => StreamCheckpoint::fresh(total_seqs, db_hash),
+        None => StreamCheckpoint::fresh(total_seqs, 0),
+    };
+    // The checkpoint's stage labels follow the pipeline configuration
+    // (the counters, not the labels, carry the resume state).
+    state.stages[0].name = pipe.stage0_name().to_string();
+    let resume_from = state.chunks_done;
+    let mut skipped_seqs = 0u32;
+    let mut residues_done = 0u64;
+    let mut degraded = false;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let chunk = chunk?;
+        let chunk_residues = chunk.total_residues();
+        if i < resume_from {
+            // Checkpoint resume: replay the cursor without sweeping, and
+            // reject a chunking that no longer lines up.
+            skipped_seqs += chunk.len() as u32;
+            residues_done += chunk_residues;
+            if i + 1 == resume_from && skipped_seqs != state.seq_base {
+                return Err(CheckpointError::Mismatch(format!(
+                    "resumed chunking replays {skipped_seqs} sequences where the checkpoint \
+                     recorded {}; was the chunk size or input changed?",
+                    state.seq_base
+                ))
+                .into());
+            }
+            continue;
+        }
+        if let Some(obs) = observer.as_mut() {
+            obs(&ChunkProgress {
+                index: i,
+                seqs_done: state.seq_base as usize,
+                residues_done,
+                chunk_seqs: chunk.len(),
+                chunk_residues,
+            })
+            .map_err(StreamError::Cancelled)?;
+        }
+        if trace.is_on() {
+            trace.add("stream", "chunks", 1);
+            trace.add("stream", "seqs_in", chunk.len() as u64);
+            trace.add("stream", "residues_in", chunk_residues);
+            // Length-bin shape of this chunk — what the batched
+            // scheduler re-bins per chunk; a high bin count per chunk
+            // means more partially-filled batches.
+            trace.add("stream", "len_bins", length_bins(&chunk).len() as u64);
+        }
+        let report = pipe.search_traced(chunk.as_ref(), plan, trace)?;
+        degraded |= report.degraded_to_cpu;
+        let res = report.result;
+        for (acc, st) in state.stages.iter_mut().zip(&res.stages) {
+            acc.seqs_in += st.seqs_in;
+            acc.seqs_out += st.seqs_out;
+            acc.residues_in += st.residues_in;
+            acc.time_s += st.time_s;
+        }
+        for mut h in res.hits {
+            // Rescale E-value from the chunk size to the full database.
+            h.evalue = h.pvalue * total_seqs as f64;
+            h.seqid += state.seq_base;
+            if ckpt.is_some() {
+                // Posteriors are not persisted (see StreamCheckpoint), so
+                // drop them on the live path too: a live sweep and a
+                // resumed one must agree bit for bit.
+                h.posterior = None;
+            }
+            if h.evalue <= pipe.config.report_evalue {
+                state.hits.push(h);
+            }
+        }
+        state.seq_base += chunk.len() as u32;
+        residues_done += chunk_residues;
+        state.chunks_done = i + 1;
+        if let Some((path, _)) = ckpt {
+            state.save(path)?;
+        }
+    }
+    if trace.is_on() {
+        // Recorded once per sweep: the process high-water mark. For a
+        // constant-memory streamed sweep this is bounded by the chunk
+        // size, not the database size.
+        if let Some(rss) = h3w_trace::peak_rss_bytes() {
+            trace.add("stream", "peak_rss_bytes", rss);
+        }
+    }
+    let StreamCheckpoint {
+        stages, mut hits, ..
+    } = state;
+    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
+    Ok(StreamReport {
+        result: PipelineResult::new(stages, hits, total_seqs),
+        degraded_to_cpu: degraded,
+    })
+}
+
+fn source_chunks<'s>(
+    source: &'s dyn SeqSource,
     max_residues: u64,
-    line_no: usize,
-    done: bool,
+) -> impl Iterator<Item = Result<Cow<'static, SeqDb>, StreamError>> + 's {
+    source
+        .chunks(max_residues)
+        .map(|r| r.map(Cow::Owned).map_err(StreamError::Source))
 }
 
-impl<'a> FastaChunks<'a> {
-    /// Chunk `text` into databases of at most `max_residues` residues
-    /// (each chunk holds whole sequences; a single longer sequence forms
-    /// its own chunk).
-    pub fn new(text: &'a str, max_residues: u64) -> FastaChunks<'a> {
-        assert!(max_residues > 0);
-        FastaChunks {
-            lines: text.lines(),
-            pending: None,
-            max_residues,
-            line_no: 0,
-            done: false,
-        }
-    }
+/// Sweep a [`SeqSource`] in chunks of at most `max_residues` residues
+/// under `plan`, in memory bounded by the chunk size. E-values scale by
+/// `source.n_seqs()`; hits are bit-identical to an unchunked
+/// [`Pipeline::search`] over the materialized database.
+pub fn search_source(
+    pipe: &Pipeline,
+    source: &dyn SeqSource,
+    plan: &ExecPlan,
+    max_residues: u64,
+    trace: &Trace,
+) -> Result<PipelineResult, StreamError> {
+    drive(
+        pipe,
+        source_chunks(source, max_residues),
+        source.n_seqs(),
+        plan,
+        None,
+        trace,
+        None,
+    )
+    .map(|r| r.result)
 }
 
-impl<'a> Iterator for FastaChunks<'a> {
-    type Item = Result<SeqDb, FastaError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.done {
-            return None;
-        }
-        let mut db = SeqDb::new("chunk");
-        let mut residues: u64 = 0;
-        // Resume the record whose header closed the previous chunk.
-        let mut current: Option<DigitalSeq> = self.pending.take();
-        loop {
-            let Some(line) = self.lines.next() else {
-                self.done = true;
-                break;
-            };
-            self.line_no += 1;
-            let line = line.trim_end();
-            if line.is_empty() || line.starts_with(';') {
-                continue;
-            }
-            if let Some(header) = line.strip_prefix('>') {
-                // Finish the previous record.
-                if let Some(seq) = current.take() {
-                    if seq.residues.is_empty() {
-                        return Some(Err(FastaError::EmptyRecord { name: seq.name }));
-                    }
-                    residues += seq.len() as u64;
-                    db.seqs.push(seq);
-                }
-                let mut parts = header.splitn(2, char::is_whitespace);
-                current = Some(DigitalSeq {
-                    name: parts.next().unwrap_or("").to_string(),
-                    desc: parts.next().unwrap_or("").trim().to_string(),
-                    residues: Vec::new(),
-                });
-                // Chunk boundary between records: the fresh (still empty)
-                // record carries into the next chunk.
-                if residues >= self.max_residues {
-                    self.pending = current.take();
-                    break;
-                }
-            } else {
-                let Some(seq) = current.as_mut() else {
-                    return Some(Err(FastaError::DataBeforeHeader { line: self.line_no }));
-                };
-                for ch in line.chars() {
-                    if ch.is_whitespace() {
-                        continue;
-                    }
-                    match h3w_hmm::alphabet::digitize(ch) {
-                        Ok(code) if !h3w_hmm::alphabet::is_gap(code) => seq.residues.push(code),
-                        _ => {
-                            return Some(Err(FastaError::BadResidue {
-                                line: self.line_no,
-                                ch,
-                            }))
-                        }
-                    }
-                }
-            }
-        }
-        if self.done {
-            if let Some(seq) = current.take() {
-                if seq.residues.is_empty() {
-                    return Some(Err(FastaError::EmptyRecord { name: seq.name }));
-                }
-                db.seqs.push(seq);
-            }
-        }
-        if db.seqs.is_empty() {
-            self.done = true;
-            None
-        } else {
-            Some(Ok(db))
-        }
-    }
+/// [`search_source`] with checkpoint/resume: after every chunk the
+/// accumulated state (chunk cursor, funnel counters, survivor hits) is
+/// written atomically to `ckpt_path`; if that file already exists, the
+/// sweep resumes after its last completed chunk. The source's
+/// [`SeqSource::identity`] is the drift guard — resuming against a
+/// source with a different identity is rejected with
+/// [`CheckpointError::DatabaseDrift`], and a changed `max_residues` is
+/// caught by the cursor cross-check. A killed-then-resumed sweep reports
+/// bit-identical hits and funnel counts to an uninterrupted one.
+pub fn search_source_checkpointed(
+    pipe: &Pipeline,
+    source: &dyn SeqSource,
+    plan: &ExecPlan,
+    max_residues: u64,
+    ckpt_path: &Path,
+    trace: &Trace,
+) -> Result<PipelineResult, StreamError> {
+    drive(
+        pipe,
+        source_chunks(source, max_residues),
+        source.n_seqs(),
+        plan,
+        Some((ckpt_path, source.identity())),
+        trace,
+        None,
+    )
+    .map(|r| r.result)
 }
 
-/// Sweep pre-chunked databases and merge results. `total_seqs` fixes the
-/// E-value scale (the full database size).
-pub fn search_chunked<I>(pipe: &Pipeline, chunks: I, total_seqs: usize) -> PipelineResult
+/// Sweep borrowed shards with an observer consulted at every chunk
+/// boundary — the resident-service entry point: deadline checks and
+/// chaos injection happen in the observer, shards are never cloned, and
+/// the report carries the degradation flag services surface per query.
+pub fn search_shards_observed<'a, I>(
+    pipe: &Pipeline,
+    shards: I,
+    total_seqs: usize,
+    plan: &ExecPlan,
+    trace: &Trace,
+    observer: ChunkObserver<'_>,
+) -> Result<StreamReport, StreamError>
+where
+    I: IntoIterator<Item = &'a SeqDb>,
+{
+    drive(
+        pipe,
+        shards.into_iter().map(|s| Ok(Cow::Borrowed(s))),
+        total_seqs,
+        plan,
+        None,
+        trace,
+        Some(observer),
+    )
+}
+
+/// Sweep pre-chunked databases under `plan` and merge results.
+/// `total_seqs` fixes the E-value scale (the full database size).
+pub fn search_chunked<I>(
+    pipe: &Pipeline,
+    chunks: I,
+    total_seqs: usize,
+    plan: &ExecPlan,
+) -> Result<PipelineResult, StreamError>
 where
     I: IntoIterator<Item = SeqDb>,
 {
@@ -136,7 +345,7 @@ where
     } else {
         Trace::off()
     };
-    search_chunked_traced(pipe, chunks, total_seqs, &trace)
+    search_chunked_traced(pipe, chunks, total_seqs, plan, &trace)
 }
 
 /// [`search_chunked`] with a caller-supplied telemetry trace: every chunk
@@ -148,140 +357,100 @@ pub fn search_chunked_traced<I>(
     pipe: &Pipeline,
     chunks: I,
     total_seqs: usize,
+    plan: &ExecPlan,
     trace: &Trace,
-) -> PipelineResult
+) -> Result<PipelineResult, StreamError>
 where
     I: IntoIterator<Item = SeqDb>,
 {
-    let mut stages = [
-        StageStats::new(pipe.stage0_name(), 0, 0, 0.0),
-        StageStats::new("P7Viterbi", 0, 0, 0.0),
-        StageStats::new("Forward", 0, 0, 0.0),
-    ];
-    let mut hits: Vec<Hit> = Vec::new();
-    let mut seq_base = 0u32;
-    for chunk in chunks {
-        let res = pipe
-            .search_traced(&chunk, &ExecPlan::Cpu, trace)
-            .expect("the CPU plan cannot fail")
-            .result;
-        for (acc, st) in stages.iter_mut().zip(&res.stages) {
-            acc.seqs_in += st.seqs_in;
-            acc.seqs_out += st.seqs_out;
-            acc.residues_in += st.residues_in;
-            acc.time_s += st.time_s;
-        }
-        for mut h in res.hits {
-            // Rescale E-value from the chunk size to the full database.
-            h.evalue = h.pvalue * total_seqs as f64;
-            h.seqid += seq_base;
-            if h.evalue <= pipe.config.report_evalue {
-                hits.push(h);
-            }
-        }
-        seq_base += chunk.len() as u32;
-    }
-    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
-    PipelineResult::new(stages, hits, total_seqs)
+    drive(
+        pipe,
+        chunks.into_iter().map(|c| Ok(Cow::Owned(c))),
+        total_seqs,
+        plan,
+        None,
+        trace,
+        None,
+    )
+    .map(|r| r.result)
 }
 
-/// [`search_chunked`] with checkpoint/resume. After every chunk the
-/// accumulated state (chunk cursor, funnel counters, survivor hits) is
-/// written atomically to `ckpt_path`; if that file already exists, the
-/// sweep resumes after its last completed chunk, skipping finished work.
-///
-/// Resume requires the **same database and chunking**: `db_hash` is the
-/// content hash of the full database ([`h3w_seqdb::content_hash`]) and is
-/// recorded in the checkpoint — a resume against a database with a
-/// different hash is rejected with [`CheckpointError::DatabaseDrift`]
-/// instead of silently merging hits from two different sweeps. The skip
-/// path additionally re-counts the skipped sequences and rejects a
-/// checkpoint whose cursor does not line up (chunk bound changed). A
-/// killed-then-resumed sweep reports bit-identical hits and funnel counts
-/// to an uninterrupted one (floats persist as raw IEEE-754 bits; see
-/// [`crate::checkpoint`]).
+/// [`search_chunked`] with checkpoint/resume (see
+/// [`search_source_checkpointed`] for the resume contract; `db_hash` is
+/// the caller-supplied drift guard, normally
+/// [`h3w_seqdb::content_hash`]).
 pub fn search_chunked_checkpointed<I>(
     pipe: &Pipeline,
     chunks: I,
     total_seqs: usize,
+    plan: &ExecPlan,
     ckpt_path: &Path,
     db_hash: u64,
-) -> Result<PipelineResult, CheckpointError>
+) -> Result<PipelineResult, StreamError>
 where
     I: IntoIterator<Item = SeqDb>,
 {
-    let mut state = if ckpt_path.exists() {
-        let ck = StreamCheckpoint::load(ckpt_path)?;
-        if ck.total_seqs != total_seqs {
-            return Err(CheckpointError::Mismatch(format!(
-                "checkpoint is for a {}-sequence sweep, this one has {total_seqs}",
-                ck.total_seqs
-            )));
-        }
-        if ck.db_hash != db_hash {
-            return Err(CheckpointError::DatabaseDrift {
-                expected: ck.db_hash,
-                found: db_hash,
-            });
-        }
-        ck
+    let trace = if Pipeline::profile_env() {
+        Trace::on()
     } else {
-        StreamCheckpoint::fresh(total_seqs, db_hash)
+        Trace::off()
     };
-    // The checkpoint's stage labels follow the pipeline configuration
-    // (the counters, not the labels, carry the resume state).
-    state.stages[0].name = pipe.stage0_name().to_string();
-    let resume_from = state.chunks_done;
-    let mut skipped_seqs = 0u32;
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        if i < resume_from {
-            skipped_seqs += chunk.len() as u32;
-            if i + 1 == resume_from && skipped_seqs != state.seq_base {
-                return Err(CheckpointError::Mismatch(format!(
-                    "resumed chunking replays {skipped_seqs} sequences where the checkpoint \
-                     recorded {}; was the chunk size or input changed?",
-                    state.seq_base
-                )));
-            }
-            continue;
+    drive(
+        pipe,
+        chunks.into_iter().map(|c| Ok(Cow::Owned(c))),
+        total_seqs,
+        plan,
+        Some((ckpt_path, db_hash)),
+        &trace,
+        None,
+    )
+    .map(|r| r.result)
+}
+
+/// Iterator over bounded-residue chunks of a FASTA text: the streaming
+/// parser ([`SeqReader`]) grouped under the shared source boundary rule
+/// ([`Chunker`]). A chunk never exceeds `max_residues` unless a single
+/// sequence does, in which case it rides alone.
+pub struct FastaChunks<'a> {
+    inner: Chunker<Box<dyn Iterator<Item = Result<DigitalSeq, FastaError>> + 'a>, FastaError>,
+}
+
+impl<'a> FastaChunks<'a> {
+    /// Chunk `text` into databases of at most `max_residues` residues
+    /// (each chunk holds whole sequences; a single longer sequence forms
+    /// its own chunk).
+    pub fn new(text: &'a str, max_residues: u64) -> FastaChunks<'a> {
+        let records: Box<dyn Iterator<Item = Result<DigitalSeq, FastaError>> + 'a> =
+            Box::new(SeqReader::new(text.as_bytes()).map(|r| {
+                r.map_err(|e| match e {
+                    ReadSeqError::Fasta(e) => e,
+                    // An in-memory byte slice cannot fail to read.
+                    ReadSeqError::Io(e) => unreachable!("io error on in-memory text: {e}"),
+                })
+            }));
+        FastaChunks {
+            inner: Chunker::new("chunk", records, max_residues),
         }
-        let res = pipe
-            .search(&chunk, &ExecPlan::Cpu)
-            .expect("the CPU plan cannot fail");
-        for (acc, st) in state.stages.iter_mut().zip(&res.stages) {
-            acc.seqs_in += st.seqs_in;
-            acc.seqs_out += st.seqs_out;
-            acc.residues_in += st.residues_in;
-            acc.time_s += st.time_s;
-        }
-        for mut h in res.hits {
-            h.evalue = h.pvalue * total_seqs as f64;
-            h.seqid += state.seq_base;
-            // Posteriors are not persisted (see StreamCheckpoint), so drop
-            // them here too: a live sweep and a resumed one must agree.
-            h.posterior = None;
-            if h.evalue <= pipe.config.report_evalue {
-                state.hits.push(h);
-            }
-        }
-        state.seq_base += chunk.len() as u32;
-        state.chunks_done = i + 1;
-        state.save(ckpt_path)?;
     }
-    let StreamCheckpoint {
-        stages, mut hits, ..
-    } = state;
-    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
-    Ok(PipelineResult::new(stages, hits, total_seqs))
+}
+
+impl Iterator for FastaChunks<'_> {
+    type Item = Result<SeqDb, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PipelineConfig;
+    use crate::report::Hit;
     use h3w_hmm::build::{synthetic_model, BuildParams};
     use h3w_seqdb::fasta;
     use h3w_seqdb::gen::{generate, DbGenSpec};
+    use h3w_seqdb::source::GenSource;
 
     fn setup() -> (Pipeline, SeqDb) {
         let core = synthetic_model(50, 77, &BuildParams::default());
@@ -316,10 +485,10 @@ mod tests {
                 idx += 1;
             }
         }
-        // Every chunk except possibly the last respects the bound (one
-        // sequence of slack allowed — whole sequences only).
-        for c in &chunks[..chunks.len() - 1] {
-            assert!(c.total_residues() <= 20_000 + db.max_len() as u64);
+        // Chunks respect the bound outright (close-before-overflow rule;
+        // only a single oversized sequence may exceed it, alone).
+        for c in &chunks {
+            assert!(c.total_residues() <= 20_000 || c.len() == 1);
         }
     }
 
@@ -331,7 +500,7 @@ mod tests {
         let chunks: Vec<SeqDb> = FastaChunks::new(&text, 15_000)
             .collect::<Result<_, _>>()
             .unwrap();
-        let streamed = search_chunked(&pipe, chunks, db.len());
+        let streamed = search_chunked(&pipe, chunks, db.len(), &ExecPlan::Cpu).unwrap();
         assert_eq!(
             single.hits.iter().map(|h| h.seqid).collect::<Vec<_>>(),
             streamed.hits.iter().map(|h| h.seqid).collect::<Vec<_>>()
@@ -342,6 +511,72 @@ mod tests {
         }
         assert_eq!(streamed.stages[0].seqs_in, db.len());
         assert_eq!(streamed.stages[0].residues_in, db.total_residues());
+    }
+
+    #[test]
+    fn source_sweep_matches_in_memory_sweep() {
+        let (pipe, db) = setup();
+        let single = pipe.search(&db, &ExecPlan::Cpu).unwrap();
+        // The in-memory database as a source.
+        let streamed = search_source(&pipe, &db, &ExecPlan::Cpu, 15_000, &Trace::off()).unwrap();
+        assert_eq!(single.hits, streamed.hits);
+        // A generation recipe as a source (never materialized): sweep it
+        // and compare against the materialized generate() database.
+        let core = synthetic_model(50, 77, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(2e-4);
+        spec.homolog_fraction = 0.02;
+        let gen_src = GenSource::new(spec, Some(&core), 5);
+        let gen_streamed =
+            search_source(&pipe, &gen_src, &ExecPlan::Cpu, 15_000, &Trace::off()).unwrap();
+        assert_eq!(single.hits, gen_streamed.hits);
+    }
+
+    #[test]
+    fn observer_sees_progress_and_can_cancel() {
+        let (pipe, db) = setup();
+        let shards: Vec<SeqDb> = FastaChunks::new(&fasta::render(&db), 15_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(shards.len() >= 3);
+        // Observe every boundary: progress is monotone and complete.
+        let mut seen = Vec::new();
+        let mut obs = |p: &ChunkProgress| {
+            seen.push((p.index, p.seqs_done, p.residues_done));
+            Ok(())
+        };
+        let report = search_shards_observed(
+            &pipe,
+            shards.iter(),
+            db.len(),
+            &ExecPlan::Cpu,
+            &Trace::off(),
+            &mut obs,
+        )
+        .unwrap();
+        assert!(!report.degraded_to_cpu);
+        assert_eq!(seen.len(), shards.len());
+        assert_eq!(seen[0], (0, 0, 0));
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        // Cancel at the second boundary: typed Cancelled error.
+        let mut calls = 0usize;
+        let mut obs = |_: &ChunkProgress| {
+            calls += 1;
+            if calls == 2 {
+                Err("deadline".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let err = search_shards_observed(
+            &pipe,
+            shards.iter(),
+            db.len(),
+            &ExecPlan::Cpu,
+            &Trace::off(),
+            &mut obs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::Cancelled(ref why) if why == "deadline"));
     }
 
     #[test]
@@ -363,6 +598,13 @@ mod tests {
         dir.join("sweep.ckpt")
     }
 
+    fn expect_ckpt(err: StreamError) -> CheckpointError {
+        match err {
+            StreamError::Checkpoint(e) => e,
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn killed_and_resumed_sweep_matches_uninterrupted() {
         let (pipe, db) = setup();
@@ -371,7 +613,7 @@ mod tests {
             .collect::<Result<_, _>>()
             .unwrap();
         assert!(all.len() >= 3, "need several chunks, got {}", all.len());
-        let baseline = search_chunked(&pipe, all.clone(), db.len());
+        let baseline = search_chunked(&pipe, all.clone(), db.len(), &ExecPlan::Cpu).unwrap();
 
         // "Kill" the sweep after two chunks: run it on a truncated chunk
         // stream, leaving the checkpoint behind.
@@ -379,17 +621,28 @@ mod tests {
         let path = tmp_ckpt("resume");
         let _ = std::fs::remove_file(&path);
         let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
-        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &ExecPlan::Cpu, &path, hash).unwrap();
         let ck = StreamCheckpoint::load(&path).unwrap();
         assert_eq!(ck.chunks_done, 2);
         assert_eq!(ck.seq_base as usize, all[0].len() + all[1].len());
         assert_eq!(ck.db_hash, hash);
 
         // Resume with the full stream: chunks 0–1 are skipped, the rest
-        // run, and the merged result is bit-identical to the baseline.
+        // run, and the merged result is bit-identical to the baseline
+        // (modulo posteriors, which checkpointed sweeps drop).
         let resumed =
-            search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path, hash).unwrap();
-        assert_eq!(resumed.hits, baseline.hits);
+            search_chunked_checkpointed(&pipe, all.clone(), db.len(), &ExecPlan::Cpu, &path, hash)
+                .unwrap();
+        let strip = |hits: &[Hit]| -> Vec<Hit> {
+            hits.iter()
+                .cloned()
+                .map(|mut h| {
+                    h.posterior = None;
+                    h
+                })
+                .collect()
+        };
+        assert_eq!(resumed.hits, strip(&baseline.hits));
         for (a, b) in resumed.stages.iter().zip(&baseline.stages) {
             assert_eq!(
                 (a.seqs_in, a.seqs_out, a.residues_in),
@@ -412,17 +665,26 @@ mod tests {
         let path = tmp_ckpt("mismatch");
         let _ = std::fs::remove_file(&path);
         let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
-        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &ExecPlan::Cpu, &path, hash).unwrap();
         // Different database size: a different sweep.
-        let err =
-            search_chunked_checkpointed(&pipe, all.clone(), db.len() + 1, &path, hash).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let err = search_chunked_checkpointed(
+            &pipe,
+            all.clone(),
+            db.len() + 1,
+            &ExecPlan::Cpu,
+            &path,
+            hash,
+        )
+        .unwrap_err();
+        assert!(matches!(expect_ckpt(err), CheckpointError::Mismatch(_)));
         // Different chunk bound: the skip cursor no longer lines up.
         let rechunked: Vec<SeqDb> = FastaChunks::new(&text, 4_000)
             .collect::<Result<_, _>>()
             .unwrap();
-        let err = search_chunked_checkpointed(&pipe, rechunked, db.len(), &path, hash).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let err =
+            search_chunked_checkpointed(&pipe, rechunked, db.len(), &ExecPlan::Cpu, &path, hash)
+                .unwrap_err();
+        assert!(matches!(expect_ckpt(err), CheckpointError::Mismatch(_)));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -437,7 +699,7 @@ mod tests {
         let path = tmp_ckpt("drift");
         let _ = std::fs::remove_file(&path);
         let partial: Vec<SeqDb> = all.iter().take(2).cloned().collect();
-        search_chunked_checkpointed(&pipe, partial, db.len(), &path, hash).unwrap();
+        search_chunked_checkpointed(&pipe, partial, db.len(), &ExecPlan::Cpu, &path, hash).unwrap();
         // Same size and chunking, different database content: one residue
         // changed somewhere. The hash guard catches what the cursor
         // arithmetic cannot.
@@ -445,9 +707,16 @@ mod tests {
         mutated.seqs[0].residues[0] = (mutated.seqs[0].residues[0] + 1) % 20;
         let drifted = h3w_seqdb::content_hash(&mutated);
         assert_ne!(hash, drifted);
-        let err =
-            search_chunked_checkpointed(&pipe, all.clone(), db.len(), &path, drifted).unwrap_err();
-        match err {
+        let err = search_chunked_checkpointed(
+            &pipe,
+            all.clone(),
+            db.len(),
+            &ExecPlan::Cpu,
+            &path,
+            drifted,
+        )
+        .unwrap_err();
+        match expect_ckpt(err) {
             CheckpointError::DatabaseDrift { expected, found } => {
                 assert_eq!(expected, hash);
                 assert_eq!(found, drifted);
@@ -455,7 +724,7 @@ mod tests {
             other => panic!("expected DatabaseDrift, got {other:?}"),
         }
         // The original database still resumes cleanly.
-        search_chunked_checkpointed(&pipe, all, db.len(), &path, hash).unwrap();
+        search_chunked_checkpointed(&pipe, all, db.len(), &ExecPlan::Cpu, &path, hash).unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

@@ -44,7 +44,8 @@
 use crate::pack::{pack_seq, PackedDb, PackedView, RESIDUES_PER_WORD};
 use crate::seq::{DigitalSeq, SeqDb};
 use h3w_hmm::alphabet::{N_DEGENERATE, N_STANDARD};
-use std::path::Path;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Current on-disk format version.
 pub const DISKDB_VERSION: u32 = 1;
@@ -145,13 +146,14 @@ pub struct LengthBin {
     pub count: u32,
 }
 
-/// Power-of-two length histogram of a database (only non-empty bins).
-pub fn length_bins(db: &SeqDb) -> Vec<LengthBin> {
-    let mut counts = [0u32; 32];
-    for s in &db.seqs {
-        let k = (s.len().max(1) as u32).ilog2() as usize;
-        counts[k] += 1;
-    }
+/// Index of the power-of-two length bin a sequence of `len` residues
+/// falls into (bin `k` covers `2^k ..= 2^(k+1) - 1`).
+pub fn length_bin_index(len: usize) -> usize {
+    (len.max(1) as u32).ilog2() as usize
+}
+
+/// Materialize the non-empty bins of a 32-slot power-of-two histogram.
+pub fn bins_from_counts(counts: &[u32; 32]) -> Vec<LengthBin> {
     counts
         .iter()
         .enumerate()
@@ -164,23 +166,59 @@ pub fn length_bins(db: &SeqDb) -> Vec<LengthBin> {
         .collect()
 }
 
+/// Power-of-two length histogram of a database (only non-empty bins).
+pub fn length_bins(db: &SeqDb) -> Vec<LengthBin> {
+    let mut counts = [0u32; 32];
+    for s in &db.seqs {
+        counts[length_bin_index(s.len())] += 1;
+    }
+    bins_from_counts(&counts)
+}
+
 /// FNV-1a 64-bit over the *logical* content of a database: the label,
 /// every name/description, and every residue byte. Two databases hash
 /// equal iff a sweep over them is the same sweep — this is the identity
 /// recorded in checkpoints and packed files to reject drift.
 pub fn content_hash(db: &SeqDb) -> u64 {
-    let mut h = Fnv::new();
-    h.update(db.name.as_bytes());
-    h.update(&[0]);
+    let mut h = ContentHasher::new(&db.name);
     for s in &db.seqs {
-        h.update(s.name.as_bytes());
-        h.update(&[0]);
-        h.update(s.desc.as_bytes());
-        h.update(&[0]);
-        h.update(&s.residues);
-        h.update(&[0xff]);
+        h.push_seq(&s.name, &s.desc, &s.residues);
     }
     h.finish()
+}
+
+/// Incremental form of [`content_hash`] for streaming producers (the
+/// FASTA scanner and [`DiskDbWriter`]) that never hold the whole
+/// database: feed sequences one at a time, in database order, and
+/// `finish()` equals `content_hash` of the materialized database.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    h: Fnv,
+}
+
+impl ContentHasher {
+    /// Start a hash for a database labeled `db_name`.
+    pub fn new(db_name: &str) -> ContentHasher {
+        let mut h = Fnv::new();
+        h.update(db_name.as_bytes());
+        h.update(&[0]);
+        ContentHasher { h }
+    }
+
+    /// Absorb one sequence (must be called in database order).
+    pub fn push_seq(&mut self, name: &str, desc: &str, residues: &[u8]) {
+        self.h.update(name.as_bytes());
+        self.h.update(&[0]);
+        self.h.update(desc.as_bytes());
+        self.h.update(&[0]);
+        self.h.update(residues);
+        self.h.update(&[0xff]);
+    }
+
+    /// The hash of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.h.finish()
+    }
 }
 
 /// A validated, loaded packed database: the device-ready word image plus
@@ -531,32 +569,314 @@ impl DiskDb {
         }
     }
 
+    /// Decode one sequence (header + unpacked residues) by index.
+    pub fn seq(&self, i: usize) -> DigitalSeq {
+        let (name, desc) = &self.headers[i];
+        DigitalSeq {
+            name: name.clone(),
+            desc: desc.clone(),
+            residues: self.packed.view().unpack_seq(i),
+        }
+    }
+
     /// Split into read-only shards of at most `max_residues` residues
-    /// each (whole sequences; one oversized sequence forms its own
-    /// shard). Shard boundaries are where a resident service checks
-    /// query deadlines, so the bound also caps deadline latency.
+    /// each (whole sequences; only a single sequence longer than the cap
+    /// may form an oversized shard, alone). Shard boundaries are where a
+    /// resident service checks query deadlines, so the bound also caps
+    /// deadline latency.
     pub fn shards(&self, max_residues: u64) -> Vec<SeqDb> {
         assert!(max_residues > 0);
-        let view = self.packed.view();
         let mut shards = Vec::new();
         let mut cur = SeqDb::new(self.name.clone());
         let mut cur_residues = 0u64;
-        for (i, (name, desc)) in self.headers.iter().enumerate() {
-            cur.seqs.push(DigitalSeq {
-                name: name.clone(),
-                desc: desc.clone(),
-                residues: view.unpack_seq(i),
-            });
-            cur_residues += self.packed.lengths[i] as u64;
-            if cur_residues >= max_residues {
+        for i in 0..self.n_seqs() {
+            let len = self.packed.lengths[i] as u64;
+            // Close the running shard *before* a sequence that would push
+            // it past the cap — never after, which used to let every
+            // shard overshoot by up to one sequence.
+            if !cur.seqs.is_empty() && cur_residues + len > max_residues {
                 shards.push(std::mem::replace(&mut cur, SeqDb::new(self.name.clone())));
                 cur_residues = 0;
             }
+            cur.seqs.push(self.seq(i));
+            cur_residues += len;
         }
         if !cur.seqs.is_empty() {
             shards.push(cur);
         }
         shards
+    }
+}
+
+/// Summary returned by [`DiskDbWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskDbSummary {
+    /// Sequences written.
+    pub n_seqs: usize,
+    /// Total real residues written.
+    pub total_residues: u64,
+    /// Logical content hash of the written database (see
+    /// [`content_hash`]).
+    pub content_hash: u64,
+}
+
+/// Streaming `.h3wdb` writer: sequences go in one at a time and are
+/// spilled to per-section temporary files, so a 1.29 G-residue database
+/// can be packed in constant memory. [`DiskDbWriter::finish`] assembles
+/// the final image (header + section table + payloads + trailer) and
+/// renames it into place atomically; the bytes are identical to
+/// `DiskDb::to_bytes` of the materialized database.
+pub struct DiskDbWriter {
+    path: PathBuf,
+    db_name: String,
+    names: SectionSpill,
+    index: SectionSpill,
+    words: SectionSpill,
+    n_seqs: usize,
+    total_residues: u64,
+    word_off: u32,
+    content: ContentHasher,
+    bin_counts: [u32; 32],
+}
+
+/// One payload spilled to a temporary file, with its CRC and length
+/// tracked as bytes go out.
+struct SectionSpill {
+    path: PathBuf,
+    w: BufWriter<std::fs::File>,
+    crc: Crc32,
+    len: u64,
+}
+
+impl SectionSpill {
+    fn create(path: PathBuf) -> std::io::Result<SectionSpill> {
+        let file = std::fs::File::create(&path)?;
+        Ok(SectionSpill {
+            path,
+            w: BufWriter::with_capacity(1 << 20, file),
+            crc: Crc32::new(),
+            len: 0,
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.w.write_all(bytes)?;
+        self.crc.update(bytes);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+impl DiskDbWriter {
+    /// Open a streaming writer targeting `path`; `db_name` is the
+    /// database label recorded in META (and the first field of the
+    /// content hash).
+    pub fn create(path: &Path, db_name: &str) -> Result<DiskDbWriter, DbFormatError> {
+        let io = |e: std::io::Error| DbFormatError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        };
+        let spill = |ext: &str| -> Result<SectionSpill, DbFormatError> {
+            SectionSpill::create(path.with_extension(ext)).map_err(io)
+        };
+        Ok(DiskDbWriter {
+            path: path.to_path_buf(),
+            db_name: db_name.to_string(),
+            names: spill("h3wdb.names.tmp")?,
+            index: spill("h3wdb.index.tmp")?,
+            words: spill("h3wdb.words.tmp")?,
+            n_seqs: 0,
+            total_residues: 0,
+            word_off: 0,
+            content: ContentHasher::new(db_name),
+            bin_counts: [0u32; 32],
+        })
+    }
+
+    /// Append one sequence (database order).
+    pub fn push(&mut self, seq: &DigitalSeq) -> Result<(), DbFormatError> {
+        let io = |e: std::io::Error| DbFormatError::Io {
+            path: self.path.display().to_string(),
+            msg: e.to_string(),
+        };
+        if self.n_seqs == u32::MAX as usize {
+            return Err(DbFormatError::Corrupt(
+                "database exceeds the format's u32 sequence count".into(),
+            ));
+        }
+        let mut name = Vec::new();
+        put_str16(&mut name, &seq.name);
+        put_str16(&mut name, &seq.desc);
+        self.names.put(&name).map_err(io)?;
+
+        let mut ix = Vec::new();
+        put_u32(&mut ix, seq.len() as u32);
+        put_u32(&mut ix, self.word_off);
+        self.index.put(&ix).map_err(io)?;
+
+        let packed = pack_seq(&seq.residues);
+        let mut wbytes = Vec::with_capacity(packed.len() * 4);
+        for w in &packed {
+            put_u32(&mut wbytes, *w);
+        }
+        self.words.put(&wbytes).map_err(io)?;
+        self.word_off = self
+            .word_off
+            .checked_add(packed.len() as u32)
+            .ok_or_else(|| {
+                DbFormatError::Corrupt("database exceeds the format's u32 word offset".into())
+            })?;
+
+        self.content.push_seq(&seq.name, &seq.desc, &seq.residues);
+        self.bin_counts[length_bin_index(seq.len())] += 1;
+        self.n_seqs += 1;
+        self.total_residues += seq.len() as u64;
+        Ok(())
+    }
+
+    /// Seal the file: build META/LENBINS, stitch the spilled payloads
+    /// together under the header + section table, append the whole-file
+    /// FNV trailer, and rename into place. Removes the temporaries.
+    pub fn finish(self) -> Result<DiskDbSummary, DbFormatError> {
+        let path = self.path.clone();
+        let io = |e: std::io::Error| DbFormatError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        };
+        let DiskDbWriter {
+            path,
+            db_name,
+            names,
+            index,
+            words,
+            n_seqs,
+            total_residues,
+            word_off,
+            content,
+            bin_counts,
+        } = self;
+
+        let mut meta = Vec::new();
+        put_str16(&mut meta, &db_name);
+        put_u32(&mut meta, n_seqs as u32);
+        put_u64(&mut meta, total_residues);
+
+        let mut lenbins = Vec::new();
+        let bins = bins_from_counts(&bin_counts);
+        put_u32(&mut lenbins, bins.len() as u32);
+        for b in &bins {
+            put_u32(&mut lenbins, b.min_len);
+            put_u32(&mut lenbins, b.max_len);
+            put_u32(&mut lenbins, b.count);
+        }
+
+        // Close the spills and collect (path, len, crc) per section. The
+        // WORDS payload carries a leading word count that is only known
+        // now, so its CRC restarts from the 4-byte prefix and replays the
+        // spilled body.
+        let close = |s: SectionSpill| -> Result<(PathBuf, u64, Crc32), DbFormatError> {
+            let SectionSpill {
+                path: p,
+                w,
+                crc,
+                len,
+            } = s;
+            w.into_inner().map_err(|e| DbFormatError::Io {
+                path: p.display().to_string(),
+                msg: e.to_string(),
+            })?;
+            Ok((p, len, crc))
+        };
+        let (names_p, names_len, names_crc) = close(names)?;
+        let (index_p, index_len, index_crc) = close(index)?;
+        let (words_p, words_len, _) = close(words)?;
+        let words_prefix = word_off.to_le_bytes();
+        let mut words_crc = Crc32::new();
+        words_crc.update(&words_prefix);
+        stream_file(&words_p, |chunk| words_crc.update(chunk)).map_err(io)?;
+
+        // Header + section table, then payloads, all through one FNV so
+        // the trailer covers every preceding byte — exactly `to_bytes`.
+        let sections: [(u64, u32); 5] = [
+            (meta.len() as u64, crc32(&meta)),
+            (names_len, names_crc.finish()),
+            (index_len, index_crc.finish()),
+            (4 + words_len, words_crc.finish()),
+            (lenbins.len() as u64, crc32(&lenbins)),
+        ];
+        let mut head = Vec::new();
+        head.extend_from_slice(&DISKDB_MAGIC);
+        put_u32(&mut head, DISKDB_VERSION);
+        put_u32(&mut head, sections.len() as u32);
+        put_u32(&mut head, 0);
+        put_u64(&mut head, content.finish());
+        for (i, &(len, crc)) in sections.iter().enumerate() {
+            put_u32(&mut head, SECTION_IDS[i]);
+            put_u64(&mut head, len);
+            put_u32(&mut head, crc);
+        }
+
+        let final_tmp = path.with_extension("h3wdb.tmp");
+        {
+            let file = std::fs::File::create(&final_tmp).map_err(io)?;
+            let mut out = BufWriter::with_capacity(1 << 20, file);
+            let mut fnv = Fnv::new();
+            let put = |out: &mut BufWriter<std::fs::File>,
+                       fnv: &mut Fnv,
+                       bytes: &[u8]|
+             -> std::io::Result<()> {
+                out.write_all(bytes)?;
+                fnv.update(bytes);
+                Ok(())
+            };
+            put(&mut out, &mut fnv, &head).map_err(io)?;
+            put(&mut out, &mut fnv, &meta).map_err(io)?;
+            for p in [&names_p, &index_p] {
+                let mut res = Ok(());
+                stream_file(p, |chunk| {
+                    if res.is_ok() {
+                        res = put(&mut out, &mut fnv, chunk);
+                    }
+                })
+                .map_err(io)?;
+                res.map_err(io)?;
+            }
+            put(&mut out, &mut fnv, &words_prefix).map_err(io)?;
+            let mut res = Ok(());
+            stream_file(&words_p, |chunk| {
+                if res.is_ok() {
+                    res = put(&mut out, &mut fnv, chunk);
+                }
+            })
+            .map_err(io)?;
+            res.map_err(io)?;
+            put(&mut out, &mut fnv, &lenbins).map_err(io)?;
+            let trailer = fnv.finish().to_le_bytes();
+            out.write_all(&trailer).map_err(io)?;
+            out.flush().map_err(io)?;
+        }
+        for p in [&names_p, &index_p, &words_p] {
+            let _ = std::fs::remove_file(p);
+        }
+        std::fs::rename(&final_tmp, &path).map_err(io)?;
+        Ok(DiskDbSummary {
+            n_seqs,
+            total_residues,
+            content_hash: content.finish(),
+        })
+    }
+}
+
+/// Stream a file through `f` in 1 MiB chunks.
+fn stream_file(path: &Path, mut f: impl FnMut(&[u8])) -> std::io::Result<()> {
+    let mut file = std::fs::File::open(path)?;
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        f(&buf[..n]);
     }
 }
 
@@ -662,11 +982,39 @@ const CRC_TABLE: [u32; 256] = {
 
 /// CRC-32 (IEEE) of a byte slice.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Incremental CRC-32 (IEEE, reflected) for streaming writers that
+/// checksum payloads they never hold in memory at once.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
     }
-    c ^ 0xffff_ffff
+}
+
+impl Crc32 {
+    /// Fresh state (equals `crc32(b"")` when finished immediately).
+    pub fn new() -> Crc32 {
+        Crc32(0xffff_ffff)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ b as u32) & 0xff) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    /// The CRC of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xffff_ffff
+    }
 }
 
 /// FNV-1a 64-bit of a byte slice.
@@ -677,21 +1025,31 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Incremental FNV-1a 64-bit hasher.
-struct Fnv(u64);
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
 
 impl Fnv {
-    fn new() -> Fnv {
+    /// Fresh state (the FNV-1a offset basis).
+    pub fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// The hash of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -839,6 +1197,92 @@ mod tests {
                 idx += 1;
             }
         }
+    }
+
+    #[test]
+    fn shards_never_exceed_the_cap() {
+        // Regression: the old loop closed a shard only *after* the
+        // running total crossed the cap, so every shard could overshoot
+        // by up to one sequence.
+        let db = sample_db();
+        let loaded = DiskDb::from_bytes(&DiskDb::to_bytes(&db)).unwrap();
+        let cap = 10_000u64;
+        for sh in loaded.shards(cap) {
+            assert!(
+                sh.total_residues() <= cap || sh.len() == 1,
+                "shard of {} residues / {} seqs exceeds cap {cap}",
+                sh.total_residues(),
+                sh.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_sequence_forms_its_own_shard() {
+        let mut db = SeqDb::new("big");
+        db.seqs.push(DigitalSeq {
+            name: "small-a".into(),
+            desc: String::new(),
+            residues: vec![0; 40],
+        });
+        db.seqs.push(DigitalSeq {
+            name: "huge".into(),
+            desc: String::new(),
+            residues: vec![1; 500],
+        });
+        db.seqs.push(DigitalSeq {
+            name: "small-b".into(),
+            desc: String::new(),
+            residues: vec![2; 40],
+        });
+        let loaded = DiskDb::from_bytes(&DiskDb::to_bytes(&db)).unwrap();
+        let shards = loaded.shards(100);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1]);
+        assert_eq!(shards[1].seqs[0].name, "huge");
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_to_to_bytes() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("h3w-dbwriter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.h3wdb");
+        let mut w = DiskDbWriter::create(&path, &db.name).unwrap();
+        for s in &db.seqs {
+            w.push(s).unwrap();
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.n_seqs, db.len());
+        assert_eq!(summary.total_residues, db.total_residues());
+        assert_eq!(summary.content_hash, content_hash(&db));
+        let streamed = std::fs::read(&path).unwrap();
+        assert_eq!(streamed, DiskDb::to_bytes(&db), "byte images differ");
+        // No temporaries left behind.
+        for ext in [
+            "h3wdb.tmp",
+            "h3wdb.names.tmp",
+            "h3wdb.index.tmp",
+            "h3wdb.words.tmp",
+        ] {
+            assert!(!path.with_extension(ext).exists(), "{ext} left behind");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_hashers_match_one_shot() {
+        let data = b"incremental hashing must match one-shot hashing";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+        let mut f = Fnv::new();
+        for chunk in data.chunks(5) {
+            f.update(chunk);
+        }
+        assert_eq!(f.finish(), fnv1a(data));
     }
 
     #[test]

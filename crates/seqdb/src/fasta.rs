@@ -7,6 +7,7 @@
 use crate::seq::{DigitalSeq, SeqDb};
 use h3w_hmm::alphabet::{digitize, is_gap, symbol};
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 /// FASTA parse failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,61 +36,149 @@ impl std::fmt::Display for FastaError {
 
 impl std::error::Error for FastaError {}
 
-/// Parse FASTA text into a database.
-pub fn parse(name: &str, text: &str) -> Result<SeqDb, FastaError> {
-    let mut db = SeqDb::new(name);
-    let mut current: Option<DigitalSeq> = None;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim_end();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix('>') {
-            if let Some(seq) = current.take() {
-                finish(&mut db, seq)?;
-            }
-            let mut parts = header.splitn(2, char::is_whitespace);
-            let id = parts.next().unwrap_or("").to_string();
-            let desc = parts.next().unwrap_or("").trim().to_string();
-            current = Some(DigitalSeq {
-                name: id,
-                desc,
-                residues: Vec::new(),
-            });
-        } else {
-            let seq = current
-                .as_mut()
-                .ok_or(FastaError::DataBeforeHeader { line: lineno + 1 })?;
-            for ch in line.chars() {
-                if ch.is_whitespace() {
-                    continue;
-                }
-                let code = digitize(ch).map_err(|_| FastaError::BadResidue {
-                    line: lineno + 1,
-                    ch,
-                })?;
-                if is_gap(code) {
-                    return Err(FastaError::BadResidue {
-                        line: lineno + 1,
-                        ch,
-                    });
-                }
-                seq.residues.push(code);
-            }
-        }
-    }
-    if let Some(seq) = current.take() {
-        finish(&mut db, seq)?;
-    }
-    Ok(db)
+/// Why a streaming FASTA read stopped: grammar violation or I/O failure
+/// from the underlying reader (the latter can't happen for in-memory
+/// text).
+#[derive(Debug)]
+pub enum ReadSeqError {
+    /// FASTA grammar violation.
+    Fasta(FastaError),
+    /// The underlying reader failed.
+    Io(std::io::Error),
 }
 
-fn finish(db: &mut SeqDb, seq: DigitalSeq) -> Result<(), FastaError> {
+impl std::fmt::Display for ReadSeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadSeqError::Fasta(e) => e.fmt(f),
+            ReadSeqError::Io(e) => write!(f, "fasta read: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadSeqError {}
+
+impl From<FastaError> for ReadSeqError {
+    fn from(e: FastaError) -> ReadSeqError {
+        ReadSeqError::Fasta(e)
+    }
+}
+
+/// Streaming FASTA record reader: yields one [`DigitalSeq`] at a time
+/// from any [`BufRead`], holding only the record in flight. [`parse`]
+/// is this reader collected into a [`SeqDb`]; file-backed sources
+/// ([`crate::source::FastaFileSource`]) use it to scan gigabyte FASTA
+/// files in constant memory.
+pub struct SeqReader<R: BufRead> {
+    reader: R,
+    lineno: usize,
+    current: Option<DigitalSeq>,
+    buf: String,
+    failed: bool,
+}
+
+impl<R: BufRead> SeqReader<R> {
+    /// Wrap a buffered reader positioned at the start of FASTA text.
+    pub fn new(reader: R) -> SeqReader<R> {
+        SeqReader {
+            reader,
+            lineno: 0,
+            current: None,
+            buf: String::new(),
+            failed: false,
+        }
+    }
+
+    fn step(&mut self) -> Result<Option<DigitalSeq>, ReadSeqError> {
+        loop {
+            self.buf.clear();
+            let n = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(ReadSeqError::Io)?;
+            if n == 0 {
+                // EOF: flush the record in flight, if any.
+                return match self.current.take() {
+                    Some(seq) => Ok(Some(check_nonempty(seq)?)),
+                    None => Ok(None),
+                };
+            }
+            self.lineno += 1;
+            let line = self.buf.trim_end();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                let mut parts = header.splitn(2, char::is_whitespace);
+                let id = parts.next().unwrap_or("").to_string();
+                let desc = parts.next().unwrap_or("").trim().to_string();
+                let next = DigitalSeq {
+                    name: id,
+                    desc,
+                    residues: Vec::new(),
+                };
+                if let Some(seq) = self.current.replace(next) {
+                    return Ok(Some(check_nonempty(seq)?));
+                }
+            } else {
+                let lineno = self.lineno;
+                let seq = self
+                    .current
+                    .as_mut()
+                    .ok_or(FastaError::DataBeforeHeader { line: lineno })?;
+                for ch in line.chars() {
+                    if ch.is_whitespace() {
+                        continue;
+                    }
+                    let code =
+                        digitize(ch).map_err(|_| FastaError::BadResidue { line: lineno, ch })?;
+                    if is_gap(code) {
+                        return Err(FastaError::BadResidue { line: lineno, ch }.into());
+                    }
+                    seq.residues.push(code);
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SeqReader<R> {
+    type Item = Result<DigitalSeq, ReadSeqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.step() {
+            Ok(Some(seq)) => Some(Ok(seq)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn check_nonempty(seq: DigitalSeq) -> Result<DigitalSeq, FastaError> {
     if seq.residues.is_empty() {
         return Err(FastaError::EmptyRecord { name: seq.name });
     }
-    db.seqs.push(seq);
-    Ok(())
+    Ok(seq)
+}
+
+/// Parse FASTA text into a database.
+pub fn parse(name: &str, text: &str) -> Result<SeqDb, FastaError> {
+    let mut db = SeqDb::new(name);
+    for record in SeqReader::new(text.as_bytes()) {
+        match record {
+            Ok(seq) => db.seqs.push(seq),
+            Err(ReadSeqError::Fasta(e)) => return Err(e),
+            // An in-memory byte slice cannot fail to read.
+            Err(ReadSeqError::Io(e)) => unreachable!("io error on in-memory text: {e}"),
+        }
+    }
+    Ok(db)
 }
 
 /// Render a database as FASTA text, 60 columns per sequence line.

@@ -175,35 +175,152 @@ fn sample_dist(rng: &mut StdRng, dist: &[f32; 20]) -> Residue {
     19
 }
 
+/// The sequential generator state: one RNG stream walked sequence by
+/// sequence. Both [`generate`] and [`GenChunks`] drive this same state,
+/// so chunked generation reproduces the one-shot database bit for bit.
+struct GenState {
+    rng: StdRng,
+    lognorm: LogNormal,
+    next: usize,
+}
+
+impl GenState {
+    fn new(spec: &DbGenSpec, seed: u64) -> GenState {
+        let mu = spec.mean_len.ln() - spec.sigma * spec.sigma / 2.0;
+        GenState {
+            rng: StdRng::seed_from_u64(seed ^ SEQDB_SEED_MIX),
+            lognorm: LogNormal::new(mu, spec.sigma).expect("valid log-normal"),
+            next: 0,
+        }
+    }
+
+    /// Generate the next sequence of the stream, or `None` past
+    /// `spec.n_seqs`.
+    fn gen_seq(&mut self, spec: &DbGenSpec, model: Option<&CoreModel>) -> Option<DigitalSeq> {
+        if self.next >= spec.n_seqs {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let rng = &mut self.rng;
+        let is_homolog = model.is_some() && (rng.gen::<f64>() < spec.homolog_fraction);
+        let residues = if is_homolog {
+            let mut s = sample_homolog(rng, model.unwrap(), spec.mean_len as usize / 4);
+            s.truncate(spec.max_len);
+            if s.len() < spec.min_len {
+                s.extend(random_seq(rng, spec.min_len - s.len()));
+            }
+            s
+        } else {
+            let len = (self.lognorm.sample(rng).round() as usize).clamp(spec.min_len, spec.max_len);
+            random_seq(rng, len)
+        };
+        Some(DigitalSeq {
+            name: format!("{}|{:07}", if is_homolog { "hom" } else { "bg" }, i),
+            desc: String::new(),
+            residues,
+        })
+    }
+}
+
 /// Generate a database from a spec. `model` supplies the motif embedded in
 /// the homologous fraction; pass `None` for a pure background database
 /// (`homolog_fraction` is then ignored).
 pub fn generate(spec: &DbGenSpec, model: Option<&CoreModel>, seed: u64) -> SeqDb {
-    let mut rng = StdRng::seed_from_u64(seed ^ SEQDB_SEED_MIX);
-    let mu = spec.mean_len.ln() - spec.sigma * spec.sigma / 2.0;
-    let lognorm = LogNormal::new(mu, spec.sigma).expect("valid log-normal");
+    let mut st = GenState::new(spec, seed);
     let mut db = SeqDb::new(spec.name.clone());
     db.seqs.reserve(spec.n_seqs);
-    for i in 0..spec.n_seqs {
-        let is_homolog = model.is_some() && (rng.gen::<f64>() < spec.homolog_fraction);
-        let residues = if is_homolog {
-            let mut s = sample_homolog(&mut rng, model.unwrap(), spec.mean_len as usize / 4);
-            s.truncate(spec.max_len);
-            if s.len() < spec.min_len {
-                s.extend(random_seq(&mut rng, spec.min_len - s.len()));
-            }
-            s
-        } else {
-            let len = (lognorm.sample(&mut rng).round() as usize).clamp(spec.min_len, spec.max_len);
-            random_seq(&mut rng, len)
-        };
-        db.seqs.push(DigitalSeq {
-            name: format!("{}|{:07}", if is_homolog { "hom" } else { "bg" }, i),
-            desc: String::new(),
-            residues,
-        });
+    while let Some(s) = st.gen_seq(spec, model) {
+        db.seqs.push(s);
     }
     db
+}
+
+/// Bounded-memory chunked generation: the same sequence stream as
+/// [`generate`] delivered as [`SeqDb`] chunks of at most `max_residues`
+/// residues each (whole sequences; a single sequence longer than the cap
+/// forms its own chunk). Concatenating the chunks reproduces
+/// `generate(spec, model, seed)` exactly — same RNG stream, same names,
+/// same residues — without ever materializing the full database.
+pub struct GenChunks<'m> {
+    spec: DbGenSpec,
+    model: Option<&'m CoreModel>,
+    state: GenState,
+    max_residues: u64,
+    pending: Option<DigitalSeq>,
+}
+
+/// Start a chunked generation stream (see [`GenChunks`]).
+pub fn gen_chunks<'m>(
+    spec: &DbGenSpec,
+    model: Option<&'m CoreModel>,
+    seed: u64,
+    max_residues: u64,
+) -> GenChunks<'m> {
+    assert!(max_residues > 0, "chunk size must be positive");
+    GenChunks {
+        spec: spec.clone(),
+        model,
+        state: GenState::new(spec, seed),
+        max_residues,
+        pending: None,
+    }
+}
+
+impl Iterator for GenChunks<'_> {
+    type Item = SeqDb;
+
+    fn next(&mut self) -> Option<SeqDb> {
+        let mut chunk = SeqDb::new(self.spec.name.clone());
+        let mut residues = 0u64;
+        if let Some(s) = self.pending.take() {
+            residues += s.len() as u64;
+            chunk.seqs.push(s);
+        }
+        while let Some(s) = self.state.gen_seq(&self.spec, self.model) {
+            // Close before overflow: a sequence that would push the chunk
+            // past the cap starts the next chunk instead (unless the
+            // chunk is empty, in which case it rides alone).
+            if !chunk.seqs.is_empty() && residues + s.len() as u64 > self.max_residues {
+                self.pending = Some(s);
+                return Some(chunk);
+            }
+            residues += s.len() as u64;
+            chunk.seqs.push(s);
+            if residues >= self.max_residues {
+                return Some(chunk);
+            }
+        }
+        (!chunk.seqs.is_empty()).then_some(chunk)
+    }
+}
+
+/// Stable identity of a generated database, usable as the checkpoint
+/// drift guard for streamed sweeps that never materialize the database:
+/// hashes the spec, the seed, and the model label (homolog content
+/// depends on the model). Distinct from [`crate::content_hash`] — this
+/// identifies the *recipe*, which for a deterministic generator pins the
+/// content.
+pub fn gen_identity(spec: &DbGenSpec, model: Option<&CoreModel>, seed: u64) -> u64 {
+    let mut h = crate::diskdb::Fnv::new();
+    h.update(b"h3w-gen-v1\0");
+    h.update(spec.name.as_bytes());
+    h.update(&[0]);
+    h.update(&(spec.n_seqs as u64).to_le_bytes());
+    h.update(&spec.mean_len.to_bits().to_le_bytes());
+    h.update(&spec.sigma.to_bits().to_le_bytes());
+    h.update(&spec.homolog_fraction.to_bits().to_le_bytes());
+    h.update(&(spec.min_len as u64).to_le_bytes());
+    h.update(&(spec.max_len as u64).to_le_bytes());
+    h.update(&seed.to_le_bytes());
+    match model {
+        Some(m) => {
+            h.update(&[1]);
+            h.update(&(m.len() as u64).to_le_bytes());
+        }
+        None => h.update(&[0]),
+    }
+    h.finish()
 }
 
 /// Domain-separation constant so database seeds don't collide with model
@@ -293,6 +410,39 @@ mod tests {
             "LCS only {matched}/{}",
             consensus.len()
         );
+    }
+
+    #[test]
+    fn chunked_generation_concatenates_to_one_shot() {
+        let model = synthetic_model(40, 3, &BuildParams::default());
+        let mut spec = DbGenSpec::envnr_like().scaled(0.0002);
+        spec.homolog_fraction = 0.05;
+        let whole = generate(&spec, Some(&model), 17);
+        for max_residues in [150u64, 5_000, 1 << 40] {
+            let chunks: Vec<SeqDb> = gen_chunks(&spec, Some(&model), 17, max_residues).collect();
+            let cat: Vec<&DigitalSeq> = chunks.iter().flat_map(|c| c.seqs.iter()).collect();
+            assert_eq!(cat.len(), whole.len(), "cap {max_residues}");
+            for (a, b) in cat.iter().zip(&whole.seqs) {
+                assert_eq!(**a, *b, "cap {max_residues}");
+            }
+            for c in &chunks {
+                assert!(
+                    c.total_residues() <= max_residues || c.len() == 1,
+                    "chunk of {} residues exceeds cap {max_residues}",
+                    c.total_residues()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gen_identity_tracks_recipe() {
+        let spec = DbGenSpec::envnr_like().scaled(0.0001);
+        assert_eq!(gen_identity(&spec, None, 3), gen_identity(&spec, None, 3));
+        assert_ne!(gen_identity(&spec, None, 3), gen_identity(&spec, None, 4));
+        let mut bigger = spec.clone();
+        bigger.n_seqs += 1;
+        assert_ne!(gen_identity(&spec, None, 3), gen_identity(&bigger, None, 3));
     }
 
     #[test]

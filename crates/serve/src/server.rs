@@ -31,7 +31,10 @@ use crate::protocol::{
 };
 use crate::resident::ResidentDb;
 use crate::QUERY_SEED;
-use h3w_pipeline::{ExecPlan, FtSweep, Hit, Pipeline, PipelineConfig, Trace};
+use h3w_pipeline::{
+    search_shards_observed, ChunkProgress, ExecPlan, FtSweep, Pipeline, PipelineConfig,
+    StreamError, Trace,
+};
 use h3w_seqdb::diskdb::fnv1a;
 use h3w_seqdb::DbFormatError;
 use h3w_simt::{DeviceSpec, FaultInjector, FaultPlan};
@@ -630,10 +633,11 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Execute one admitted query: parse, fetch/prepare the pipeline, sweep
-/// every resident shard (deadline checked at each boundary), rescale
-/// E-values to the full database, absorb telemetry into the service
-/// funnel. Mirrors `search_chunked_traced`, so the merged hit list is
+/// Execute one admitted query: parse, fetch/prepare the pipeline, then
+/// sweep the resident shards through the streamed-sweep driver
+/// (`search_shards_observed`) — the same driver behind `hmmsearch
+/// --chunk` — with deadline checks and chaos injection in the chunk
+/// observer. Shards are borrowed, never cloned; the merged hit list is
 /// bit-identical to a single-pass sweep of the whole database.
 fn run_query(
     inner: &Arc<ServerInner>,
@@ -662,58 +666,57 @@ fn run_query(
         }
     };
     let trace = Trace::on();
-    let mut hits: Vec<Hit> = Vec::new();
-    let mut degraded = false;
-    let mut seq_base = 0u32;
-    for shard in &inner.db.shards {
+    // One injector per query: device 0 dies at its first launch of the
+    // sweep and the recovery engine redistributes (or degrades to CPU
+    // for a 1-device pool), flagging the whole query as degraded.
+    let injector = match &inner.cfg.device {
+        Some((_, n)) if inner.cfg.inject_device_loss => {
+            Some(FaultInjector::new(FaultPlan::none().kill_device(0, 0), *n))
+        }
+        _ => None,
+    };
+    let plan = match &inner.cfg.device {
+        None => ExecPlan::Cpu,
+        Some((dev, n)) => {
+            let mut sweep = FtSweep::fault_free(*n);
+            sweep.injector = injector.as_ref();
+            ExecPlan::FaultTolerant {
+                dev: dev.clone(),
+                sweep,
+            }
+        }
+    };
+    let chaos_ms = inner.cfg.chaos.slow_shard_ms;
+    let mut observer = |_: &ChunkProgress| {
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Err(QueryError::Deadline);
+            return Err("deadline".to_string());
         }
-        if inner.cfg.chaos.slow_shard_ms > 0 {
-            std::thread::sleep(Duration::from_millis(inner.cfg.chaos.slow_shard_ms));
+        if chaos_ms > 0 {
+            std::thread::sleep(Duration::from_millis(chaos_ms));
         }
-        let report = match &inner.cfg.device {
-            None => pipe.search_traced(shard, &ExecPlan::Cpu, &trace),
-            Some((dev, n)) => {
-                // A fresh injector per shard: every sweep sees device 0
-                // die at its first launch and the recovery engine
-                // redistributes (or degrades to CPU for a 1-device pool).
-                let injector = inner
-                    .cfg
-                    .inject_device_loss
-                    .then(|| FaultInjector::new(FaultPlan::none().kill_device(0, 0), *n));
-                let mut sweep = FtSweep::fault_free(*n);
-                sweep.injector = injector.as_ref();
-                pipe.search_traced(
-                    shard,
-                    &ExecPlan::FaultTolerant {
-                        dev: dev.clone(),
-                        sweep,
-                    },
-                    &trace,
-                )
-            }
-        }
-        .map_err(|e| QueryError::Engine(e.to_string()))?;
-        degraded |= report.degraded_to_cpu;
-        for mut h in report.result.hits {
-            // Rescale from shard-local to whole-database E-values —
-            // identical arithmetic to the single-pass path.
-            h.evalue = h.pvalue * inner.db.total_seqs as f64;
-            h.seqid += seq_base;
-            if h.evalue <= pipe.config.report_evalue {
-                hits.push(h);
-            }
-        }
-        seq_base += shard.len() as u32;
-    }
-    hits.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
+        Ok(())
+    };
+    let report = search_shards_observed(
+        &pipe,
+        inner.db.shards.iter(),
+        inner.db.total_seqs,
+        &plan,
+        &trace,
+        &mut observer,
+    )
+    .map_err(|e| match e {
+        StreamError::Cancelled(_) => QueryError::Deadline,
+        other => QueryError::Engine(other.to_string()),
+    })?;
     if let Some(tel) = trace.snapshot() {
         inner.funnel.absorb(&tel);
     }
     Ok((
-        degraded,
-        hits.into_iter()
+        report.degraded_to_cpu,
+        report
+            .result
+            .hits
+            .into_iter()
             .map(|h| WireHit {
                 seqid: h.seqid,
                 name: h.name,

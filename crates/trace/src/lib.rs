@@ -428,6 +428,39 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Peak resident set size (VmHWM) of this process in bytes, read from
+/// `/proc/self/status`. Returns `None` off Linux or if the field is
+/// missing — callers treat the counter as best-effort. This is the
+/// high-water mark since process start, which is exactly what the
+/// constant-memory streaming acceptance check wants: if a sweep is
+/// bounded by its chunk size, the mark must not grow with database
+/// size.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod rss_tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_and_monotone() {
+        let before = super::peak_rss_bytes().expect("linux has VmHWM");
+        assert!(before > 0);
+        // Touch a few megabytes; the high-water mark can only grow.
+        let v = vec![7u8; 4 << 20];
+        std::hint::black_box(&v);
+        let after = super::peak_rss_bytes().unwrap();
+        assert!(after >= before);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

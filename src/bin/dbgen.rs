@@ -6,20 +6,28 @@
 //!       [--hom FRAC --model query.hmm] [--seed S] [--packed out.h3wdb]
 //! ```
 //!
-//! `--packed` additionally writes the crash-safe binary database format
-//! (5-bit packed residues, length-bin index, per-section CRCs, a
-//! whole-file content hash; written atomically via tmp + rename) that
-//! `h3w-serve` loads at startup.
+//! Generation streams: sequences are produced in bounded chunks and
+//! written as they go, so an Env_nr-scale database (1.29 G residues at
+//! `--preset envnr --scale 1`) never has to fit in memory. `--packed`
+//! additionally streams the crash-safe binary database format (5-bit
+//! packed residues, length-bin index, per-section CRCs, a whole-file
+//! content hash; written atomically via tmp + rename) that `h3w-serve`
+//! loads at startup — byte-identical to an in-memory write.
 
 use hmmer3_warp::cli::{self, Args, ToolError};
 use hmmer3_warp::hmm::hmmio::read_hmm;
 use hmmer3_warp::prelude::*;
-use hmmer3_warp::seqdb::fasta;
+use hmmer3_warp::seqdb::gen::gen_chunks;
+use hmmer3_warp::seqdb::{fasta, DiskDbWriter};
+use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str =
     "dbgen <out.fasta> [--preset swissprot|envnr] [--scale F] [--hom FRAC --model query.hmm] \
 [--seed S] [--packed out.h3wdb]";
+
+/// Residues generated per in-memory chunk — the working-set bound.
+const GEN_CHUNK_RESIDUES: u64 = 16 << 20;
 
 fn main() -> ExitCode {
     cli::guarded_main("dbgen", USAGE, run)
@@ -61,20 +69,38 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
         eprintln!("note: no --model given; homolog fraction is ignored");
     }
 
-    let db = generate(&spec, model.as_ref(), seed);
-    std::fs::write(out_path, fasta::render(&db)).map_err(|e| format!("writing {out_path}: {e}"))?;
+    let out = std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(out);
+    let mut packed = args
+        .value("--packed")
+        .map(|p| DiskDbWriter::create(std::path::Path::new(p), &spec.name))
+        .transpose()?;
+    let mut n_seqs = 0usize;
+    let mut residues = 0u64;
+    for chunk in gen_chunks(&spec, model.as_ref(), seed, GEN_CHUNK_RESIDUES) {
+        out.write_all(fasta::render(&chunk).as_bytes())
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        if let Some(w) = packed.as_mut() {
+            for s in &chunk.seqs {
+                w.push(s)?;
+            }
+        }
+        n_seqs += chunk.len();
+        residues += chunk.total_residues();
+    }
+    out.flush()
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!(
-        "wrote {out_path}: {} sequences, {} residues ({})",
-        db.len(),
-        db.total_residues(),
+        "wrote {out_path}: {n_seqs} sequences, {residues} residues ({})",
         spec.name
     );
-    if let Some(packed_path) = args.value("--packed") {
-        DiskDb::write(&db, std::path::Path::new(packed_path))?;
+    if let Some(w) = packed {
+        let summary = w.finish()?;
+        let packed_path = args.value("--packed").expect("writer exists");
         eprintln!(
             "wrote {packed_path}: packed format v{}, content hash {:016x}",
             hmmer3_warp::seqdb::diskdb::DISKDB_VERSION,
-            hmmer3_warp::seqdb::content_hash(&db),
+            summary.content_hash,
         );
     }
     Ok(())

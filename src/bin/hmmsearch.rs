@@ -13,7 +13,12 @@
 //!   --dom                print posterior-decoded domain intervals
 //!   --null2              apply the biased-composition score correction
 //!   --tbl <path>         write a tab-separated hit table
-//!   --chunk <residues>   stream the database in bounded chunks
+//!   --chunk <residues>   stream the database (FASTA or .h3wdb) through
+//!                        the pipeline in bounded-memory chunks; composes
+//!                        with any execution plan, memory stays bounded
+//!                        by the chunk size, hits are bit-identical to an
+//!                        unchunked run (but excludes --ali/--dom, which
+//!                        need the database resident)
 //!   --checkpoint <path>  with --chunk: persist sweep state after every
 //!                        chunk and resume from it if it already exists
 //!   --gpu-full           like --gpu, plus the Forward stage on-device
@@ -118,14 +123,10 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
                 .into(),
         );
     }
-    if chunk.is_some() && (gpu.is_some() || args.has("--gpu-full")) {
-        return Err("--chunk streams on the CPU pipeline; drop --gpu/--gpu-full"
-            .to_string()
-            .into());
-    }
-    if chunk.is_some() && fa_path.ends_with(".h3wdb") {
+    if chunk.is_some() && (args.has("--ali") || args.has("--dom")) {
         return Err(
-            "--chunk streams FASTA text; pass a FASTA database or drop --chunk"
+            "--ali/--dom re-derive alignments from the resident database; \
+             drop --chunk (or drop --ali/--dom)"
                 .to_string()
                 .into(),
         );
@@ -147,80 +148,104 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
 
     let hmm_text = cli::read_file(hmm_path)?;
     let parsed = read_hmm(&hmm_text).map_err(|e| format!("{hmm_path}: {e}"))?;
-    let db = cli::load_seqdb(fa_path)?;
-    if db.is_empty() {
-        return Err(format!("{fa_path}: no sequences").into());
-    }
-
-    eprintln!(
-        "query {} ({} columns) vs {} ({} sequences, {} residues)",
-        parsed.model.name,
-        parsed.model.len(),
-        db.name,
-        db.len(),
-        db.total_residues()
-    );
     let pipe = Pipeline::prepare(&parsed.model, config, 0x5_eac4);
 
-    let plan: Option<ExecPlan> = if args.has("--gpu-full") {
+    let plan: ExecPlan = if args.has("--gpu-full") {
         let dev = gpu.unwrap_or_else(DeviceSpec::tesla_k40);
         eprintln!("running all three stages on simulated {}", dev.name);
-        Some(ExecPlan::DeviceFull { dev })
+        ExecPlan::DeviceFull { dev }
     } else if let Some(dev) = gpu {
         if devices > 1 {
             eprintln!(
                 "running MSV + P7Viterbi on {devices} simulated {} devices",
                 dev.name
             );
-            Some(ExecPlan::FaultTolerant {
+            ExecPlan::FaultTolerant {
                 dev,
                 sweep: FtSweep::fault_free(devices),
-            })
+            }
         } else {
             eprintln!("running MSV + P7Viterbi on simulated {}", dev.name);
-            Some(ExecPlan::Device { dev })
+            ExecPlan::Device { dev }
         }
-    } else if chunk.is_none() {
-        Some(ExecPlan::Cpu)
     } else {
-        None // streamed CPU sweep below
+        ExecPlan::Cpu
     };
 
-    let result: PipelineResult = match plan {
-        Some(plan) => pipe.search_traced(&db, &plan, &trace)?.result,
+    // --chunk streams the database through the pipeline in bounded-memory
+    // chunks (any ExecPlan); without it the database is loaded resident.
+    let mut resident: Option<hmmer3_warp::seqdb::SeqDb> = None;
+    let result: PipelineResult = match chunk {
         None => {
-            let max = chunk.expect("chunk set when no plan");
+            let db = cli::load_seqdb(fa_path)?;
+            if db.is_empty() {
+                return Err(format!("{fa_path}: no sequences").into());
+            }
+            eprintln!(
+                "query {} ({} columns) vs {} ({} sequences, {} residues)",
+                parsed.model.name,
+                parsed.model.len(),
+                db.name,
+                db.len(),
+                db.total_residues()
+            );
+            let res = pipe.search_traced(&db, &plan, &trace)?.result;
+            resident = Some(db);
+            res
+        }
+        Some(max) => {
+            use hmmer3_warp::seqdb::{DiskDb, FastaFileSource, SeqSource};
+            let fa = std::path::Path::new(fa_path);
+            let source: Box<dyn SeqSource> = if fa_path.ends_with(".h3wdb") {
+                Box::new(DiskDb::load(fa).map_err(|e| format!("{fa_path}: {e}"))?)
+            } else {
+                Box::new(FastaFileSource::open(fa).map_err(|e| format!("{fa_path}: {e}"))?)
+            };
+            if source.n_seqs() == 0 {
+                return Err(format!("{fa_path}: no sequences").into());
+            }
+            eprintln!(
+                "query {} ({} columns) vs {} ({} sequences, {} residues)",
+                parsed.model.name,
+                parsed.model.len(),
+                source.label(),
+                source.n_seqs(),
+                source.total_residues()
+            );
             eprintln!("streaming in ≤{max}-residue chunks");
-            let fa_text = cli::read_file(fa_path)?;
-            let chunks: Vec<_> = hmmer3_warp::pipeline::FastaChunks::new(&fa_text, max)
-                .collect::<Result<_, _>>()
-                .map_err(|e| e.to_string())?;
-            match checkpoint {
+            let res = match checkpoint {
                 Some(path) => {
                     let path = std::path::Path::new(path);
                     if path.exists() {
                         eprintln!("resuming from checkpoint {}", path.display());
                     }
-                    let res = hmmer3_warp::pipeline::search_chunked_checkpointed(
+                    let res = hmmer3_warp::pipeline::search_source_checkpointed(
                         &pipe,
-                        chunks,
-                        db.len(),
+                        source.as_ref(),
+                        &plan,
+                        max,
                         path,
-                        hmmer3_warp::seqdb::content_hash(&db),
-                    )?;
+                        &trace,
+                    )
+                    .map_err(|e| e.to_string())?;
                     eprintln!("checkpoint saved to {}", path.display());
                     res
                 }
                 None => {
-                    hmmer3_warp::pipeline::search_chunked_traced(&pipe, chunks, db.len(), &trace)
+                    hmmer3_warp::pipeline::search_source(&pipe, source.as_ref(), &plan, max, &trace)
+                        .map_err(|e| e.to_string())?
                 }
-            }
+            };
+            res
         }
     };
 
     print!("{}", result.render());
 
     if args.has("--ali") || args.has("--dom") {
+        let db = resident
+            .as_ref()
+            .expect("--ali/--dom are rejected with --chunk");
         for hit in result.hits.iter().take(25) {
             println!();
             println!(
@@ -228,7 +253,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
                 hit.name, hit.fwd_score, hit.evalue
             );
             if args.has("--dom") {
-                for (n, d) in pipe.domains_for_hit(&db, hit).iter().enumerate() {
+                for (n, d) in pipe.domains_for_hit(db, hit).iter().enumerate() {
                     println!(
                         "   domain {}: residues {}..{} (mean posterior {:.2})",
                         n + 1,
@@ -239,7 +264,7 @@ fn run(argv: &[String]) -> Result<(), ToolError> {
                 }
             }
             if args.has("--ali") {
-                let (_, text) = pipe.align_hit(&parsed.model, &db, hit);
+                let (_, text) = pipe.align_hit(&parsed.model, db, hit);
                 print!("{text}");
             }
         }

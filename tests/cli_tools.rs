@@ -158,6 +158,7 @@ fn hmmbuild_from_alignment_and_chunked_search() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("match columns"), "{stderr}");
 
+    let h3wdb = dir.join("db.h3wdb");
     let out = Command::new(env!("CARGO_BIN_EXE_dbgen"))
         .args([
             fasta.to_str().unwrap(),
@@ -167,6 +168,8 @@ fn hmmbuild_from_alignment_and_chunked_search() {
             "0.00005",
             "--seed",
             "8",
+            "--packed",
+            h3wdb.to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -189,6 +192,48 @@ fn hmmbuild_from_alignment_and_chunked_search() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pipeline over"));
+
+    // The streamed report matches the unchunked one, and streaming the
+    // packed .h3wdb reports the same hits too (timings differ run to
+    // run, so compare with the time columns stripped).
+    let timeless = |s: &str| -> String {
+        s.lines()
+            .map(|line| match line.find("  time ") {
+                Some(cut) => &line[..cut],
+                None => line,
+            })
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    let unchunked = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([hmm.to_str().unwrap(), fasta.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(unchunked.status.success());
+    assert_eq!(
+        timeless(&String::from_utf8_lossy(&unchunked.stdout)),
+        timeless(&stdout),
+        "streamed report diverged from the unchunked one"
+    );
+    let packed = Command::new(env!("CARGO_BIN_EXE_hmmsearch"))
+        .args([
+            hmm.to_str().unwrap(),
+            h3wdb.to_str().unwrap(),
+            "--chunk",
+            "4000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        packed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&packed.stderr)
+    );
+    assert_eq!(
+        timeless(&String::from_utf8_lossy(&packed.stdout)),
+        timeless(&stdout),
+        "packed streaming changed the hits"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -280,8 +325,13 @@ fn bad_flags_and_values_are_rejected_without_panicking() {
     );
     expect_failure(
         "hmmsearch",
-        &["q.hmm", "db.h3wdb", "--chunk", "5000"],
-        "--chunk streams FASTA",
+        &["q.hmm", "db.fa", "--chunk", "5000", "--ali"],
+        "drop --chunk",
+    );
+    expect_failure(
+        "hmmsearch",
+        &["q.hmm", "db.fa", "--chunk", "5000", "--dom"],
+        "drop --chunk",
     );
     expect_failure("hmmbuild", &["out.hmm", "--synthetic", "0"], "--synthetic");
     expect_failure(

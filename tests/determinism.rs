@@ -150,6 +150,7 @@ fn checkpoint_resume_mid_sweep_is_bit_identical_across_thread_counts() {
         &base_pipe,
         chunks.clone(),
         db.len(),
+        &ExecPlan::Cpu,
         &ref_ckpt,
         content_hash(&db),
     )
@@ -162,7 +163,15 @@ fn checkpoint_resume_mid_sweep_is_bit_identical_across_thread_counts() {
         let _ = std::fs::remove_file(&ckpt);
         let pre_kill = Pipeline::prepare(&model, config(1), 0x5_eac4);
         let prefix: Vec<SeqDb> = chunks.iter().take(1).cloned().collect();
-        search_chunked_checkpointed(&pre_kill, prefix, db.len(), &ckpt, content_hash(&db)).unwrap();
+        search_chunked_checkpointed(
+            &pre_kill,
+            prefix,
+            db.len(),
+            &ExecPlan::Cpu,
+            &ckpt,
+            content_hash(&db),
+        )
+        .unwrap();
         assert_eq!(StreamCheckpoint::load(&ckpt).unwrap().chunks_done, 1);
 
         let resumed_pipe = Pipeline::prepare(&model, config(*t), 0x5_eac4);
@@ -170,6 +179,7 @@ fn checkpoint_resume_mid_sweep_is_bit_identical_across_thread_counts() {
             &resumed_pipe,
             chunks.clone(),
             db.len(),
+            &ExecPlan::Cpu,
             &ckpt,
             content_hash(&db),
         )

@@ -129,7 +129,7 @@ fn killed_and_resumed_checkpointed_sweep_reports_identical_hits() {
         "need several chunks, got {}",
         chunks.len()
     );
-    let baseline = search_chunked(&pipe, chunks.clone(), db.len());
+    let baseline = search_chunked(&pipe, chunks.clone(), db.len(), &ExecPlan::Cpu).unwrap();
 
     let dir = std::env::temp_dir().join(format!("h3w-ft-accept-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -139,14 +139,29 @@ fn killed_and_resumed_checkpointed_sweep_reports_identical_hits() {
     // Simulate a kill after the first chunk: feed only a prefix of the
     // chunk stream, leaving the checkpoint behind.
     let prefix: Vec<SeqDb> = chunks.iter().take(1).cloned().collect();
-    search_chunked_checkpointed(&pipe, prefix, db.len(), &ckpt, content_hash(&db)).unwrap();
+    search_chunked_checkpointed(
+        &pipe,
+        prefix,
+        db.len(),
+        &ExecPlan::Cpu,
+        &ckpt,
+        content_hash(&db),
+    )
+    .unwrap();
     let saved = StreamCheckpoint::load(&ckpt).unwrap();
     assert_eq!(saved.chunks_done, 1);
 
     // Restart with the full stream; the resumed sweep must be
     // bit-identical to an uninterrupted one.
-    let resumed =
-        search_chunked_checkpointed(&pipe, chunks, db.len(), &ckpt, content_hash(&db)).unwrap();
+    let resumed = search_chunked_checkpointed(
+        &pipe,
+        chunks,
+        db.len(),
+        &ExecPlan::Cpu,
+        &ckpt,
+        content_hash(&db),
+    )
+    .unwrap();
     assert_eq!(resumed.hits, baseline.hits);
     assert_eq!(funnel(&resumed), funnel(&baseline));
 

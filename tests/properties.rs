@@ -338,6 +338,31 @@ proptest! {
         let _ = StreamCheckpoint::from_json(&text);
     }
 
+    /// Streaming generation: for any seed and chunk bound, generating in
+    /// bounded chunks concatenates residue-identically to the one-shot
+    /// database (the constant-memory dbgen/bench path is exact).
+    #[test]
+    fn chunked_generation_matches_one_shot(
+        seed in 0u64..1000,
+        cap in 200u64..20_000,
+    ) {
+        use hmmer3_warp::seqdb::gen::gen_chunks;
+        let core = synthetic_model(40, 9, &BuildParams::default());
+        let mut spec = DbGenSpec::swissprot_like().scaled(1e-4);
+        spec.homolog_fraction = 0.1;
+        let whole = generate(&spec, Some(&core), seed);
+        let mut streamed: Vec<DigitalSeq> = Vec::new();
+        for c in gen_chunks(&spec, Some(&core), seed, cap) {
+            prop_assert!(c.total_residues() <= cap || c.len() == 1);
+            streamed.extend(c.seqs);
+        }
+        prop_assert_eq!(streamed.len(), whole.len());
+        for (a, b) in streamed.iter().zip(&whole.seqs) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.residues, &b.residues);
+        }
+    }
+
     /// hmmio round-trip for arbitrary synthetic models: name, length and
     /// consensus survive; probabilities within printed precision.
     #[test]
@@ -354,5 +379,76 @@ proptest! {
             }
             prop_assert!((a.t.dd - b.t.dd).abs() < 1e-4);
         }
+    }
+}
+
+proptest! {
+    // Full pipeline sweeps per case; few cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any database seed, chunk bound, and kill point, a chunked
+    /// sweep that is killed and checkpoint-resumed reports hits
+    /// bit-identical to an unchunked sweep — under every execution plan
+    /// (CPU, simulated device, full-device, fault-tolerant multi-device).
+    #[test]
+    fn checkpoint_resumed_stream_matches_unchunked_under_every_plan(
+        seed in 0u64..200,
+        cap in 5_000u64..15_000,
+        kill_after in 1usize..3,
+    ) {
+        use hmmer3_warp::pipeline::{
+            search_chunked_checkpointed, FastaChunks, FtSweep, Pipeline, PipelineConfig,
+        };
+        use hmmer3_warp::seqdb::{content_hash, fasta};
+
+        let core = synthetic_model(50, 77, &BuildParams::default());
+        let pipe = Pipeline::prepare(&core, PipelineConfig::default(), 3);
+        let mut spec = DbGenSpec::envnr_like().scaled(2e-4);
+        spec.homolog_fraction = 0.05;
+        let db = generate(&spec, Some(&core), seed);
+        let text = fasta::render(&db);
+        let chunks: Vec<SeqDb> = FastaChunks::new(&text, cap)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert!(chunks.len() >= 2, "need at least two chunks, got {}", chunks.len());
+        let kill_after = kill_after.min(chunks.len() - 1);
+        let hash = content_hash(&db);
+        let dir = std::env::temp_dir()
+            .join(format!("h3w-prop-{}-{seed}-{cap}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let dev = DeviceSpec::tesla_k40;
+        let plans: [(&str, ExecPlan); 4] = [
+            ("cpu", ExecPlan::Cpu),
+            ("dev", ExecPlan::Device { dev: dev() }),
+            ("devfull", ExecPlan::DeviceFull { dev: dev() }),
+            (
+                "ft2",
+                ExecPlan::FaultTolerant {
+                    dev: dev(),
+                    sweep: FtSweep::fault_free(2),
+                },
+            ),
+        ];
+        for (tag, plan) in &plans {
+            let mut unchunked = pipe.search(&db, plan).unwrap();
+            for h in &mut unchunked.hits {
+                h.posterior = None; // checkpointed sweeps do not persist posteriors
+            }
+            let ckpt = dir.join(format!("{tag}.ckpt"));
+            let _ = std::fs::remove_file(&ckpt);
+            let prefix: Vec<SeqDb> = chunks.iter().take(kill_after).cloned().collect();
+            search_chunked_checkpointed(&pipe, prefix, db.len(), plan, &ckpt, hash).unwrap();
+            let resumed =
+                search_chunked_checkpointed(&pipe, chunks.clone(), db.len(), plan, &ckpt, hash)
+                    .unwrap();
+            prop_assert_eq!(&resumed.hits, &unchunked.hits, "plan {} diverged", tag);
+            for (a, b) in resumed.stages.iter().zip(&unchunked.stages) {
+                prop_assert_eq!(a.seqs_in, b.seqs_in, "plan {} stage {}", tag, &a.name);
+                prop_assert_eq!(a.seqs_out, b.seqs_out, "plan {} stage {}", tag, &a.name);
+                prop_assert_eq!(a.residues_in, b.residues_in, "plan {} stage {}", tag, &a.name);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -186,7 +186,14 @@ fn chunked_traced_search_accumulates_the_whole_database() {
     );
 
     let trace = Trace::on();
-    let merged = hmmer3_warp::pipeline::search_chunked_traced(&pipe, chunks, db.len(), &trace);
+    let merged = hmmer3_warp::pipeline::search_chunked_traced(
+        &pipe,
+        chunks,
+        db.len(),
+        &ExecPlan::Cpu,
+        &trace,
+    )
+    .unwrap();
     assert_eq!(merged.hits.len(), single.hits.len());
     let tel = trace.snapshot().expect("trace armed");
 
